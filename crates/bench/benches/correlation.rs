@@ -1,0 +1,84 @@
+//! Criterion bench for E6: building the record-correlation join index and
+//! joining through it, vs fuzzy-matching on the fly.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eii::matview::{similarity, CorrelationIndex};
+use eii::prelude::*;
+use eii::row;
+
+fn data(n: usize) -> (Batch, Batch) {
+    let mut rng = StdRng::seed_from_u64(61);
+    let adjs = ["acme", "atlas", "apex", "global", "united", "pioneer"];
+    let nouns = ["corp", "industries", "systems"];
+    let ls = Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("name", DataType::Str),
+    ]));
+    let rs = Arc::new(Schema::new(vec![
+        Field::new("ref", DataType::Int),
+        Field::new("company", DataType::Str),
+    ]));
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in 0..n {
+        let base = format!(
+            "{} {} {}",
+            adjs[rng.gen_range(0..adjs.len())],
+            nouns[rng.gen_range(0..nouns.len())],
+            i
+        );
+        left.push(row![i as i64, base.clone()]);
+        right.push(row![(10_000 + i) as i64, format!("{} inc", base.to_uppercase())]);
+    }
+    (Batch::new(ls, left), Batch::new(rs, right))
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlation");
+    for n in [100usize, 400] {
+        let (left, right) = data(n);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| {
+                let ix =
+                    CorrelationIndex::build(&left, "id", "name", &right, "ref", "company", 0.6)
+                        .expect("build");
+                std::hint::black_box(ix.len())
+            })
+        });
+        let ix = CorrelationIndex::build(&left, "id", "name", &right, "ref", "company", 0.6)
+            .expect("build");
+        group.bench_with_input(BenchmarkId::new("indexed_join", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    ix.join(&left, "id", &right, "ref").expect("join").num_rows(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fuzzy_nested_loop", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for l in left.rows() {
+                    for r in right.rows() {
+                        if similarity(
+                            l.get(1).as_str().unwrap_or(""),
+                            r.get(1).as_str().unwrap_or(""),
+                        ) >= 0.6
+                        {
+                            hits += 1;
+                        }
+                    }
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlation);
+criterion_main!(benches);

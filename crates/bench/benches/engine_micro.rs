@@ -1,0 +1,84 @@
+//! Microbenches of the engine's layers: SQL parsing, planning (with all
+//! rewrites), and storage-engine primitives. These are the fixed overheads
+//! every federated query pays before any byte crosses the network.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use eii::planner::{plan_query, PlannerConfig};
+use eii::prelude::*;
+use eii::row;
+use eii::sql::parse_query;
+use eii_bench::FedMark;
+
+const SQL: &str = "SELECT c.region, COUNT(*) AS orders, SUM(o.total) AS revenue \
+                   FROM crm.customers c JOIN sales.orders o ON c.customer_id = o.customer_id \
+                   WHERE c.segment = 's1' AND o.total > 100 \
+                   GROUP BY c.region HAVING revenue > 1000 ORDER BY revenue DESC LIMIT 5";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_complex_query", |b| {
+        b.iter(|| std::hint::black_box(parse_query(SQL).expect("parse")))
+    });
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let env = FedMark::build(1, 13).expect("fedmark");
+    let query = parse_query(SQL).expect("parse");
+    let config = PlannerConfig::optimized();
+    c.bench_function("plan_federated_query", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                plan_query(&query, env.system.catalog(), env.system.federation(), &config)
+                    .expect("plan"),
+            )
+        })
+    });
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let clock = SimClock::new();
+    let db = Database::new("bench", clock);
+    let t = db
+        .create_table(
+            TableDef::new(
+                "t",
+                Arc::new(Schema::new(vec![
+                    Field::new("id", DataType::Int).not_null(),
+                    Field::new("k", DataType::Int),
+                    Field::new("s", DataType::Str),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .expect("create");
+    {
+        let mut t = t.write();
+        t.create_hash_index(1);
+        for i in 0..10_000i64 {
+            t.insert(row![i, i % 100, format!("value {i}")]).expect("insert");
+        }
+    }
+    let mut group = c.benchmark_group("storage");
+    group.bench_function("pk_lookup", |b| {
+        let t = t.read();
+        b.iter(|| std::hint::black_box(t.get_by_pk(&Value::Int(4321)).is_some()))
+    });
+    group.bench_function("indexed_eq_lookup", |b| {
+        let t = t.read();
+        b.iter(|| std::hint::black_box(t.lookup_eq(1, &Value::Int(42)).len()))
+    });
+    group.bench_function("full_scan_filter", |b| {
+        let t = t.read();
+        b.iter(|| {
+            std::hint::black_box(
+                t.scan(|r| r.get(1) == &Value::Int(42)).len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_plan, bench_storage);
+criterion_main!(benches);

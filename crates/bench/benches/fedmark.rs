@@ -1,0 +1,23 @@
+//! Criterion bench for E9: wall-clock latency of each FedMark query at
+//! scale factor 1 under the full optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eii_bench::FedMark;
+
+fn bench_fedmark(c: &mut Criterion) {
+    let env = FedMark::build(1, 31).expect("build fedmark");
+    let mut group = c.benchmark_group("fedmark_sf1");
+    for (id, _desc, sql) in FedMark::queries() {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &sql, |b, sql| {
+            b.iter(|| {
+                let out = env.system.execute(sql).expect("query");
+                std::hint::black_box(out.rows().expect("rows").num_rows())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fedmark);
+criterion_main!(benches);

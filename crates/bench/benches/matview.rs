@@ -1,0 +1,34 @@
+//! Criterion bench for E5: fetch cost of a live view vs a cached
+//! materialized view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use eii::matview::{MatViewManager, RefreshPolicy};
+use eii_bench::FedMark;
+
+const SQL: &str = "SELECT c.region, COUNT(*) AS n FROM crm.customers c \
+                   JOIN sales.orders o ON c.customer_id = o.customer_id GROUP BY c.region";
+
+fn bench_matview(c: &mut Criterion) {
+    let env = FedMark::build(1, 51).expect("build fedmark");
+    let views = MatViewManager::new(env.system.federation().clone(), env.clock.clone());
+    views
+        .define("live", SQL, env.system.catalog(), RefreshPolicy::Live)
+        .expect("define");
+    views
+        .define("cached", SQL, env.system.catalog(), RefreshPolicy::Manual)
+        .expect("define");
+    views.refresh("cached").expect("warm the cache");
+
+    let mut group = c.benchmark_group("matview_fetch");
+    group.bench_function("live", |b| {
+        b.iter(|| std::hint::black_box(views.fetch("live").expect("fetch").0.num_rows()))
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| std::hint::black_box(views.fetch("cached").expect("fetch").0.num_rows()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matview);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E3: the same selective cross-source join executed
+//! under each optimization level (wall-clock view of the ablation ladder).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use eii::prelude::*;
+use eii_bench::FedMark;
+
+const SQL: &str = "SELECT c.name, o.total FROM crm.customers c \
+                   JOIN sales.orders o ON c.customer_id = o.customer_id \
+                   WHERE c.customer_id < 10";
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushdown");
+    for (label, config) in [
+        ("naive", PlannerConfig::naive()),
+        ("filters_only", PlannerConfig::filters_only()),
+        ("optimized", PlannerConfig::optimized()),
+    ] {
+        let env = FedMark::build_with_config(1, 23, config).expect("build fedmark");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &env, |b, env| {
+            b.iter(|| {
+                let out = env.system.execute(SQL).expect("query");
+                std::hint::black_box(out.rows().expect("rows").num_rows())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

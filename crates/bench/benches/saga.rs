@@ -1,0 +1,97 @@
+//! Criterion bench for E10: saga throughput (happy path and compensating
+//! path) through the EAI engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use eii::eai::{MessageBroker, ProcessDef, ProcessEnv, SagaEngine, Step};
+use eii::federation::UpdateOp;
+use eii::prelude::*;
+use eii::row;
+
+fn setup() -> (Federation, SimClock) {
+    let clock = SimClock::new();
+    let hr = Database::new("hr", clock.clone());
+    hr.create_table(
+        TableDef::new(
+            "employees",
+            Arc::new(Schema::new(vec![
+                Field::new("emp_id", DataType::Int).not_null(),
+                Field::new("name", DataType::Str),
+            ])),
+        )
+        .with_primary_key(0),
+    )
+    .expect("create table");
+    let mut fed = Federation::new();
+    fed.register(
+        Arc::new(RelationalConnector::new(hr)),
+        LinkProfile::lan(),
+        WireFormat::Native,
+    )
+    .expect("register");
+    (fed, clock)
+}
+
+fn onboarding(emp: i64, fail: bool) -> ProcessDef {
+    ProcessDef::new("onboard")
+        .step(
+            Step::new("insert", move |env: &ProcessEnv<'_>| {
+                env.federation.source("hr")?.update(&UpdateOp::Insert {
+                    table: "employees".into(),
+                    row: row![emp, "bench"],
+                })?;
+                Ok(())
+            })
+            .with_compensation(move |env| {
+                env.federation.source("hr")?.update(&UpdateOp::DeleteByKey {
+                    table: "employees".into(),
+                    key: Value::Int(emp),
+                })?;
+                Ok(())
+            }),
+        )
+        .step(Step::new("approve", move |_| {
+            if fail {
+                Err(EiiError::Process("denied".into()))
+            } else {
+                Ok(())
+            }
+        }))
+        .step(
+            Step::new("cleanup", move |env: &ProcessEnv<'_>| {
+                env.federation.source("hr")?.update(&UpdateOp::DeleteByKey {
+                    table: "employees".into(),
+                    key: Value::Int(emp),
+                })?;
+                Ok(())
+            }),
+        )
+}
+
+fn bench_saga(c: &mut Criterion) {
+    let (fed, clock) = setup();
+    let broker = MessageBroker::new();
+    let engine = SagaEngine::new(clock.clone());
+    let mut group = c.benchmark_group("saga");
+    group.bench_function("happy_path", |b| {
+        b.iter(|| {
+            let env = ProcessEnv::new(&fed, &broker, &clock, HashMap::new());
+            let (outcome, _) = engine.run(&onboarding(1, false), &env).expect("saga");
+            std::hint::black_box(outcome)
+        })
+    });
+    group.bench_function("compensating_path", |b| {
+        b.iter(|| {
+            let env = ProcessEnv::new(&fed, &broker, &clock, HashMap::new());
+            let (outcome, _) = engine.run(&onboarding(2, true), &env).expect("saga");
+            std::hint::black_box(outcome)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_saga);
+criterion_main!(benches);

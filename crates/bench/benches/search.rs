@@ -1,0 +1,42 @@
+//! Criterion bench for E8: federated search latency, with and without ACL
+//! filtering in the hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use eii::search::{index_docstore, index_federation_table, EnterpriseSearch, SearchIndex};
+use eii_bench::FedMark;
+
+fn bench_search(c: &mut Criterion) {
+    let env = FedMark::build(2, 71).expect("build fedmark");
+    let mut index = SearchIndex::new();
+    index_federation_table(&mut index, env.system.federation(), "crm.customers").expect("crm");
+    index_federation_table(&mut index, env.system.federation(), "hr.employees").expect("hr");
+    index_docstore(&mut index, "contracts", &env.contracts).expect("contracts");
+    index_docstore(&mut index, "support", &env.tickets).expect("support");
+
+    let open = EnterpriseSearch::new(index, env.system.catalog().clone());
+    // A second service where half the sources are ACL-restricted.
+    let restricted_catalog = env.system.catalog().clone();
+    restricted_catalog.grant("hr", "hr-admin");
+    restricted_catalog.grant("contracts", "legal");
+
+    let mut group = c.benchmark_group("enterprise_search");
+    group.bench_function("open_acl", |b| {
+        b.iter(|| {
+            let (hits, _) = open.search("acme renewal gold", "public", 20).expect("search");
+            std::hint::black_box(hits.len())
+        })
+    });
+    group.bench_function("filtered_acl", |b| {
+        b.iter(|| {
+            let (hits, _) = open
+                .search("acme renewal gold", "intern", 20)
+                .expect("search");
+            std::hint::black_box(hits.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

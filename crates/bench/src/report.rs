@@ -1,0 +1,125 @@
+//! Experiment report rendering: aligned ASCII tables (for EXPERIMENTS.md)
+//! plus machine-readable JSON lines.
+
+use std::fmt::Write as _;
+
+/// One experiment's tabular output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub id: String,
+    pub title: String,
+    pub claim: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a free-form note printed under the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as an aligned ASCII table with header and notes.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id.to_uppercase(), self.title);
+        let _ = writeln!(out, "Claim: {}", self.claim);
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+";
+        let _ = writeln!(out, "{sep}");
+        out.push('|');
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(out, " {h:<w$} |");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            out.push('|');
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(out, " {c:>w$} |");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{sep}");
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Machine-readable JSON (one object per report).
+    pub fn to_json(&self) -> String {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        })
+        .to_string()
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("e0", "demo", "x beats y", &["k", "value"]);
+        r.row(vec!["a".into(), "1".into()]);
+        r.row(vec!["long-key".into(), "22".into()]);
+        r.note("a note");
+        let text = r.render();
+        assert!(text.contains("E0 — demo"));
+        assert!(text.contains("| long-key |"));
+        assert!(text.contains("note: a note"));
+        assert!(r.to_json().contains("\"id\":\"e0\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(12345.6), "12346");
+        assert_eq!(fmt_f(42.42), "42.4");
+        assert_eq!(fmt_f(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,87 @@
+//! Source-level access control.
+//!
+//! A deliberately simple role model: a source with no entries is open to
+//! everyone; once any role is granted, only granted roles may read it.
+//! The enterprise-search substrate consults this on every hit (E8's
+//! security-filter overhead measurement).
+
+use std::collections::BTreeMap;
+
+/// Role-based per-source access control lists.
+#[derive(Debug, Clone, Default)]
+pub struct AccessControl {
+    grants: BTreeMap<String, Vec<String>>,
+}
+
+impl AccessControl {
+    /// Empty (everything open).
+    pub fn new() -> Self {
+        AccessControl::default()
+    }
+
+    /// Grant `role` access to `source`.
+    pub fn grant(&mut self, source: &str, role: &str) {
+        let roles = self.grants.entry(source.to_string()).or_default();
+        if !roles.iter().any(|r| r == role) {
+            roles.push(role.to_string());
+        }
+    }
+
+    /// Revoke `role`'s access; removes the source entry when the last role
+    /// goes (reopening the source).
+    pub fn revoke(&mut self, source: &str, role: &str) {
+        if let Some(roles) = self.grants.get_mut(source) {
+            roles.retain(|r| r != role);
+            if roles.is_empty() {
+                self.grants.remove(source);
+            }
+        }
+    }
+
+    /// May `role` read `source`?
+    pub fn allowed(&self, source: &str, role: &str) -> bool {
+        match self.grants.get(source) {
+            None => true,
+            Some(roles) => roles.iter().any(|r| r == role),
+        }
+    }
+
+    /// Snapshot for export.
+    pub fn entries(&self) -> Vec<(String, Vec<String>)> {
+        self.grants
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_is_idempotent() {
+        let mut acl = AccessControl::new();
+        acl.grant("hr", "admin");
+        acl.grant("hr", "admin");
+        assert_eq!(acl.entries(), vec![("hr".into(), vec!["admin".into()])]);
+    }
+
+    #[test]
+    fn multiple_roles() {
+        let mut acl = AccessControl::new();
+        acl.grant("hr", "admin");
+        acl.grant("hr", "auditor");
+        assert!(acl.allowed("hr", "auditor"));
+        assert!(!acl.allowed("hr", "intern"));
+        acl.revoke("hr", "auditor");
+        assert!(!acl.allowed("hr", "auditor"));
+    }
+
+    #[test]
+    fn revoke_unknown_is_noop() {
+        let mut acl = AccessControl::new();
+        acl.revoke("ghost", "nobody");
+        assert!(acl.allowed("ghost", "anyone"));
+    }
+}

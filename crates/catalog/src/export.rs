@@ -1,0 +1,191 @@
+//! JSON export/import of the catalog.
+//!
+//! Rosenthal §7: "it is not tolerable to capture overlapping semantics
+//! separately for each product ... EI metadata is unintegrated". The export
+//! format is the platform's answer: every tool (EII planner, ETL designer,
+//! search indexer) reads the same metadata document.
+
+use serde::{Deserialize, Serialize};
+
+use eii_data::{EiiError, Result};
+use eii_sql::{parse_statement, Statement};
+
+use crate::catalog::{Catalog, SourceMeta};
+
+/// The serialized catalog document.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CatalogExport {
+    pub version: u32,
+    /// View name -> CREATE VIEW SQL.
+    pub views: Vec<ExportedView>,
+    pub sources: Vec<ExportedSource>,
+    pub acl: Vec<ExportedAcl>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ExportedView {
+    pub name: String,
+    pub sql: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ExportedSource {
+    pub name: String,
+    pub description: String,
+    pub owner: String,
+    pub tags: Vec<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ExportedAcl {
+    pub source: String,
+    pub roles: Vec<String>,
+}
+
+impl CatalogExport {
+    /// Snapshot a live catalog.
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        CatalogExport {
+            version: 1,
+            views: catalog
+                .view_snapshot()
+                .into_iter()
+                .map(|v| ExportedView {
+                    name: v.name,
+                    sql: v.sql,
+                })
+                .collect(),
+            sources: catalog
+                .source_snapshot()
+                .into_iter()
+                .map(|(name, m)| ExportedSource {
+                    name,
+                    description: m.description,
+                    owner: m.owner,
+                    tags: m.tags,
+                })
+                .collect(),
+            acl: catalog
+                .acl_entries()
+                .into_iter()
+                .map(|(source, roles)| ExportedAcl { source, roles })
+                .collect(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| EiiError::Serde(format!("catalog export: {e}")))
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| EiiError::Serde(format!("catalog import: {e}")))
+    }
+
+    /// Materialize into a fresh catalog (re-parsing all view SQL).
+    pub fn into_catalog(self) -> Result<Catalog> {
+        let catalog = Catalog::new();
+        for v in self.views {
+            match parse_statement(&v.sql)? {
+                Statement::CreateView { name, query } => {
+                    if name != v.name {
+                        return Err(EiiError::Serde(format!(
+                            "view entry '{}' declares CREATE VIEW {name}",
+                            v.name
+                        )));
+                    }
+                    catalog.create_view(&name, &v.sql, query)?;
+                }
+                _ => {
+                    return Err(EiiError::Serde(format!(
+                        "view '{}' body is not a CREATE VIEW statement",
+                        v.name
+                    )))
+                }
+            }
+        }
+        for s in self.sources {
+            catalog.describe_source(
+                &s.name,
+                SourceMeta {
+                    description: s.description,
+                    owner: s.owner,
+                    tags: s.tags,
+                },
+            );
+        }
+        for a in self.acl {
+            for role in &a.roles {
+                catalog.grant(&a.source, role);
+            }
+        }
+        Ok(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> Catalog {
+        let c = Catalog::new();
+        c.create_view_sql("CREATE VIEW customers AS SELECT id, name FROM crm.customers")
+            .unwrap();
+        c.create_view_sql(
+            "CREATE VIEW big_orders AS SELECT * FROM orders.orders WHERE total > 1000",
+        )
+        .unwrap();
+        c.describe_source(
+            "crm",
+            SourceMeta {
+                description: "CRM".into(),
+                owner: "sales".into(),
+                tags: vec!["customer".into()],
+            },
+        );
+        c.grant("hr", "hr-admin");
+        c
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = populated();
+        let json = CatalogExport::from_catalog(&original).to_json().unwrap();
+        let restored = CatalogExport::from_json(&json)
+            .unwrap()
+            .into_catalog()
+            .unwrap();
+        assert_eq!(restored.view_names(), original.view_names());
+        assert_eq!(
+            restored.view("customers").unwrap().query,
+            original.view("customers").unwrap().query
+        );
+        assert_eq!(restored.source_meta("crm"), original.source_meta("crm"));
+        assert!(!restored.allowed("hr", "anyone"));
+        assert!(restored.allowed("hr", "hr-admin"));
+    }
+
+    #[test]
+    fn corrupt_json_reports_serde_error() {
+        assert_eq!(
+            CatalogExport::from_json("{not json").unwrap_err().kind(),
+            "serde"
+        );
+    }
+
+    #[test]
+    fn mismatched_view_name_rejected() {
+        let export = CatalogExport {
+            version: 1,
+            views: vec![ExportedView {
+                name: "a".into(),
+                sql: "CREATE VIEW b AS SELECT 1".into(),
+            }],
+            sources: vec![],
+            acl: vec![],
+        };
+        assert_eq!(export.into_catalog().unwrap_err().kind(), "serde");
+    }
+}

@@ -1,0 +1,23 @@
+//! # eii-catalog
+//!
+//! The enterprise metadata registry — Halevy's "framework for storing the
+//! meta-data across an enterprise". It holds:
+//!
+//! - the **mediated schema**: named views defined (GAV-style) as queries over
+//!   `source.table` relations, following Draper's "views as a central
+//!   metaphor ... factor the job into smaller pieces, and keep and re-use
+//!   those pieces across multiple queries";
+//! - **source metadata**: descriptions, owners, tags — the "locating and
+//!   understanding the data to be integrated" problem;
+//! - **access control lists** per source (Sikka §8: "ensuring that only
+//!   authorized users get access to the information they seek");
+//! - JSON **export/import**, because metadata that cannot be shared across
+//!   tools "is unintegrated ... EI metadata" (Rosenthal §7).
+
+pub mod acl;
+pub mod catalog;
+pub mod export;
+
+pub use acl::AccessControl;
+pub use catalog::{Catalog, SourceMeta, ViewDef};
+pub use export::CatalogExport;

@@ -1,0 +1,365 @@
+//! # eii — an Enterprise Information Integration platform
+//!
+//! A complete implementation of the EII architecture described in
+//! *"Enterprise Information Integration: Successes, Challenges and
+//! Controversies"* (Halevy et al., SIGMOD 2005): uniform SQL access to
+//! multiple heterogeneous sources without first loading them into a
+//! warehouse — plus every substrate the paper's discussion depends on
+//! (warehouse/ETL baseline, materialized views, record correlation, EAI
+//! sagas, semantics management, enterprise search).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use eii::prelude::*;
+//!
+//! // A relational source...
+//! let clock = SimClock::new();
+//! let crm = Database::new("crm", clock.clone());
+//! let schema = Arc::new(Schema::new(vec![
+//!     Field::new("id", DataType::Int).not_null(),
+//!     Field::new("name", DataType::Str),
+//! ]));
+//! let t = crm.create_table(TableDef::new("customers", schema).with_primary_key(0)).unwrap();
+//! t.write().insert(eii::row![1i64, "alice"]).unwrap();
+//!
+//! // ...registered with the EII system and queried through a mediated view.
+//! let mut system = EiiSystem::new(clock);
+//! system
+//!     .register_source(Arc::new(RelationalConnector::new(crm)), LinkProfile::lan(), WireFormat::Native)
+//!     .unwrap();
+//! system.execute("CREATE VIEW customers AS SELECT id, name FROM crm.customers").unwrap();
+//! let out = system.execute("SELECT name FROM customers WHERE id = 1").unwrap();
+//! assert_eq!(out.rows().unwrap().num_rows(), 1);
+//! ```
+
+use std::sync::Arc;
+
+use eii_catalog::Catalog;
+use eii_data::{Batch, EiiError, Result, SimClock};
+use eii_eai::{MessageBroker, ProcessDef, ProcessEnv, SagaEngine, SagaOutcome};
+use eii_exec::{Executor, QueryResult};
+use eii_federation::{Connector, Federation, LinkProfile, WireFormat};
+use eii_planner::{optimize, PlanBuilder, PhysicalPlanner, PlannerConfig};
+use eii_search::{EnterpriseSearch, Hit};
+use eii_sql::{parse_statement, Statement};
+
+/// Everything an application typically imports.
+pub mod prelude {
+    pub use crate::{EiiSystem, ExecOutcome};
+    pub use eii_catalog::{Catalog, SourceMeta};
+    pub use eii_data::{
+        Batch, DataType, EiiError, Field, Result, Row, Schema, SimClock, Value,
+    };
+    pub use eii_docstore::{DocStore, Document};
+    pub use eii_federation::{
+        adapters::document::VirtualTable, Connector, CsvConnector, DocumentConnector,
+        Federation, LinkProfile, RelationalConnector, UpdateOp, WebServiceConnector,
+        WireFormat,
+    };
+    pub use eii_planner::PlannerConfig;
+    pub use eii_storage::{Database, TableDef};
+}
+
+// Re-export the subsystem crates under stable names so downstream users
+// depend on `eii` alone.
+pub use eii_catalog as catalog;
+pub use eii_data as data;
+pub use eii_data::row as row_macro;
+pub use eii_docstore as docstore;
+pub use eii_eai as eai;
+pub use eii_exec as exec;
+pub use eii_expr as expr;
+pub use eii_federation as federation;
+pub use eii_matview as matview;
+pub use eii_planner as planner;
+pub use eii_search as search;
+pub use eii_semantics as semantics;
+pub use eii_sql as sql;
+pub use eii_storage as storage;
+pub use eii_warehouse as warehouse;
+
+// `eii::row!` works because the macro is exported at the crate root of
+// eii-data and re-exported here.
+pub use eii_data::row;
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// A query's rows plus cost accounting.
+    Rows(QueryResult),
+    /// `CREATE VIEW` succeeded; the view name.
+    ViewCreated(String),
+    /// `SEARCH` hits.
+    SearchHits(Vec<Hit>),
+}
+
+impl ExecOutcome {
+    /// The rows, if this outcome carries any.
+    pub fn rows(&self) -> Result<&Batch> {
+        match self {
+            ExecOutcome::Rows(r) => Ok(&r.batch),
+            other => Err(EiiError::Execution(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+
+    /// The full query result, if this outcome is a query.
+    pub fn query_result(&self) -> Result<&QueryResult> {
+        match self {
+            ExecOutcome::Rows(r) => Ok(r),
+            other => Err(EiiError::Execution(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The EII server: a federation of wrapped sources, a metadata catalog, a
+/// planner configuration, a message broker, and (optionally) an enterprise
+/// search service.
+pub struct EiiSystem {
+    clock: SimClock,
+    federation: Federation,
+    catalog: Catalog,
+    config: PlannerConfig,
+    broker: MessageBroker,
+    search: Option<EnterpriseSearch>,
+}
+
+impl EiiSystem {
+    /// A new system on the given simulated clock, with all optimizations
+    /// enabled.
+    pub fn new(clock: SimClock) -> Self {
+        EiiSystem {
+            clock,
+            federation: Federation::new(),
+            catalog: Catalog::new(),
+            config: PlannerConfig::optimized(),
+            broker: MessageBroker::new(),
+            search: None,
+        }
+    }
+
+    /// Replace the planner configuration (ablations, naive mode, ...).
+    pub fn with_config(mut self, config: PlannerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The federation (read access: ledger, schemas, handles).
+    pub fn federation(&self) -> &Federation {
+        &self.federation
+    }
+
+    /// Mutable federation access (wire-format switches etc.).
+    pub fn federation_mut(&mut self) -> &mut Federation {
+        &mut self.federation
+    }
+
+    /// The metadata catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The message broker shared with EAI processes.
+    pub fn broker(&self) -> &MessageBroker {
+        &self.broker
+    }
+
+    /// The active planner configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Register a wrapped source behind a network link.
+    pub fn register_source(
+        &mut self,
+        connector: Arc<dyn Connector>,
+        link: LinkProfile,
+        wire: WireFormat,
+    ) -> Result<()> {
+        self.federation.register(connector, link, wire)
+    }
+
+    /// Attach an enterprise-search service (see [`eii_search`]).
+    pub fn attach_search(&mut self, search: EnterpriseSearch) {
+        self.search = Some(search);
+    }
+
+    /// Execute one SQL statement as the given role.
+    pub fn execute_as(&self, sql: &str, role: &str) -> Result<ExecOutcome> {
+        match parse_statement(sql)? {
+            Statement::Query(q) => {
+                let plan =
+                    eii_planner::plan_query(&q, &self.catalog, &self.federation, &self.config)?;
+                let exec = Executor::new(&self.federation);
+                Ok(ExecOutcome::Rows(exec.execute(&plan)?))
+            }
+            Statement::CreateView { name, query } => {
+                // Validate the body plans before accepting the definition.
+                self.catalog.create_view(&name, sql, query.clone())?;
+                let probe = PlanBuilder::new(&self.catalog, &self.federation).build(&query);
+                if let Err(e) = probe {
+                    self.catalog.drop_view(&name);
+                    return Err(e);
+                }
+                Ok(ExecOutcome::ViewCreated(name))
+            }
+            Statement::Search {
+                terms,
+                sources,
+                limit,
+            } => {
+                let Some(search) = &self.search else {
+                    return Err(EiiError::Execution(
+                        "no search service attached; call attach_search first".into(),
+                    ));
+                };
+                let (mut hits, _) = search.search(&terms, role, limit.unwrap_or(10))?;
+                if !sources.is_empty() {
+                    hits.retain(|h| sources.iter().any(|s| s == &h.source));
+                }
+                Ok(ExecOutcome::SearchHits(hits))
+            }
+        }
+    }
+
+    /// Execute one SQL statement as the default (`public`) role.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        self.execute_as(sql, "public")
+    }
+
+    /// EXPLAIN: render the optimized logical and physical plans.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let Statement::Query(q) = parse_statement(sql)? else {
+            return Err(EiiError::Plan("EXPLAIN expects a query".into()));
+        };
+        let logical = PlanBuilder::new(&self.catalog, &self.federation).build(&q)?;
+        let optimized = optimize(logical, &self.federation, &self.config)?;
+        let physical =
+            PhysicalPlanner::new(&self.federation, &self.config).create(optimized.clone())?;
+        Ok(format!(
+            "== Logical plan ==\n{}== Physical plan ==\n{}",
+            optimized.display(),
+            physical.display()
+        ))
+    }
+
+    /// Predict a query's cost without executing it (experiment E12's
+    /// "query execution-time prediction").
+    pub fn predict(&self, sql: &str) -> Result<eii_planner::PlanEstimate> {
+        let Statement::Query(q) = parse_statement(sql)? else {
+            return Err(EiiError::Plan("prediction expects a query".into()));
+        };
+        let logical = PlanBuilder::new(&self.catalog, &self.federation).build(&q)?;
+        let optimized = optimize(logical, &self.federation, &self.config)?;
+        eii_planner::CostModel::new(&self.federation).estimate(&optimized)
+    }
+
+    /// Run a business process as a saga (the update half of enterprise
+    /// integration; see Carey §4).
+    pub fn run_process(
+        &self,
+        def: &ProcessDef,
+        vars: std::collections::HashMap<String, eii_data::Value>,
+    ) -> Result<(SagaOutcome, Vec<eii_eai::JournalEntry>)> {
+        let env = ProcessEnv::new(&self.federation, &self.broker, &self.clock, vars);
+        SagaEngine::new(self.clock.clone()).run(def, &env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use eii_data::row;
+
+    fn system() -> EiiSystem {
+        let clock = SimClock::new();
+        let crm = Database::new("crm", clock.clone());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+            Field::new("region", DataType::Str),
+        ]));
+        let t = crm
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        {
+            let mut t = t.write();
+            t.insert(row![1i64, "alice", "west"]).unwrap();
+            t.insert(row![2i64, "bob", "east"]).unwrap();
+        }
+        let mut sys = EiiSystem::new(clock);
+        sys.register_source(
+            Arc::new(RelationalConnector::new(crm)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        sys
+    }
+
+    #[test]
+    fn query_through_facade() {
+        let sys = system();
+        let out = sys.execute("SELECT name FROM crm.customers ORDER BY name").unwrap();
+        let batch = out.rows().unwrap();
+        assert_eq!(batch.num_rows(), 2);
+    }
+
+    #[test]
+    fn view_lifecycle_through_facade() {
+        let sys = system();
+        let out = sys
+            .execute("CREATE VIEW west AS SELECT * FROM crm.customers WHERE region = 'west'")
+            .unwrap();
+        assert!(matches!(out, ExecOutcome::ViewCreated(ref n) if n == "west"));
+        let rows = sys.execute("SELECT name FROM west").unwrap();
+        assert_eq!(rows.rows().unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn bad_view_body_is_rejected_and_not_registered() {
+        let sys = system();
+        let err = sys
+            .execute("CREATE VIEW broken AS SELECT x FROM no.such_table")
+            .unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+        assert!(sys.catalog().view("broken").is_none());
+    }
+
+    #[test]
+    fn explain_shows_both_plans() {
+        let sys = system();
+        let text = sys
+            .explain("SELECT name FROM crm.customers WHERE region = 'west'")
+            .unwrap();
+        assert!(text.contains("== Logical plan =="));
+        assert!(text.contains("SourceQuery crm"));
+        assert!(text.contains("pushed="), "{text}");
+    }
+
+    #[test]
+    fn predict_returns_estimate() {
+        let sys = system();
+        let est = sys.predict("SELECT name FROM crm.customers").unwrap();
+        assert!(est.rows > 0.0);
+        assert!(est.sim_ms > 0.0);
+    }
+
+    #[test]
+    fn search_requires_attachment() {
+        let sys = system();
+        let err = sys.execute("SEARCH 'acme'").unwrap_err();
+        assert_eq!(err.kind(), "execution");
+    }
+}

@@ -1,0 +1,93 @@
+//! A deterministic simulated clock.
+//!
+//! The warehouse (staleness), materialized views (refresh intervals), the
+//! network simulator (latency), and the EAI engine (long-running processes)
+//! all tell time through [`SimClock`] so experiments are reproducible and do
+//! not depend on wall-clock scheduling. Time is measured in *simulated
+//! milliseconds* from an arbitrary epoch.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A shared logical clock. Cloning yields a handle onto the same clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicI64>,
+}
+
+impl SimClock {
+    /// A clock starting at time 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// A clock starting at `start_ms`.
+    pub fn starting_at(start_ms: i64) -> Self {
+        let c = SimClock::new();
+        c.now_ms.store(start_ms, Ordering::SeqCst);
+        c
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> i64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    /// Advance the clock by `delta_ms` (callers simulate elapsed work) and
+    /// return the new time.
+    pub fn advance_ms(&self, delta_ms: i64) -> i64 {
+        debug_assert!(delta_ms >= 0, "time cannot run backwards");
+        self.now_ms.fetch_add(delta_ms, Ordering::SeqCst) + delta_ms
+    }
+
+    /// Move the clock to at least `target_ms` (no-op if already past).
+    pub fn advance_to(&self, target_ms: i64) -> i64 {
+        self.now_ms.fetch_max(target_ms, Ordering::SeqCst).max(target_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.advance_ms(10), 10);
+        assert_eq!(c.advance_ms(5), 15);
+        assert_eq!(c.now_ms(), 15);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let a = SimClock::starting_at(100);
+        let b = a.clone();
+        a.advance_ms(50);
+        assert_eq!(b.now_ms(), 150);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_to(30), 30);
+        assert_eq!(c.advance_to(10), 30, "advance_to never rewinds");
+        assert_eq!(c.now_ms(), 30);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance_ms(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now_ms(), 4000);
+    }
+}

@@ -1,0 +1,136 @@
+//! The platform-wide error type.
+//!
+//! Every layer of the system (parser, planner, executor, wrappers, ETL, EAI)
+//! reports failures through [`EiiError`] so that errors compose across crate
+//! boundaries without conversion boilerplate.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = EiiError> = std::result::Result<T, E>;
+
+/// Platform-wide error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EiiError {
+    /// Lexing or parsing failed.
+    Parse(String),
+    /// A name (table, column, view, source) could not be resolved.
+    NotFound(String),
+    /// An object with the same name already exists.
+    AlreadyExists(String),
+    /// The query or expression does not type-check.
+    Type(String),
+    /// A plan could not be produced (unsupported construct, no viable
+    /// decomposition, capability mismatch, ...).
+    Plan(String),
+    /// Runtime failure while executing a plan.
+    Execution(String),
+    /// A wrapper / remote source rejected or failed a request.
+    Source(String),
+    /// The caller is not authorized for the requested data.
+    Unauthorized(String),
+    /// Failure in the ETL / warehouse substrate.
+    Etl(String),
+    /// Failure in the EAI / process substrate.
+    Process(String),
+    /// Constraint violation (uniqueness, referential, domain).
+    Constraint(String),
+    /// Catalog (de)serialization problems.
+    Serde(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl EiiError {
+    /// Short machine-readable category tag, used in logs and experiment
+    /// output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EiiError::Parse(_) => "parse",
+            EiiError::NotFound(_) => "not_found",
+            EiiError::AlreadyExists(_) => "already_exists",
+            EiiError::Type(_) => "type",
+            EiiError::Plan(_) => "plan",
+            EiiError::Execution(_) => "execution",
+            EiiError::Source(_) => "source",
+            EiiError::Unauthorized(_) => "unauthorized",
+            EiiError::Etl(_) => "etl",
+            EiiError::Process(_) => "process",
+            EiiError::Constraint(_) => "constraint",
+            EiiError::Serde(_) => "serde",
+            EiiError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            EiiError::Parse(m)
+            | EiiError::NotFound(m)
+            | EiiError::AlreadyExists(m)
+            | EiiError::Type(m)
+            | EiiError::Plan(m)
+            | EiiError::Execution(m)
+            | EiiError::Source(m)
+            | EiiError::Unauthorized(m)
+            | EiiError::Etl(m)
+            | EiiError::Process(m)
+            | EiiError::Constraint(m)
+            | EiiError::Serde(m)
+            | EiiError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for EiiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for EiiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = EiiError::Plan("no viable decomposition".into());
+        assert_eq!(e.to_string(), "plan error: no viable decomposition");
+        assert_eq!(e.kind(), "plan");
+        assert_eq!(e.message(), "no viable decomposition");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            EiiError::NotFound("t".into()),
+            EiiError::NotFound("t".into())
+        );
+        assert_ne!(EiiError::NotFound("t".into()), EiiError::Parse("t".into()));
+    }
+
+    #[test]
+    fn every_variant_has_distinct_kind() {
+        let variants = [
+            EiiError::Parse(String::new()),
+            EiiError::NotFound(String::new()),
+            EiiError::AlreadyExists(String::new()),
+            EiiError::Type(String::new()),
+            EiiError::Plan(String::new()),
+            EiiError::Execution(String::new()),
+            EiiError::Source(String::new()),
+            EiiError::Unauthorized(String::new()),
+            EiiError::Etl(String::new()),
+            EiiError::Process(String::new()),
+            EiiError::Constraint(String::new()),
+            EiiError::Serde(String::new()),
+            EiiError::Internal(String::new()),
+        ];
+        let mut kinds: Vec<_> = variants.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! Semi-structured documents: named node trees with text payloads.
+
+use std::fmt;
+
+/// Document identifier within a store.
+pub type DocId = u64;
+
+/// A node of a semi-structured document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocNode {
+    /// Element name (`customer`, `paragraph`, `cell`, ...).
+    pub name: String,
+    /// Text content, if this node carries any.
+    pub text: Option<String>,
+    /// Child nodes in document order.
+    pub children: Vec<DocNode>,
+}
+
+impl DocNode {
+    /// A leaf node carrying text.
+    pub fn leaf(name: impl Into<String>, text: impl Into<String>) -> Self {
+        DocNode {
+            name: name.into(),
+            text: Some(text.into()),
+            children: Vec::new(),
+        }
+    }
+
+    /// An interior node with children.
+    pub fn elem(name: impl Into<String>, children: Vec<DocNode>) -> Self {
+        DocNode {
+            name: name.into(),
+            text: None,
+            children,
+        }
+    }
+
+    /// Total number of nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(DocNode::node_count).sum::<usize>()
+    }
+
+    /// Concatenated text of this subtree (depth-first), separated by spaces.
+    pub fn full_text(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out.trim_end().to_string()
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        if let Some(t) = &self.text {
+            out.push_str(t);
+            out.push(' ');
+        }
+        for c in &self.children {
+            c.collect_text(out);
+        }
+    }
+
+    /// Approximate serialized size in bytes (tags + text), used by the
+    /// network simulator when documents ship between sites.
+    pub fn wire_size(&self) -> usize {
+        2 * self.name.len()
+            + 5
+            + self.text.as_deref().map_or(0, str::len)
+            + self.children.iter().map(DocNode::wire_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for DocNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.name)?;
+        if let Some(t) = &self.text {
+            write!(f, "{t}")?;
+        }
+        for c in &self.children {
+            write!(f, "{c}")?;
+        }
+        write!(f, "</{}>", self.name)
+    }
+}
+
+/// A stored document: an id, a human-readable title, and the content tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    pub id: DocId,
+    pub title: String,
+    pub root: DocNode,
+}
+
+impl Document {
+    /// Build a document; the id is assigned by the store on insert
+    /// (pass 0 here).
+    pub fn new(title: impl Into<String>, root: DocNode) -> Self {
+        Document {
+            id: 0,
+            title: title.into(),
+            root,
+        }
+    }
+
+    /// Ingest plain prose (the "MS Word" path): each line becomes a
+    /// `paragraph` node under a `doc` root. No schema is declared anywhere —
+    /// that is the point.
+    pub fn from_text(title: impl Into<String>, body: &str) -> Self {
+        let children = body
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| DocNode::leaf("paragraph", l.trim()))
+            .collect();
+        Document::new(title, DocNode::elem("doc", children))
+    }
+
+    /// Ingest tabular data (the "Excel" path): each record becomes a `row`
+    /// node with one child per `(column, value)` pair. Columns may vary per
+    /// record — schema-less means ragged data is fine.
+    pub fn from_records(
+        title: impl Into<String>,
+        records: &[Vec<(&str, String)>],
+    ) -> Self {
+        let children = records
+            .iter()
+            .map(|rec| {
+                DocNode::elem(
+                    "row",
+                    rec.iter()
+                        .map(|(k, v)| DocNode::leaf(*k, v.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        Document::new(title, DocNode::elem("sheet", children))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_text_builds_paragraphs() {
+        let d = Document::from_text("memo", "first line\n\n  second line  \n");
+        assert_eq!(d.root.children.len(), 2);
+        assert_eq!(d.root.children[1].text.as_deref(), Some("second line"));
+        assert_eq!(d.root.full_text(), "first line second line");
+    }
+
+    #[test]
+    fn from_records_allows_ragged_rows() {
+        let d = Document::from_records(
+            "sheet",
+            &[
+                vec![("id", "1".into()), ("name", "alice".into())],
+                vec![("id", "2".into())],
+            ],
+        );
+        assert_eq!(d.root.children[0].children.len(), 2);
+        assert_eq!(d.root.children[1].children.len(), 1);
+    }
+
+    #[test]
+    fn node_count_and_display() {
+        let n = DocNode::elem("a", vec![DocNode::leaf("b", "x"), DocNode::leaf("c", "y")]);
+        assert_eq!(n.node_count(), 3);
+        assert_eq!(n.to_string(), "<a><b>x</b><c>y</c></a>");
+    }
+
+    #[test]
+    fn wire_size_grows_with_content() {
+        let small = DocNode::leaf("p", "hi");
+        let big = DocNode::leaf("p", "hi there this is much longer");
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,24 @@
+//! # eii-docstore
+//!
+//! A schema-less document store modeled on NASA's NETMARK system (Ashish,
+//! §2 of the paper): "data is managed in a schema-less manner; ... imposition
+//! of structure and semantics (schema) may be done by clients as needed."
+//!
+//! Documents are semi-structured node trees (the shape of the paper's "MS
+//! Word, Excel, PowerPoint" business documents after conversion). The store
+//! itself knows nothing about their schema — there is no schema registration
+//! step, no mapping, no DBA. Structure is imposed at read time through
+//! *path extraction* ([`DocStore::extract`]), which turns a set of node paths
+//! into a relational [`Batch`] — exactly the "intelligent storage + client-
+//! side schema" architecture the article advocates. A keyword index supports
+//! the enterprise-search substrate.
+
+pub mod document;
+pub mod path;
+pub mod store;
+pub mod tokenize;
+
+pub use document::{DocId, DocNode, Document};
+pub use path::PathQuery;
+pub use store::DocStore;
+pub use tokenize::tokenize_text;

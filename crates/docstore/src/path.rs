@@ -1,0 +1,153 @@
+//! Schema-on-read path queries.
+//!
+//! A [`PathQuery`] names a node by a `/`-separated path of element names,
+//! optionally starting with `//` to match at any depth. Extraction walks the
+//! tree and returns matching nodes' text. This is the client-side "imposition
+//! of structure" of the NETMARK approach: the same stored document can be
+//! read through many different paths by different applications.
+
+use eii_data::{DataType, Value};
+
+use crate::document::DocNode;
+
+/// A parsed path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathQuery {
+    /// Element names, outermost first.
+    pub segments: Vec<String>,
+    /// When true, the first segment may match at any depth (`//name`).
+    pub anywhere: bool,
+}
+
+impl PathQuery {
+    /// Parse a path like `sheet/row/name` or `//paragraph`.
+    pub fn parse(path: &str) -> PathQuery {
+        let anywhere = path.starts_with("//");
+        let trimmed = path.trim_start_matches('/');
+        PathQuery {
+            segments: trimmed
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+            anywhere,
+        }
+    }
+
+    /// Collect the text of every node matching the path under `root`
+    /// (`root` itself is the first candidate for the first segment).
+    pub fn extract<'a>(&self, root: &'a DocNode) -> Vec<&'a DocNode> {
+        let mut out = Vec::new();
+        if self.segments.is_empty() {
+            return out;
+        }
+        if self.anywhere {
+            // Find every node matching the first segment anywhere, then
+            // match the rest of the path below it.
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                if n.name == self.segments[0] {
+                    Self::match_rest(n, &self.segments[1..], &mut out);
+                }
+                // Reverse so the LIFO pop visits children in document order.
+                stack.extend(n.children.iter().rev());
+            }
+        } else if root.name == self.segments[0] {
+            Self::match_rest(root, &self.segments[1..], &mut out);
+        }
+        out
+    }
+
+    fn match_rest<'a>(node: &'a DocNode, rest: &[String], out: &mut Vec<&'a DocNode>) {
+        match rest.split_first() {
+            None => out.push(node),
+            Some((seg, tail)) => {
+                for c in node.children.iter().filter(|c| &c.name == seg) {
+                    Self::match_rest(c, tail, out);
+                }
+            }
+        }
+    }
+
+    /// Extract matching nodes' text as values of the requested type; text
+    /// that fails to parse becomes NULL (schema-on-read is lenient by
+    /// design).
+    pub fn extract_values(&self, root: &DocNode, ty: DataType) -> Vec<Value> {
+        self.extract(root)
+            .into_iter()
+            .map(|n| match &n.text {
+                None => Value::Null,
+                Some(t) => Value::str(t.as_str())
+                    .cast(ty)
+                    .unwrap_or(Value::Null),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn doc() -> DocNode {
+        DocNode::elem(
+            "sheet",
+            vec![
+                DocNode::elem(
+                    "row",
+                    vec![DocNode::leaf("id", "1"), DocNode::leaf("name", "alice")],
+                ),
+                DocNode::elem(
+                    "row",
+                    vec![DocNode::leaf("id", "2"), DocNode::leaf("name", "bob")],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn rooted_path_extracts_in_order() {
+        let q = PathQuery::parse("sheet/row/name");
+        let names: Vec<_> = q
+            .extract(&doc())
+            .into_iter()
+            .map(|n| n.text.clone().unwrap())
+            .collect();
+        assert_eq!(names, vec!["alice", "bob"]);
+    }
+
+    #[test]
+    fn anywhere_path_matches_any_depth() {
+        let q = PathQuery::parse("//name");
+        assert_eq!(q.extract(&doc()).len(), 2);
+        let q = PathQuery::parse("//row/id");
+        assert_eq!(q.extract(&doc()).len(), 2);
+    }
+
+    #[test]
+    fn non_matching_path_is_empty() {
+        let q = PathQuery::parse("sheet/column");
+        assert!(q.extract(&doc()).is_empty());
+        let q = PathQuery::parse("workbook/row");
+        assert!(q.extract(&doc()).is_empty());
+    }
+
+    #[test]
+    fn typed_extraction_with_lenient_parse() {
+        let q = PathQuery::parse("sheet/row/id");
+        let vals = q.extract_values(&doc(), DataType::Int);
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2)]);
+        // Names do not parse as ints -> NULL, not error.
+        let q = PathQuery::parse("sheet/row/name");
+        let vals = q.extract_values(&doc(), DataType::Int);
+        assert_eq!(vals, vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn paragraphs_from_text_document() {
+        let d = Document::from_text("m", "alpha\nbeta");
+        let q = PathQuery::parse("doc/paragraph");
+        assert_eq!(q.extract(&d.root).len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Text tokenization shared by the keyword index and the enterprise-search
+//! substrate.
+
+/// Lowercase alphanumeric tokens of length >= 2, with a small stop list.
+pub fn tokenize_text(text: &str) -> Vec<String> {
+    const STOP: &[&str] = &[
+        "the", "a", "an", "and", "or", "of", "to", "in", "on", "for", "is", "are", "was",
+        "be", "by", "at", "with", "as", "it", "this", "that",
+    ];
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(str::to_lowercase)
+        .filter(|t| !STOP.contains(&t.as_str()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits() {
+        assert_eq!(
+            tokenize_text("Acme Corp: contract-renewal 2005"),
+            vec!["acme", "corp", "contract", "renewal", "2005"]
+        );
+    }
+
+    #[test]
+    fn drops_stop_words_and_short_tokens() {
+        assert_eq!(tokenize_text("the cat in a box"), vec!["cat", "box"]);
+        assert!(tokenize_text("a I x").is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! A topic-based message broker built on crossbeam channels.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use eii_data::Value;
+
+/// A message published to a topic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    pub topic: String,
+    /// Correlation key (e.g. the entity's id).
+    pub key: Value,
+    /// Free-form body.
+    pub body: String,
+}
+
+/// Topic-based pub/sub. Every subscriber to a topic receives every message
+/// published to it after subscription.
+#[derive(Clone, Default)]
+pub struct MessageBroker {
+    topics: Arc<Mutex<HashMap<String, Vec<Sender<Message>>>>>,
+}
+
+impl MessageBroker {
+    /// New broker.
+    pub fn new() -> Self {
+        MessageBroker::default()
+    }
+
+    /// Subscribe to a topic; returns the receiving end.
+    pub fn subscribe(&self, topic: &str) -> Receiver<Message> {
+        let (tx, rx) = unbounded();
+        self.topics
+            .lock()
+            .entry(topic.to_string())
+            .or_default()
+            .push(tx);
+        rx
+    }
+
+    /// Publish a message; returns the number of subscribers reached.
+    pub fn publish(&self, msg: Message) -> usize {
+        let mut topics = self.topics.lock();
+        let Some(subs) = topics.get_mut(&msg.topic) else {
+            return 0;
+        };
+        // Drop closed subscribers as we go.
+        subs.retain(|tx| tx.send(msg.clone()).is_ok());
+        subs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_to_all_subscribers() {
+        let broker = MessageBroker::new();
+        let a = broker.subscribe("employee.changed");
+        let b = broker.subscribe("employee.changed");
+        let n = broker.publish(Message {
+            topic: "employee.changed".into(),
+            key: Value::Int(7),
+            body: "address update".into(),
+        });
+        assert_eq!(n, 2);
+        assert_eq!(a.recv().unwrap().key, Value::Int(7));
+        assert_eq!(b.recv().unwrap().body, "address update");
+    }
+
+    #[test]
+    fn publish_without_subscribers_reaches_nobody() {
+        let broker = MessageBroker::new();
+        let n = broker.publish(Message {
+            topic: "nobody.listens".into(),
+            key: Value::Null,
+            body: String::new(),
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let broker = MessageBroker::new();
+        let a = broker.subscribe("t");
+        drop(broker.subscribe("t"));
+        let n = broker.publish(Message {
+            topic: "t".into(),
+            key: Value::Int(1),
+            body: "x".into(),
+        });
+        assert_eq!(n, 1);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let broker = MessageBroker::new();
+        let a = broker.subscribe("a");
+        broker.publish(Message {
+            topic: "b".into(),
+            key: Value::Null,
+            body: String::new(),
+        });
+        assert!(a.is_empty());
+    }
+}

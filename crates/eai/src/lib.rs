@@ -1,0 +1,27 @@
+//! # eii-eai
+//!
+//! The Enterprise Application Integration substrate — the *update* half of
+//! Carey's argument (§4): "'Insert employee into company' is really a
+//! business process, possibly needing to run over a period of hours or days
+//! ... Such an update clearly must not be a traditional transaction, instead
+//! demanding long-running transaction technology and the availability of
+//! compensation capabilities in the event of a transaction step failure."
+//!
+//! - [`ProcessDef`]: a named sequence of steps, each with an action (usually
+//!   an update routed through a federation wrapper) and an optional
+//!   compensation;
+//! - [`SagaEngine`]: runs processes as sagas — on a step failure, completed
+//!   steps are compensated in reverse order; everything is journaled;
+//! - [`MessageBroker`]: topic-based messaging for notifications between
+//!   processes (the "message brokering capabilities" of WebLogic
+//!   Integration);
+//! - [`FailureInjector`]: deterministic, seedable fault injection for the
+//!   saga experiments (E10).
+
+pub mod broker;
+pub mod process;
+pub mod saga;
+
+pub use broker::{Message, MessageBroker};
+pub use process::{ProcessDef, ProcessEnv, Step};
+pub use saga::{FailureInjector, JournalEntry, JournalEvent, SagaEngine, SagaOutcome};

@@ -1,0 +1,146 @@
+//! Business-process definitions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use eii_data::{Result, SimClock, Value};
+use eii_federation::Federation;
+
+use crate::broker::MessageBroker;
+
+/// Everything a step can touch: the federation (for wrapper-routed
+/// updates), the broker (notifications), a shared variable context, and the
+/// simulated clock.
+pub struct ProcessEnv<'a> {
+    pub federation: &'a Federation,
+    pub broker: &'a MessageBroker,
+    pub clock: &'a SimClock,
+    vars: Mutex<HashMap<String, Value>>,
+}
+
+impl<'a> ProcessEnv<'a> {
+    /// New environment with initial variables.
+    pub fn new(
+        federation: &'a Federation,
+        broker: &'a MessageBroker,
+        clock: &'a SimClock,
+        vars: HashMap<String, Value>,
+    ) -> Self {
+        ProcessEnv {
+            federation,
+            broker,
+            clock,
+            vars: Mutex::new(vars),
+        }
+    }
+
+    /// Read a context variable.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.vars.lock().get(name).cloned()
+    }
+
+    /// Write a context variable (steps pass data forward this way).
+    pub fn set(&self, name: &str, v: Value) {
+        self.vars.lock().insert(name.to_string(), v);
+    }
+}
+
+/// A step body.
+pub type StepFn = Arc<dyn Fn(&ProcessEnv<'_>) -> Result<()> + Send + Sync>;
+
+/// One step of a process: a forward action, an optional compensation, and a
+/// simulated duration ("possibly needing to run over a period of hours or
+/// days").
+#[derive(Clone)]
+pub struct Step {
+    pub name: String,
+    pub action: StepFn,
+    pub compensation: Option<StepFn>,
+    pub duration_ms: i64,
+}
+
+impl Step {
+    /// A step with a forward action only.
+    pub fn new(
+        name: impl Into<String>,
+        action: impl Fn(&ProcessEnv<'_>) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        Step {
+            name: name.into(),
+            action: Arc::new(action),
+            compensation: None,
+            duration_ms: 1,
+        }
+    }
+
+    /// Attach a compensation.
+    pub fn with_compensation(
+        mut self,
+        comp: impl Fn(&ProcessEnv<'_>) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        self.compensation = Some(Arc::new(comp));
+        self
+    }
+
+    /// Set the simulated duration.
+    pub fn taking_ms(mut self, ms: i64) -> Self {
+        self.duration_ms = ms;
+        self
+    }
+}
+
+/// A named business process.
+#[derive(Clone)]
+pub struct ProcessDef {
+    pub name: String,
+    pub steps: Vec<Step>,
+}
+
+impl ProcessDef {
+    /// New empty process.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcessDef {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a step.
+    pub fn step(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_variables_flow_between_steps() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let clock = SimClock::new();
+        let env = ProcessEnv::new(&fed, &broker, &clock, HashMap::new());
+        env.set("employee_id", Value::Int(42));
+        assert_eq!(env.get("employee_id"), Some(Value::Int(42)));
+        assert_eq!(env.get("missing"), None);
+    }
+
+    #[test]
+    fn builder_composes_steps() {
+        let p = ProcessDef::new("onboard")
+            .step(Step::new("create_record", |_| Ok(())).taking_ms(100))
+            .step(
+                Step::new("provision_office", |_| Ok(()))
+                    .with_compensation(|_| Ok(()))
+                    .taking_ms(86_400_000),
+            );
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[1].duration_ms, 86_400_000);
+        assert!(p.steps[1].compensation.is_some());
+        assert!(p.steps[0].compensation.is_none());
+    }
+}

@@ -1,0 +1,359 @@
+//! The saga engine: long-running processes with compensation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eii_data::{Result, SimClock};
+use parking_lot::Mutex;
+
+use crate::process::{ProcessDef, ProcessEnv};
+
+/// Deterministic fault injection: each step fails independently with
+/// probability `rate`, driven by a seeded RNG so experiments replay exactly.
+pub struct FailureInjector {
+    rate: f64,
+    rng: Mutex<StdRng>,
+}
+
+impl FailureInjector {
+    /// Injector failing each step with probability `rate`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        FailureInjector {
+            rate,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Never fails.
+    pub fn none() -> Self {
+        FailureInjector::new(0.0, 0)
+    }
+
+    fn roll(&self) -> bool {
+        self.rate > 0.0 && self.rng.lock().gen_bool(self.rate.clamp(0.0, 1.0))
+    }
+}
+
+/// What happened to one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEvent {
+    Started,
+    Completed,
+    Failed,
+    Compensated,
+    CompensationFailed,
+}
+
+/// One journal line — the audit trail of a saga instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    pub at_ms: i64,
+    pub step: String,
+    pub event: JournalEvent,
+}
+
+/// Final state of a saga instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SagaOutcome {
+    /// All steps completed.
+    Completed,
+    /// A step failed; all previously completed steps were compensated.
+    Compensated { failed_step: String },
+    /// A step failed AND a compensation failed — manual intervention
+    /// required (the case the journal exists for).
+    Stuck {
+        failed_step: String,
+        stuck_compensation: String,
+    },
+}
+
+/// Runs process definitions with saga semantics.
+pub struct SagaEngine {
+    clock: SimClock,
+    injector: FailureInjector,
+}
+
+impl SagaEngine {
+    /// Engine without fault injection.
+    pub fn new(clock: SimClock) -> Self {
+        SagaEngine {
+            clock,
+            injector: FailureInjector::none(),
+        }
+    }
+
+    /// Attach a failure injector.
+    pub fn with_injector(mut self, injector: FailureInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Run one instance. Returns the outcome and the journal.
+    ///
+    /// Semantics: steps run in order, each advancing the simulated clock by
+    /// its duration. On the first failure (real or injected), compensations
+    /// of all *completed* steps run in reverse order. A compensation that
+    /// itself fails leaves the saga [`SagaOutcome::Stuck`].
+    pub fn run(
+        &self,
+        def: &ProcessDef,
+        env: &ProcessEnv<'_>,
+    ) -> Result<(SagaOutcome, Vec<JournalEntry>)> {
+        let mut journal = Vec::new();
+        let mut completed: Vec<usize> = Vec::new();
+        for (i, step) in def.steps.iter().enumerate() {
+            journal.push(JournalEntry {
+                at_ms: self.clock.now_ms(),
+                step: step.name.clone(),
+                event: JournalEvent::Started,
+            });
+            self.clock.advance_ms(step.duration_ms);
+            let injected = self.injector.roll();
+            let result = if injected {
+                Err(eii_data::EiiError::Process(format!(
+                    "injected failure in step {}",
+                    step.name
+                )))
+            } else {
+                (step.action)(env)
+            };
+            match result {
+                Ok(()) => {
+                    journal.push(JournalEntry {
+                        at_ms: self.clock.now_ms(),
+                        step: step.name.clone(),
+                        event: JournalEvent::Completed,
+                    });
+                    completed.push(i);
+                }
+                Err(_) => {
+                    journal.push(JournalEntry {
+                        at_ms: self.clock.now_ms(),
+                        step: step.name.clone(),
+                        event: JournalEvent::Failed,
+                    });
+                    // Compensate in reverse.
+                    for &j in completed.iter().rev() {
+                        let done = &def.steps[j];
+                        match &done.compensation {
+                            None => {
+                                // No compensation declared: by convention the
+                                // step is read-only / idempotent and needs
+                                // none.
+                                journal.push(JournalEntry {
+                                    at_ms: self.clock.now_ms(),
+                                    step: done.name.clone(),
+                                    event: JournalEvent::Compensated,
+                                });
+                            }
+                            Some(comp) => {
+                                self.clock.advance_ms(done.duration_ms / 2);
+                                match comp(env) {
+                                    Ok(()) => journal.push(JournalEntry {
+                                        at_ms: self.clock.now_ms(),
+                                        step: done.name.clone(),
+                                        event: JournalEvent::Compensated,
+                                    }),
+                                    Err(_) => {
+                                        journal.push(JournalEntry {
+                                            at_ms: self.clock.now_ms(),
+                                            step: done.name.clone(),
+                                            event: JournalEvent::CompensationFailed,
+                                        });
+                                        return Ok((
+                                            SagaOutcome::Stuck {
+                                                failed_step: step.name.clone(),
+                                                stuck_compensation: done.name.clone(),
+                                            },
+                                            journal,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    return Ok((
+                        SagaOutcome::Compensated {
+                            failed_step: step.name.clone(),
+                        },
+                        journal,
+                    ));
+                }
+            }
+        }
+        Ok((SagaOutcome::Completed, journal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::MessageBroker;
+    use crate::process::Step;
+    use eii_data::{EiiError, Value};
+    use eii_federation::Federation;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    fn env<'a>(
+        fed: &'a Federation,
+        broker: &'a MessageBroker,
+        clock: &'a SimClock,
+    ) -> ProcessEnv<'a> {
+        ProcessEnv::new(fed, broker, clock, HashMap::new())
+    }
+
+    #[test]
+    fn happy_path_completes_and_advances_clock() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let clock = SimClock::new();
+        let e = env(&fed, &broker, &clock);
+        let def = ProcessDef::new("p")
+            .step(Step::new("a", |_| Ok(())).taking_ms(10))
+            .step(Step::new("b", |_| Ok(())).taking_ms(20));
+        let engine = SagaEngine::new(clock.clone());
+        let (outcome, journal) = engine.run(&def, &e).unwrap();
+        assert_eq!(outcome, SagaOutcome::Completed);
+        assert_eq!(clock.now_ms(), 30);
+        assert_eq!(
+            journal.iter().filter(|j| j.event == JournalEvent::Completed).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn failure_compensates_in_reverse_order() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let clock = SimClock::new();
+        let e = env(&fed, &broker, &clock);
+        let balance = Arc::new(AtomicI64::new(0));
+        let (b1, b2) = (balance.clone(), balance.clone());
+        let (c1, c2) = (balance.clone(), balance.clone());
+        let def = ProcessDef::new("p")
+            .step(
+                Step::new("reserve_office", move |_| {
+                    b1.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })
+                .with_compensation(move |_| {
+                    c1.fetch_sub(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            )
+            .step(
+                Step::new("order_laptop", move |_| {
+                    b2.fetch_add(10, Ordering::SeqCst);
+                    Ok(())
+                })
+                .with_compensation(move |_| {
+                    c2.fetch_sub(10, Ordering::SeqCst);
+                    Ok(())
+                }),
+            )
+            .step(Step::new("approval", |_| {
+                Err(EiiError::Process("rejected".into()))
+            }));
+        let engine = SagaEngine::new(clock.clone());
+        let (outcome, journal) = engine.run(&def, &e).unwrap();
+        assert_eq!(
+            outcome,
+            SagaOutcome::Compensated {
+                failed_step: "approval".into()
+            }
+        );
+        assert_eq!(balance.load(Ordering::SeqCst), 0, "all effects undone");
+        // Reverse order: laptop compensated before office.
+        let comp_order: Vec<&str> = journal
+            .iter()
+            .filter(|j| j.event == JournalEvent::Compensated)
+            .map(|j| j.step.as_str())
+            .collect();
+        assert_eq!(comp_order, vec!["order_laptop", "reserve_office"]);
+    }
+
+    #[test]
+    fn stuck_when_compensation_fails() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let clock = SimClock::new();
+        let e = env(&fed, &broker, &clock);
+        let def = ProcessDef::new("p")
+            .step(
+                Step::new("a", |_| Ok(()))
+                    .with_compensation(|_| Err(EiiError::Process("cannot undo".into()))),
+            )
+            .step(Step::new("b", |_| Err(EiiError::Process("boom".into()))));
+        let engine = SagaEngine::new(clock.clone());
+        let (outcome, journal) = engine.run(&def, &e).unwrap();
+        assert_eq!(
+            outcome,
+            SagaOutcome::Stuck {
+                failed_step: "b".into(),
+                stuck_compensation: "a".into()
+            }
+        );
+        assert!(journal
+            .iter()
+            .any(|j| j.event == JournalEvent::CompensationFailed));
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let run_once = |seed: u64| {
+            let clock = SimClock::new();
+            let e = env(&fed, &broker, &clock);
+            let def = ProcessDef::new("p")
+                .step(Step::new("a", |_| Ok(())))
+                .step(Step::new("b", |_| Ok(())))
+                .step(Step::new("c", |_| Ok(())));
+            let engine =
+                SagaEngine::new(clock.clone()).with_injector(FailureInjector::new(0.5, seed));
+            engine.run(&def, &e).unwrap().0
+        };
+        assert_eq!(run_once(7), run_once(7), "same seed, same outcome");
+    }
+
+    #[test]
+    fn context_variables_cross_steps() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let clock = SimClock::new();
+        let e = env(&fed, &broker, &clock);
+        let def = ProcessDef::new("p")
+            .step(Step::new("alloc_id", |env| {
+                env.set("id", Value::Int(99));
+                Ok(())
+            }))
+            .step(Step::new("use_id", |env| {
+                assert_eq!(env.get("id"), Some(Value::Int(99)));
+                Ok(())
+            }));
+        let engine = SagaEngine::new(clock.clone());
+        let (outcome, _) = engine.run(&def, &e).unwrap();
+        assert_eq!(outcome, SagaOutcome::Completed);
+    }
+
+    #[test]
+    fn steps_publish_notifications() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let rx = broker.subscribe("hr.changed");
+        let clock = SimClock::new();
+        let e = env(&fed, &broker, &clock);
+        let def = ProcessDef::new("p").step(Step::new("notify", |env| {
+            env.broker.publish(crate::broker::Message {
+                topic: "hr.changed".into(),
+                key: Value::Int(1),
+                body: "hired".into(),
+            });
+            Ok(())
+        }));
+        SagaEngine::new(clock.clone()).run(&def, &e).unwrap();
+        assert_eq!(rx.recv().unwrap().body, "hired");
+    }
+}

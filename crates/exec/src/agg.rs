@@ -1,0 +1,188 @@
+//! Aggregate accumulators with SQL NULL semantics.
+
+use std::collections::HashSet;
+
+use eii_data::{EiiError, Result, Value};
+use eii_expr::AggFunc;
+
+/// Running sum that stays integral until a float arrives.
+#[derive(Debug, Clone, Copy)]
+enum Sum {
+    Int(i64),
+    Float(f64),
+}
+
+impl Sum {
+    fn add(&mut self, v: &Value) -> Result<()> {
+        match (&mut *self, v) {
+            (Sum::Int(acc), Value::Int(i)) => *acc = acc.wrapping_add(*i),
+            (Sum::Int(acc), Value::Float(f)) => *self = Sum::Float(*acc as f64 + f),
+            (Sum::Float(acc), v) => {
+                *acc += v
+                    .as_float()
+                    .ok_or_else(|| EiiError::Type(format!("SUM over non-numeric {v}")))?;
+            }
+            (_, other) => {
+                return Err(EiiError::Type(format!("SUM over non-numeric {other}")))
+            }
+        }
+        Ok(())
+    }
+
+    fn value(self) -> Value {
+        match self {
+            Sum::Int(i) => Value::Int(i),
+            Sum::Float(f) => Value::Float(f),
+        }
+    }
+}
+
+/// One aggregate's state.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    distinct: bool,
+    seen: HashSet<Value>,
+    count: i64,
+    sum: Option<Sum>,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    /// Fresh state for one aggregate.
+    pub fn new(func: AggFunc, distinct: bool) -> Self {
+        Accumulator {
+            func,
+            distinct,
+            seen: HashSet::new(),
+            count: 0,
+            sum: None,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Feed one input value. For `COUNT(*)` pass `None`; otherwise the
+    /// evaluated argument (NULLs are ignored, per SQL).
+    pub fn push(&mut self, v: Option<&Value>) -> Result<()> {
+        match v {
+            None => {
+                // COUNT(*) counts rows unconditionally.
+                self.count += 1;
+                Ok(())
+            }
+            Some(Value::Null) => Ok(()),
+            Some(v) => {
+                if self.distinct && !self.seen.insert(v.clone()) {
+                    return Ok(());
+                }
+                self.count += 1;
+                match self.func {
+                    AggFunc::Count | AggFunc::CountStar => {}
+                    AggFunc::Sum | AggFunc::Avg => {
+                        let sum = self.sum.get_or_insert(Sum::Int(0));
+                        sum.add(v)?;
+                    }
+                    AggFunc::Min => {
+                        if self.min.as_ref().is_none_or(|m| v < m) {
+                            self.min = Some(v.clone());
+                        }
+                    }
+                    AggFunc::Max => {
+                        if self.max.as_ref().is_none_or(|m| v > m) {
+                            self.max = Some(v.clone());
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Produce the final value.
+    pub fn finish(self) -> Value {
+        match self.func {
+            AggFunc::Count | AggFunc::CountStar => Value::Int(self.count),
+            AggFunc::Sum => self.sum.map_or(Value::Null, Sum::value),
+            AggFunc::Avg => match self.sum {
+                None => Value::Null,
+                Some(s) => {
+                    let total = match s {
+                        Sum::Int(i) => i as f64,
+                        Sum::Float(f) => f,
+                    };
+                    Value::Float(total / self.count as f64)
+                }
+            },
+            AggFunc::Min => self.min.unwrap_or(Value::Null),
+            AggFunc::Max => self.max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, distinct: bool, vals: &[Value]) -> Value {
+        let mut acc = Accumulator::new(func, distinct);
+        for v in vals {
+            acc.push(Some(v)).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let vals = [Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggFunc::Count, false, &vals), Value::Int(2));
+        let mut star = Accumulator::new(AggFunc::CountStar, false);
+        for _ in 0..3 {
+            star.push(None).unwrap();
+        }
+        assert_eq!(star.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_stays_integer_until_float() {
+        assert_eq!(
+            run(AggFunc::Sum, false, &[Value::Int(1), Value::Int(2)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            run(AggFunc::Sum, false, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+        assert_eq!(run(AggFunc::Sum, false, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let vals = [Value::Int(1), Value::Int(2), Value::Int(3), Value::Null];
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Float(2.0));
+        assert_eq!(run(AggFunc::Min, false, &vals), Value::Int(1));
+        assert_eq!(run(AggFunc::Max, false, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let vals = [Value::Int(5), Value::Int(5), Value::Int(7)];
+        assert_eq!(run(AggFunc::Count, true, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::Sum, true, &vals), Value::Int(12));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(run(AggFunc::Count, false, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Sum, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Avg, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, false, &[]), Value::Null);
+    }
+
+    #[test]
+    fn sum_over_strings_errors() {
+        let mut acc = Accumulator::new(AggFunc::Sum, false);
+        assert!(acc.push(Some(&Value::str("x"))).is_err());
+    }
+}

@@ -1,0 +1,595 @@
+//! The physical-plan interpreter.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use eii_data::{Batch, EiiError, Result, Row, Value};
+use eii_expr::{bind, BoundExpr, Expr};
+use eii_federation::{Federation, QueryCost};
+use eii_planner::{JoinSite, PhysicalPlan};
+use eii_sql::JoinKind;
+
+use crate::agg::Accumulator;
+
+/// The result of executing a plan: rows, simulated cost, and real wall time.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub batch: Batch,
+    /// Simulated cost (network + source + hub work).
+    pub cost: QueryCost,
+    /// Real elapsed time of the interpreter.
+    pub wall: Duration,
+}
+
+/// Executes physical plans against a federation.
+pub struct Executor<'a> {
+    federation: &'a Federation,
+    /// Hub-side processing cost per row touched, simulated ms.
+    pub hub_ms_per_row: f64,
+}
+
+impl<'a> Executor<'a> {
+    /// New executor with the default hub speed (matching the cost model).
+    pub fn new(federation: &'a Federation) -> Self {
+        Executor {
+            federation,
+            hub_ms_per_row: 0.0005,
+        }
+    }
+
+    /// Execute a plan to completion.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
+        let start = Instant::now();
+        let (batch, cost) = self.run(plan)?;
+        Ok(QueryResult {
+            batch,
+            cost,
+            wall: start.elapsed(),
+        })
+    }
+
+    fn cpu(&self, rows: usize) -> QueryCost {
+        QueryCost {
+            sim_ms: rows as f64 * self.hub_ms_per_row,
+            ..QueryCost::default()
+        }
+    }
+
+    fn run(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryCost)> {
+        match plan {
+            PhysicalPlan::Source {
+                source,
+                query,
+                schema,
+            } => {
+                let handle = self.federation.source(source)?;
+                let (batch, cost) = handle.query(query)?;
+                // Re-tag with the alias-qualified schema.
+                Ok((Batch::new(schema.clone(), batch.into_rows()), cost))
+            }
+            PhysicalPlan::Values { schema, rows } => Ok((
+                Batch::new(schema.clone(), rows.clone()),
+                QueryCost::default(),
+            )),
+            PhysicalPlan::Filter { input, predicate } => {
+                let (batch, cost) = self.run(input)?;
+                let bound = bind(predicate, batch.schema())?;
+                let n = batch.num_rows();
+                let schema = batch.schema().clone();
+                let mut rows = Vec::new();
+                for row in batch.into_rows() {
+                    if bound.eval_predicate(&row)? {
+                        rows.push(row);
+                    }
+                }
+                Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
+            }
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
+                let (batch, cost) = self.run(input)?;
+                let bound: Vec<BoundExpr> = exprs
+                    .iter()
+                    .map(|(e, _)| bind(e, batch.schema()))
+                    .collect::<Result<_>>()?;
+                let n = batch.num_rows();
+                let mut rows = Vec::with_capacity(n);
+                for row in batch.rows() {
+                    let out: Row = bound
+                        .iter()
+                        .map(|b| b.eval(row))
+                        .collect::<Result<_>>()?;
+                    rows.push(out);
+                }
+                Ok((Batch::new(schema.clone(), rows), cost.then(self.cpu(n))))
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                residual,
+                site,
+                parallel,
+                schema,
+            } => self.run_hash_join(
+                left, right, left_keys, right_keys, *kind, residual, site, *parallel, schema,
+            ),
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                kind,
+                on,
+                parallel,
+                schema,
+            } => {
+                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, *parallel)?;
+                let children_cost = if *parallel { lc.alongside(rc) } else { lc.then(rc) };
+                let filtering = matches!(kind, JoinKind::Semi | JoinKind::Anti);
+                // Semi/anti join conditions see both sides even though only
+                // left columns flow out.
+                let pred_schema: eii_data::SchemaRef = if filtering {
+                    std::sync::Arc::new(lb.schema().join(rb.schema()))
+                } else {
+                    schema.clone()
+                };
+                let bound_on = match on {
+                    Some(o) => Some(bind(o, &pred_schema)?),
+                    None => None,
+                };
+                let mut rows = Vec::new();
+                let right_width = rb.schema().len();
+                for l in lb.rows() {
+                    let mut matched = false;
+                    for r in rb.rows() {
+                        let combined = l.concat(r);
+                        let ok = match &bound_on {
+                            None => true,
+                            Some(p) => p.eval_predicate(&combined)?,
+                        };
+                        if ok {
+                            matched = true;
+                            if filtering {
+                                break;
+                            }
+                            rows.push(combined);
+                        }
+                    }
+                    match kind {
+                        JoinKind::Left if !matched => {
+                            rows.push(null_extend(l, right_width));
+                        }
+                        JoinKind::Semi if matched => rows.push(l.clone()),
+                        JoinKind::Anti if !matched => rows.push(l.clone()),
+                        _ => {}
+                    }
+                }
+                let work = lb.num_rows() * rb.num_rows().max(1);
+                Ok((
+                    Batch::new(schema.clone(), rows),
+                    children_cost.then(self.cpu(work)),
+                ))
+            }
+            PhysicalPlan::BindJoin {
+                left,
+                left_key,
+                source,
+                template,
+                bind_column,
+                right_schema,
+                residual,
+                schema,
+            } => {
+                let (lb, lc) = self.run(left)?;
+                let key_expr = bind(left_key, lb.schema())?;
+                let mut values: Vec<Value> = Vec::new();
+                let mut seen: HashSet<Value> = HashSet::new();
+                let mut left_keys_per_row: Vec<Value> = Vec::with_capacity(lb.num_rows());
+                for row in lb.rows() {
+                    let v = key_expr.eval(row)?;
+                    if !v.is_null() && seen.insert(v.clone()) {
+                        values.push(v.clone());
+                    }
+                    left_keys_per_row.push(v);
+                }
+                let handle = self.federation.source(source)?;
+                let (rb, rc) = if values.is_empty() {
+                    (
+                        Batch::empty(right_schema.clone()),
+                        QueryCost::default(),
+                    )
+                } else {
+                    let mut q = template.clone();
+                    q.bindings = vec![(bind_column.clone(), values)];
+                    handle.query(&q)?
+                };
+                // Map returned columns onto the scan's output schema and
+                // find the bind column among the returned fields.
+                let ret_schema = rb.schema().clone();
+                let bind_idx = ret_schema.index_of(None, bind_column)?;
+                let out_indices: Vec<usize> = right_schema
+                    .fields()
+                    .iter()
+                    .map(|f| ret_schema.index_of(None, &f.name))
+                    .collect::<Result<_>>()?;
+                let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+                for row in rb.rows() {
+                    let key = row.get(bind_idx).clone();
+                    table
+                        .entry(key)
+                        .or_default()
+                        .push(row.project(&out_indices));
+                }
+                let bound_residual = match residual {
+                    Some(r) => Some(bind(r, schema)?),
+                    None => None,
+                };
+                let mut rows = Vec::new();
+                for (l, key) in lb.rows().iter().zip(&left_keys_per_row) {
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(key) {
+                        for r in matches {
+                            let combined = l.concat(r);
+                            let ok = match &bound_residual {
+                                None => true,
+                                Some(p) => p.eval_predicate(&combined)?,
+                            };
+                            if ok {
+                                rows.push(combined);
+                            }
+                        }
+                    }
+                }
+                let work = lb.num_rows() + rb.num_rows() + rows.len();
+                Ok((
+                    Batch::new(schema.clone(), rows),
+                    lc.then(rc).then(self.cpu(work)),
+                ))
+            }
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                schema,
+            } => {
+                let (batch, cost) = self.run(input)?;
+                let in_schema = batch.schema().clone();
+                let bound_groups: Vec<BoundExpr> = group_by
+                    .iter()
+                    .map(|g| bind(g, &in_schema))
+                    .collect::<Result<_>>()?;
+                let bound_args: Vec<Option<BoundExpr>> = aggs
+                    .iter()
+                    .map(|a| match &a.arg {
+                        Some(e) => bind(e, &in_schema).map(Some),
+                        None => Ok(None),
+                    })
+                    .collect::<Result<_>>()?;
+                // Preserve first-seen group order for determinism.
+                let mut order: Vec<Vec<Value>> = Vec::new();
+                let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+                let n = batch.num_rows();
+                for row in batch.rows() {
+                    let key: Vec<Value> = bound_groups
+                        .iter()
+                        .map(|g| g.eval(row))
+                        .collect::<Result<_>>()?;
+                    let accs = match groups.get_mut(&key) {
+                        Some(a) => a,
+                        None => {
+                            order.push(key.clone());
+                            groups.entry(key.clone()).or_insert_with(|| {
+                                aggs.iter()
+                                    .map(|a| Accumulator::new(a.func, a.distinct))
+                                    .collect()
+                            })
+                        }
+                    };
+                    for (acc, arg) in accs.iter_mut().zip(&bound_args) {
+                        match arg {
+                            None => acc.push(None)?,
+                            Some(e) => {
+                                let v = e.eval(row)?;
+                                acc.push(Some(&v))?;
+                            }
+                        }
+                    }
+                }
+                let mut rows = Vec::with_capacity(order.len().max(1));
+                if order.is_empty() && group_by.is_empty() {
+                    // Global aggregate over zero rows: one row of defaults.
+                    let accs: Vec<Accumulator> = aggs
+                        .iter()
+                        .map(|a| Accumulator::new(a.func, a.distinct))
+                        .collect();
+                    let row: Row = accs.into_iter().map(Accumulator::finish).collect();
+                    rows.push(row);
+                } else {
+                    for key in order {
+                        let accs = groups.remove(&key).expect("group recorded");
+                        let mut row: Row = key.into_iter().collect();
+                        for acc in accs {
+                            row.push(acc.finish());
+                        }
+                        rows.push(row);
+                    }
+                }
+                Ok((Batch::new(schema.clone(), rows), cost.then(self.cpu(n))))
+            }
+            PhysicalPlan::Distinct { input } => {
+                let (batch, cost) = self.run(input)?;
+                let schema = batch.schema().clone();
+                let n = batch.num_rows();
+                let mut seen = HashSet::new();
+                let mut rows = Vec::new();
+                for row in batch.into_rows() {
+                    if seen.insert(row.clone()) {
+                        rows.push(row);
+                    }
+                }
+                Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let (batch, cost) = self.run(input)?;
+                let schema = batch.schema().clone();
+                let bound: Vec<(BoundExpr, bool)> = keys
+                    .iter()
+                    .map(|(e, asc)| Ok((bind(e, &schema)?, *asc)))
+                    .collect::<Result<_>>()?;
+                let n = batch.num_rows();
+                let mut keyed: Vec<(Vec<Value>, Row)> = batch
+                    .into_rows()
+                    .into_iter()
+                    .map(|row| {
+                        let k: Vec<Value> = bound
+                            .iter()
+                            .map(|(e, _)| e.eval(&row))
+                            .collect::<Result<_>>()?;
+                        Ok((k, row))
+                    })
+                    .collect::<Result<_>>()?;
+                keyed.sort_by(|(ka, _), (kb, _)| {
+                    for (i, (_, asc)) in bound.iter().enumerate() {
+                        let ord = ka[i].cmp(&kb[i]);
+                        let ord = if *asc { ord } else { ord.reverse() };
+                        if !ord.is_eq() {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                let rows = keyed.into_iter().map(|(_, r)| r).collect();
+                Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
+            }
+            PhysicalPlan::Limit { input, n } => {
+                let (batch, cost) = self.run(input)?;
+                let schema = batch.schema().clone();
+                let mut rows = batch.into_rows();
+                rows.truncate(*n);
+                Ok((Batch::new(schema, rows), cost))
+            }
+            PhysicalPlan::UnionAll {
+                inputs,
+                parallel,
+                schema,
+            } => {
+                let results: Vec<(Batch, QueryCost)> = if *parallel {
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = inputs
+                            .iter()
+                            .map(|p| s.spawn(move || self.run(p)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().map_err(|_| panic_err())?)
+                            .collect::<Result<Vec<_>>>()
+                    })?
+                } else {
+                    inputs
+                        .iter()
+                        .map(|p| self.run(p))
+                        .collect::<Result<Vec<_>>>()?
+                };
+                let mut rows = Vec::new();
+                let mut cost = QueryCost::default();
+                for (batch, c) in results {
+                    rows.extend(batch.into_rows());
+                    cost = if *parallel {
+                        cost.alongside(c)
+                    } else {
+                        cost.then(c)
+                    };
+                }
+                Ok((Batch::new(schema.clone(), rows), cost))
+            }
+            PhysicalPlan::Rename { input, schema } => {
+                let (batch, cost) = self.run(input)?;
+                Ok((Batch::new(schema.clone(), batch.into_rows()), cost))
+            }
+        }
+    }
+
+    fn run_pair(
+        &self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        parallel: bool,
+    ) -> Result<((Batch, QueryCost), (Batch, QueryCost))> {
+        if parallel {
+            std::thread::scope(|s| {
+                let lh = s.spawn(move || self.run(left));
+                let rh = s.spawn(move || self.run(right));
+                let l = lh.join().map_err(|_| panic_err())??;
+                let r = rh.join().map_err(|_| panic_err())??;
+                Ok((l, r))
+            })
+        } else {
+            Ok((self.run(left)?, self.run(right)?))
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_hash_join(
+        &self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        kind: JoinKind,
+        residual: &Option<Expr>,
+        site: &JoinSite,
+        parallel: bool,
+        schema: &eii_data::SchemaRef,
+    ) -> Result<(Batch, QueryCost)> {
+        // Fetch inputs, honoring the assembly site's cost model.
+        let (lb, rb, mut cost, result_site) = match site {
+            JoinSite::Hub => {
+                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, parallel)?;
+                let c = if parallel { lc.alongside(rc) } else { lc.then(rc) };
+                (lb, rb, c, None)
+            }
+            JoinSite::AtSource(site_name) => {
+                // The child at the site scans locally and ships nothing; the
+                // other child ships normally to the hub and is then
+                // forwarded to the site.
+                let (site_child, other_child, site_is_left) = match (left, right) {
+                    (PhysicalPlan::Source { source, .. }, _) if source == site_name => {
+                        (left, right, true)
+                    }
+                    _ => (right, left, false),
+                };
+                let PhysicalPlan::Source {
+                    source,
+                    query,
+                    schema: site_schema,
+                } = site_child
+                else {
+                    return Err(EiiError::Execution(
+                        "assembly site join expects a source child at the site".into(),
+                    ));
+                };
+                let handle = self.federation.source(source)?;
+                let (site_batch, site_cost) = handle.query_staying_local(query)?;
+                let site_batch = Batch::new(site_schema.clone(), site_batch.into_rows());
+                let (other_batch, other_cost) = self.run(other_child)?;
+                let forward = handle.charge_shipment(&other_batch);
+                let fetch = if parallel {
+                    site_cost.alongside(other_cost)
+                } else {
+                    site_cost.then(other_cost)
+                };
+                let cost = fetch.then(forward);
+                if site_is_left {
+                    (site_batch, other_batch, cost, Some(source.clone()))
+                } else {
+                    (other_batch, site_batch, cost, Some(source.clone()))
+                }
+            }
+        };
+
+        let lkeys: Vec<BoundExpr> = left_keys
+            .iter()
+            .map(|e| bind(e, lb.schema()))
+            .collect::<Result<_>>()?;
+        let rkeys: Vec<BoundExpr> = right_keys
+            .iter()
+            .map(|e| bind(e, rb.schema()))
+            .collect::<Result<_>>()?;
+        let filtering = matches!(kind, JoinKind::Semi | JoinKind::Anti);
+        // Semi/anti residuals see both sides even though only left columns
+        // flow out.
+        let pred_schema: eii_data::SchemaRef = if filtering {
+            std::sync::Arc::new(lb.schema().join(rb.schema()))
+        } else {
+            schema.clone()
+        };
+        let bound_residual = match residual {
+            Some(r) => Some(bind(r, &pred_schema)?),
+            None => None,
+        };
+
+        // Build on the right.
+        let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+        'outer: for row in rb.rows() {
+            let mut key = Vec::with_capacity(rkeys.len());
+            for k in &rkeys {
+                let v = k.eval(row)?;
+                if v.is_null() {
+                    continue 'outer; // NULL keys never join.
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push(row);
+        }
+
+        let right_width = rb.schema().len();
+        let mut rows = Vec::new();
+        'probe: for l in lb.rows() {
+            let mut key = Vec::with_capacity(lkeys.len());
+            for k in &lkeys {
+                let v = k.eval(l)?;
+                if v.is_null() {
+                    // NULL keys never match: left joins null-extend, anti
+                    // joins keep the unmatched row, semi/inner drop it.
+                    match kind {
+                        JoinKind::Left => rows.push(null_extend(l, right_width)),
+                        JoinKind::Anti => rows.push(l.clone()),
+                        _ => {}
+                    }
+                    continue 'probe;
+                }
+                key.push(v);
+            }
+            let mut matched = false;
+            if let Some(candidates) = table.get(&key) {
+                for r in candidates {
+                    let combined = l.concat(r);
+                    let ok = match &bound_residual {
+                        None => true,
+                        Some(p) => p.eval_predicate(&combined)?,
+                    };
+                    if ok {
+                        matched = true;
+                        if filtering {
+                            break;
+                        }
+                        rows.push(combined);
+                    }
+                }
+            }
+            match kind {
+                JoinKind::Left if !matched => rows.push(null_extend(l, right_width)),
+                JoinKind::Semi if matched => rows.push(l.clone()),
+                JoinKind::Anti if !matched => rows.push(l.clone()),
+                _ => {}
+            }
+        }
+
+        let work = lb.num_rows() + rb.num_rows() + rows.len();
+        cost = cost.then(self.cpu(work));
+        let batch = Batch::new(schema.clone(), rows);
+        // At a source site, the joined result still has to reach the hub.
+        if let Some(site_name) = result_site {
+            let handle = self.federation.source(&site_name)?;
+            cost = cost.then(handle.charge_shipment(&batch));
+        }
+        Ok((batch, cost))
+    }
+}
+
+fn null_extend(left: &Row, right_width: usize) -> Row {
+    let mut row = left.clone();
+    for _ in 0..right_width {
+        row.push(Value::Null);
+    }
+    row
+}
+
+fn panic_err() -> EiiError {
+    EiiError::Execution("parallel worker panicked".into())
+}

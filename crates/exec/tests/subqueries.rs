@@ -1,0 +1,255 @@
+//! End-to-end tests for `IN (SELECT ...)` / `EXISTS` desugared to federated
+//! semi/anti joins.
+
+use std::sync::Arc;
+
+use eii_catalog::Catalog;
+use eii_data::{row, DataType, Field, Row, Schema, SimClock, Value};
+use eii_exec::Executor;
+use eii_federation::{Federation, LinkProfile, RelationalConnector, WireFormat};
+use eii_planner::{plan_query, PlannerConfig};
+use eii_sql::parse_query;
+use eii_storage::{Database, TableDef};
+
+fn setup() -> (Catalog, Federation) {
+    let clock = SimClock::new();
+
+    let crm = Database::new("crm", clock.clone());
+    let t = crm
+        .create_table(
+            TableDef::new(
+                "customers",
+                Arc::new(Schema::new(vec![
+                    Field::new("id", DataType::Int).not_null(),
+                    Field::new("name", DataType::Str),
+                    Field::new("region", DataType::Str),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    {
+        let mut t = t.write();
+        for (i, (n, r)) in [
+            ("alice", "west"),
+            ("bob", "east"),
+            ("carol", "west"),
+            ("dave", "north"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            t.insert(row![i as i64 + 1, *n, *r]).unwrap();
+        }
+    }
+
+    let sales = Database::new("sales", clock.clone());
+    let ot = sales
+        .create_table(
+            TableDef::new(
+                "orders",
+                Arc::new(Schema::new(vec![
+                    Field::new("order_id", DataType::Int).not_null(),
+                    Field::new("customer_id", DataType::Int),
+                    Field::new("total", DataType::Float),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    {
+        let mut t = ot.write();
+        // Customers 1 and 2 have orders; 2's are small.
+        t.insert(row![100i64, 1i64, 500.0]).unwrap();
+        t.insert(row![101i64, 1i64, 20.0]).unwrap();
+        t.insert(row![102i64, 2i64, 30.0]).unwrap();
+        // An orphan order (customer 99 does not exist).
+        t.insert(row![103i64, 99i64, 900.0]).unwrap();
+    }
+
+    let mut fed = Federation::new();
+    fed.register(
+        Arc::new(RelationalConnector::new(crm)),
+        LinkProfile::lan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    fed.register(
+        Arc::new(RelationalConnector::new(sales)),
+        LinkProfile::wan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    (Catalog::new(), fed)
+}
+
+fn names(cat: &Catalog, fed: &Federation, cfg: &PlannerConfig, sql: &str) -> Vec<String> {
+    let q = parse_query(sql).unwrap();
+    let plan = plan_query(&q, cat, fed, cfg).unwrap_or_else(|e| panic!("plan {sql}: {e}"));
+    let exec = Executor::new(fed);
+    let batch = exec
+        .execute(&plan)
+        .unwrap_or_else(|e| panic!("exec {sql}: {e}"))
+        .batch;
+    let mut out: Vec<String> = batch
+        .rows()
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap().to_string())
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn in_subquery_is_a_semi_join() {
+    let (cat, fed) = setup();
+    let got = names(
+        &cat,
+        &fed,
+        &PlannerConfig::optimized(),
+        "SELECT name FROM crm.customers WHERE id IN (SELECT customer_id FROM sales.orders)",
+    );
+    assert_eq!(got, vec!["alice", "bob"]);
+}
+
+#[test]
+fn not_in_subquery_is_an_anti_join() {
+    let (cat, fed) = setup();
+    let got = names(
+        &cat,
+        &fed,
+        &PlannerConfig::optimized(),
+        "SELECT name FROM crm.customers WHERE id NOT IN (SELECT customer_id FROM sales.orders)",
+    );
+    assert_eq!(got, vec!["carol", "dave"]);
+}
+
+#[test]
+fn subquery_own_filters_push_down() {
+    let (cat, fed) = setup();
+    let sql = "SELECT name FROM crm.customers WHERE region = 'west' AND \
+               id IN (SELECT customer_id FROM sales.orders WHERE total > 100)";
+    let got = names(&cat, &fed, &PlannerConfig::optimized(), sql);
+    assert_eq!(got, vec!["alice"]);
+    // The subquery's filter reaches the sales source as a component query.
+    let q = parse_query(sql).unwrap();
+    let plan = plan_query(&q, &cat, &fed, &PlannerConfig::optimized()).unwrap();
+    let text = plan.display();
+    assert!(
+        text.contains("(total > 100)") && text.contains("SourceQuery sales"),
+        "{text}"
+    );
+}
+
+#[test]
+fn uncorrelated_exists_gates_all_rows() {
+    let (cat, fed) = setup();
+    let all = names(
+        &cat,
+        &fed,
+        &PlannerConfig::optimized(),
+        "SELECT name FROM crm.customers WHERE EXISTS (SELECT order_id FROM sales.orders WHERE total > 800)",
+    );
+    assert_eq!(all.len(), 4, "a match exists, every row passes");
+    let none = names(
+        &cat,
+        &fed,
+        &PlannerConfig::optimized(),
+        "SELECT name FROM crm.customers WHERE EXISTS (SELECT order_id FROM sales.orders WHERE total > 9999)",
+    );
+    assert!(none.is_empty());
+    let not_exists = names(
+        &cat,
+        &fed,
+        &PlannerConfig::optimized(),
+        "SELECT name FROM crm.customers WHERE NOT EXISTS (SELECT order_id FROM sales.orders WHERE total > 9999)",
+    );
+    assert_eq!(not_exists.len(), 4);
+}
+
+#[test]
+fn naive_and_optimized_agree_on_subqueries() {
+    let (cat, fed) = setup();
+    for sql in [
+        "SELECT name FROM crm.customers WHERE id IN (SELECT customer_id FROM sales.orders)",
+        "SELECT name FROM crm.customers WHERE id NOT IN (SELECT customer_id FROM sales.orders WHERE total < 100)",
+        "SELECT name FROM crm.customers WHERE region = 'west' AND id IN (SELECT customer_id FROM sales.orders)",
+    ] {
+        let a = names(&cat, &fed, &PlannerConfig::optimized(), sql);
+        let b = names(&cat, &fed, &PlannerConfig::naive(), sql);
+        assert_eq!(a, b, "{sql}");
+    }
+}
+
+#[test]
+fn multi_column_subquery_is_a_plan_error() {
+    let (cat, fed) = setup();
+    let q = parse_query(
+        "SELECT name FROM crm.customers WHERE id IN (SELECT order_id, customer_id FROM sales.orders)",
+    )
+    .unwrap();
+    let err = plan_query(&q, &cat, &fed, &PlannerConfig::optimized()).unwrap_err();
+    assert_eq!(err.kind(), "plan");
+    assert!(err.message().contains("exactly one column"));
+}
+
+#[test]
+fn null_probe_values_follow_anti_join_semantics() {
+    // A customer with NULL id-like key: use a nullable column as the probe.
+    let clock = SimClock::new();
+    let mut fed = Federation::new();
+    let db = Database::new("l", clock.clone());
+    let t = db
+        .create_table(
+            TableDef::new(
+                "t",
+                Arc::new(Schema::new(vec![
+                    Field::new("id", DataType::Int).not_null(),
+                    Field::new("k", DataType::Int),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    t.write().insert(row![1i64, 10i64]).unwrap();
+    t.write()
+        .insert(Row::new(vec![Value::Int(2), Value::Null]))
+        .unwrap();
+    let rdb = Database::new("r", clock.clone());
+    let rt = rdb
+        .create_table(
+            TableDef::new(
+                "t",
+                Arc::new(Schema::new(vec![Field::new("k", DataType::Int).not_null()])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    rt.write().insert(row![10i64]).unwrap();
+    fed.register(
+        Arc::new(RelationalConnector::new(db)),
+        LinkProfile::local(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    fed.register(
+        Arc::new(RelationalConnector::new(rdb)),
+        LinkProfile::local(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    let cat = Catalog::new();
+
+    let q = parse_query("SELECT id FROM l.t WHERE k IN (SELECT k FROM r.t)").unwrap();
+    let plan = plan_query(&q, &cat, &fed, &PlannerConfig::optimized()).unwrap();
+    let batch = Executor::new(&fed).execute(&plan).unwrap().batch;
+    assert_eq!(batch.num_rows(), 1, "NULL probe never matches IN");
+
+    // Documented dialect deviation: NOT IN keeps NULL-probe rows
+    // (anti-join semantics), unlike standard SQL's three-valued NOT IN.
+    let q = parse_query("SELECT id FROM l.t WHERE k NOT IN (SELECT k FROM r.t)").unwrap();
+    let plan = plan_query(&q, &cat, &fed, &PlannerConfig::optimized()).unwrap();
+    let batch = Executor::new(&fed).execute(&plan).unwrap().batch;
+    assert_eq!(batch.num_rows(), 1);
+    assert_eq!(batch.rows()[0].get(0), &Value::Int(2));
+}

@@ -1,0 +1,207 @@
+//! Implementations of built-in scalar functions and SQL LIKE matching.
+
+use eii_data::{EiiError, Result, Value};
+
+use crate::ast::ScalarFunc;
+
+/// Evaluate a scalar function over already-evaluated arguments.
+///
+/// NULL handling follows SQL: most functions are strict (NULL in → NULL out);
+/// `COALESCE` and `CONCAT` have their usual special semantics.
+pub fn eval_scalar(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+    match func {
+        ScalarFunc::Coalesce => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        ScalarFunc::Concat => {
+            let mut out = String::new();
+            for a in args {
+                if !a.is_null() {
+                    out.push_str(&a.to_string());
+                }
+            }
+            Ok(Value::str(out))
+        }
+        _ if args.iter().any(Value::is_null) => Ok(Value::Null),
+        ScalarFunc::Lower => str_arg(func, args, 0).map(|s| Value::str(s.to_lowercase())),
+        ScalarFunc::Upper => str_arg(func, args, 0).map(|s| Value::str(s.to_uppercase())),
+        ScalarFunc::Trim => str_arg(func, args, 0).map(|s| Value::str(s.trim())),
+        ScalarFunc::Length => {
+            str_arg(func, args, 0).map(|s| Value::Int(s.chars().count() as i64))
+        }
+        ScalarFunc::Abs => match args.first() {
+            Some(Value::Int(i)) => Ok(Value::Int(i.wrapping_abs())),
+            Some(Value::Float(f)) => Ok(Value::Float(f.abs())),
+            _ => Err(arg_error(func, "numeric argument")),
+        },
+        ScalarFunc::Round => {
+            let x = args
+                .first()
+                .and_then(Value::as_float)
+                .ok_or_else(|| arg_error(func, "numeric argument"))?;
+            let digits = match args.get(1) {
+                None => 0,
+                Some(v) => v.as_int().ok_or_else(|| arg_error(func, "integer digits"))? as i32,
+            };
+            let scale = 10f64.powi(digits);
+            Ok(Value::Float((x * scale).round() / scale))
+        }
+        ScalarFunc::Substr => {
+            let s = str_arg(func, args, 0)?;
+            let start = args
+                .get(1)
+                .and_then(Value::as_int)
+                .ok_or_else(|| arg_error(func, "integer start"))?;
+            let chars: Vec<char> = s.chars().collect();
+            // SQL 1-based start; clamp out-of-range.
+            let begin = (start.max(1) - 1).min(chars.len() as i64) as usize;
+            let end = match args.get(2) {
+                None => chars.len(),
+                Some(v) => {
+                    let len = v.as_int().ok_or_else(|| arg_error(func, "integer length"))?;
+                    (begin + len.max(0) as usize).min(chars.len())
+                }
+            };
+            Ok(Value::str(chars[begin..end].iter().collect::<String>()))
+        }
+    }
+}
+
+fn str_arg(func: ScalarFunc, args: &[Value], i: usize) -> Result<&str> {
+    args.get(i)
+        .and_then(Value::as_str)
+        .ok_or_else(|| arg_error(func, "string argument"))
+}
+
+fn arg_error(func: ScalarFunc, want: &str) -> EiiError {
+    EiiError::Type(format!("{} expects {want}", func.name()))
+}
+
+/// SQL LIKE matching: `%` matches any sequence, `_` any single character.
+/// Matching is case-sensitive, per the SQL standard.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                // Greedy-with-backtracking: try every split point.
+                (0..=t.len()).any(|i| rec(&t[i..], rest))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(&t[1..], rest),
+            Some((c, rest)) => t.first() == Some(c) && rec(&t[1..], rest),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_basic() {
+        assert!(like_match("alice", "alice"));
+        assert!(like_match("alice", "a%"));
+        assert!(like_match("alice", "%ice"));
+        assert!(like_match("alice", "%lic%"));
+        assert!(like_match("alice", "_lice"));
+        assert!(!like_match("alice", "b%"));
+        assert!(!like_match("alice", "alice_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn like_multiple_wildcards() {
+        assert!(like_match("a-b-c", "%-%-%"));
+        assert!(like_match("abc", "%%%"));
+        assert!(!like_match("ab", "a_c"));
+    }
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        let v = eval_scalar(
+            ScalarFunc::Coalesce,
+            &[Value::Null, Value::Int(2), Value::Int(3)],
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(2));
+        assert_eq!(
+            eval_scalar(ScalarFunc::Coalesce, &[Value::Null]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn strict_functions_propagate_null() {
+        assert_eq!(
+            eval_scalar(ScalarFunc::Lower, &[Value::Null]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Abs, &[Value::Null]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn substr_is_one_based_and_clamped() {
+        let s = Value::str("hello");
+        assert_eq!(
+            eval_scalar(ScalarFunc::Substr, &[s.clone(), Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::str("ell")
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Substr, &[s.clone(), Value::Int(1)]).unwrap(),
+            Value::str("hello")
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Substr, &[s.clone(), Value::Int(99)]).unwrap(),
+            Value::str("")
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Substr, &[s, Value::Int(0), Value::Int(2)]).unwrap(),
+            Value::str("he")
+        );
+    }
+
+    #[test]
+    fn concat_skips_nulls() {
+        let v = eval_scalar(
+            ScalarFunc::Concat,
+            &[Value::str("a"), Value::Null, Value::Int(1)],
+        )
+        .unwrap();
+        assert_eq!(v, Value::str("a1"));
+    }
+
+    #[test]
+    fn round_with_digits() {
+        assert_eq!(
+            eval_scalar(ScalarFunc::Round, &[Value::Float(1.23456), Value::Int(2)]).unwrap(),
+            Value::Float(1.23)
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Round, &[Value::Float(2.5)]).unwrap(),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn length_counts_chars() {
+        assert_eq!(
+            eval_scalar(ScalarFunc::Length, &[Value::str("héllo")]).unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let err = eval_scalar(ScalarFunc::Lower, &[Value::Int(1)]).unwrap_err();
+        assert_eq!(err.kind(), "type");
+    }
+}

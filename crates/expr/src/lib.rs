@@ -1,0 +1,18 @@
+//! # eii-expr
+//!
+//! Scalar expressions for the `eii` platform: the [`Expr`] AST shared by the
+//! SQL front end and the planner, SQL three-valued evaluation against rows,
+//! type inference, constant folding, and the predicate utilities (conjunction
+//! splitting, column-reference analysis) that the federated planner's pushdown
+//! rules are built on.
+
+pub mod ast;
+pub mod eval;
+pub mod fold;
+pub mod functions;
+pub mod typecheck;
+
+pub use ast::{AggFunc, BinaryOp, Expr, ScalarFunc, UnaryOp};
+pub use eval::{bind, BoundExpr};
+pub use fold::{conjuncts, conjoin, fold_constants, referenced_columns, ColumnRef};
+pub use typecheck::infer_type;

@@ -1,0 +1,245 @@
+//! Static type inference for expressions.
+//!
+//! Used by the planner to compute output schemas for projections and to
+//! reject ill-typed queries before execution.
+
+use eii_data::{DataType, EiiError, Result, Schema};
+
+use crate::ast::{BinaryOp, Expr, ScalarFunc, UnaryOp};
+
+/// Infer the result type of `expr` against `schema`. `Ok(None)` means the
+/// expression is the untyped NULL literal (which inhabits every type).
+pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<Option<DataType>> {
+    match expr {
+        Expr::Column { relation, name } => {
+            let idx = schema.index_of(relation.as_deref(), name)?;
+            Ok(Some(schema.field(idx).data_type))
+        }
+        Expr::Literal(v) => Ok(v.data_type()),
+        Expr::Binary { left, op, right } => {
+            let lt = infer_type(left, schema)?;
+            let rt = infer_type(right, schema)?;
+            if op.is_comparison() {
+                check_comparable(lt, rt)?;
+                return Ok(Some(DataType::Bool));
+            }
+            if op.is_logical() {
+                for t in [lt, rt].into_iter().flatten() {
+                    if t != DataType::Bool {
+                        return Err(EiiError::Type(format!(
+                            "{} expects boolean operands, got {t}",
+                            op.sql()
+                        )));
+                    }
+                }
+                return Ok(Some(DataType::Bool));
+            }
+            // Arithmetic (string + string is concat).
+            match (lt, rt) {
+                (None, other) | (other, None) => Ok(other),
+                (Some(DataType::Str), Some(DataType::Str)) if *op == BinaryOp::Plus => {
+                    Ok(Some(DataType::Str))
+                }
+                (Some(a), Some(b)) if a.is_numeric() && b.is_numeric() => {
+                    Ok(Some(a.unify(b).expect("numeric types unify")))
+                }
+                (Some(a), Some(b)) => Err(EiiError::Type(format!(
+                    "arithmetic {} on {a} and {b}",
+                    op.sql()
+                ))),
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let t = infer_type(expr, schema)?;
+            match op {
+                UnaryOp::Not => {
+                    if let Some(t) = t {
+                        if t != DataType::Bool {
+                            return Err(EiiError::Type(format!("NOT applied to {t}")));
+                        }
+                    }
+                    Ok(Some(DataType::Bool))
+                }
+                UnaryOp::Neg => match t {
+                    None => Ok(None),
+                    Some(t) if t.is_numeric() => Ok(Some(t)),
+                    Some(t) => Err(EiiError::Type(format!("negation applied to {t}"))),
+                },
+            }
+        }
+        Expr::IsNull { expr, .. } => {
+            infer_type(expr, schema)?;
+            Ok(Some(DataType::Bool))
+        }
+        Expr::Like { expr, pattern, .. } => {
+            for e in [expr, pattern] {
+                if let Some(t) = infer_type(e, schema)? {
+                    if t != DataType::Str {
+                        return Err(EiiError::Type(format!("LIKE expects strings, got {t}")));
+                    }
+                }
+            }
+            Ok(Some(DataType::Bool))
+        }
+        Expr::InList { expr, list, .. } => {
+            let t = infer_type(expr, schema)?;
+            for item in list {
+                let it = infer_type(item, schema)?;
+                check_comparable(t, it)?;
+            }
+            Ok(Some(DataType::Bool))
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            let t = infer_type(expr, schema)?;
+            check_comparable(t, infer_type(low, schema)?)?;
+            check_comparable(t, infer_type(high, schema)?)?;
+            Ok(Some(DataType::Bool))
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            let mut result: Option<DataType> = None;
+            for (cond, val) in branches {
+                if let Some(t) = infer_type(cond, schema)? {
+                    if t != DataType::Bool {
+                        return Err(EiiError::Type(format!("CASE condition is {t}, not BOOL")));
+                    }
+                }
+                result = merge_result(result, infer_type(val, schema)?)?;
+            }
+            if let Some(e) = else_expr {
+                result = merge_result(result, infer_type(e, schema)?)?;
+            }
+            Ok(result)
+        }
+        Expr::Cast { expr, to } => {
+            infer_type(expr, schema)?;
+            Ok(Some(*to))
+        }
+        Expr::Func { func, args } => {
+            for a in args {
+                infer_type(a, schema)?;
+            }
+            Ok(Some(match func {
+                ScalarFunc::Lower
+                | ScalarFunc::Upper
+                | ScalarFunc::Trim
+                | ScalarFunc::Substr
+                | ScalarFunc::Concat => DataType::Str,
+                ScalarFunc::Length => DataType::Int,
+                ScalarFunc::Round => DataType::Float,
+                ScalarFunc::Abs => match infer_type(&args[0], schema)? {
+                    Some(DataType::Float) => DataType::Float,
+                    _ => DataType::Int,
+                },
+                ScalarFunc::Coalesce => {
+                    let mut t = None;
+                    for a in args {
+                        t = merge_result(t, infer_type(a, schema)?)?;
+                    }
+                    return Ok(t);
+                }
+            }))
+        }
+    }
+}
+
+fn check_comparable(a: Option<DataType>, b: Option<DataType>) -> Result<()> {
+    match (a, b) {
+        (Some(a), Some(b)) if a.unify(b).is_none() => Err(EiiError::Type(format!(
+            "cannot compare {a} with {b}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+fn merge_result(a: Option<DataType>, b: Option<DataType>) -> Result<Option<DataType>> {
+    match (a, b) {
+        (None, x) | (x, None) => Ok(x),
+        (Some(a), Some(b)) => a.unify(b).map(Some).ok_or_else(|| {
+            EiiError::Type(format!("incompatible branch types {a} and {b}"))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("n", DataType::Int),
+            Field::new("s", DataType::Str),
+            Field::new("f", DataType::Float),
+            Field::new("b", DataType::Bool),
+        ])
+    }
+
+    #[test]
+    fn arithmetic_widens() {
+        let e = Expr::col("n").binary(BinaryOp::Plus, Expr::col("f"));
+        assert_eq!(infer_type(&e, &schema()).unwrap(), Some(DataType::Float));
+        let e = Expr::col("n").binary(BinaryOp::Plus, Expr::lit(1i64));
+        assert_eq!(infer_type(&e, &schema()).unwrap(), Some(DataType::Int));
+    }
+
+    #[test]
+    fn comparisons_yield_bool() {
+        let e = Expr::col("n").lt(Expr::lit(3i64));
+        assert_eq!(infer_type(&e, &schema()).unwrap(), Some(DataType::Bool));
+    }
+
+    #[test]
+    fn incomparable_types_rejected() {
+        let e = Expr::col("n").eq(Expr::col("s"));
+        assert_eq!(infer_type(&e, &schema()).unwrap_err().kind(), "type");
+    }
+
+    #[test]
+    fn logical_on_non_bool_rejected() {
+        let e = Expr::col("n").and(Expr::col("b"));
+        assert_eq!(infer_type(&e, &schema()).unwrap_err().kind(), "type");
+    }
+
+    #[test]
+    fn null_literal_is_polymorphic() {
+        let e = Expr::col("n").eq(Expr::Literal(eii_data::Value::Null));
+        assert_eq!(infer_type(&e, &schema()).unwrap(), Some(DataType::Bool));
+        assert_eq!(
+            infer_type(&Expr::Literal(eii_data::Value::Null), &schema()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn case_merges_branch_types() {
+        let e = Expr::Case {
+            branches: vec![(Expr::col("b"), Expr::col("n"))],
+            else_expr: Some(Box::new(Expr::col("f"))),
+        };
+        assert_eq!(infer_type(&e, &schema()).unwrap(), Some(DataType::Float));
+        let bad = Expr::Case {
+            branches: vec![(Expr::col("b"), Expr::col("n"))],
+            else_expr: Some(Box::new(Expr::col("s"))),
+        };
+        assert_eq!(infer_type(&bad, &schema()).unwrap_err().kind(), "type");
+    }
+
+    #[test]
+    fn function_types() {
+        let e = Expr::Func {
+            func: ScalarFunc::Length,
+            args: vec![Expr::col("s")],
+        };
+        assert_eq!(infer_type(&e, &schema()).unwrap(), Some(DataType::Int));
+        let e = Expr::Func {
+            func: ScalarFunc::Coalesce,
+            args: vec![Expr::col("n"), Expr::col("f")],
+        };
+        assert_eq!(infer_type(&e, &schema()).unwrap(), Some(DataType::Float));
+    }
+}

@@ -1,0 +1,208 @@
+//! Adapter exposing a schema-less [`DocStore`] as relational virtual tables.
+//!
+//! The *wrapper* holds the schema (a set of path-extraction rules per
+//! virtual table); the store itself stays schema-less. Filtering and
+//! projection run wrapper-side, which still counts as source-site work for
+//! the network — the wrapper is co-located with the store.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use eii_data::{DataType, EiiError, Result, Schema, SchemaRef};
+use eii_docstore::DocStore;
+use eii_storage::TableStats;
+
+use crate::adapters::apply_query_locally;
+use crate::capability::SourceCapabilities;
+use crate::connector::{Connector, SourceAnswer, SourceQuery};
+use crate::dialect::Dialect;
+
+/// A virtual table: a name plus the path rules that impose its schema on
+/// the documents at read time.
+#[derive(Debug, Clone)]
+pub struct VirtualTable {
+    pub name: String,
+    /// `(column name, extraction path, type)` triples.
+    pub columns: Vec<(String, String, DataType)>,
+}
+
+/// A wrapped document store.
+pub struct DocumentConnector {
+    name: String,
+    store: DocStore,
+    tables: BTreeMap<String, VirtualTable>,
+}
+
+impl DocumentConnector {
+    /// Wrap a store under a source name.
+    pub fn new(name: impl Into<String>, store: DocStore) -> Self {
+        DocumentConnector {
+            name: name.into(),
+            store,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Define a virtual table (client-side schema imposition).
+    pub fn define_table(mut self, vt: VirtualTable) -> Self {
+        self.tables.insert(vt.name.clone(), vt);
+        self
+    }
+
+    /// Access the underlying store (for the search substrate).
+    pub fn store(&self) -> &DocStore {
+        &self.store
+    }
+
+    fn table(&self, name: &str) -> Result<&VirtualTable> {
+        self.tables.get(name).ok_or_else(|| {
+            EiiError::NotFound(format!("virtual table {name} in source {}", self.name))
+        })
+    }
+}
+
+impl Connector for DocumentConnector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<SchemaRef> {
+        let vt = self.table(table)?;
+        Ok(Arc::new(Schema::new(
+            vt.columns
+                .iter()
+                .map(|(n, _, ty)| eii_data::Field::new(n.clone(), *ty))
+                .collect(),
+        )))
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        SourceCapabilities::document()
+    }
+
+    fn dialect(&self) -> Dialect {
+        // The wrapper evaluates predicates itself (it is our code, not a
+        // remote engine), so the full dialect applies.
+        Dialect::ansi_full()
+    }
+
+    fn statistics(&self, table: &str) -> Result<TableStats> {
+        let vt = self.table(table)?;
+        let cols: Vec<(&str, &str, DataType)> = vt
+            .columns
+            .iter()
+            .map(|(n, p, ty)| (n.as_str(), p.as_str(), *ty))
+            .collect();
+        let batch = self.store.extract(&cols)?;
+        Ok(TableStats::analyze(
+            batch.schema().len(),
+            batch.rows().iter(),
+        ))
+    }
+
+    fn execute(&self, query: &SourceQuery) -> Result<SourceAnswer> {
+        let vt = self.table(&query.table)?;
+        let cols: Vec<(&str, &str, DataType)> = vt
+            .columns
+            .iter()
+            .map(|(n, p, ty)| (n.as_str(), p.as_str(), *ty))
+            .collect();
+        let extracted = self.store.extract(&cols)?;
+        let schema = extracted.schema().clone();
+        let scanned = extracted.num_rows();
+        let batch = apply_query_locally(
+            &schema,
+            extracted.into_rows(),
+            &query.filters,
+            &query.bindings,
+            query.projection.as_deref(),
+            query.limit,
+        )?;
+        Ok(SourceAnswer::one_shot(batch, scanned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::Value;
+    use eii_docstore::Document;
+    use eii_expr::Expr;
+
+    fn setup() -> DocumentConnector {
+        let store = DocStore::new();
+        store.insert(Document::from_records(
+            "tickets week 1",
+            &[
+                vec![
+                    ("ticket_id", "100".into()),
+                    ("customer", "alice".into()),
+                    ("severity", "3".into()),
+                ],
+                vec![
+                    ("ticket_id", "101".into()),
+                    ("customer", "bob".into()),
+                    ("severity", "1".into()),
+                ],
+            ],
+        ));
+        DocumentConnector::new("support", store).define_table(VirtualTable {
+            name: "tickets".into(),
+            columns: vec![
+                ("ticket_id".into(), "//row/ticket_id".into(), DataType::Int),
+                ("customer".into(), "//row/customer".into(), DataType::Str),
+                ("severity".into(), "//row/severity".into(), DataType::Int),
+            ],
+        })
+    }
+
+    #[test]
+    fn virtual_table_schema() {
+        let c = setup();
+        let s = c.table_schema("tickets").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.field(0).data_type, DataType::Int);
+        assert_eq!(c.tables(), vec!["tickets"]);
+        assert_eq!(c.table_schema("nope").unwrap_err().kind(), "not_found");
+    }
+
+    #[test]
+    fn filters_apply_after_extraction() {
+        let c = setup();
+        let q = SourceQuery {
+            table: "tickets".into(),
+            projection: Some(vec!["customer".into()]),
+            filters: vec![Expr::col("severity").lt(Expr::lit(2i64))],
+            bindings: vec![],
+            limit: None,
+        };
+        let ans = c.execute(&q).unwrap();
+        assert_eq!(ans.batch.num_rows(), 1);
+        assert_eq!(ans.batch.rows()[0].get(0), &Value::str("bob"));
+        assert_eq!(ans.rows_scanned, 2);
+    }
+
+    #[test]
+    fn statistics_computed_on_extraction() {
+        let c = setup();
+        let s = c.statistics("tickets").unwrap();
+        assert_eq!(s.row_count, 2);
+        assert_eq!(s.columns[1].ndv, 2);
+    }
+
+    #[test]
+    fn updates_are_rejected() {
+        let c = setup();
+        let err = c
+            .update(&crate::connector::UpdateOp::DeleteByKey {
+                table: "tickets".into(),
+                key: Value::Int(100),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "source");
+    }
+}

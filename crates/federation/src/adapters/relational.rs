@@ -1,0 +1,338 @@
+//! Adapter for relational sources backed by [`eii_storage::Database`].
+//!
+//! This is the workhorse wrapper: it pushes the dialect-supported subset of
+//! filters into the source engine (index-assisted where possible), honors
+//! projections, limits and bind-join batches, and routes EAI updates.
+
+use eii_data::{EiiError, Result, SchemaRef, Value};
+use eii_expr::bind;
+use eii_storage::{Database, TableStats};
+
+use crate::adapters::apply_query_locally;
+use crate::capability::SourceCapabilities;
+use crate::connector::{Connector, SourceAnswer, SourceQuery, UpdateOp, UpdateResult};
+use crate::dialect::Dialect;
+
+/// A wrapped relational database.
+pub struct RelationalConnector {
+    db: Database,
+    dialect: Dialect,
+    capabilities: SourceCapabilities,
+}
+
+impl RelationalConnector {
+    /// Wrap `db` with a full ANSI dialect.
+    pub fn new(db: Database) -> Self {
+        RelationalConnector {
+            db,
+            dialect: Dialect::ansi_full(),
+            capabilities: SourceCapabilities::relational(),
+        }
+    }
+
+    /// Wrap with a specific vendor dialect (the fine-grained modeling of
+    /// Draper §5 — or a deliberately degraded one for experiment E11).
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Override capabilities (e.g. mark the source non-queryable to model
+    /// an administrator who refuses external queries).
+    pub fn with_capabilities(mut self, caps: SourceCapabilities) -> Self {
+        self.capabilities = caps;
+        self
+    }
+
+    /// Access to the underlying database (for seeding and for the ETL
+    /// extract path, which reads change logs directly).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl Connector for RelationalConnector {
+    fn name(&self) -> &str {
+        self.db.name()
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.db.table_names()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<SchemaRef> {
+        Ok(self.db.table(table)?.read().schema().clone())
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        self.capabilities.clone()
+    }
+
+    fn dialect(&self) -> Dialect {
+        self.dialect.clone()
+    }
+
+    fn statistics(&self, table: &str) -> Result<TableStats> {
+        Ok(self.db.table(table)?.write().stats().clone())
+    }
+
+    fn execute(&self, query: &SourceQuery) -> Result<SourceAnswer> {
+        if !self.capabilities.queryable {
+            return Err(EiiError::Source(format!(
+                "source {} refuses external queries",
+                self.name()
+            )));
+        }
+        // Defensive dialect check: the planner should never push an
+        // unsupported predicate, but a remote engine would reject it, so we
+        // do too.
+        for f in &query.filters {
+            if !self.dialect.supports(f) {
+                return Err(EiiError::Source(format!(
+                    "source {} dialect '{}' rejects predicate {f}",
+                    self.name(),
+                    self.dialect.name
+                )));
+            }
+        }
+        let handle = self.db.table(&query.table)?;
+        let t = handle.read();
+        let schema = t.schema().clone();
+
+        // Choose the cheapest access path: a single equality binding with
+        // few values uses point lookups; otherwise scan.
+        let (candidate_rows, rows_scanned) = match query.bindings.as_slice() {
+            [(col, vals)] => {
+                let col_idx = schema.index_of(None, col)?;
+                let mut rows = Vec::new();
+                for v in vals {
+                    rows.extend(t.lookup_eq(col_idx, v));
+                }
+                let scanned = rows.len();
+                (rows, scanned)
+            }
+            _ => {
+                let rows = t.all_rows();
+                let scanned = rows.len();
+                (rows, scanned)
+            }
+        };
+        drop(t);
+
+        let remaining_bindings: Vec<(String, Vec<Value>)> = if query.bindings.len() == 1 {
+            Vec::new() // already applied via lookup
+        } else {
+            query.bindings.clone()
+        };
+        let batch = apply_query_locally(
+            &schema,
+            candidate_rows,
+            &query.filters,
+            &remaining_bindings,
+            query.projection.as_deref(),
+            query.limit,
+        )?;
+        Ok(SourceAnswer::one_shot(batch, rows_scanned))
+    }
+
+    fn changes_since(
+        &self,
+        table: &str,
+        after_seq: u64,
+    ) -> Result<(Vec<eii_storage::Change>, u64)> {
+        let handle = self.db.table(table)?;
+        let t = handle.read();
+        let log = t.changelog();
+        Ok((log.since(after_seq).to_vec(), log.high_watermark()))
+    }
+
+    fn update(&self, op: &UpdateOp) -> Result<UpdateResult> {
+        if !self.capabilities.updatable {
+            return Err(EiiError::Source(format!(
+                "source {} is read-only",
+                self.name()
+            )));
+        }
+        let handle = self.db.table(op.table())?;
+        let mut t = handle.write();
+        match op {
+            UpdateOp::Insert { row, .. } => {
+                t.insert(row.clone())?;
+                Ok(UpdateResult { affected: 1 })
+            }
+            UpdateOp::UpdateByKey {
+                key, assignments, ..
+            } => {
+                let schema = t.schema().clone();
+                let resolved = assignments
+                    .iter()
+                    .map(|(col, v)| Ok((schema.index_of(None, col)?, v.clone())))
+                    .collect::<Result<Vec<_>>>()?;
+                let hit = t.update_by_pk(key, &resolved)?;
+                Ok(UpdateResult {
+                    affected: usize::from(hit),
+                })
+            }
+            UpdateOp::DeleteByKey { key, .. } => {
+                let hit = t.delete_by_pk(key);
+                Ok(UpdateResult {
+                    affected: usize::from(hit),
+                })
+            }
+        }
+    }
+}
+
+/// Convenience for tests and generators: evaluate an arbitrary predicate
+/// locally against a table (not via the wrapper).
+pub fn scan_with_predicate(
+    db: &Database,
+    table: &str,
+    pred: &eii_expr::Expr,
+) -> Result<Vec<eii_data::Row>> {
+    let handle = db.table(table)?;
+    let t = handle.read();
+    let bound = bind(pred, t.schema())?;
+    let mut out = Vec::new();
+    for (_, row) in t.iter() {
+        if bound.eval_predicate(row)? {
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, Schema, SimClock};
+    use eii_expr::Expr;
+    use eii_storage::TableDef;
+    use std::sync::Arc;
+
+    fn setup() -> RelationalConnector {
+        let db = Database::new("crm", SimClock::new());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+            Field::new("region", DataType::Str),
+        ]));
+        let t = db
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        {
+            let mut t = t.write();
+            t.insert(row![1i64, "alice", "west"]).unwrap();
+            t.insert(row![2i64, "bob", "east"]).unwrap();
+            t.insert(row![3i64, "carol", "west"]).unwrap();
+        }
+        RelationalConnector::new(db)
+    }
+
+    #[test]
+    fn pushes_filters_and_projection() {
+        let c = setup();
+        let q = SourceQuery {
+            table: "customers".into(),
+            projection: Some(vec!["name".into()]),
+            filters: vec![Expr::col("region").eq(Expr::lit("west"))],
+            bindings: vec![],
+            limit: None,
+        };
+        let ans = c.execute(&q).unwrap();
+        assert_eq!(ans.batch.num_rows(), 2);
+        assert_eq!(ans.batch.schema().len(), 1);
+        assert_eq!(ans.rows_scanned, 3, "no index help: full scan");
+    }
+
+    #[test]
+    fn binding_lookup_uses_pk_index() {
+        let c = setup();
+        let q = SourceQuery {
+            table: "customers".into(),
+            projection: None,
+            filters: vec![],
+            bindings: vec![("id".into(), vec![Value::Int(1), Value::Int(3)])],
+            limit: None,
+        };
+        let ans = c.execute(&q).unwrap();
+        assert_eq!(ans.batch.num_rows(), 2);
+        assert_eq!(ans.rows_scanned, 2, "point lookups, not a scan");
+    }
+
+    #[test]
+    fn dialect_rejection_is_defensive() {
+        let c = setup().with_dialect(Dialect::lowest_common_denominator());
+        let q = SourceQuery {
+            table: "customers".into(),
+            projection: None,
+            filters: vec![Expr::col("id").lt(Expr::lit(2i64))],
+            bindings: vec![],
+            limit: None,
+        };
+        assert_eq!(c.execute(&q).unwrap_err().kind(), "source");
+    }
+
+    #[test]
+    fn non_queryable_source_refuses() {
+        let mut caps = SourceCapabilities::relational();
+        caps.queryable = false;
+        let c = setup().with_capabilities(caps);
+        let err = c.execute(&SourceQuery::full_table("customers")).unwrap_err();
+        assert_eq!(err.kind(), "source");
+    }
+
+    #[test]
+    fn updates_route_to_storage() {
+        let c = setup();
+        c.update(&UpdateOp::Insert {
+            table: "customers".into(),
+            row: row![4i64, "dave", "north"],
+        })
+        .unwrap();
+        let r = c
+            .update(&UpdateOp::UpdateByKey {
+                table: "customers".into(),
+                key: Value::Int(4),
+                assignments: vec![("region".into(), Value::str("south"))],
+            })
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        let r = c
+            .update(&UpdateOp::DeleteByKey {
+                table: "customers".into(),
+                key: Value::Int(4),
+            })
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        // Missing key affects zero rows.
+        let r = c
+            .update(&UpdateOp::DeleteByKey {
+                table: "customers".into(),
+                key: Value::Int(99),
+            })
+            .unwrap();
+        assert_eq!(r.affected, 0);
+    }
+
+    #[test]
+    fn limit_is_honored() {
+        let c = setup();
+        let q = SourceQuery {
+            table: "customers".into(),
+            projection: None,
+            filters: vec![],
+            bindings: vec![],
+            limit: Some(2),
+        };
+        assert_eq!(c.execute(&q).unwrap().batch.num_rows(), 2);
+    }
+
+    #[test]
+    fn statistics_reflect_table() {
+        let c = setup();
+        let s = c.statistics("customers").unwrap();
+        assert_eq!(s.row_count, 3);
+        assert_eq!(s.columns[2].ndv, 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Adapter for web-service sources with access limitations.
+//!
+//! A web service exposes operations like `get_orders(customer_id)`: it only
+//! answers when the required parameter is bound, and it pays one round trip
+//! *per bound value*. The planner must therefore feed it through a bind
+//! join. This models Carey's "access to data locked inside applications
+//! and/or web services".
+
+use std::collections::BTreeMap;
+
+use eii_data::{EiiError, Result, Row, SchemaRef, Value};
+use eii_storage::{Database, TableStats};
+
+use crate::adapters::{apply_query_locally, project_batch};
+use crate::capability::{BindingPattern, SourceCapabilities};
+use crate::connector::{Connector, SourceAnswer, SourceQuery};
+use crate::dialect::Dialect;
+
+/// A wrapped web-service application. Internally backed by a database (the
+/// application's hidden store), but reachable only through its operations.
+pub struct WebServiceConnector {
+    name: String,
+    backing: Database,
+    /// table -> column that must be bound per call.
+    required: BTreeMap<String, String>,
+}
+
+impl WebServiceConnector {
+    /// Wrap `backing` as a service named `name`.
+    pub fn new(name: impl Into<String>, backing: Database) -> Self {
+        WebServiceConnector {
+            name: name.into(),
+            backing,
+            required: BTreeMap::new(),
+        }
+    }
+
+    /// Declare that `table` is only reachable with `column` bound.
+    pub fn require_binding(
+        mut self,
+        table: impl Into<String>,
+        column: impl Into<String>,
+    ) -> Self {
+        self.required.insert(table.into(), column.into());
+        self
+    }
+
+    /// The backing database (for seeding).
+    pub fn database(&self) -> &Database {
+        &self.backing
+    }
+}
+
+impl Connector for WebServiceConnector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.backing.table_names()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<SchemaRef> {
+        Ok(self.backing.table(table)?.read().schema().clone())
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        SourceCapabilities::web_service(
+            self.required
+                .iter()
+                .map(|(t, c)| BindingPattern {
+                    table: t.clone(),
+                    required_columns: vec![c.clone()],
+                })
+                .collect(),
+        )
+    }
+
+    fn dialect(&self) -> Dialect {
+        Dialect::lowest_common_denominator()
+    }
+
+    fn statistics(&self, table: &str) -> Result<TableStats> {
+        // A service does not publish statistics; expose row count only
+        // (modeling the planner's uncertainty about opaque sources).
+        let rows = self.backing.table(table)?.read().row_count();
+        Ok(TableStats {
+            row_count: rows,
+            columns: Vec::new(),
+        })
+    }
+
+    fn execute(&self, query: &SourceQuery) -> Result<SourceAnswer> {
+        if !query.filters.is_empty() {
+            return Err(EiiError::Source(format!(
+                "service {} does not evaluate predicates",
+                self.name
+            )));
+        }
+        let required = self.required.get(&query.table);
+        let handle = self.backing.table(&query.table)?;
+        let t = handle.read();
+        let schema = t.schema().clone();
+
+        match required {
+            None => {
+                // Unrestricted operation: one call dumps the table.
+                let rows = t.all_rows();
+                let scanned = rows.len();
+                drop(t);
+                let batch = project_batch(&schema, rows, query.projection.as_deref())?;
+                Ok(SourceAnswer::one_shot(batch, scanned))
+            }
+            Some(col) => {
+                let Some((_, values)) = query
+                    .bindings
+                    .iter()
+                    .find(|(c, _)| c.eq_ignore_ascii_case(col))
+                else {
+                    return Err(EiiError::Source(format!(
+                        "service {}.{} requires {col} to be bound (access limitation)",
+                        self.name, query.table
+                    )));
+                };
+                let col_idx = schema.index_of(None, col)?;
+                let mut rows: Vec<Row> = Vec::new();
+                // One call per bound value.
+                let calls = values.len().max(1);
+                for v in values {
+                    rows.extend(t.lookup_eq(col_idx, v));
+                }
+                let scanned = rows.len();
+                drop(t);
+                // Apply any *other* bindings locally, then project.
+                let other: Vec<(String, Vec<Value>)> = query
+                    .bindings
+                    .iter()
+                    .filter(|(c, _)| !c.eq_ignore_ascii_case(col))
+                    .cloned()
+                    .collect();
+                let batch = apply_query_locally(
+                    &schema,
+                    rows,
+                    &[],
+                    &other,
+                    query.projection.as_deref(),
+                    query.limit,
+                )?;
+                Ok(SourceAnswer {
+                    batch,
+                    rows_scanned: scanned,
+                    calls,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, Schema, SimClock};
+    use eii_storage::TableDef;
+    use std::sync::Arc;
+
+    fn setup() -> WebServiceConnector {
+        let db = Database::new("orders_svc", SimClock::new());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("order_id", DataType::Int).not_null(),
+            Field::new("customer_id", DataType::Int),
+            Field::new("total", DataType::Float),
+        ]));
+        let t = db
+            .create_table(TableDef::new("orders", schema).with_primary_key(0))
+            .unwrap();
+        {
+            let mut t = t.write();
+            t.create_hash_index(1);
+            for i in 0..10i64 {
+                t.insert(row![i, i % 3, (i as f64) * 10.0]).unwrap();
+            }
+        }
+        WebServiceConnector::new("orders_svc", db).require_binding("orders", "customer_id")
+    }
+
+    #[test]
+    fn unbound_access_is_refused() {
+        let c = setup();
+        let err = c.execute(&SourceQuery::full_table("orders")).unwrap_err();
+        assert_eq!(err.kind(), "source");
+        assert!(err.message().contains("customer_id"));
+    }
+
+    #[test]
+    fn bound_access_pays_one_call_per_value() {
+        let c = setup();
+        let q = SourceQuery {
+            table: "orders".into(),
+            bindings: vec![(
+                "customer_id".into(),
+                vec![Value::Int(0), Value::Int(1)],
+            )],
+            ..SourceQuery::default()
+        };
+        let ans = c.execute(&q).unwrap();
+        assert_eq!(ans.calls, 2);
+        assert_eq!(ans.batch.num_rows(), 7); // customers 0 and 1 have 4+3 orders
+    }
+
+    #[test]
+    fn capabilities_expose_binding_pattern() {
+        let c = setup();
+        let caps = c.capabilities();
+        let p = caps.pattern_for("orders").unwrap();
+        assert_eq!(p.required_columns, vec!["customer_id"]);
+    }
+
+    #[test]
+    fn filters_are_rejected() {
+        let c = setup();
+        let q = SourceQuery {
+            table: "orders".into(),
+            filters: vec![eii_expr::Expr::col("total").gt(eii_expr::Expr::lit(5.0))],
+            bindings: vec![("customer_id".into(), vec![Value::Int(0)])],
+            ..SourceQuery::default()
+        };
+        assert_eq!(c.execute(&q).unwrap_err().kind(), "source");
+    }
+}

@@ -1,0 +1,124 @@
+//! Source capability descriptions.
+//!
+//! Beyond the expression dialect, a source has coarse-grained capabilities:
+//! can it project columns, apply filters at all, honor LIMIT, answer only
+//! when certain columns are bound (web-service style access limitations)?
+//! The planner consults these when decomposing a federated query — "an
+//! engine that created plans that span multiple data sources and dealt with
+//! the limitations and capabilities of each source" (Halevy §1).
+
+/// Access-pattern restriction: the source answers only when each of the
+/// listed columns is bound to a set of values (e.g. a web service
+/// `get_orders(customer_id)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingPattern {
+    /// Table the restriction applies to.
+    pub table: String,
+    /// Column names that must be bound in every request.
+    pub required_columns: Vec<String>,
+}
+
+/// What a wrapped source can do server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceCapabilities {
+    /// Source evaluates pushed filter predicates (those its dialect
+    /// supports). When false, every row ships.
+    pub filters: bool,
+    /// Source returns only requested columns. When false, whole rows ship.
+    pub projection: bool,
+    /// Source honors LIMIT.
+    pub limit: bool,
+    /// Source accepts batched equality bindings (enables bind joins).
+    pub bindings: bool,
+    /// Access-pattern restrictions, if any.
+    pub binding_patterns: Vec<BindingPattern>,
+    /// Source permits external queries at all. Administrators sometimes
+    /// refuse ("would not even consider allowing a query from an external
+    /// query engine to hit them" — Halevy §1); such sources can only be
+    /// reached via ETL extracts.
+    pub queryable: bool,
+    /// Source accepts updates (relational sources do; files don't).
+    pub updatable: bool,
+}
+
+impl SourceCapabilities {
+    /// Full-featured relational source.
+    pub fn relational() -> Self {
+        SourceCapabilities {
+            filters: true,
+            projection: true,
+            limit: true,
+            bindings: true,
+            binding_patterns: Vec::new(),
+            queryable: true,
+            updatable: true,
+        }
+    }
+
+    /// Document source: wrapper-side filtering and projection, no updates.
+    pub fn document() -> Self {
+        SourceCapabilities {
+            filters: true,
+            projection: true,
+            limit: true,
+            bindings: false,
+            binding_patterns: Vec::new(),
+            queryable: true,
+            updatable: false,
+        }
+    }
+
+    /// Delimited file: everything ships; nothing is evaluated at the source.
+    pub fn flat_file() -> Self {
+        SourceCapabilities {
+            filters: false,
+            projection: false,
+            limit: false,
+            bindings: false,
+            binding_patterns: Vec::new(),
+            queryable: true,
+            updatable: false,
+        }
+    }
+
+    /// Web service with access limitations.
+    pub fn web_service(patterns: Vec<BindingPattern>) -> Self {
+        SourceCapabilities {
+            filters: false,
+            projection: false,
+            limit: false,
+            bindings: true,
+            binding_patterns: patterns,
+            queryable: true,
+            updatable: false,
+        }
+    }
+
+    /// Binding pattern for `table`, if one applies.
+    pub fn pattern_for(&self, table: &str) -> Option<&BindingPattern> {
+        self.binding_patterns.iter().find(|p| p.table == table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        assert!(SourceCapabilities::relational().filters);
+        assert!(!SourceCapabilities::flat_file().filters);
+        assert!(!SourceCapabilities::document().updatable);
+        assert!(SourceCapabilities::relational().updatable);
+    }
+
+    #[test]
+    fn pattern_lookup() {
+        let caps = SourceCapabilities::web_service(vec![BindingPattern {
+            table: "orders".into(),
+            required_columns: vec!["customer_id".into()],
+        }]);
+        assert!(caps.pattern_for("orders").is_some());
+        assert!(caps.pattern_for("other").is_none());
+    }
+}

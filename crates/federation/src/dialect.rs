@@ -1,0 +1,271 @@
+//! Per-vendor SQL dialect modeling.
+//!
+//! A [`Dialect`] describes exactly which expression shapes a source's query
+//! engine accepts, and renders pushable expressions to the source's SQL text.
+//! The planner asks the dialect before pushing a predicate; anything the
+//! dialect rejects must be evaluated at the assembly site instead — so the
+//! fidelity of this model directly controls bytes shipped (Draper §5's
+//! "decisive impact on performance on every comparison we were ever able to
+//! make"). Experiment E11 compares fine-grained dialects against a
+//! lowest-common-denominator model.
+
+use eii_expr::{BinaryOp, Expr, ScalarFunc};
+
+/// A vendor dialect: the pushdown contract of one source engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dialect {
+    /// Human-readable vendor tag ("ansi", "legacy92", ...).
+    pub name: String,
+    /// Comparison operators the engine accepts in WHERE.
+    pub comparisons: Vec<BinaryOp>,
+    /// Arithmetic allowed inside pushed predicates.
+    pub arithmetic: bool,
+    /// `LIKE` supported.
+    pub like: bool,
+    /// `IN (list)` supported, with a maximum list length.
+    pub in_list: Option<usize>,
+    /// `BETWEEN` supported.
+    pub between: bool,
+    /// `IS NULL` supported.
+    pub is_null: bool,
+    /// `OR` allowed (some ancient gateways only take conjunctions).
+    pub disjunction: bool,
+    /// Scalar functions the engine evaluates.
+    pub functions: Vec<ScalarFunc>,
+    /// `CASE` expressions supported.
+    pub case_expr: bool,
+}
+
+impl Dialect {
+    /// Full ANSI-ish dialect: everything our expression language has.
+    pub fn ansi_full() -> Self {
+        Dialect {
+            name: "ansi".into(),
+            comparisons: vec![
+                BinaryOp::Eq,
+                BinaryOp::NotEq,
+                BinaryOp::Lt,
+                BinaryOp::LtEq,
+                BinaryOp::Gt,
+                BinaryOp::GtEq,
+            ],
+            arithmetic: true,
+            like: true,
+            in_list: Some(1000),
+            between: true,
+            is_null: true,
+            disjunction: true,
+            functions: vec![
+                ScalarFunc::Lower,
+                ScalarFunc::Upper,
+                ScalarFunc::Length,
+                ScalarFunc::Abs,
+                ScalarFunc::Coalesce,
+                ScalarFunc::Substr,
+                ScalarFunc::Concat,
+                ScalarFunc::Round,
+                ScalarFunc::Trim,
+            ],
+            case_expr: true,
+        }
+    }
+
+    /// A 1992-vintage engine: comparisons and BETWEEN only; no LIKE pushdown,
+    /// no functions, no OR, short IN lists.
+    pub fn legacy_minimal() -> Self {
+        Dialect {
+            name: "legacy92".into(),
+            comparisons: vec![BinaryOp::Eq, BinaryOp::Lt, BinaryOp::Gt],
+            arithmetic: false,
+            like: false,
+            in_list: Some(16),
+            between: true,
+            is_null: false,
+            disjunction: false,
+            functions: vec![],
+            case_expr: false,
+        }
+    }
+
+    /// The lowest common denominator a naive multi-vendor wrapper assumes:
+    /// equality on a column vs a literal, nothing else. This is the
+    /// "other systems" baseline of Draper's comparison.
+    pub fn lowest_common_denominator() -> Self {
+        Dialect {
+            name: "lcd".into(),
+            comparisons: vec![BinaryOp::Eq],
+            arithmetic: false,
+            like: false,
+            in_list: None,
+            between: false,
+            is_null: false,
+            disjunction: false,
+            functions: vec![],
+            case_expr: false,
+        }
+    }
+
+    /// A mid-1990s engine: everything except LIKE and functions.
+    pub fn no_like() -> Self {
+        let mut d = Dialect::ansi_full();
+        d.name = "nolike".into();
+        d.like = false;
+        d.functions.clear();
+        d
+    }
+
+    /// Can the whole expression be evaluated by this source?
+    pub fn supports(&self, expr: &Expr) -> bool {
+        match expr {
+            Expr::Column { .. } | Expr::Literal(_) => true,
+            Expr::Binary { left, op, right } => {
+                let op_ok = if op.is_comparison() {
+                    self.comparisons.contains(op)
+                } else if *op == BinaryOp::And {
+                    true
+                } else if *op == BinaryOp::Or {
+                    self.disjunction
+                } else {
+                    self.arithmetic
+                };
+                op_ok && self.supports(left) && self.supports(right)
+            }
+            Expr::Unary { expr, .. } => self.supports(expr),
+            Expr::IsNull { expr, .. } => self.is_null && self.supports(expr),
+            Expr::Like { expr, pattern, .. } => {
+                self.like && self.supports(expr) && self.supports(pattern)
+            }
+            Expr::InList { expr, list, .. } => match self.in_list {
+                Some(max) => {
+                    list.len() <= max
+                        && self.supports(expr)
+                        && list.iter().all(|e| self.supports(e))
+                }
+                None => false,
+            },
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                self.between
+                    && self.supports(expr)
+                    && self.supports(low)
+                    && self.supports(high)
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                self.case_expr
+                    && branches
+                        .iter()
+                        .all(|(c, r)| self.supports(c) && self.supports(r))
+                    && else_expr.as_ref().is_none_or(|e| self.supports(e))
+            }
+            Expr::Cast { expr, .. } => self.arithmetic && self.supports(expr),
+            Expr::Func { func, args } => {
+                self.functions.contains(func) && args.iter().all(|a| self.supports(a))
+            }
+        }
+    }
+
+    /// Render a supported expression as this source's SQL text (what goes on
+    /// the wire in the component query). Returns `None` when unsupported.
+    pub fn render(&self, expr: &Expr) -> Option<String> {
+        if self.supports(expr) {
+            Some(expr.to_string())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_expr::Expr;
+
+    fn like(col: &str, pat: &str) -> Expr {
+        Expr::Like {
+            expr: Box::new(Expr::col(col)),
+            pattern: Box::new(Expr::lit(pat)),
+            negated: false,
+        }
+    }
+
+    #[test]
+    fn ansi_supports_everything_reasonable() {
+        let d = Dialect::ansi_full();
+        let e = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(like("name", "a%"))
+            .or(Expr::col("b").lt(Expr::lit(2i64)));
+        assert!(d.supports(&e));
+        assert!(d.render(&e).is_some());
+    }
+
+    #[test]
+    fn legacy_rejects_like_and_or() {
+        let d = Dialect::legacy_minimal();
+        assert!(!d.supports(&like("n", "a%")));
+        let disj = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .or(Expr::col("a").eq(Expr::lit(2i64)));
+        assert!(!d.supports(&disj));
+        // Conjunctions of plain comparisons are fine.
+        let conj = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("b").lt(Expr::lit(2i64)));
+        assert!(d.supports(&conj));
+        // <= is not in its comparison set.
+        assert!(!d.supports(&Expr::col("a").lt_eq(Expr::lit(1i64))));
+    }
+
+    #[test]
+    fn in_list_length_limits() {
+        let d = Dialect::legacy_minimal();
+        let short = Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: (0..10i64).map(Expr::lit).collect(),
+            negated: false,
+        };
+        let long = Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: (0..100i64).map(Expr::lit).collect(),
+            negated: false,
+        };
+        assert!(d.supports(&short));
+        assert!(!d.supports(&long));
+        assert!(!Dialect::lowest_common_denominator().supports(&short));
+    }
+
+    #[test]
+    fn lcd_only_takes_simple_equality() {
+        let d = Dialect::lowest_common_denominator();
+        assert!(d.supports(&Expr::col("a").eq(Expr::lit(1i64))));
+        assert!(!d.supports(&Expr::col("a").lt(Expr::lit(1i64))));
+        // Conjunctions of equalities still push.
+        let conj = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("b").eq(Expr::lit(2i64)));
+        assert!(d.supports(&conj));
+    }
+
+    #[test]
+    fn functions_gate_pushdown() {
+        let call = Expr::Func {
+            func: ScalarFunc::Lower,
+            args: vec![Expr::col("name")],
+        }
+        .eq(Expr::lit("alice"));
+        assert!(Dialect::ansi_full().supports(&call));
+        assert!(!Dialect::no_like().supports(&call));
+    }
+
+    #[test]
+    fn render_produces_sql_text() {
+        let d = Dialect::ansi_full();
+        let e = Expr::col("age").gt_eq(Expr::lit(21i64));
+        assert_eq!(d.render(&e).unwrap(), "(age >= 21)");
+        assert_eq!(Dialect::lowest_common_denominator().render(&e), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! The simulated network.
+//!
+//! Every byte that leaves a source crosses a [`LinkProfile`] (fixed per-
+//! request latency plus bandwidth-proportional transfer time) and is recorded
+//! in a [`TransferLedger`]. The pushdown experiments (E3, E11) read the
+//! ledger; the executor uses [`QueryCost`] to compute a plan's simulated
+//! elapsed time (parallel branches take the max, sequential steps add).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use eii_data::Batch;
+
+/// How result rows are serialized on the wire.
+///
+/// `Xml` models the early-EII architecture Bitton criticizes: "Each table
+/// would be converted to XML, increasing its size about 3 times".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    #[default]
+    Native,
+    Xml,
+}
+
+impl WireFormat {
+    /// Bytes this batch occupies on the wire in this format.
+    pub fn bytes_of(self, batch: &Batch) -> usize {
+        match self {
+            WireFormat::Native => batch.wire_size(),
+            WireFormat::Xml => batch.xml_wire_size(),
+        }
+    }
+}
+
+/// Performance characteristics of the link between the EII server and a
+/// source (or between two sources, for source-to-source shipping during
+/// assembly-site selection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Fixed cost per request round trip, simulated milliseconds.
+    pub latency_ms: f64,
+    /// Transfer rate, bytes per simulated millisecond.
+    pub bandwidth_bytes_per_ms: f64,
+}
+
+impl LinkProfile {
+    /// A LAN-ish default: 2 ms round trip, 100 KB/ms.
+    pub fn lan() -> Self {
+        LinkProfile {
+            latency_ms: 2.0,
+            bandwidth_bytes_per_ms: 100_000.0,
+        }
+    }
+
+    /// A WAN-ish link: 40 ms round trip, 5 KB/ms.
+    pub fn wan() -> Self {
+        LinkProfile {
+            latency_ms: 40.0,
+            bandwidth_bytes_per_ms: 5_000.0,
+        }
+    }
+
+    /// Zero-cost link (co-located source; also useful in unit tests).
+    pub fn local() -> Self {
+        LinkProfile {
+            latency_ms: 0.0,
+            bandwidth_bytes_per_ms: f64::INFINITY,
+        }
+    }
+
+    /// Simulated time to move `bytes` over this link in one request.
+    pub fn transfer_ms(&self, bytes: usize) -> f64 {
+        if self.bandwidth_bytes_per_ms.is_infinite() {
+            self.latency_ms
+        } else {
+            self.latency_ms + bytes as f64 / self.bandwidth_bytes_per_ms
+        }
+    }
+}
+
+/// Cost of one source interaction (or an aggregate of several).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryCost {
+    /// Simulated elapsed milliseconds.
+    pub sim_ms: f64,
+    /// Bytes shipped over the network.
+    pub bytes: usize,
+    /// Rows shipped to the assembly site.
+    pub rows_shipped: usize,
+    /// Rows the source engine examined to answer.
+    pub rows_scanned: usize,
+    /// Requests issued.
+    pub requests: usize,
+}
+
+impl QueryCost {
+    /// Sequential composition: costs add.
+    pub fn then(self, other: QueryCost) -> QueryCost {
+        QueryCost {
+            sim_ms: self.sim_ms + other.sim_ms,
+            bytes: self.bytes + other.bytes,
+            rows_shipped: self.rows_shipped + other.rows_shipped,
+            rows_scanned: self.rows_scanned + other.rows_scanned,
+            requests: self.requests + other.requests,
+        }
+    }
+
+    /// Parallel composition: elapsed time is the max, volumes add.
+    pub fn alongside(self, other: QueryCost) -> QueryCost {
+        QueryCost {
+            sim_ms: self.sim_ms.max(other.sim_ms),
+            bytes: self.bytes + other.bytes,
+            rows_shipped: self.rows_shipped + other.rows_shipped,
+            rows_scanned: self.rows_scanned + other.rows_scanned,
+            requests: self.requests + other.requests,
+        }
+    }
+}
+
+/// Per-source accumulated transfer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SourceTraffic {
+    pub requests: usize,
+    pub bytes: usize,
+    pub rows: usize,
+    pub sim_ms: f64,
+}
+
+/// A shared ledger recording all traffic by source name. Cloning shares the
+/// underlying ledger.
+#[derive(Debug, Clone, Default)]
+pub struct TransferLedger {
+    inner: Arc<Mutex<BTreeMap<String, SourceTraffic>>>,
+}
+
+impl TransferLedger {
+    /// New empty ledger.
+    pub fn new() -> Self {
+        TransferLedger::default()
+    }
+
+    /// Record one transfer from `source`.
+    pub fn record(&self, source: &str, bytes: usize, rows: usize, sim_ms: f64) {
+        let mut inner = self.inner.lock();
+        let t = inner.entry(source.to_string()).or_default();
+        t.requests += 1;
+        t.bytes += bytes;
+        t.rows += rows;
+        t.sim_ms += sim_ms;
+    }
+
+    /// Traffic attributed to one source.
+    pub fn traffic(&self, source: &str) -> SourceTraffic {
+        self.inner.lock().get(source).copied().unwrap_or_default()
+    }
+
+    /// Sum over all sources.
+    pub fn total(&self) -> SourceTraffic {
+        let inner = self.inner.lock();
+        inner.values().fold(SourceTraffic::default(), |a, b| {
+            SourceTraffic {
+                requests: a.requests + b.requests,
+                bytes: a.bytes + b.bytes,
+                rows: a.rows + b.rows,
+                sim_ms: a.sim_ms + b.sim_ms,
+            }
+        })
+    }
+
+    /// Snapshot of all per-source entries, sorted by source name.
+    pub fn snapshot(&self) -> Vec<(String, SourceTraffic)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Clear all counters (between experiment trials).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, Schema};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn link_cost_includes_latency_and_bandwidth() {
+        let link = LinkProfile {
+            latency_ms: 10.0,
+            bandwidth_bytes_per_ms: 100.0,
+        };
+        assert!((link.transfer_ms(1000) - 20.0).abs() < 1e-9);
+        assert!((LinkProfile::local().transfer_ms(1 << 30) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xml_format_inflates_bytes() {
+        let schema = StdArc::new(Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Str),
+        ]));
+        let b = Batch::new(schema, vec![row![1i64, "alice"], row![2i64, "bob"]]);
+        assert!(WireFormat::Xml.bytes_of(&b) > WireFormat::Native.bytes_of(&b));
+    }
+
+    #[test]
+    fn cost_composition() {
+        let a = QueryCost {
+            sim_ms: 10.0,
+            bytes: 100,
+            rows_shipped: 1,
+            rows_scanned: 5,
+            requests: 1,
+        };
+        let b = QueryCost {
+            sim_ms: 4.0,
+            bytes: 50,
+            rows_shipped: 2,
+            rows_scanned: 3,
+            requests: 1,
+        };
+        let seq = a.then(b);
+        assert!((seq.sim_ms - 14.0).abs() < 1e-9);
+        assert_eq!(seq.bytes, 150);
+        let par = a.alongside(b);
+        assert!((par.sim_ms - 10.0).abs() < 1e-9);
+        assert_eq!(par.requests, 2);
+    }
+
+    #[test]
+    fn ledger_accumulates_per_source() {
+        let ledger = TransferLedger::new();
+        ledger.record("crm", 100, 2, 5.0);
+        ledger.record("crm", 50, 1, 2.0);
+        ledger.record("orders", 10, 1, 1.0);
+        let crm = ledger.traffic("crm");
+        assert_eq!(crm.requests, 2);
+        assert_eq!(crm.bytes, 150);
+        assert_eq!(ledger.total().bytes, 160);
+        ledger.reset();
+        assert_eq!(ledger.total().requests, 0);
+    }
+
+    #[test]
+    fn ledger_clones_share_state() {
+        let a = TransferLedger::new();
+        let b = a.clone();
+        a.record("s", 1, 1, 1.0);
+        assert_eq!(b.traffic("s").bytes, 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! The federation registry: every wrapped source the EII engine can reach,
+//! each behind its simulated network link.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use eii_data::{Batch, EiiError, Result, SchemaRef};
+use eii_storage::TableStats;
+
+use crate::connector::{Connector, SourceQuery, UpdateOp, UpdateResult};
+use crate::net::{LinkProfile, QueryCost, TransferLedger, WireFormat};
+
+/// A registered source: connector + link + wire format.
+#[derive(Clone)]
+pub struct SourceHandle {
+    connector: Arc<dyn Connector>,
+    link: LinkProfile,
+    wire: WireFormat,
+    ledger: TransferLedger,
+    /// Source-engine scan speed, simulated ms per row examined.
+    scan_ms_per_row: f64,
+}
+
+impl SourceHandle {
+    /// The wrapped connector.
+    pub fn connector(&self) -> &Arc<dyn Connector> {
+        &self.connector
+    }
+
+    /// The link profile.
+    pub fn link(&self) -> LinkProfile {
+        self.link
+    }
+
+    /// The wire format results ship in.
+    pub fn wire_format(&self) -> WireFormat {
+        self.wire
+    }
+
+    /// Execute a component query, paying for source work and the network,
+    /// and recording the traffic in the federation's ledger.
+    pub fn query(&self, q: &SourceQuery) -> Result<(Batch, QueryCost)> {
+        let ans = self.connector.execute(q)?;
+        let bytes = self.wire.bytes_of(&ans.batch);
+        let transfer = if self.link.bandwidth_bytes_per_ms.is_infinite() {
+            0.0
+        } else {
+            bytes as f64 / self.link.bandwidth_bytes_per_ms
+        };
+        let sim_ms = self.link.latency_ms * ans.calls as f64
+            + transfer
+            + ans.rows_scanned as f64 * self.scan_ms_per_row;
+        let cost = QueryCost {
+            sim_ms,
+            bytes,
+            rows_shipped: ans.batch.num_rows(),
+            rows_scanned: ans.rows_scanned,
+            requests: ans.calls,
+        };
+        self.ledger
+            .record(self.connector.name(), bytes, ans.batch.num_rows(), sim_ms);
+        Ok((ans.batch, cost))
+    }
+
+    /// Execute a component query whose results STAY at the source site
+    /// (the source is hosting an at-site join): the source does its scan
+    /// work and pays one request round trip, but ships nothing.
+    pub fn query_staying_local(&self, q: &SourceQuery) -> Result<(Batch, QueryCost)> {
+        let ans = self.connector.execute(q)?;
+        let sim_ms = self.link.latency_ms * ans.calls as f64
+            + ans.rows_scanned as f64 * self.scan_ms_per_row;
+        let cost = QueryCost {
+            sim_ms,
+            bytes: 0,
+            rows_shipped: 0,
+            rows_scanned: ans.rows_scanned,
+            requests: ans.calls,
+        };
+        self.ledger
+            .record(self.connector.name(), 0, 0, sim_ms);
+        Ok((ans.batch, cost))
+    }
+
+    /// Charge a shipment of `batch` across this source's link (used when an
+    /// intermediate result moves to or from this site during an at-source
+    /// join). Records the traffic and returns its cost.
+    pub fn charge_shipment(&self, batch: &Batch) -> QueryCost {
+        let bytes = self.wire.bytes_of(batch);
+        let sim_ms = self.link.transfer_ms(bytes);
+        let cost = QueryCost {
+            sim_ms,
+            bytes,
+            rows_shipped: batch.num_rows(),
+            rows_scanned: 0,
+            requests: 1,
+        };
+        self.ledger
+            .record(self.connector.name(), bytes, batch.num_rows(), sim_ms);
+        cost
+    }
+
+    /// Route an update through the wrapper (one round trip).
+    pub fn update(&self, op: &UpdateOp) -> Result<(UpdateResult, QueryCost)> {
+        let res = self.connector.update(op)?;
+        let cost = QueryCost {
+            sim_ms: self.link.latency_ms,
+            bytes: 64, // request envelope
+            rows_shipped: 0,
+            rows_scanned: 0,
+            requests: 1,
+        };
+        self.ledger.record(self.connector.name(), 64, 0, cost.sim_ms);
+        Ok((res, cost))
+    }
+}
+
+/// The set of sources participating in an integration application.
+#[derive(Clone, Default)]
+pub struct Federation {
+    sources: BTreeMap<String, SourceHandle>,
+    ledger: TransferLedger,
+}
+
+impl Federation {
+    /// Empty federation.
+    pub fn new() -> Self {
+        Federation::default()
+    }
+
+    /// The shared traffic ledger.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// Register a connector behind a link. The source name comes from the
+    /// connector.
+    pub fn register(
+        &mut self,
+        connector: Arc<dyn Connector>,
+        link: LinkProfile,
+        wire: WireFormat,
+    ) -> Result<()> {
+        let name = connector.name().to_string();
+        if self.sources.contains_key(&name) {
+            return Err(EiiError::AlreadyExists(format!("source {name}")));
+        }
+        self.sources.insert(
+            name,
+            SourceHandle {
+                connector,
+                link,
+                wire,
+                ledger: self.ledger.clone(),
+                scan_ms_per_row: 0.001,
+            },
+        );
+        Ok(())
+    }
+
+    /// Adjust a registered source's scan speed (experiments that model slow
+    /// engines).
+    pub fn set_scan_speed(&mut self, source: &str, ms_per_row: f64) -> Result<()> {
+        let h = self
+            .sources
+            .get_mut(source)
+            .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
+        h.scan_ms_per_row = ms_per_row;
+        Ok(())
+    }
+
+    /// Replace a registered source's wire format (the naive-XML ablation).
+    pub fn set_wire_format(&mut self, source: &str, wire: WireFormat) -> Result<()> {
+        let h = self
+            .sources
+            .get_mut(source)
+            .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
+        h.wire = wire;
+        Ok(())
+    }
+
+    /// Fetch a source handle.
+    pub fn source(&self, name: &str) -> Result<&SourceHandle> {
+        self.sources
+            .get(name)
+            .ok_or_else(|| EiiError::NotFound(format!("source {name}")))
+    }
+
+    /// All source names, sorted.
+    pub fn source_names(&self) -> Vec<String> {
+        self.sources.keys().cloned().collect()
+    }
+
+    /// Resolve a `source.table` qualified name into its parts.
+    ///
+    /// Errors if the name has no dot or the source is unknown.
+    pub fn resolve(&self, qualified: &str) -> Result<(&SourceHandle, String)> {
+        let (source, table) = qualified.split_once('.').ok_or_else(|| {
+            EiiError::NotFound(format!(
+                "table name '{qualified}' must be qualified as source.table"
+            ))
+        })?;
+        Ok((self.source(source)?, table.to_string()))
+    }
+
+    /// Schema of `source.table`.
+    pub fn table_schema(&self, qualified: &str) -> Result<SchemaRef> {
+        let (h, table) = self.resolve(qualified)?;
+        h.connector.table_schema(&table)
+    }
+
+    /// Statistics of `source.table`.
+    pub fn table_stats(&self, qualified: &str) -> Result<TableStats> {
+        let (h, table) = self.resolve(qualified)?;
+        h.connector.statistics(&table)
+    }
+
+    /// Every `source.table` pair in the federation.
+    pub fn all_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, h) in &self.sources {
+            for t in h.connector.tables() {
+                out.push(format!("{name}.{t}"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::relational::RelationalConnector;
+    use eii_data::{row, DataType, Field, Schema, SimClock};
+    use eii_storage::{Database, TableDef};
+
+    fn federation() -> Federation {
+        let db = Database::new("crm", SimClock::new());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+        ]));
+        let t = db
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        for i in 0..100i64 {
+            t.write().insert(row![i, format!("cust{i}")]).unwrap();
+        }
+        let mut fed = Federation::new();
+        fed.register(
+            Arc::new(RelationalConnector::new(db)),
+            LinkProfile::wan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        fed
+    }
+
+    #[test]
+    fn resolve_and_schema() {
+        let fed = federation();
+        let s = fed.table_schema("crm.customers").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(fed.table_schema("crm.ghost").unwrap_err().kind(), "not_found");
+        assert_eq!(
+            fed.table_schema("unqualified").unwrap_err().kind(),
+            "not_found"
+        );
+        assert_eq!(fed.all_tables(), vec!["crm.customers"]);
+    }
+
+    #[test]
+    fn query_records_costs_in_ledger() {
+        let fed = federation();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let (batch, cost) = h.query(&SourceQuery::full_table(table)).unwrap();
+        assert_eq!(batch.num_rows(), 100);
+        assert!(cost.sim_ms > LinkProfile::wan().latency_ms);
+        assert_eq!(cost.bytes, batch.wire_size());
+        let traffic = fed.ledger().traffic("crm");
+        assert_eq!(traffic.requests, 1);
+        assert_eq!(traffic.rows, 100);
+    }
+
+    #[test]
+    fn xml_wire_format_ships_more_bytes() {
+        let mut fed = federation();
+        let q = SourceQuery::full_table("customers");
+        let (_, native) = fed.resolve("crm.customers").unwrap().0.query(&q).unwrap();
+        fed.set_wire_format("crm", WireFormat::Xml).unwrap();
+        let (_, xml) = fed.resolve("crm.customers").unwrap().0.query(&q).unwrap();
+        assert!(
+            xml.bytes as f64 > 1.5 * native.bytes as f64,
+            "xml={} native={}",
+            xml.bytes,
+            native.bytes
+        );
+        assert!(xml.sim_ms > native.sim_ms);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut fed = federation();
+        let db = Database::new("crm", SimClock::new());
+        let err = fed
+            .register(
+                Arc::new(RelationalConnector::new(db)),
+                LinkProfile::lan(),
+                WireFormat::Native,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "already_exists");
+    }
+
+    #[test]
+    fn updates_pay_a_round_trip() {
+        let fed = federation();
+        let (h, _) = fed.resolve("crm.customers").unwrap();
+        let (res, cost) = h
+            .update(&UpdateOp::Insert {
+                table: "customers".into(),
+                row: row![1000i64, "newbie"],
+            })
+            .unwrap();
+        assert_eq!(res.affected, 1);
+        assert!((cost.sim_ms - LinkProfile::wan().latency_ms).abs() < 1e-9);
+    }
+}

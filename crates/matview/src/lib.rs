@@ -1,0 +1,21 @@
+//! # eii-matview
+//!
+//! Two Nimble-lineage features Draper (§5) calls "essential", "not part of
+//! the 'pure' definition of EII":
+//!
+//! - **Materialized views** ([`MatViewManager`]): "a materialized view
+//!   capability that allowed administrators to pre-compute views. In
+//!   essence, the administrator was able to choose whether she wanted live
+//!   data for a particular view or not. Another way to look at this was as a
+//!   light-weight ETL system." Policies: live, periodic(τ), manual.
+//!
+//! - **Record correlation** ([`correlation`]): "a record-correlation
+//!   capability that enabled customers to create joins over sources that had
+//!   no simply-computable join key ... creating and storing what was
+//!   essentially a join index between the sources."
+
+pub mod correlation;
+pub mod matview;
+
+pub use correlation::{similarity, CorrelationIndex};
+pub use matview::{FetchOutcome, MatViewManager, RefreshPolicy};

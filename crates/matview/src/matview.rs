@@ -1,0 +1,299 @@
+//! Materialized views over the federation.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use eii_catalog::Catalog;
+use eii_data::{Batch, EiiError, Result, SimClock};
+use eii_exec::Executor;
+use eii_federation::Federation;
+use eii_planner::{plan_query, PhysicalPlan, PlannerConfig};
+use eii_sql::parse_query;
+
+/// When a view's cached result is recomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefreshPolicy {
+    /// Never cache: every fetch runs the federated query (fresh, slow).
+    Live,
+    /// Recompute when the cache is older than the interval.
+    Periodic { interval_ms: i64 },
+    /// Recompute only on explicit [`MatViewManager::refresh`].
+    Manual,
+}
+
+/// How a fetch was served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchOutcome {
+    /// Simulated cost paid by this fetch (0-ish for cache hits).
+    pub sim_ms: f64,
+    /// Age of the served data, ms (0 when computed live).
+    pub staleness_ms: i64,
+    /// Whether the fetch ran the federated query.
+    pub recomputed: bool,
+}
+
+struct ViewState {
+    plan: PhysicalPlan,
+    policy: RefreshPolicy,
+    cache: Option<Batch>,
+    cached_at_ms: i64,
+    refresh_count: usize,
+    total_refresh_ms: f64,
+}
+
+/// Manages a set of materialized views.
+pub struct MatViewManager {
+    federation: Federation,
+    clock: SimClock,
+    views: Mutex<BTreeMap<String, ViewState>>,
+}
+
+impl MatViewManager {
+    /// New manager over a federation.
+    pub fn new(federation: Federation, clock: SimClock) -> Self {
+        MatViewManager {
+            federation,
+            clock,
+            views: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Define a materialized view from SQL (planned once against the
+    /// catalog and federation, with full optimization).
+    pub fn define(
+        &self,
+        name: &str,
+        sql: &str,
+        catalog: &Catalog,
+        policy: RefreshPolicy,
+    ) -> Result<()> {
+        let mut views = self.views.lock();
+        if views.contains_key(name) {
+            return Err(EiiError::AlreadyExists(format!("materialized view {name}")));
+        }
+        let query = parse_query(sql)?;
+        let plan = plan_query(&query, catalog, &self.federation, &PlannerConfig::optimized())?;
+        views.insert(
+            name.to_string(),
+            ViewState {
+                plan,
+                policy,
+                cache: None,
+                cached_at_ms: 0,
+                refresh_count: 0,
+                total_refresh_ms: 0.0,
+            },
+        );
+        Ok(())
+    }
+
+    fn compute(&self, state: &mut ViewState) -> Result<(Batch, f64)> {
+        let exec = Executor::new(&self.federation);
+        let res = exec.execute(&state.plan)?;
+        state.refresh_count += 1;
+        state.total_refresh_ms += res.cost.sim_ms;
+        Ok((res.batch, res.cost.sim_ms))
+    }
+
+    /// Fetch the view's rows under its policy.
+    pub fn fetch(&self, name: &str) -> Result<(Batch, FetchOutcome)> {
+        let mut views = self.views.lock();
+        let state = views
+            .get_mut(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        let now = self.clock.now_ms();
+        let recompute = match state.policy {
+            RefreshPolicy::Live => true,
+            RefreshPolicy::Periodic { interval_ms } => {
+                state.cache.is_none() || now - state.cached_at_ms >= interval_ms
+            }
+            RefreshPolicy::Manual => state.cache.is_none(),
+        };
+        if recompute {
+            let (batch, sim_ms) = self.compute(state)?;
+            state.cache = Some(batch.clone());
+            state.cached_at_ms = now;
+            return Ok((
+                batch,
+                FetchOutcome {
+                    sim_ms,
+                    staleness_ms: 0,
+                    recomputed: true,
+                },
+            ));
+        }
+        let batch = state.cache.clone().expect("cache present");
+        Ok((
+            batch,
+            FetchOutcome {
+                sim_ms: 0.05, // local cache read
+                staleness_ms: now - state.cached_at_ms,
+                recomputed: false,
+            },
+        ))
+    }
+
+    /// Explicitly recompute the view now.
+    pub fn refresh(&self, name: &str) -> Result<f64> {
+        let mut views = self.views.lock();
+        let state = views
+            .get_mut(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        let (batch, sim_ms) = self.compute(state)?;
+        state.cache = Some(batch);
+        state.cached_at_ms = self.clock.now_ms();
+        Ok(sim_ms)
+    }
+
+    /// Change a view's policy ("the administrator was able to choose").
+    pub fn set_policy(&self, name: &str, policy: RefreshPolicy) -> Result<()> {
+        let mut views = self.views.lock();
+        let state = views
+            .get_mut(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        state.policy = policy;
+        Ok(())
+    }
+
+    /// How many times the view was recomputed.
+    pub fn refresh_count(&self, name: &str) -> usize {
+        self.views
+            .lock()
+            .get(name)
+            .map_or(0, |s| s.refresh_count)
+    }
+
+    /// Total simulated recomputation cost.
+    pub fn total_refresh_ms(&self, name: &str) -> f64 {
+        self.views
+            .lock()
+            .get(name)
+            .map_or(0.0, |s| s.total_refresh_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, Schema, Value};
+    use eii_federation::{LinkProfile, RelationalConnector, WireFormat};
+    use eii_storage::{Database, TableDef};
+    use std::sync::Arc;
+
+    fn setup() -> (Catalog, Federation, SimClock, eii_storage::database::TableHandle) {
+        let clock = SimClock::new();
+        let db = Database::new("crm", clock.clone());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("region", DataType::Str),
+        ]));
+        let t = db
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        for i in 0..10i64 {
+            t.write().insert(row![i, format!("r{}", i % 2)]).unwrap();
+        }
+        let mut fed = Federation::new();
+        fed.register(
+            Arc::new(RelationalConnector::new(db)),
+            LinkProfile::wan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        (Catalog::new(), fed, clock, t)
+    }
+
+    #[test]
+    fn live_policy_always_recomputes() {
+        let (cat, fed, clock, _) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        mgr.define("v", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Live)
+            .unwrap();
+        let (_, o1) = mgr.fetch("v").unwrap();
+        let (_, o2) = mgr.fetch("v").unwrap();
+        assert!(o1.recomputed && o2.recomputed);
+        assert_eq!(mgr.refresh_count("v"), 2);
+        assert_eq!(o2.staleness_ms, 0);
+    }
+
+    #[test]
+    fn periodic_policy_serves_cache_within_interval() {
+        let (cat, fed, clock, src) = setup();
+        let mgr = MatViewManager::new(fed, clock.clone());
+        mgr.define(
+            "v",
+            "SELECT id FROM crm.customers",
+            &cat,
+            RefreshPolicy::Periodic { interval_ms: 1000 },
+        )
+        .unwrap();
+        let (b1, o1) = mgr.fetch("v").unwrap();
+        assert!(o1.recomputed);
+        // Source changes; cache does not see it yet.
+        src.write().insert(row![100i64, "r9"]).unwrap();
+        clock.advance_ms(500);
+        let (b2, o2) = mgr.fetch("v").unwrap();
+        assert!(!o2.recomputed);
+        assert_eq!(o2.staleness_ms, 500);
+        assert_eq!(b1.num_rows(), b2.num_rows(), "stale data served");
+        assert!(o2.sim_ms < o1.sim_ms, "cache hits are cheap");
+        // Past the interval the view recomputes and sees the change.
+        clock.advance_ms(600);
+        let (b3, o3) = mgr.fetch("v").unwrap();
+        assert!(o3.recomputed);
+        assert_eq!(b3.num_rows(), 11);
+    }
+
+    #[test]
+    fn manual_policy_until_refresh() {
+        let (cat, fed, clock, src) = setup();
+        let mgr = MatViewManager::new(fed, clock.clone());
+        mgr.define("v", "SELECT COUNT(*) AS n FROM crm.customers", &cat, RefreshPolicy::Manual)
+            .unwrap();
+        let (b1, _) = mgr.fetch("v").unwrap();
+        assert_eq!(b1.rows()[0].get(0), &Value::Int(10));
+        src.write().insert(row![100i64, "r9"]).unwrap();
+        clock.advance_ms(10_000);
+        let (b2, o2) = mgr.fetch("v").unwrap();
+        assert!(!o2.recomputed);
+        assert_eq!(b2.rows()[0].get(0), &Value::Int(10), "stale until refreshed");
+        mgr.refresh("v").unwrap();
+        let (b3, _) = mgr.fetch("v").unwrap();
+        assert_eq!(b3.rows()[0].get(0), &Value::Int(11));
+    }
+
+    #[test]
+    fn policy_can_change_at_runtime() {
+        let (cat, fed, clock, _) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        mgr.define("v", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Manual)
+            .unwrap();
+        mgr.fetch("v").unwrap();
+        mgr.set_policy("v", RefreshPolicy::Live).unwrap();
+        let (_, o) = mgr.fetch("v").unwrap();
+        assert!(o.recomputed);
+    }
+
+    #[test]
+    fn unknown_view_not_found() {
+        let (_, fed, clock, _) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        assert_eq!(mgr.fetch("ghost").unwrap_err().kind(), "not_found");
+        assert_eq!(mgr.refresh("ghost").unwrap_err().kind(), "not_found");
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let (cat, fed, clock, _) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        mgr.define("v", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Live)
+            .unwrap();
+        assert_eq!(
+            mgr.define("v", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Live)
+                .unwrap_err()
+                .kind(),
+            "already_exists"
+        );
+    }
+}

@@ -1,0 +1,678 @@
+//! SQL AST → logical plan, with GAV view unfolding.
+//!
+//! A table name in FROM resolves first against the catalog's mediated-schema
+//! views (unfolding the view body recursively, with cycle detection), then
+//! against the federation's `source.table` namespace. This is exactly the
+//! "reformulating a query posed over the virtual schema into queries over the
+//! data sources" step of the classic EII architecture.
+
+use std::sync::Arc;
+
+use eii_catalog::Catalog;
+use eii_data::{EiiError, Result, Row, Schema, Value};
+use eii_expr::Expr;
+use eii_federation::Federation;
+use eii_sql::{JoinKind, Query, SelectExpr, SelectItem, SetQuery, SubqueryPred, TableRef};
+
+use crate::logical::{AggItem, LogicalPlan};
+
+/// Builds logical plans from parsed queries.
+pub struct PlanBuilder<'a> {
+    catalog: &'a Catalog,
+    federation: &'a Federation,
+}
+
+impl<'a> PlanBuilder<'a> {
+    /// New builder over a catalog (views) and federation (base tables).
+    pub fn new(catalog: &'a Catalog, federation: &'a Federation) -> Self {
+        PlanBuilder {
+            catalog,
+            federation,
+        }
+    }
+
+    /// Build the plan for a (set) query.
+    pub fn build(&self, query: &SetQuery) -> Result<LogicalPlan> {
+        self.build_set(query, &mut Vec::new())
+    }
+
+    fn build_set(&self, query: &SetQuery, unfolding: &mut Vec<String>) -> Result<LogicalPlan> {
+        match query {
+            SetQuery::Select(q) => self.build_select(q, unfolding),
+            SetQuery::UnionAll(l, r) => {
+                let mut inputs = Vec::new();
+                flatten_union(self.build_set(l, unfolding)?, &mut inputs);
+                flatten_union(self.build_set(r, unfolding)?, &mut inputs);
+                let plan = LogicalPlan::UnionAll { inputs };
+                plan.schema()?; // validate branch compatibility eagerly
+                Ok(plan)
+            }
+        }
+    }
+
+    fn build_select(&self, q: &Query, unfolding: &mut Vec<String>) -> Result<LogicalPlan> {
+        // FROM: cross-join the comma list.
+        let mut input = match q.from.split_first() {
+            None => LogicalPlan::Values {
+                schema: Arc::new(Schema::empty()),
+                rows: vec![Row::default()],
+            },
+            Some((first, rest)) => {
+                let mut plan = self.build_table_ref(first, unfolding)?;
+                for t in rest {
+                    let right = self.build_table_ref(t, unfolding)?;
+                    plan = LogicalPlan::Join {
+                        left: Box::new(plan),
+                        right: Box::new(right),
+                        kind: JoinKind::Cross,
+                        on: None,
+                    };
+                }
+                plan
+            }
+        };
+
+        // WHERE.
+        if let Some(filter) = &q.filter {
+            input = LogicalPlan::Filter {
+                input: Box::new(input),
+                predicate: filter.clone(),
+            };
+        }
+
+        // Subquery predicates desugar to semi/anti joins against the
+        // (uncorrelated) subquery plan.
+        for (i, pred) in q.subquery_preds.iter().enumerate() {
+            input = self.apply_subquery_pred(input, pred, i, unfolding)?;
+        }
+
+        let has_aggs = q
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr: SelectExpr::Agg { .. }, .. }));
+        let aggregated = has_aggs || !q.group_by.is_empty();
+
+        let mut plan = if aggregated {
+            self.build_aggregate(q, input)?
+        } else {
+            self.build_projection(q, input)?
+        };
+
+        // HAVING resolves against the output schema (aliases visible).
+        if let Some(having) = &q.having {
+            if !aggregated {
+                return Err(EiiError::Plan(
+                    "HAVING requires GROUP BY or aggregates".into(),
+                ));
+            }
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: having.clone(),
+            };
+        }
+
+        if q.distinct {
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+
+        if !q.order_by.is_empty() {
+            let out_schema = plan.schema()?;
+            let keys = q
+                .order_by
+                .iter()
+                .map(|item| {
+                    // ORDER BY <ordinal>.
+                    if let Expr::Literal(Value::Int(k)) = &item.expr {
+                        let idx = *k;
+                        if idx < 1 || idx as usize > out_schema.len() {
+                            return Err(EiiError::Plan(format!(
+                                "ORDER BY ordinal {idx} out of range 1..{}",
+                                out_schema.len()
+                            )));
+                        }
+                        let f = out_schema.field(idx as usize - 1);
+                        return Ok((Expr::col(f.name.clone()), item.asc));
+                    }
+                    Ok((item.expr.clone(), item.asc))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            plan = attach_sort(plan, keys)?;
+        }
+
+        if let Some(n) = q.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Desugar one `IN (SELECT ...)` / `EXISTS (SELECT ...)` predicate into
+    /// a semi or anti join. The subquery is aliased to a fresh name so its
+    /// columns cannot collide with the outer scope.
+    fn apply_subquery_pred(
+        &self,
+        input: LogicalPlan,
+        pred: &SubqueryPred,
+        ordinal: usize,
+        unfolding: &mut Vec<String>,
+    ) -> Result<LogicalPlan> {
+        let alias = format!("__subq{ordinal}");
+        match pred {
+            SubqueryPred::In {
+                expr,
+                query,
+                negated,
+            } => {
+                let sub = self.build_set(query, unfolding)?;
+                let sub_schema = sub.schema()?;
+                if sub_schema.len() != 1 {
+                    return Err(EiiError::Plan(format!(
+                        "IN subquery must return exactly one column, got {}",
+                        sub_schema.len()
+                    )));
+                }
+                let col = sub_schema.field(0).name.clone();
+                let sub = LogicalPlan::Alias {
+                    input: Box::new(sub),
+                    alias: alias.clone(),
+                };
+                // Fully qualify the probe expression against the outer
+                // input so its columns cannot be captured by the subquery's
+                // schema during pushdown.
+                let in_schema = input.schema()?;
+                let probe = expr.clone().transform(|e| match e {
+                    Expr::Column { relation, name } => {
+                        match in_schema.index_of(relation.as_deref(), &name) {
+                            Ok(i) => {
+                                let f = in_schema.field(i);
+                                Expr::Column {
+                                    relation: f.relation.clone(),
+                                    name: f.name.clone(),
+                                }
+                            }
+                            Err(_) => Expr::Column { relation, name },
+                        }
+                    }
+                    other => other,
+                });
+                let on = probe.eq(Expr::qcol(alias, col));
+                Ok(LogicalPlan::Join {
+                    left: Box::new(input),
+                    right: Box::new(sub),
+                    kind: if *negated { JoinKind::Anti } else { JoinKind::Semi },
+                    on: Some(on),
+                })
+            }
+            SubqueryPred::Exists { query, negated } => {
+                let sub = self.build_set(query, unfolding)?;
+                let sub = LogicalPlan::Alias {
+                    input: Box::new(sub),
+                    alias,
+                };
+                // Uncorrelated EXISTS: a conditionless semi join keeps all
+                // left rows iff the subquery is non-empty.
+                Ok(LogicalPlan::Join {
+                    left: Box::new(input),
+                    right: Box::new(sub),
+                    kind: if *negated { JoinKind::Anti } else { JoinKind::Semi },
+                    on: None,
+                })
+            }
+        }
+    }
+
+    fn build_projection(&self, q: &Query, input: LogicalPlan) -> Result<LogicalPlan> {
+        let in_schema = input.schema()?;
+        let mut exprs: Vec<(Expr, String)> = Vec::new();
+        for item in &q.items {
+            match item {
+                SelectItem::Wildcard { relation } => {
+                    let mut matched = false;
+                    for f in in_schema.fields() {
+                        let keep = match relation {
+                            None => true,
+                            Some(r) => f
+                                .relation
+                                .as_deref()
+                                .is_some_and(|fr| fr.eq_ignore_ascii_case(r)),
+                        };
+                        if keep {
+                            matched = true;
+                            exprs.push((
+                                Expr::Column {
+                                    relation: f.relation.clone(),
+                                    name: f.name.clone(),
+                                },
+                                f.name.clone(),
+                            ));
+                        }
+                    }
+                    if !matched {
+                        return Err(EiiError::Plan(format!(
+                            "wildcard {}.* matches no columns",
+                            relation.as_deref().unwrap_or("")
+                        )));
+                    }
+                }
+                SelectItem::Expr {
+                    expr: SelectExpr::Scalar(e),
+                    alias,
+                } => {
+                    let name = alias.clone().unwrap_or_else(|| e.output_name());
+                    exprs.push((e.clone(), name));
+                }
+                SelectItem::Expr {
+                    expr: SelectExpr::Agg { .. },
+                    ..
+                } => unreachable!("aggregates handled by build_aggregate"),
+            }
+        }
+        Ok(LogicalPlan::Project {
+            input: Box::new(input),
+            exprs,
+        })
+    }
+
+    fn build_aggregate(&self, q: &Query, input: LogicalPlan) -> Result<LogicalPlan> {
+        let group_by = q.group_by.clone();
+        let mut aggs: Vec<AggItem> = Vec::new();
+        // Final projection in select-list order, over the aggregate output.
+        let mut out_exprs: Vec<(Expr, String)> = Vec::new();
+
+        for item in &q.items {
+            match item {
+                SelectItem::Wildcard { .. } => {
+                    return Err(EiiError::Plan(
+                        "wildcard not allowed with GROUP BY / aggregates".into(),
+                    ))
+                }
+                SelectItem::Expr {
+                    expr: SelectExpr::Agg {
+                        func,
+                        arg,
+                        distinct,
+                    },
+                    alias,
+                } => {
+                    let name = alias.clone().unwrap_or_else(|| {
+                        SelectExpr::Agg {
+                            func: *func,
+                            arg: arg.clone(),
+                            distinct: *distinct,
+                        }
+                        .output_name()
+                    });
+                    aggs.push(AggItem {
+                        func: *func,
+                        arg: arg.clone(),
+                        distinct: *distinct,
+                        name: name.clone(),
+                    });
+                    out_exprs.push((Expr::col(name.clone()), name));
+                }
+                SelectItem::Expr {
+                    expr: SelectExpr::Scalar(e),
+                    alias,
+                } => {
+                    // A scalar item must be one of the grouping expressions.
+                    if !group_by.iter().any(|g| g == e) {
+                        return Err(EiiError::Plan(format!(
+                            "select expression {e} is neither aggregated nor grouped"
+                        )));
+                    }
+                    let name = alias.clone().unwrap_or_else(|| e.output_name());
+                    out_exprs.push((Expr::col(e.output_name()), name));
+                }
+            }
+        }
+
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_by,
+            aggs,
+        };
+        Ok(LogicalPlan::Project {
+            input: Box::new(agg),
+            exprs: out_exprs,
+        })
+    }
+
+    fn build_table_ref(
+        &self,
+        t: &TableRef,
+        unfolding: &mut Vec<String>,
+    ) -> Result<LogicalPlan> {
+        match t {
+            TableRef::Table { name, alias } => {
+                // Views shadow source tables (that is what a mediated schema
+                // is for).
+                if let Some(view) = self.catalog.view(name) {
+                    if unfolding.iter().any(|v| v == name) {
+                        return Err(EiiError::Plan(format!(
+                            "cyclic view definition involving {name}"
+                        )));
+                    }
+                    unfolding.push(name.clone());
+                    let body = self.build_set(&view.query, unfolding)?;
+                    unfolding.pop();
+                    let visible = alias.clone().unwrap_or_else(|| name.clone());
+                    return Ok(LogicalPlan::Alias {
+                        input: Box::new(body),
+                        alias: visible,
+                    });
+                }
+                // Source table: must be source.table.
+                let base_schema = self.federation.table_schema(name)?;
+                let (source, table) = name
+                    .split_once('.')
+                    .expect("federation.table_schema validated the dot");
+                let visible = alias
+                    .clone()
+                    .unwrap_or_else(|| table.to_string());
+                Ok(LogicalPlan::SourceScan {
+                    source: source.to_string(),
+                    table: table.to_string(),
+                    alias: visible,
+                    base_schema,
+                    pushed_filters: vec![],
+                    projection: None,
+                    limit: None,
+                })
+            }
+            TableRef::Subquery { query, alias } => {
+                let body = self.build_set(query, unfolding)?;
+                Ok(LogicalPlan::Alias {
+                    input: Box::new(body),
+                    alias: alias.clone(),
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let l = self.build_table_ref(left, unfolding)?;
+                let r = self.build_table_ref(right, unfolding)?;
+                Ok(LogicalPlan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    kind: *kind,
+                    on: on.clone(),
+                })
+            }
+        }
+    }
+}
+
+/// Place a Sort at the right level: above the projection when the keys are
+/// output columns (aliases, aggregate results), or *below* it when they
+/// reference pre-projection input columns (`ORDER BY t.sev` with `t.sev` not
+/// in the select list). Sorting below the projection is sound because the
+/// projection is per-row; Distinct preserves encounter order, so sorting
+/// below it is sound too.
+fn attach_sort(plan: LogicalPlan, keys: Vec<(Expr, bool)>) -> Result<LogicalPlan> {
+    let schema = plan.schema()?;
+    if keys.iter().all(|(e, _)| crate::util::resolves_in(e, &schema)) {
+        return Ok(LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        });
+    }
+    match plan {
+        LogicalPlan::Project { input, exprs } => {
+            let in_schema = input.schema()?;
+            let rewritten = keys
+                .into_iter()
+                .map(|(e, asc)| {
+                    if crate::util::resolves_in(&e, &in_schema) {
+                        return Ok((e, asc));
+                    }
+                    match crate::util::rewrite_through_project(&e, &exprs) {
+                        Some(r) if crate::util::resolves_in(&r, &in_schema) => Ok((r, asc)),
+                        _ => Err(EiiError::Plan(format!(
+                            "ORDER BY expression {e} references neither an output \
+                             column nor an input column"
+                        ))),
+                    }
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(LogicalPlan::Project {
+                input: Box::new(LogicalPlan::Sort {
+                    input,
+                    keys: rewritten,
+                }),
+                exprs,
+            })
+        }
+        LogicalPlan::Distinct { input } => Ok(LogicalPlan::Distinct {
+            input: Box::new(attach_sort(*input, keys)?),
+        }),
+        other => {
+            let (e, _) = &keys[0];
+            Err(EiiError::Plan(format!(
+                "ORDER BY expression {e} does not resolve against the query output {}",
+                other.schema()?
+            )))
+        }
+    }
+}
+
+fn flatten_union(plan: LogicalPlan, out: &mut Vec<LogicalPlan>) {
+    match plan {
+        LogicalPlan::UnionAll { inputs } => out.extend(inputs),
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, SimClock};
+    use eii_federation::{LinkProfile, RelationalConnector, WireFormat};
+    use eii_sql::parse_query;
+    use eii_storage::{Database, TableDef};
+
+    fn setup() -> (Catalog, Federation) {
+        let crm = Database::new("crm", SimClock::new());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+            Field::new("region", DataType::Str),
+        ]));
+        let t = crm
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        t.write().insert(row![1i64, "alice", "west"]).unwrap();
+
+        let orders = Database::new("orders", SimClock::new());
+        let oschema = Arc::new(Schema::new(vec![
+            Field::new("order_id", DataType::Int).not_null(),
+            Field::new("customer_id", DataType::Int),
+            Field::new("total", DataType::Float),
+        ]));
+        orders
+            .create_table(TableDef::new("orders", oschema).with_primary_key(0))
+            .unwrap();
+
+        let mut fed = Federation::new();
+        fed.register(
+            Arc::new(RelationalConnector::new(crm)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        fed.register(
+            Arc::new(RelationalConnector::new(orders)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        (Catalog::new(), fed)
+    }
+
+    fn build(sql: &str, catalog: &Catalog, fed: &Federation) -> Result<LogicalPlan> {
+        PlanBuilder::new(catalog, fed).build(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn scan_with_default_alias() {
+        let (cat, fed) = setup();
+        let p = build("SELECT name FROM crm.customers", &cat, &fed).unwrap();
+        let s = p.schema().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.field(0).name, "name");
+        assert!(p.display().contains("Scan crm.customers AS customers"));
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let (cat, fed) = setup();
+        assert_eq!(
+            build("SELECT 1 FROM nowhere.t", &cat, &fed)
+                .unwrap_err()
+                .kind(),
+            "not_found"
+        );
+        assert_eq!(
+            build("SELECT 1 FROM bare_name", &cat, &fed)
+                .unwrap_err()
+                .kind(),
+            "not_found"
+        );
+    }
+
+    #[test]
+    fn view_unfolds_with_alias() {
+        let (cat, fed) = setup();
+        cat.create_view_sql(
+            "CREATE VIEW west_customers AS SELECT id, name FROM crm.customers WHERE region = 'west'",
+        )
+        .unwrap();
+        let p = build("SELECT w.name FROM west_customers AS w", &cat, &fed).unwrap();
+        let text = p.display();
+        assert!(text.contains("Alias w"), "{text}");
+        assert!(text.contains("Scan crm.customers"), "{text}");
+        assert_eq!(p.schema().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn views_compose_and_cycles_are_detected() {
+        let (cat, fed) = setup();
+        cat.create_view_sql("CREATE VIEW v1 AS SELECT id, name FROM crm.customers")
+            .unwrap();
+        cat.create_view_sql("CREATE VIEW v2 AS SELECT name FROM v1").unwrap();
+        let p = build("SELECT * FROM v2", &cat, &fed).unwrap();
+        assert!(p.display().contains("Scan crm.customers"));
+
+        // A cycle: v3 -> v4 -> v3.
+        cat.create_view_sql("CREATE VIEW v3 AS SELECT name FROM v4_placeholder")
+            .ok();
+        let c2 = Catalog::new();
+        c2.create_view("a", "CREATE VIEW a AS SELECT x FROM b", parse_query("SELECT x FROM b").unwrap())
+            .unwrap();
+        c2.create_view("b", "CREATE VIEW b AS SELECT x FROM a", parse_query("SELECT x FROM a").unwrap())
+            .unwrap();
+        let err = build("SELECT * FROM a", &c2, &fed).unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        assert!(err.message().contains("cyclic"));
+    }
+
+    #[test]
+    fn aggregate_plan_shape() {
+        let (cat, fed) = setup();
+        let p = build(
+            "SELECT region, COUNT(*) AS n FROM crm.customers GROUP BY region HAVING n > 1",
+            &cat,
+            &fed,
+        )
+        .unwrap();
+        let text = p.display();
+        assert!(text.contains("Aggregate group=[region]"), "{text}");
+        assert!(text.contains("Filter (n > 1)"), "{text}");
+        let s = p.schema().unwrap();
+        assert_eq!(s.field(0).name, "region");
+        assert_eq!(s.field(1).name, "n");
+    }
+
+    #[test]
+    fn ungrouped_scalar_rejected() {
+        let (cat, fed) = setup();
+        let err = build(
+            "SELECT name, COUNT(*) FROM crm.customers GROUP BY region",
+            &cat,
+            &fed,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn having_without_group_rejected() {
+        let (cat, fed) = setup();
+        let err = build("SELECT name FROM crm.customers HAVING name = 'x'", &cat, &fed)
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn order_by_ordinal_resolves() {
+        let (cat, fed) = setup();
+        let p = build("SELECT id, name FROM crm.customers ORDER BY 2 DESC", &cat, &fed).unwrap();
+        assert!(p.display().contains("Sort [name DESC]"));
+        let err = build("SELECT id FROM crm.customers ORDER BY 5", &cat, &fed).unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn union_all_flattens() {
+        let (cat, fed) = setup();
+        let p = build(
+            "SELECT id FROM crm.customers UNION ALL SELECT order_id FROM orders.orders UNION ALL SELECT id FROM crm.customers",
+            &cat,
+            &fed,
+        )
+        .unwrap();
+        match p {
+            LogicalPlan::UnionAll { inputs } => assert_eq!(inputs.len(), 3),
+            other => panic!("expected union, got {}", other.display()),
+        }
+    }
+
+    #[test]
+    fn union_type_mismatch_rejected() {
+        let (cat, fed) = setup();
+        let err = build(
+            "SELECT id FROM crm.customers UNION ALL SELECT name FROM crm.customers",
+            &cat,
+            &fed,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn select_without_from() {
+        let (cat, fed) = setup();
+        let p = build("SELECT 1 + 1 AS two", &cat, &fed).unwrap();
+        let s = p.schema().unwrap();
+        assert_eq!(s.field(0).name, "two");
+        assert_eq!(s.field(0).data_type, DataType::Int);
+    }
+
+    #[test]
+    fn cross_join_from_comma_list() {
+        let (cat, fed) = setup();
+        let p = build(
+            "SELECT c.name, o.total FROM crm.customers c, orders.orders o WHERE c.id = o.customer_id",
+            &cat,
+            &fed,
+        )
+        .unwrap();
+        assert!(p.display().contains("CROSS JOIN"));
+    }
+}

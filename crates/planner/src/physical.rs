@@ -1,0 +1,687 @@
+//! Physical planning: source decomposition, join-strategy selection, bind
+//! joins for access-limited sources, and assembly-site selection.
+//!
+//! "A single query submitted to an EII engine must be decomposed to
+//! component queries that are distributed to the data sources, and the
+//! results of the component queries must be joined at an assembly site. The
+//! assembly site may be a single hub or it may be one of the sources."
+//! (Bitton §3)
+
+use std::fmt;
+
+use eii_data::{EiiError, Result, Row, SchemaRef};
+use eii_expr::{conjoin, conjuncts, referenced_columns, BinaryOp, Expr};
+use eii_federation::{Federation, SourceQuery};
+use eii_sql::JoinKind;
+
+use crate::config::PlannerConfig;
+use crate::cost::CostModel;
+use crate::logical::{AggItem, LogicalPlan};
+
+/// Where a cross-source join's rows are assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinSite {
+    /// At the EII server (both inputs ship to the hub).
+    Hub,
+    /// At a source site (the other input ships there; the result ships to
+    /// the hub).
+    AtSource(String),
+}
+
+impl fmt::Display for JoinSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinSite::Hub => write!(f, "hub"),
+            JoinSite::AtSource(s) => write!(f, "@{s}"),
+        }
+    }
+}
+
+/// An executable plan.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// One component query shipped to one source.
+    Source {
+        source: String,
+        query: SourceQuery,
+        schema: SchemaRef,
+    },
+    /// Literal rows.
+    Values { schema: SchemaRef, rows: Vec<Row> },
+    /// Assembly-site filter.
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    /// Assembly-site projection.
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<(Expr, String)>,
+        schema: SchemaRef,
+    },
+    /// Hash join on equi keys, with optional residual predicate.
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        kind: JoinKind,
+        residual: Option<Expr>,
+        site: JoinSite,
+        parallel: bool,
+        schema: SchemaRef,
+    },
+    /// Nested-loop join (arbitrary condition / cartesian).
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        kind: JoinKind,
+        on: Option<Expr>,
+        parallel: bool,
+        schema: SchemaRef,
+    },
+    /// Bind join: execute the left side, ship its distinct key values to the
+    /// right source as bindings, join the returned rows.
+    BindJoin {
+        left: Box<PhysicalPlan>,
+        left_key: Expr,
+        source: String,
+        /// Component-query template (bindings filled at run time).
+        template: SourceQuery,
+        bind_column: String,
+        right_schema: SchemaRef,
+        residual: Option<Expr>,
+        schema: SchemaRef,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggItem>,
+        schema: SchemaRef,
+    },
+    /// Duplicate elimination.
+    Distinct { input: Box<PhysicalPlan> },
+    /// Sort.
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<(Expr, bool)>,
+    },
+    /// Limit.
+    Limit { input: Box<PhysicalPlan>, n: usize },
+    /// Bag union.
+    UnionAll {
+        inputs: Vec<PhysicalPlan>,
+        parallel: bool,
+        schema: SchemaRef,
+    },
+    /// Re-tag the input's schema (alias boundaries).
+    Rename {
+        input: Box<PhysicalPlan>,
+        schema: SchemaRef,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            PhysicalPlan::Source { schema, .. }
+            | PhysicalPlan::Values { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::HashJoin { schema, .. }
+            | PhysicalPlan::NestedLoopJoin { schema, .. }
+            | PhysicalPlan::BindJoin { schema, .. }
+            | PhysicalPlan::Aggregate { schema, .. }
+            | PhysicalPlan::UnionAll { schema, .. }
+            | PhysicalPlan::Rename { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Indented EXPLAIN rendering.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        self.display_into(0, &mut out);
+        out
+    }
+
+    fn display_into(&self, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let (line, children): (String, Vec<&PhysicalPlan>) = match self {
+            PhysicalPlan::Source { source, query, .. } => (
+                format!("SourceQuery {source}: {}", query.to_sql()),
+                vec![],
+            ),
+            PhysicalPlan::Values { rows, .. } => {
+                (format!("Values ({} rows)", rows.len()), vec![])
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                (format!("Filter {predicate}"), vec![input.as_ref()])
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let items: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                (format!("Project [{}]", items.join(", ")), vec![input.as_ref()])
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                site,
+                parallel,
+                ..
+            } => {
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{l}={r}"))
+                    .collect();
+                (
+                    format!(
+                        "HashJoin[{kind}] keys=[{}] site={site}{}",
+                        keys.join(", "),
+                        if *parallel { " parallel" } else { "" }
+                    ),
+                    vec![left.as_ref(), right.as_ref()],
+                )
+            }
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                kind,
+                on,
+                ..
+            } => (
+                format!(
+                    "NestedLoopJoin[{kind}]{}",
+                    on.as_ref().map(|o| format!(" ON {o}")).unwrap_or_default()
+                ),
+                vec![left.as_ref(), right.as_ref()],
+            ),
+            PhysicalPlan::BindJoin {
+                left,
+                left_key,
+                source,
+                bind_column,
+                ..
+            } => (
+                format!("BindJoin {left_key} -> {source}.{bind_column}"),
+                vec![left.as_ref()],
+            ),
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let g: Vec<String> = group_by.iter().map(ToString::to_string).collect();
+                let a: Vec<String> = aggs.iter().map(|x| x.name.clone()).collect();
+                (
+                    format!("HashAggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", ")),
+                    vec![input.as_ref()],
+                )
+            }
+            PhysicalPlan::Distinct { input } => ("Distinct".into(), vec![input.as_ref()]),
+            PhysicalPlan::Sort { input, keys } => {
+                let k: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| format!("{e} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                (format!("Sort [{}]", k.join(", ")), vec![input.as_ref()])
+            }
+            PhysicalPlan::Limit { input, n } => (format!("Limit {n}"), vec![input.as_ref()]),
+            PhysicalPlan::UnionAll {
+                inputs, parallel, ..
+            } => (
+                format!("UnionAll{}", if *parallel { " parallel" } else { "" }),
+                inputs.iter().collect(),
+            ),
+            PhysicalPlan::Rename { input, schema } => {
+                (format!("Rename {}", schema), vec![input.as_ref()])
+            }
+        };
+        out.push_str(&indent);
+        out.push_str(&line);
+        out.push('\n');
+        for c in children {
+            c.display_into(depth + 1, out);
+        }
+    }
+}
+
+/// Creates physical plans from optimized logical plans.
+pub struct PhysicalPlanner<'a> {
+    federation: &'a Federation,
+    config: &'a PlannerConfig,
+}
+
+impl<'a> PhysicalPlanner<'a> {
+    /// New physical planner.
+    pub fn new(federation: &'a Federation, config: &'a PlannerConfig) -> Self {
+        PhysicalPlanner { federation, config }
+    }
+
+    /// Convert an optimized logical plan.
+    pub fn create(&self, plan: LogicalPlan) -> Result<PhysicalPlan> {
+        match plan {
+            LogicalPlan::SourceScan { .. } => {
+                // Access-pattern check: a bare scan of a binding-restricted
+                // table has no legal component query.
+                if let LogicalPlan::SourceScan { source, table, .. } = &plan {
+                    let handle = self.federation.source(source)?;
+                    if let Some(p) = handle.connector().capabilities().pattern_for(table) {
+                        return Err(EiiError::Plan(format!(
+                            "{source}.{table} requires {} bound (access limitation); \
+                             join it on that column so a bind join can feed it",
+                            p.required_columns.join(", ")
+                        )));
+                    }
+                }
+                self.scan_to_source(&plan)
+            }
+            LogicalPlan::Values { schema, rows } => Ok(PhysicalPlan::Values { schema, rows }),
+            LogicalPlan::Filter { input, predicate } => Ok(PhysicalPlan::Filter {
+                input: Box::new(self.create(*input)?),
+                predicate,
+            }),
+            LogicalPlan::Project { input, exprs } => {
+                let schema = LogicalPlan::Project {
+                    input: input.clone(),
+                    exprs: exprs.clone(),
+                }
+                .schema()?;
+                Ok(PhysicalPlan::Project {
+                    input: Box::new(self.create(*input)?),
+                    exprs,
+                    schema,
+                })
+            }
+            LogicalPlan::Join { .. } => self.create_join(plan),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let schema = LogicalPlan::Aggregate {
+                    input: input.clone(),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                }
+                .schema()?;
+                Ok(PhysicalPlan::Aggregate {
+                    input: Box::new(self.create(*input)?),
+                    group_by,
+                    aggs,
+                    schema,
+                })
+            }
+            LogicalPlan::Distinct { input } => Ok(PhysicalPlan::Distinct {
+                input: Box::new(self.create(*input)?),
+            }),
+            LogicalPlan::Sort { input, keys } => Ok(PhysicalPlan::Sort {
+                input: Box::new(self.create(*input)?),
+                keys,
+            }),
+            LogicalPlan::Limit { input, n } => Ok(PhysicalPlan::Limit {
+                input: Box::new(self.create(*input)?),
+                n,
+            }),
+            LogicalPlan::UnionAll { inputs } => {
+                let schema = LogicalPlan::UnionAll {
+                    inputs: inputs.clone(),
+                }
+                .schema()?;
+                Ok(PhysicalPlan::UnionAll {
+                    inputs: inputs
+                        .into_iter()
+                        .map(|p| self.create(p))
+                        .collect::<Result<_>>()?,
+                    parallel: self.config.parallel_fetch,
+                    schema,
+                })
+            }
+            LogicalPlan::Alias { input, alias } => {
+                let schema = LogicalPlan::Alias {
+                    input: input.clone(),
+                    alias,
+                }
+                .schema()?;
+                Ok(PhysicalPlan::Rename {
+                    input: Box::new(self.create(*input)?),
+                    schema,
+                })
+            }
+        }
+    }
+
+    fn scan_to_source(&self, scan: &LogicalPlan) -> Result<PhysicalPlan> {
+        let LogicalPlan::SourceScan {
+            source,
+            table,
+            pushed_filters,
+            projection,
+            limit,
+            ..
+        } = scan
+        else {
+            unreachable!("caller checked")
+        };
+        let schema = scan.schema()?;
+        Ok(PhysicalPlan::Source {
+            source: source.clone(),
+            query: SourceQuery {
+                table: table.clone(),
+                projection: projection.clone(),
+                filters: pushed_filters.clone(),
+                bindings: vec![],
+                limit: *limit,
+            },
+            schema,
+        })
+    }
+
+    fn create_join(&self, plan: LogicalPlan) -> Result<PhysicalPlan> {
+        let LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } = plan
+        else {
+            unreachable!("caller checked")
+        };
+        let left_schema = left.schema()?;
+        let right_schema = right.schema()?;
+        let joined_schema = LogicalPlan::Join {
+            left: left.clone(),
+            right: right.clone(),
+            kind,
+            on: on.clone(),
+        }
+        .schema()?;
+
+        // Split the condition into equi pairs and residual conjuncts.
+        let mut left_keys: Vec<Expr> = Vec::new();
+        let mut right_keys: Vec<Expr> = Vec::new();
+        let mut residual: Vec<Expr> = Vec::new();
+        if let Some(on) = &on {
+            for c in conjuncts(on) {
+                if let Expr::Binary {
+                    left: l,
+                    op: BinaryOp::Eq,
+                    right: r,
+                } = &c
+                {
+                    let l_in_left = resolves(l, &left_schema);
+                    let r_in_right = resolves(r, &right_schema);
+                    let l_in_right = resolves(l, &right_schema);
+                    let r_in_left = resolves(r, &left_schema);
+                    if l_in_left && r_in_right {
+                        left_keys.push((**l).clone());
+                        right_keys.push((**r).clone());
+                        continue;
+                    }
+                    if l_in_right && r_in_left {
+                        left_keys.push((**r).clone());
+                        right_keys.push((**l).clone());
+                        continue;
+                    }
+                }
+                residual.push(c);
+            }
+        }
+
+        // Access-limited right (or left) scans force bind joins.
+        let model = CostModel::new(self.federation);
+        for (probe, _build, probe_keys, build_keys, swapped) in [
+            (&right, &left, &right_keys, &left_keys, false),
+            (&left, &right, &left_keys, &right_keys, true),
+        ] {
+            if let Some((src, table)) = scan_target(probe) {
+                let handle = self.federation.source(&src)?;
+                let caps = handle.connector().capabilities();
+                if let Some(pattern) = caps.pattern_for(&table) {
+                    if kind != JoinKind::Inner {
+                        return Err(EiiError::Plan(format!(
+                            "access-limited {src}.{table} only supports inner bind joins"
+                        )));
+                    }
+                    let required = &pattern.required_columns[0];
+                    let Some(pos) = probe_keys.iter().position(|k| {
+                        matches!(k, Expr::Column { name, .. } if name.eq_ignore_ascii_case(required))
+                    }) else {
+                        return Err(EiiError::Plan(format!(
+                            "{src}.{table} requires {required} bound; the join has no \
+                             equality on it"
+                        )));
+                    };
+                    // Other equi pairs become residual checks.
+                    let mut extra = residual.clone();
+                    for (i, (lk, rk)) in build_keys.iter().zip(probe_keys).enumerate() {
+                        if i != pos {
+                            extra.push(lk.clone().eq(rk.clone()));
+                        }
+                    }
+                    return self.make_bind_join(
+                        if swapped { (*right).clone() } else { (*left).clone() },
+                        build_keys[pos].clone(),
+                        probe,
+                        required,
+                        conjoin(extra),
+                        joined_schema,
+                        swapped,
+                    );
+                }
+            }
+        }
+
+        // Optional bind join when the probe side is small.
+        if self.config.use_bind_joins
+            && kind == JoinKind::Inner
+            && !left_keys.is_empty()
+        {
+            if let Some((src, table)) = scan_target(&right) {
+                let handle = self.federation.source(&src)?;
+                let caps = handle.connector().capabilities();
+                if caps.bindings && caps.pattern_for(&table).is_none() {
+                    let left_rows = model.rows(&left)?;
+                    let right_rows = model.rows(&right)?;
+                    if let Expr::Column { name, .. } = &right_keys[0] {
+                        if left_rows * 2.0 < right_rows {
+                            let mut extra = residual.clone();
+                            for (lk, rk) in
+                                left_keys.iter().zip(&right_keys).skip(1)
+                            {
+                                extra.push(lk.clone().eq(rk.clone()));
+                            }
+                            let bind_col = name.clone();
+                            return self.make_bind_join(
+                                (*left).clone(),
+                                left_keys[0].clone(),
+                                &right,
+                                &bind_col,
+                                conjoin(extra),
+                                joined_schema,
+                                false,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let phys_left = self.create((*left).clone())?;
+        let phys_right = self.create((*right).clone())?;
+
+        if left_keys.is_empty() {
+            return Ok(PhysicalPlan::NestedLoopJoin {
+                left: Box::new(phys_left),
+                right: Box::new(phys_right),
+                kind,
+                on: conjoin(residual),
+                parallel: self.config.parallel_fetch,
+                schema: joined_schema,
+            });
+        }
+
+        // Assembly-site selection for pure source-to-source hash joins.
+        let site = if self.config.choose_assembly_site && kind == JoinKind::Inner {
+            match (scan_target(&left), scan_target(&right)) {
+                (Some((ls, _)), Some((rs, _))) if ls != rs => {
+                    let le = model.estimate(&left)?;
+                    let re = model.estimate(&right)?;
+                    let (big_src, big_bytes, small_bytes) = if le.bytes >= re.bytes {
+                        (ls, le.bytes, re.bytes)
+                    } else {
+                        (rs, re.bytes, le.bytes)
+                    };
+                    let host = self.federation.source(&big_src)?;
+                    let host_caps = host.connector().capabilities();
+                    // Result still ships to the hub; hosting pays the small
+                    // side twice (up to the site, result down).
+                    let result_bytes = model.rows(&LogicalPlan::Join {
+                        left: left.clone(),
+                        right: right.clone(),
+                        kind,
+                        on: on.clone(),
+                    })? * 24.0;
+                    let hub_cost = big_bytes + small_bytes;
+                    let site_cost = 2.0 * small_bytes + result_bytes;
+                    if host_caps.filters && host_caps.bindings && site_cost < hub_cost {
+                        JoinSite::AtSource(big_src)
+                    } else {
+                        JoinSite::Hub
+                    }
+                }
+                _ => JoinSite::Hub,
+            }
+        } else {
+            JoinSite::Hub
+        };
+
+        Ok(PhysicalPlan::HashJoin {
+            left: Box::new(phys_left),
+            right: Box::new(phys_right),
+            left_keys,
+            right_keys,
+            kind,
+            residual: conjoin(residual),
+            site,
+            parallel: self.config.parallel_fetch,
+            schema: joined_schema,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_bind_join(
+        &self,
+        build_side: LogicalPlan,
+        build_key: Expr,
+        probe_scan: &LogicalPlan,
+        bind_column: &str,
+        residual: Option<Expr>,
+        joined_schema: SchemaRef,
+        swapped: bool,
+    ) -> Result<PhysicalPlan> {
+        let LogicalPlan::SourceScan {
+            source,
+            table,
+            pushed_filters,
+            projection,
+            ..
+        } = probe_scan
+        else {
+            unreachable!("scan_target checked")
+        };
+        let right_schema = probe_scan.schema()?;
+        // The bind column must come back so rows can be matched.
+        let projection = projection.clone().map(|mut cols| {
+            if !cols.iter().any(|c| c.eq_ignore_ascii_case(bind_column)) {
+                cols.push(bind_column.to_string());
+            }
+            cols
+        });
+        let left = self.create(build_side)?;
+        let plan = PhysicalPlan::BindJoin {
+            left: Box::new(left),
+            left_key: build_key,
+            source: source.clone(),
+            template: SourceQuery {
+                table: table.clone(),
+                projection,
+                filters: pushed_filters.clone(),
+                bindings: vec![],
+                limit: None,
+            },
+            bind_column: bind_column.to_string(),
+            right_schema: right_schema.clone(),
+            residual,
+            schema: if swapped {
+                // The executor emits build rows (logical right) followed by
+                // probe rows (logical left); re-projected to logical order
+                // below.
+                swapped_schema(&joined_schema, right_schema.len())
+            } else {
+                joined_schema.clone()
+            },
+        };
+        if swapped {
+            // Re-order columns to match the logical join schema.
+            let exprs: Vec<(Expr, String)> = joined_schema
+                .fields()
+                .iter()
+                .map(|f| {
+                    (
+                        Expr::Column {
+                            relation: f.relation.clone(),
+                            name: f.name.clone(),
+                        },
+                        f.name.clone(),
+                    )
+                })
+                .collect();
+            return Ok(PhysicalPlan::Rename {
+                input: Box::new(PhysicalPlan::Project {
+                    input: Box::new(plan),
+                    exprs,
+                    schema: joined_schema.clone(),
+                }),
+                schema: joined_schema,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// Column order when the bind join runs with sides swapped: the build side
+/// (logical right) emits first, then the probe side (logical left, the
+/// access-limited scan) whose schema has `probe_len` columns.
+fn swapped_schema(joined: &SchemaRef, probe_len: usize) -> SchemaRef {
+    let mut fields = Vec::with_capacity(joined.len());
+    fields.extend(joined.fields()[probe_len..].iter().cloned());
+    fields.extend(joined.fields()[..probe_len].iter().cloned());
+    std::sync::Arc::new(eii_data::Schema::new(fields))
+}
+
+fn resolves(expr: &Expr, schema: &eii_data::Schema) -> bool {
+    let refs = referenced_columns(expr);
+    !refs.is_empty()
+        && refs
+            .iter()
+            .all(|c| schema.index_of(c.relation.as_deref(), &c.name).is_ok())
+}
+
+fn scan_target(plan: &LogicalPlan) -> Option<(String, String)> {
+    match plan {
+        LogicalPlan::SourceScan { source, table, .. } => {
+            Some((source.clone(), table.clone()))
+        }
+        _ => None,
+    }
+}

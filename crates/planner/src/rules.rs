@@ -1,0 +1,1131 @@
+//! Rewrite rules: constant folding, predicate pushdown, projection pruning.
+//!
+//! Predicate pushdown is *the* EII optimization — "the more work the
+//! component queries can do, the less work will remain to be done at the
+//! assembly site" (Bitton §3). Predicates travel through projections,
+//! aliases, joins, unions, and aggregates until they either reach a source
+//! scan whose dialect accepts them (becoming part of the component query) or
+//! get stuck and stay at the assembly site.
+
+use std::cell::Cell;
+use std::collections::BTreeSet;
+
+use eii_data::Result;
+use eii_expr::{conjoin, conjuncts, fold_constants, referenced_columns, Expr};
+use eii_federation::{Dialect, Federation};
+use eii_sql::JoinKind;
+
+use crate::config::PlannerConfig;
+use crate::join_order::reorder_joins;
+use crate::logical::LogicalPlan;
+
+/// Run the full rewrite pipeline.
+pub fn optimize(
+    plan: LogicalPlan,
+    federation: &Federation,
+    config: &PlannerConfig,
+) -> Result<LogicalPlan> {
+    let plan = fold_plan_constants(plan);
+    let mut plan = push_down(plan, Vec::new(), federation, config)?;
+    if config.reorder_joins {
+        plan = reorder_joins(plan, federation)?;
+    }
+    if config.pushdown_projection {
+        plan = prune_scan_projections(plan, federation)?;
+    }
+    if config.pushdown_limits {
+        plan = push_limits(plan, federation);
+    }
+    Ok(plan)
+}
+
+/// Push LIMIT caps into source component queries. Only row-preserving
+/// nodes (Project, Alias) may sit between the Limit and the scan; the scan's
+/// own pushed filters are fine because sources apply filters before limits.
+/// The Limit node itself stays (the cap at the source makes it a no-op).
+fn push_limits(plan: LogicalPlan, fed: &Federation) -> LogicalPlan {
+    map_plan(plan, &|node| match node {
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(annotate_limit(*input, n, fed)),
+            n,
+        },
+        other => other,
+    })
+}
+
+fn annotate_limit(plan: LogicalPlan, n: usize, fed: &Federation) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(annotate_limit(*input, n, fed)),
+            exprs,
+        },
+        LogicalPlan::Alias { input, alias } => LogicalPlan::Alias {
+            input: Box::new(annotate_limit(*input, n, fed)),
+            alias,
+        },
+        LogicalPlan::Limit { input, n: inner } => LogicalPlan::Limit {
+            input: Box::new(annotate_limit(*input, n.min(inner), fed)),
+            n: inner,
+        },
+        LogicalPlan::SourceScan {
+            source,
+            table,
+            alias,
+            base_schema,
+            pushed_filters,
+            projection,
+            limit,
+        } => {
+            let supports = fed
+                .source(&source)
+                .map(|h| h.connector().capabilities().limit)
+                .unwrap_or(false);
+            let limit = if supports {
+                Some(limit.map_or(n, |prev| prev.min(n)))
+            } else {
+                limit
+            };
+            LogicalPlan::SourceScan {
+                source,
+                table,
+                alias,
+                base_schema,
+                pushed_filters,
+                projection,
+                limit,
+            }
+        }
+        other => other,
+    }
+}
+
+/// Fold constants in every expression of the plan.
+pub fn fold_plan_constants(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &|node| match node {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: fold_constants(predicate),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input,
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (fold_constants(e), n))
+                .collect(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on: on.map(fold_constants),
+        },
+        other => other,
+    })
+}
+
+/// Bottom-up structural rewrite.
+fn map_plan(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let rebuilt = match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(map_plan(*input, f)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(map_plan(*input, f)),
+            exprs,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => LogicalPlan::Join {
+            left: Box::new(map_plan(*left, f)),
+            right: Box::new(map_plan(*right, f)),
+            kind,
+            on,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_plan(*input, f)),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(map_plan(*input, f)),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_plan(*input, f)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(map_plan(*input, f)),
+            n,
+        },
+        LogicalPlan::UnionAll { inputs } => LogicalPlan::UnionAll {
+            inputs: inputs.into_iter().map(|p| map_plan(p, f)).collect(),
+        },
+        LogicalPlan::Alias { input, alias } => LogicalPlan::Alias {
+            input: Box::new(map_plan(*input, f)),
+            alias,
+        },
+        leaf => leaf,
+    };
+    f(rebuilt)
+}
+
+use crate::util::{resolves_in, rewrite_through_project};
+
+/// Remove relation qualifiers (predicate addressed to a single table).
+fn strip_qualifiers(expr: Expr) -> Expr {
+    expr.transform(|e| match e {
+        Expr::Column { name, .. } => Expr::Column {
+            relation: None,
+            name,
+        },
+        other => other,
+    })
+}
+
+/// Rewrite a predicate across an Alias boundary: refs to `alias.col` (or
+/// bare `col`) become refs to the underlying input columns. `None` when any
+/// reference fails to resolve.
+fn rewrite_through_alias(
+    expr: &Expr,
+    aliased: &eii_data::Schema,
+    inner: &eii_data::Schema,
+) -> Option<Expr> {
+    let ok = Cell::new(true);
+    let rewritten = expr.clone().transform(|e| match e {
+        Expr::Column { relation, name } => {
+            match aliased.index_of(relation.as_deref(), &name) {
+                Ok(i) => {
+                    let f = inner.field(i);
+                    Expr::Column {
+                        relation: f.relation.clone(),
+                        name: f.name.clone(),
+                    }
+                }
+                Err(_) => {
+                    ok.set(false);
+                    Expr::Column { relation, name }
+                }
+            }
+        }
+        other => other,
+    });
+    ok.get().then_some(rewritten)
+}
+
+/// Rewrite a predicate across a UnionAll into one branch (positional
+/// mapping of the union's output names onto the branch's fields).
+fn rewrite_into_union_branch(
+    expr: &Expr,
+    union_schema: &eii_data::Schema,
+    branch_schema: &eii_data::Schema,
+) -> Option<Expr> {
+    let ok = Cell::new(true);
+    let rewritten = expr.clone().transform(|e| match e {
+        Expr::Column { relation, name } => {
+            match union_schema.index_of(relation.as_deref(), &name) {
+                Ok(i) => {
+                    let f = branch_schema.field(i);
+                    Expr::Column {
+                        relation: f.relation.clone(),
+                        name: f.name.clone(),
+                    }
+                }
+                Err(_) => {
+                    ok.set(false);
+                    Expr::Column { relation, name }
+                }
+            }
+        }
+        other => other,
+    });
+    ok.get().then_some(rewritten)
+}
+
+/// Rewrite a predicate across an Aggregate: references to group-key output
+/// names become the grouping expressions; references to aggregate outputs
+/// block the rewrite.
+fn rewrite_through_aggregate(
+    expr: &Expr,
+    group_by: &[Expr],
+    agg_names: &[String],
+) -> Option<Expr> {
+    let ok = Cell::new(true);
+    let rewritten = expr.clone().transform(|e| match e {
+        Expr::Column { relation, name } => {
+            if relation.is_none() {
+                if agg_names.iter().any(|a| a.eq_ignore_ascii_case(&name)) {
+                    ok.set(false);
+                    return Expr::Column { relation, name };
+                }
+                if let Some(g) = group_by
+                    .iter()
+                    .find(|g| g.output_name().eq_ignore_ascii_case(&name))
+                {
+                    return g.clone();
+                }
+            }
+            ok.set(false);
+            Expr::Column { relation, name }
+        }
+        other => other,
+    });
+    ok.get().then_some(rewritten)
+}
+
+/// Wrap residual conjuncts above a node.
+fn wrap_residual(plan: LogicalPlan, residual: Vec<Expr>) -> LogicalPlan {
+    match conjoin(residual) {
+        Some(pred) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: pred,
+        },
+        None => plan,
+    }
+}
+
+/// The pushdown driver: `pending` conjuncts are looking for the deepest
+/// node that can evaluate them.
+fn push_down(
+    plan: LogicalPlan,
+    mut pending: Vec<Expr>,
+    fed: &Federation,
+    config: &PlannerConfig,
+) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            pending.extend(conjuncts(&fold_constants(predicate)));
+            push_down(*input, pending, fed, config)
+        }
+        LogicalPlan::SourceScan {
+            source,
+            table,
+            alias,
+            base_schema,
+            mut pushed_filters,
+            projection,
+            limit,
+        } => {
+            let handle = fed.source(&source)?;
+            let caps = handle.connector().capabilities();
+            let dialect: Dialect = config
+                .dialect_override
+                .clone()
+                .unwrap_or_else(|| handle.connector().dialect());
+            let qualified = base_schema.qualified(&alias);
+            let mut residual = Vec::new();
+            for p in pending {
+                let can_push = config.pushdown_filters
+                    && caps.filters
+                    && resolves_in(&p, &qualified)
+                    && {
+                        let stripped = strip_qualifiers(p.clone());
+                        dialect.supports(&stripped)
+                    };
+                if can_push {
+                    pushed_filters.push(strip_qualifiers(p));
+                } else {
+                    residual.push(p);
+                }
+            }
+            let scan = LogicalPlan::SourceScan {
+                source,
+                table,
+                alias,
+                base_schema,
+                pushed_filters,
+                projection,
+                limit,
+            };
+            Ok(wrap_residual(scan, residual))
+        }
+        LogicalPlan::Alias { input, alias } => {
+            let aliased = LogicalPlan::Alias {
+                input: input.clone(),
+                alias: alias.clone(),
+            }
+            .schema()?;
+            let inner_schema = input.schema()?;
+            let mut below = Vec::new();
+            let mut residual = Vec::new();
+            for p in pending {
+                match rewrite_through_alias(&p, &aliased, &inner_schema) {
+                    Some(r) => below.push(r),
+                    None => residual.push(p),
+                }
+            }
+            let new_input = push_down(*input, below, fed, config)?;
+            Ok(wrap_residual(
+                LogicalPlan::Alias {
+                    input: Box::new(new_input),
+                    alias,
+                },
+                residual,
+            ))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let mut below = Vec::new();
+            let mut residual = Vec::new();
+            for p in pending {
+                match rewrite_through_project(&p, &exprs) {
+                    Some(r) => below.push(r),
+                    None => residual.push(p),
+                }
+            }
+            let new_input = push_down(*input, below, fed, config)?;
+            Ok(wrap_residual(
+                LogicalPlan::Project {
+                    input: Box::new(new_input),
+                    exprs,
+                },
+                residual,
+            ))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let left_schema = left.schema()?;
+            let right_schema = right.schema()?;
+            let mut left_pending = Vec::new();
+            let mut right_pending = Vec::new();
+            let mut join_preds = Vec::new();
+            let mut residual = Vec::new();
+
+            let mut kept_on = on.clone();
+            let mut new_kind = kind;
+            match kind {
+                JoinKind::Inner | JoinKind::Cross => {
+                    // ON conjuncts join the pending pool.
+                    let mut pool = pending;
+                    if let Some(on) = on {
+                        pool.extend(conjuncts(&on));
+                    }
+                    for p in pool {
+                        if resolves_in(&p, &left_schema) {
+                            left_pending.push(p);
+                        } else if resolves_in(&p, &right_schema) {
+                            right_pending.push(p);
+                        } else {
+                            join_preds.push(p);
+                        }
+                    }
+                    if !join_preds.is_empty() {
+                        new_kind = JoinKind::Inner;
+                    }
+                    kept_on = conjoin(std::mem::take(&mut join_preds));
+                }
+                JoinKind::Left => {
+                    // Pending predicates on the preserved side sink; right-
+                    // side or mixed predicates from above must stay above
+                    // (null-extension semantics). The ON stays whole.
+                    for p in pending {
+                        if resolves_in(&p, &left_schema) {
+                            left_pending.push(p);
+                        } else {
+                            residual.push(p);
+                        }
+                    }
+                }
+                JoinKind::Semi | JoinKind::Anti => {
+                    // Pending predicates see only left columns; they sink
+                    // left (filters on L commute with semi/anti joins).
+                    for p in pending {
+                        if resolves_in(&p, &left_schema) {
+                            left_pending.push(p);
+                        } else {
+                            residual.push(p);
+                        }
+                    }
+                    // ON conjuncts: right-only ones restrict which right
+                    // rows can match and sink right for both kinds.
+                    // Left-only ones sink left for SEMI (a left row failing
+                    // the condition has no match and is dropped either way)
+                    // but must stay in the ON for ANTI (failing rows have no
+                    // match and must be KEPT).
+                    let mut kept = Vec::new();
+                    if let Some(on) = on {
+                        for c in conjuncts(&on) {
+                            let in_left = resolves_in(&c, &left_schema);
+                            let in_right = resolves_in(&c, &right_schema);
+                            if in_right && !in_left {
+                                right_pending.push(c);
+                            } else if kind == JoinKind::Semi && in_left && !in_right {
+                                left_pending.push(c);
+                            } else {
+                                // Cross-side, or ambiguous enough to resolve
+                                // on both sides: keep it as the join
+                                // condition.
+                                kept.push(c);
+                            }
+                        }
+                    }
+                    kept_on = conjoin(kept);
+                }
+            }
+            let new_left = push_down(*left, left_pending, fed, config)?;
+            let new_right = push_down(*right, right_pending, fed, config)?;
+            let new_on = kept_on;
+            Ok(wrap_residual(
+                LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    kind: new_kind,
+                    on: new_on,
+                },
+                residual,
+            ))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let agg_names: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+            let mut below = Vec::new();
+            let mut residual = Vec::new();
+            for p in pending {
+                match rewrite_through_aggregate(&p, &group_by, &agg_names) {
+                    Some(r) => below.push(r),
+                    None => residual.push(p),
+                }
+            }
+            let new_input = push_down(*input, below, fed, config)?;
+            Ok(wrap_residual(
+                LogicalPlan::Aggregate {
+                    input: Box::new(new_input),
+                    group_by,
+                    aggs,
+                },
+                residual,
+            ))
+        }
+        LogicalPlan::Distinct { input } => {
+            let new_input = push_down(*input, pending, fed, config)?;
+            Ok(LogicalPlan::Distinct {
+                input: Box::new(new_input),
+            })
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let new_input = push_down(*input, pending, fed, config)?;
+            Ok(LogicalPlan::Sort {
+                input: Box::new(new_input),
+                keys,
+            })
+        }
+        LogicalPlan::Limit { input, n } => {
+            // Filters cannot cross a LIMIT.
+            let new_input = push_down(*input, Vec::new(), fed, config)?;
+            Ok(wrap_residual(
+                LogicalPlan::Limit {
+                    input: Box::new(new_input),
+                    n,
+                },
+                pending,
+            ))
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let union_schema = LogicalPlan::UnionAll {
+                inputs: inputs.clone(),
+            }
+            .schema()?;
+            // A pending conjunct pushes only if it rewrites into *every*
+            // branch.
+            let mut pushable: Vec<Expr> = Vec::new();
+            let mut residual: Vec<Expr> = Vec::new();
+            let branch_schemas = inputs
+                .iter()
+                .map(LogicalPlan::schema)
+                .collect::<Result<Vec<_>>>()?;
+            for p in pending {
+                let all_ok = branch_schemas
+                    .iter()
+                    .all(|bs| rewrite_into_union_branch(&p, &union_schema, bs).is_some());
+                if all_ok {
+                    pushable.push(p);
+                } else {
+                    residual.push(p);
+                }
+            }
+            let mut new_inputs = Vec::with_capacity(inputs.len());
+            for (branch, bs) in inputs.into_iter().zip(&branch_schemas) {
+                let branch_pending = pushable
+                    .iter()
+                    .map(|p| {
+                        rewrite_into_union_branch(p, &union_schema, bs)
+                            .expect("checked above")
+                    })
+                    .collect();
+                new_inputs.push(push_down(branch, branch_pending, fed, config)?);
+            }
+            Ok(wrap_residual(
+                LogicalPlan::UnionAll { inputs: new_inputs },
+                residual,
+            ))
+        }
+        leaf @ LogicalPlan::Values { .. } => Ok(wrap_residual(leaf, pending)),
+    }
+}
+
+/// Collect every column reference appearing in any expression of the plan.
+fn collect_all_refs(plan: &LogicalPlan, out: &mut BTreeSet<(Option<String>, String)>) {
+    let mut add = |e: &Expr| {
+        for c in referenced_columns(e) {
+            out.insert((c.relation, c.name));
+        }
+    };
+    match plan {
+        LogicalPlan::Filter { predicate, .. } => add(predicate),
+        LogicalPlan::Project { exprs, .. } => {
+            for (e, _) in exprs {
+                add(e);
+            }
+        }
+        LogicalPlan::Join { on: Some(on), .. } => add(on),
+        LogicalPlan::Aggregate {
+            group_by, aggs, ..
+        } => {
+            for g in group_by {
+                add(g);
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    add(arg);
+                }
+            }
+        }
+        LogicalPlan::Sort { keys, .. } => {
+            for (e, _) in keys {
+                add(e);
+            }
+        }
+        _ => {}
+    }
+    for c in plan.children() {
+        collect_all_refs(c, out);
+    }
+}
+
+/// Set each scan's projection to the columns the rest of the plan actually
+/// references (network-volume reduction; Bitton's "local reduction").
+fn prune_scan_projections(plan: LogicalPlan, fed: &Federation) -> Result<LogicalPlan> {
+    let mut refs = BTreeSet::new();
+    collect_all_refs(&plan, &mut refs);
+    Ok(prune_rec(plan, &refs, fed))
+}
+
+fn prune_rec(
+    plan: LogicalPlan,
+    refs: &BTreeSet<(Option<String>, String)>,
+    fed: &Federation,
+) -> LogicalPlan {
+    map_plan(plan, &|node| match node {
+        LogicalPlan::SourceScan {
+            source,
+            table,
+            alias,
+            base_schema,
+            pushed_filters,
+            projection,
+            limit,
+        } => {
+            let caps = match fed.source(&source) {
+                Ok(h) => h.connector().capabilities(),
+                Err(_) => {
+                    return LogicalPlan::SourceScan {
+                        source,
+                        table,
+                        alias,
+                        base_schema,
+                        pushed_filters,
+                        projection,
+                        limit,
+                    }
+                }
+            };
+            if !caps.projection || projection.is_some() {
+                return LogicalPlan::SourceScan {
+                    source,
+                    table,
+                    alias,
+                    base_schema,
+                    pushed_filters,
+                    projection,
+                    limit,
+                };
+            }
+            let mut needed: Vec<String> = Vec::new();
+            for f in base_schema.fields() {
+                let used = refs.iter().any(|(rel, name)| {
+                    name.eq_ignore_ascii_case(&f.name)
+                        && match rel {
+                            Some(r) => r.eq_ignore_ascii_case(&alias),
+                            None => true, // conservative: unqualified matches
+                        }
+                });
+                if used {
+                    needed.push(f.name.clone());
+                }
+            }
+            if needed.is_empty() {
+                // e.g. COUNT(*): ship the narrowest thing we can, one column.
+                needed.push(base_schema.field(0).name.clone());
+            }
+            let projection = if needed.len() == base_schema.len() {
+                None
+            } else {
+                Some(needed)
+            };
+            LogicalPlan::SourceScan {
+                source,
+                table,
+                alias,
+                base_schema,
+                pushed_filters,
+                projection,
+                limit,
+            }
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::PlanBuilder;
+    use eii_catalog::Catalog;
+    use eii_data::{row, DataType, Field, Schema, SimClock};
+    use eii_federation::{
+        CsvConnector, LinkProfile, RelationalConnector, WireFormat,
+    };
+    use eii_sql::parse_query;
+    use eii_storage::{Database, TableDef};
+    use std::sync::Arc;
+
+    fn setup() -> (Catalog, Federation) {
+        let crm = Database::new("crm", SimClock::new());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+            Field::new("region", DataType::Str),
+        ]));
+        let t = crm
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        for i in 0..20i64 {
+            t.write()
+                .insert(row![i, format!("c{i}"), format!("r{}", i % 4)])
+                .unwrap();
+        }
+        let orders = Database::new("orders", SimClock::new());
+        let oschema = Arc::new(Schema::new(vec![
+            Field::new("order_id", DataType::Int).not_null(),
+            Field::new("customer_id", DataType::Int),
+            Field::new("total", DataType::Float),
+        ]));
+        let ot = orders
+            .create_table(TableDef::new("orders", oschema).with_primary_key(0))
+            .unwrap();
+        for i in 0..50i64 {
+            ot.write().insert(row![i, i % 20, i as f64]).unwrap();
+        }
+        let files = CsvConnector::new("files")
+            .add_file(
+                "notes",
+                "id,note\n1,hello\n2,world\n",
+                ',',
+                &[DataType::Int, DataType::Str],
+            )
+            .unwrap();
+        let mut fed = Federation::new();
+        fed.register(
+            Arc::new(RelationalConnector::new(crm)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        fed.register(
+            Arc::new(RelationalConnector::new(orders)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        fed.register(Arc::new(files), LinkProfile::lan(), WireFormat::Native)
+            .unwrap();
+        (Catalog::new(), fed)
+    }
+
+    fn optimized(sql: &str, cat: &Catalog, fed: &Federation, cfg: &PlannerConfig) -> LogicalPlan {
+        let plan = PlanBuilder::new(cat, fed)
+            .build(&parse_query(sql).unwrap())
+            .unwrap();
+        optimize(plan, fed, cfg).unwrap()
+    }
+
+    fn find_scans(plan: &LogicalPlan, out: &mut Vec<LogicalPlan>) {
+        if matches!(plan, LogicalPlan::SourceScan { .. }) {
+            out.push(plan.clone());
+        }
+        for c in plan.children() {
+            find_scans(c, out);
+        }
+    }
+
+    #[test]
+    fn filter_reaches_the_scan() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT name FROM crm.customers WHERE region = 'r1' AND id > 5",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { pushed_filters, .. } => {
+                assert_eq!(pushed_filters.len(), 2, "{}", p.display());
+            }
+            _ => unreachable!(),
+        }
+        // No residual filter remains.
+        assert!(!p.display().contains("Filter"), "{}", p.display());
+    }
+
+    #[test]
+    fn naive_config_pushes_nothing() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT name FROM crm.customers WHERE region = 'r1'",
+            &cat,
+            &fed,
+            &PlannerConfig::naive(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan {
+                pushed_filters,
+                projection,
+                ..
+            } => {
+                assert!(pushed_filters.is_empty());
+                assert!(projection.is_none());
+            }
+            _ => unreachable!(),
+        }
+        assert!(p.display().contains("Filter"));
+    }
+
+    #[test]
+    fn join_splits_predicates_by_side() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT c.name, o.total FROM crm.customers c JOIN orders.orders o \
+             ON c.id = o.customer_id WHERE c.region = 'r1' AND o.total > 10",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        assert_eq!(scans.len(), 2);
+        for s in &scans {
+            match s {
+                LogicalPlan::SourceScan {
+                    source,
+                    pushed_filters,
+                    ..
+                } => {
+                    assert_eq!(pushed_filters.len(), 1, "source {source}");
+                }
+                _ => unreachable!(),
+            }
+        }
+        // The cross-source equi predicate stays as the join condition.
+        assert!(p.display().contains("INNER JOIN ON"), "{}", p.display());
+    }
+
+    #[test]
+    fn flat_file_cannot_accept_pushdown() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT note FROM files.notes WHERE id = 1",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan {
+                pushed_filters,
+                projection,
+                ..
+            } => {
+                assert!(pushed_filters.is_empty(), "flat files evaluate nothing");
+                assert!(projection.is_none());
+            }
+            _ => unreachable!(),
+        }
+        assert!(p.display().contains("Filter"));
+    }
+
+    #[test]
+    fn dialect_override_blocks_pushdown() {
+        let (cat, fed) = setup();
+        let mut cfg = PlannerConfig::optimized();
+        cfg.dialect_override = Some(Dialect::lowest_common_denominator());
+        let p = optimized(
+            "SELECT name FROM crm.customers WHERE id > 5",
+            &cat,
+            &fed,
+            &cfg,
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { pushed_filters, .. } => {
+                assert!(pushed_filters.is_empty(), "LCD has no > operator");
+            }
+            _ => unreachable!(),
+        }
+        // Equality still pushes under LCD.
+        let p = optimized(
+            "SELECT name FROM crm.customers WHERE region = 'r1'",
+            &cat,
+            &fed,
+            &cfg,
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { pushed_filters, .. } => {
+                assert_eq!(pushed_filters.len(), 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn projection_pruning_narrows_scans() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT name FROM crm.customers WHERE region = 'r1'",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { projection, .. } => {
+                // region is consumed by the pushed filter; only name ships.
+                assert_eq!(projection.as_deref(), Some(&["name".to_string()][..]));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pushdown_through_view_alias() {
+        let (cat, fed) = setup();
+        cat.create_view_sql(
+            "CREATE VIEW custs AS SELECT id, name, region FROM crm.customers",
+        )
+        .unwrap();
+        let p = optimized(
+            "SELECT v.name FROM custs v WHERE v.region = 'r2'",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { pushed_filters, .. } => {
+                assert_eq!(pushed_filters.len(), 1, "{}", p.display());
+                assert_eq!(pushed_filters[0].to_string(), "(region = 'r2')");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pushdown_into_union_branches() {
+        let (cat, fed) = setup();
+        cat.create_view_sql(
+            "CREATE VIEW all_ids AS SELECT id FROM crm.customers UNION ALL SELECT order_id AS id FROM orders.orders",
+        )
+        .unwrap();
+        let p = optimized(
+            "SELECT id FROM all_ids WHERE id < 3",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        assert_eq!(scans.len(), 2);
+        for s in &scans {
+            match s {
+                LogicalPlan::SourceScan { pushed_filters, .. } => {
+                    assert_eq!(pushed_filters.len(), 1, "{}", p.display());
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn left_join_right_predicate_stays_above() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT c.name FROM crm.customers c LEFT JOIN orders.orders o \
+             ON c.id = o.customer_id WHERE o.total > 10",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        for s in &scans {
+            match s {
+                LogicalPlan::SourceScan {
+                    source,
+                    pushed_filters,
+                    ..
+                } if source == "orders" => {
+                    assert!(
+                        pushed_filters.is_empty(),
+                        "LEFT JOIN right-side predicate must not sink: {}",
+                        p.display()
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(p.display().contains("Filter"));
+    }
+
+    #[test]
+    fn limit_blocks_pushdown() {
+        let (cat, fed) = setup();
+        cat.create_view_sql("CREATE VIEW top5 AS SELECT id, name, region FROM crm.customers LIMIT 5")
+            .unwrap();
+        let p = optimized(
+            "SELECT name FROM top5 WHERE region = 'r1'",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { pushed_filters, .. } => {
+                assert!(
+                    pushed_filters.is_empty(),
+                    "filter must not cross LIMIT: {}",
+                    p.display()
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn having_on_group_key_pushes_below_aggregate() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT region, COUNT(*) AS n FROM crm.customers GROUP BY region HAVING region = 'r1'",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { pushed_filters, .. } => {
+                assert_eq!(pushed_filters.len(), 1, "{}", p.display());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn limit_pushes_into_capable_scan() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT name FROM crm.customers WHERE region = 'r1' LIMIT 3",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { limit, .. } => {
+                assert_eq!(*limit, Some(3), "{}", p.display());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn limit_does_not_cross_sort_or_flat_files() {
+        let (cat, fed) = setup();
+        // Sort blocks the limit (top-N needs all rows).
+        let p = optimized(
+            "SELECT name FROM crm.customers ORDER BY name LIMIT 3",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { limit, .. } => assert_eq!(*limit, None),
+            _ => unreachable!(),
+        }
+        // Flat files cannot honor LIMIT.
+        let p = optimized(
+            "SELECT id FROM files.notes LIMIT 1",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        let mut scans = Vec::new();
+        find_scans(&p, &mut scans);
+        match &scans[0] {
+            LogicalPlan::SourceScan { limit, .. } => assert_eq!(*limit, None),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn having_on_aggregate_stays_above() {
+        let (cat, fed) = setup();
+        let p = optimized(
+            "SELECT region, COUNT(*) AS n FROM crm.customers GROUP BY region HAVING n > 2",
+            &cat,
+            &fed,
+            &PlannerConfig::optimized(),
+        );
+        assert!(p.display().contains("Filter (n > 2)"), "{}", p.display());
+    }
+}

@@ -1,0 +1,37 @@
+//! Small expression/schema helpers shared by the builder and the rules.
+
+use std::cell::Cell;
+
+use eii_data::Schema;
+use eii_expr::{referenced_columns, Expr};
+
+/// Does every column reference in `expr` resolve in `schema`?
+pub(crate) fn resolves_in(expr: &Expr, schema: &Schema) -> bool {
+    referenced_columns(expr)
+        .iter()
+        .all(|c| schema.index_of(c.relation.as_deref(), &c.name).is_ok())
+}
+
+/// Rewrite an expression across a Project: substitute references to project
+/// output names with their defining expressions. `None` when a reference is
+/// not a plain, unambiguous project output.
+pub(crate) fn rewrite_through_project(expr: &Expr, exprs: &[(Expr, String)]) -> Option<Expr> {
+    let ok = Cell::new(true);
+    let rewritten = expr.clone().transform(|e| match e {
+        Expr::Column { relation, name } => {
+            let matches: Vec<&(Expr, String)> = exprs
+                .iter()
+                .filter(|(_, n)| n.eq_ignore_ascii_case(&name))
+                .collect();
+            match (relation.as_ref(), matches.as_slice()) {
+                (None, [one]) => one.0.clone(),
+                _ => {
+                    ok.set(false);
+                    Expr::Column { relation, name }
+                }
+            }
+        }
+        other => other,
+    });
+    ok.get().then_some(rewritten)
+}

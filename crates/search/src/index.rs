@@ -1,0 +1,172 @@
+//! The TF-IDF inverted index.
+
+use std::collections::HashMap;
+
+use eii_docstore::tokenize_text;
+
+/// What kind of thing an indexed item is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A row of structured data ("business object").
+    Structured,
+    /// An unstructured/semi-structured document.
+    Document,
+}
+
+/// One indexed item.
+#[derive(Debug, Clone)]
+pub struct IndexedItem {
+    /// Source the item came from (ACL unit).
+    pub source: String,
+    /// Stable reference for drill-down (`crm.customers#3`, `docs#42`).
+    pub item_ref: String,
+    pub kind: ItemKind,
+    /// Short display snippet.
+    pub snippet: String,
+    /// Token count (for length normalization).
+    pub length: usize,
+}
+
+/// An inverted index with TF-IDF scoring.
+#[derive(Debug, Default)]
+pub struct SearchIndex {
+    items: Vec<IndexedItem>,
+    /// token -> (item id, term frequency).
+    postings: HashMap<String, Vec<(usize, usize)>>,
+}
+
+impl SearchIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        SearchIndex::default()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Item metadata by id.
+    pub fn item(&self, id: usize) -> &IndexedItem {
+        &self.items[id]
+    }
+
+    /// Add an item with its full text; returns its id.
+    pub fn add(
+        &mut self,
+        source: &str,
+        item_ref: String,
+        kind: ItemKind,
+        text: &str,
+    ) -> usize {
+        let id = self.items.len();
+        let tokens = tokenize_text(text);
+        let mut tf: HashMap<String, usize> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        for (token, count) in tf {
+            self.postings.entry(token).or_default().push((id, count));
+        }
+        let snippet: String = text.chars().take(120).collect();
+        self.items.push(IndexedItem {
+            source: source.to_string(),
+            item_ref,
+            kind,
+            snippet,
+            length: tokens.len().max(1),
+        });
+        id
+    }
+
+    /// TF-IDF scores of all items matching *any* query token (disjunctive
+    /// retrieval; ranking rewards covering more terms). Returns
+    /// `(item id, score)` sorted best-first, ties broken by item id.
+    pub fn score(&self, query: &str) -> Vec<(usize, f64)> {
+        let tokens = tokenize_text(query);
+        if tokens.is_empty() || self.items.is_empty() {
+            return Vec::new();
+        }
+        let n = self.items.len() as f64;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for token in tokens {
+            let Some(postings) = self.postings.get(&token) else {
+                continue;
+            };
+            let idf = (n / postings.len() as f64).ln() + 1.0;
+            for (id, tf) in postings {
+                let norm_tf = *tf as f64 / self.items[*id].length as f64;
+                *scores.entry(*id).or_insert(0.0) += norm_tf.sqrt() * idf;
+            }
+        }
+        let mut out: Vec<(usize, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> SearchIndex {
+        let mut ix = SearchIndex::new();
+        ix.add(
+            "crm",
+            "crm.customers#1".into(),
+            ItemKind::Structured,
+            "acme corporation west gold customer",
+        );
+        ix.add(
+            "docs",
+            "docs#1".into(),
+            ItemKind::Document,
+            "contract renewal for acme corporation signed 2005",
+        );
+        ix.add(
+            "docs",
+            "docs#2".into(),
+            ItemKind::Document,
+            "umbrella invoice overdue",
+        );
+        ix
+    }
+
+    #[test]
+    fn scores_rank_by_relevance() {
+        let ix = index();
+        let hits = ix.score("acme contract");
+        assert_eq!(hits.len(), 2);
+        // docs#1 mentions both terms; crm row only one.
+        assert_eq!(ix.item(hits[0].0).item_ref, "docs#1");
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let ix = index();
+        let hits = ix.score("umbrella");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(ix.item(hits[0].0).item_ref, "docs#2");
+    }
+
+    #[test]
+    fn empty_query_or_index() {
+        assert!(index().score("").is_empty());
+        assert!(SearchIndex::new().score("acme").is_empty());
+        assert!(index().score("zzzz_not_there").is_empty());
+    }
+
+    #[test]
+    fn snippets_are_truncated() {
+        let mut ix = SearchIndex::new();
+        let long = "word ".repeat(100);
+        ix.add("s", "r".into(), ItemKind::Document, &long);
+        assert!(ix.item(0).snippet.len() <= 120);
+    }
+}

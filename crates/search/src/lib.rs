@@ -1,0 +1,20 @@
+//! # eii-search
+//!
+//! Enterprise search (Sikka §8): "the goal of enterprise search is to enable
+//! search across documents, business objects and structured data in all the
+//! applications in an enterprise" — with security: "ensuring that only
+//! authorized users get access to the information they seek, continues to be
+//! an underserved area".
+//!
+//! A [`SearchIndex`] holds TF-IDF postings over *items*: structured rows
+//! rendered as text ("business objects") and documents. [`EnterpriseSearch`]
+//! evaluates ranked queries and applies per-source ACLs from the catalog on
+//! every hit.
+
+pub mod index;
+pub mod indexer;
+pub mod search;
+
+pub use index::{IndexedItem, ItemKind, SearchIndex};
+pub use indexer::{index_docstore, index_federation_table};
+pub use search::{EnterpriseSearch, Hit, SearchStats};

@@ -1,0 +1,136 @@
+//! The search front end with security filtering.
+
+use eii_catalog::Catalog;
+use eii_data::Result;
+
+use crate::index::{ItemKind, SearchIndex};
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub source: String,
+    pub item_ref: String,
+    pub kind: ItemKind,
+    pub score: f64,
+    pub snippet: String,
+}
+
+/// Diagnostics of one search evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Items that matched before security filtering.
+    pub candidates: usize,
+    /// Matches removed because the role lacks access to their source.
+    pub filtered_out: usize,
+}
+
+/// Federated search with per-source access control.
+pub struct EnterpriseSearch {
+    index: SearchIndex,
+    catalog: Catalog,
+}
+
+impl EnterpriseSearch {
+    /// Wrap an index with the catalog holding the ACLs.
+    pub fn new(index: SearchIndex, catalog: Catalog) -> Self {
+        EnterpriseSearch { index, catalog }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// Ranked search as `role`. Every hit is checked against the source
+    /// ACL — results never leak restricted sources, even in snippets.
+    pub fn search(&self, query: &str, role: &str, limit: usize) -> Result<(Vec<Hit>, SearchStats)> {
+        let scored = self.index.score(query);
+        let mut stats = SearchStats {
+            candidates: scored.len(),
+            filtered_out: 0,
+        };
+        let mut hits = Vec::new();
+        for (id, score) in scored {
+            let item = self.index.item(id);
+            if !self.catalog.allowed(&item.source, role) {
+                stats.filtered_out += 1;
+                continue;
+            }
+            hits.push(Hit {
+                source: item.source.clone(),
+                item_ref: item.item_ref.clone(),
+                kind: item.kind,
+                score,
+                snippet: item.snippet.clone(),
+            });
+            if hits.len() >= limit {
+                break;
+            }
+        }
+        Ok((hits, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> EnterpriseSearch {
+        let mut ix = SearchIndex::new();
+        ix.add(
+            "crm",
+            "crm.customers#1".into(),
+            ItemKind::Structured,
+            "acme corporation gold",
+        );
+        ix.add(
+            "hr",
+            "hr.employees#7".into(),
+            ItemKind::Structured,
+            "jamie acme liaison salary 90000",
+        );
+        ix.add(
+            "docs",
+            "docs#1".into(),
+            ItemKind::Document,
+            "acme contract renewal terms",
+        );
+        let catalog = Catalog::new();
+        catalog.grant("hr", "hr-admin");
+        EnterpriseSearch::new(ix, catalog)
+    }
+
+    #[test]
+    fn unprivileged_role_never_sees_hr() {
+        let s = setup();
+        let (hits, stats) = s.search("acme", "sales", 10).unwrap();
+        assert_eq!(stats.candidates, 3);
+        assert_eq!(stats.filtered_out, 1);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.source != "hr"));
+    }
+
+    #[test]
+    fn privileged_role_sees_everything() {
+        let s = setup();
+        let (hits, stats) = s.search("acme", "hr-admin", 10).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(stats.filtered_out, 0);
+        assert!(hits.iter().any(|h| h.source == "hr"));
+    }
+
+    #[test]
+    fn result_mix_spans_kinds() {
+        let s = setup();
+        let (hits, _) = s.search("acme", "hr-admin", 10).unwrap();
+        assert!(hits.iter().any(|h| h.kind == ItemKind::Structured));
+        assert!(hits.iter().any(|h| h.kind == ItemKind::Document));
+    }
+
+    #[test]
+    fn limit_truncates_after_filtering() {
+        let s = setup();
+        let (hits, _) = s.search("acme", "sales", 1).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+}

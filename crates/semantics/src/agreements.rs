@@ -1,0 +1,306 @@
+//! Data-service agreements — the "data supply chain" of Rosenthal §7:
+//! "One needs agreements that capture the obligations of each party in a
+//! formal language. ... the provider may be obligated to provide data of a
+//! specified quality, and to notify the consumer if reported data changes.
+//! The consumer may be obligated to protect the data, to use it only for a
+//! specified purpose. Data offers opportunities unavailable for arbitrary
+//! services, e.g., detecting if an existing agreement covers part of your
+//! data and automated violation detection for some conditions."
+//!
+//! [`DataAgreement`] is that formal language; [`DataAgreement::check`] is
+//! the automated violation detector; [`AgreementRegistry::covering`] is the
+//! coverage query.
+
+use std::collections::BTreeMap;
+
+use eii_data::{Batch, Value};
+
+/// One obligation of a data-supply agreement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Obligation {
+    /// Provider: delivered data may be at most this stale.
+    MaxStalenessMs(i64),
+    /// Provider: at most this fraction of NULLs in the column.
+    MaxNullFraction { column: String, fraction: f64 },
+    /// Provider: deliveries carry at least this many rows (empty feeds are
+    /// usually broken feeds).
+    MinRowsPerDelivery(usize),
+    /// Provider: changes must be announced on this topic.
+    NotifyOnChange { topic: String },
+    /// Consumer: the data may only be used for these purposes.
+    AllowedPurposes(Vec<String>),
+}
+
+impl Obligation {
+    /// Short description for violation reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Obligation::MaxStalenessMs(ms) => format!("staleness <= {ms} ms"),
+            Obligation::MaxNullFraction { column, fraction } => {
+                format!("null fraction of '{column}' <= {fraction}")
+            }
+            Obligation::MinRowsPerDelivery(n) => format!("delivery >= {n} rows"),
+            Obligation::NotifyOnChange { topic } => format!("change notice on '{topic}'"),
+            Obligation::AllowedPurposes(p) => format!("purpose in {{{}}}", p.join(", ")),
+        }
+    }
+}
+
+/// What actually happened in one delivery (built from real batches and
+/// clocks by the caller; see [`DeliveryObservation::from_batch`]).
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryObservation {
+    /// Age of the delivered data.
+    pub staleness_ms: i64,
+    /// Rows delivered.
+    pub rows: usize,
+    /// Per-column NULL fraction.
+    pub null_fractions: BTreeMap<String, f64>,
+    /// Topics on which change notices were published since last delivery.
+    pub notified_topics: Vec<String>,
+    /// What the consumer used the data for.
+    pub purpose: String,
+}
+
+impl DeliveryObservation {
+    /// Derive row count and null fractions from a delivered batch.
+    pub fn from_batch(batch: &Batch, staleness_ms: i64, purpose: &str) -> Self {
+        let mut null_fractions = BTreeMap::new();
+        let n = batch.num_rows().max(1);
+        for (i, f) in batch.schema().fields().iter().enumerate() {
+            let nulls = batch
+                .column(i)
+                .filter(|v| matches!(v, Value::Null))
+                .count();
+            null_fractions.insert(f.name.clone(), nulls as f64 / n as f64);
+        }
+        DeliveryObservation {
+            staleness_ms,
+            rows: batch.num_rows(),
+            null_fractions,
+            notified_topics: Vec::new(),
+            purpose: purpose.to_string(),
+        }
+    }
+}
+
+/// A detected breach of one obligation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub obligation: String,
+    pub detail: String,
+}
+
+/// A provider-consumer data-supply agreement over one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataAgreement {
+    pub provider: String,
+    pub consumer: String,
+    /// The dataset covered, as `source.table` (or a view name).
+    pub dataset: String,
+    pub obligations: Vec<Obligation>,
+}
+
+impl DataAgreement {
+    /// Builder-style constructor.
+    pub fn new(
+        provider: impl Into<String>,
+        consumer: impl Into<String>,
+        dataset: impl Into<String>,
+    ) -> Self {
+        DataAgreement {
+            provider: provider.into(),
+            consumer: consumer.into(),
+            dataset: dataset.into(),
+            obligations: Vec::new(),
+        }
+    }
+
+    /// Add an obligation.
+    pub fn obligation(mut self, o: Obligation) -> Self {
+        self.obligations.push(o);
+        self
+    }
+
+    /// Automated violation detection for one delivery.
+    pub fn check(&self, obs: &DeliveryObservation) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for o in &self.obligations {
+            let breach = match o {
+                Obligation::MaxStalenessMs(max) => (obs.staleness_ms > *max)
+                    .then(|| format!("delivered data was {} ms old", obs.staleness_ms)),
+                Obligation::MaxNullFraction { column, fraction } => {
+                    let actual = obs.null_fractions.get(column).copied().unwrap_or(0.0);
+                    (actual > *fraction)
+                        .then(|| format!("'{column}' was {actual:.2} NULL"))
+                }
+                Obligation::MinRowsPerDelivery(min) => (obs.rows < *min)
+                    .then(|| format!("delivery carried only {} rows", obs.rows)),
+                Obligation::NotifyOnChange { topic } => {
+                    (!obs.notified_topics.iter().any(|t| t == topic))
+                        .then(|| format!("no change notice seen on '{topic}'"))
+                }
+                Obligation::AllowedPurposes(purposes) => {
+                    (!purposes.iter().any(|p| p == &obs.purpose))
+                        .then(|| format!("data used for '{}'", obs.purpose))
+                }
+            };
+            if let Some(detail) = breach {
+                out.push(Violation {
+                    obligation: o.describe(),
+                    detail,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// All agreements in force across the enterprise.
+#[derive(Debug, Clone, Default)]
+pub struct AgreementRegistry {
+    agreements: Vec<DataAgreement>,
+}
+
+impl AgreementRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        AgreementRegistry::default()
+    }
+
+    /// File an agreement.
+    pub fn file(&mut self, agreement: DataAgreement) {
+        self.agreements.push(agreement);
+    }
+
+    /// Number of agreements on file.
+    pub fn len(&self) -> usize {
+        self.agreements.len()
+    }
+
+    /// True when no agreements are filed.
+    pub fn is_empty(&self) -> bool {
+        self.agreements.is_empty()
+    }
+
+    /// Rosenthal's coverage query: does an existing agreement already cover
+    /// this consumer's use of this dataset?
+    pub fn covering(&self, consumer: &str, dataset: &str, purpose: &str) -> Option<&DataAgreement> {
+        self.agreements.iter().find(|a| {
+            a.consumer == consumer
+                && a.dataset == dataset
+                && a.obligations.iter().all(|o| match o {
+                    Obligation::AllowedPurposes(ps) => ps.iter().any(|p| p == purpose),
+                    _ => true,
+                })
+        })
+    }
+
+    /// Every agreement naming this dataset (provider-side impact analysis:
+    /// who must I tell before changing this feed?).
+    pub fn consumers_of(&self, dataset: &str) -> Vec<&str> {
+        self.agreements
+            .iter()
+            .filter(|a| a.dataset == dataset)
+            .map(|a| a.consumer.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, Row, Schema};
+    use std::sync::Arc;
+
+    fn agreement() -> DataAgreement {
+        DataAgreement::new("crm", "analytics", "crm.customers")
+            .obligation(Obligation::MaxStalenessMs(60_000))
+            .obligation(Obligation::MaxNullFraction {
+                column: "region".into(),
+                fraction: 0.1,
+            })
+            .obligation(Obligation::MinRowsPerDelivery(2))
+            .obligation(Obligation::NotifyOnChange {
+                topic: "crm.changed".into(),
+            })
+            .obligation(Obligation::AllowedPurposes(vec![
+                "reporting".into(),
+                "forecasting".into(),
+            ]))
+    }
+
+    fn clean_obs() -> DeliveryObservation {
+        DeliveryObservation {
+            staleness_ms: 1_000,
+            rows: 10,
+            null_fractions: BTreeMap::from([("region".to_string(), 0.0)]),
+            notified_topics: vec!["crm.changed".into()],
+            purpose: "reporting".into(),
+        }
+    }
+
+    #[test]
+    fn clean_delivery_has_no_violations() {
+        assert!(agreement().check(&clean_obs()).is_empty());
+    }
+
+    #[test]
+    fn each_obligation_detects_its_breach() {
+        let a = agreement();
+        let mut obs = clean_obs();
+        obs.staleness_ms = 120_000;
+        obs.rows = 1;
+        obs.null_fractions.insert("region".into(), 0.5);
+        obs.notified_topics.clear();
+        obs.purpose = "marketing-resale".into();
+        let violations = a.check(&obs);
+        assert_eq!(violations.len(), 5, "{violations:?}");
+        assert!(violations.iter().any(|v| v.detail.contains("120000 ms old")));
+        assert!(violations.iter().any(|v| v.detail.contains("marketing-resale")));
+    }
+
+    #[test]
+    fn observation_from_batch_computes_null_fractions() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("region", DataType::Str),
+        ]));
+        let batch = Batch::new(
+            schema,
+            vec![
+                row![1i64, "west"],
+                Row::new(vec![Value::Int(2), Value::Null]),
+            ],
+        );
+        let obs = DeliveryObservation::from_batch(&batch, 5, "reporting");
+        assert_eq!(obs.rows, 2);
+        assert_eq!(obs.null_fractions["region"], 0.5);
+        assert_eq!(obs.null_fractions["id"], 0.0);
+    }
+
+    #[test]
+    fn coverage_query_matches_consumer_dataset_and_purpose() {
+        let mut reg = AgreementRegistry::new();
+        reg.file(agreement());
+        assert!(reg
+            .covering("analytics", "crm.customers", "reporting")
+            .is_some());
+        assert!(reg
+            .covering("analytics", "crm.customers", "resale")
+            .is_none(), "purpose not allowed");
+        assert!(reg.covering("analytics", "hr.employees", "reporting").is_none());
+        assert!(reg.covering("someone-else", "crm.customers", "reporting").is_none());
+    }
+
+    #[test]
+    fn impact_analysis_lists_consumers() {
+        let mut reg = AgreementRegistry::new();
+        reg.file(agreement());
+        reg.file(DataAgreement::new("crm", "billing", "crm.customers"));
+        reg.file(DataAgreement::new("hr", "facilities", "hr.employees"));
+        let mut consumers = reg.consumers_of("crm.customers");
+        consumers.sort_unstable();
+        assert_eq!(consumers, vec!["analytics", "billing"]);
+    }
+}

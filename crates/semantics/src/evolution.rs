@@ -1,0 +1,149 @@
+//! Schema evolution and the agility metric.
+//!
+//! Rosenthal §7: "Research question: Provide ways to measure data
+//! integration agility, either analytically or by experiment. We want a
+//! measure for predictable changes such as adding attributes or tables, and
+//! changing attribute representations." [`measure_agility`] is exactly that
+//! experiment: apply a change script, meter the repair work.
+
+use eii_data::{DataType, Result};
+
+use crate::registry::MappingRegistry;
+
+/// A predictable schema change, in Rosenthal's list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaChange {
+    AddColumn { name: String, data_type: DataType },
+    RemoveColumn { name: String },
+    RenameColumn { from: String, to: String },
+    /// "Changing attribute representations."
+    ChangeType { name: String, data_type: DataType },
+}
+
+/// The agility measurement of one registry under one change script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgilityReport {
+    /// Changes applied.
+    pub changes: usize,
+    /// Mappings touched (repaired, deleted, or created) in total.
+    pub mappings_touched: usize,
+    /// Effort-weighted admin cost incurred by the script.
+    pub admin_effort: f64,
+    /// The agility metric: mappings touched per change (lower = more
+    /// agile).
+    pub touched_per_change: f64,
+}
+
+/// Apply `(schema, change)` pairs to a registry and meter the repair work.
+pub fn measure_agility<R: MappingRegistry>(
+    registry: &mut R,
+    script: &[(String, SchemaChange)],
+) -> Result<AgilityReport> {
+    let effort_before = registry.ledger().total_effort();
+    let mut touched = 0usize;
+    for (schema, change) in script {
+        touched += registry.apply_change(schema, change)?;
+    }
+    let admin_effort = registry.ledger().total_effort() - effort_before;
+    Ok(AgilityReport {
+        changes: script.len(),
+        mappings_touched: touched,
+        admin_effort,
+        touched_per_change: if script.is_empty() {
+            0.0
+        } else {
+            touched as f64 / script.len() as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AdminLedger;
+    use crate::ontology::enterprise_ontology;
+    use crate::registry::{HubRegistry, PairwiseRegistry, SourceSchema};
+
+    fn schemas(n: usize) -> Vec<SourceSchema> {
+        (0..n)
+            .map(|i| {
+                SourceSchema::new(
+                    format!("sys{i}"),
+                    vec![
+                        ("cust_id", DataType::Int),
+                        ("cust_nm", DataType::Str),
+                        ("region", DataType::Str),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    fn script() -> Vec<(String, SchemaChange)> {
+        vec![
+            (
+                "sys0".to_string(),
+                SchemaChange::RenameColumn {
+                    from: "cust_nm".into(),
+                    to: "customer_name".into(),
+                },
+            ),
+            (
+                "sys0".to_string(),
+                SchemaChange::ChangeType {
+                    name: "cust_id".into(),
+                    data_type: DataType::Str,
+                },
+            ),
+            (
+                "sys1".to_string(),
+                SchemaChange::AddColumn {
+                    name: "segment".into(),
+                    data_type: DataType::Str,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn hub_is_more_agile_than_pairwise() {
+        let mut pw = PairwiseRegistry::new(AdminLedger::new());
+        let mut hub = HubRegistry::new(enterprise_ontology(), AdminLedger::new());
+        for s in schemas(8) {
+            pw.register(s.clone()).unwrap();
+            hub.register(s).unwrap();
+        }
+        let pw_report = measure_agility(&mut pw, &script()).unwrap();
+        let hub_report = measure_agility(&mut hub, &script()).unwrap();
+        assert!(
+            hub_report.touched_per_change < pw_report.touched_per_change,
+            "hub {:?} vs pairwise {:?}",
+            hub_report,
+            pw_report
+        );
+        assert!(hub_report.admin_effort < pw_report.admin_effort);
+    }
+
+    #[test]
+    fn empty_script_reports_zero() {
+        let mut pw = PairwiseRegistry::new(AdminLedger::new());
+        pw.register(schemas(1).remove(0)).unwrap();
+        let r = measure_agility(&mut pw, &[]).unwrap();
+        assert_eq!(r.changes, 0);
+        assert_eq!(r.touched_per_change, 0.0);
+    }
+
+    #[test]
+    fn change_to_missing_schema_errors() {
+        let mut pw = PairwiseRegistry::new(AdminLedger::new());
+        let err = measure_agility(
+            &mut pw,
+            &[(
+                "ghost".to_string(),
+                SchemaChange::RemoveColumn { name: "x".into() },
+            )],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+    }
+}

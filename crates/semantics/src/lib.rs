@@ -1,0 +1,40 @@
+//! # eii-semantics
+//!
+//! The meta-data / semantic-heterogeneity layer the paper keeps returning
+//! to: Halevy §1 ("the success of the industry will depend to a large extent
+//! on delivering useful tools ... for meta-data management and schema
+//! heterogeneity"), Pollock §6 ("so long as semantics are in compiled
+//! software ... we will forever run into 'information interoperability'
+//! problems"), Rosenthal §7 ("It's the metadata, stupid! ... Provide ways to
+//! measure data integration agility"), and Ashish §2 (the economics of
+//! schema administration).
+//!
+//! Pieces:
+//! - [`AdminLedger`]: meters every administration operation (schema
+//!   registrations, mappings created/repaired) — the unit the cost
+//!   experiments (E2, E7) are denominated in;
+//! - [`Ontology`]: a concept graph with inheritance — the shared vocabulary
+//!   of the hub topology;
+//! - [`matcher`]: name-based schema matching (token + bigram similarity with
+//!   abbreviation handling);
+//! - [`PairwiseRegistry`] / [`HubRegistry`]: the two mapping topologies —
+//!   N(N-1)/2 pairwise mappings versus N mappings to a hub ontology;
+//! - [`evolution`]: schema-change operations and the **agility metric**
+//!   (repair operations per change);
+//! - [`agreements`]: data-service agreements — formal provider/consumer
+//!   obligations with automated violation detection (Rosenthal's "data
+//!   supply chain").
+
+pub mod agreements;
+pub mod cost;
+pub mod evolution;
+pub mod matcher;
+pub mod ontology;
+pub mod registry;
+
+pub use agreements::{AgreementRegistry, DataAgreement, DeliveryObservation, Obligation, Violation};
+pub use cost::{AdminLedger, AdminOp};
+pub use evolution::{measure_agility, AgilityReport, SchemaChange};
+pub use matcher::{match_schemas, name_similarity};
+pub use ontology::{Concept, Ontology};
+pub use registry::{HubRegistry, MappingRegistry, PairwiseRegistry, SourceSchema};

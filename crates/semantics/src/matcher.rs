@@ -1,0 +1,217 @@
+//! Name-based schema matching.
+//!
+//! Splits identifiers into tokens (snake_case, camelCase), expands common
+//! enterprise abbreviations, and scores candidate pairs by token overlap
+//! with a character-bigram fallback for near-miss tokens. This is the
+//! "semi-manual approach" Sikka warns does not scale — which is exactly why
+//! the experiments meter how often humans must review its output.
+
+use std::collections::BTreeSet;
+
+use eii_data::DataType;
+
+/// Expand well-known abbreviations to canonical tokens.
+fn expand(token: &str) -> &str {
+    match token {
+        "cust" | "cst" => "customer",
+        "nm" | "nme" => "name",
+        "id" | "ident" | "identifier" | "no" | "num" => "identifier",
+        "addr" => "address",
+        "amt" => "amount",
+        "qty" => "quantity",
+        "dept" => "department",
+        "emp" => "employee",
+        "loc" => "location",
+        "sev" => "severity",
+        "ord" => "order",
+        "tkt" => "ticket",
+        "dt" | "date" | "ts" | "at" => "time",
+        "tot" | "total" => "total",
+        "reg" => "region",
+        other => other,
+    }
+}
+
+/// Tokenize an identifier: `custNm`, `cust_nm`, `CUST-NM` all become
+/// `{customer, name}`.
+fn tokens(ident: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in ident.chars() {
+        if c.is_alphanumeric() {
+            if c.is_uppercase() && prev_lower && !current.is_empty() {
+                out.insert(expand(&current.to_lowercase()).to_string());
+                current.clear();
+            }
+            prev_lower = c.is_lowercase() || c.is_numeric();
+            current.push(c);
+        } else {
+            if !current.is_empty() {
+                out.insert(expand(&current.to_lowercase()).to_string());
+                current.clear();
+            }
+            prev_lower = false;
+        }
+    }
+    if !current.is_empty() {
+        out.insert(expand(&current.to_lowercase()).to_string());
+    }
+    out
+}
+
+fn bigrams(s: &str) -> BTreeSet<(char, char)> {
+    let chars: Vec<char> = s.chars().collect();
+    chars.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+fn token_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let (ba, bb) = (bigrams(a), bigrams(b));
+    if ba.is_empty() || bb.is_empty() {
+        return 0.0;
+    }
+    let inter = ba.intersection(&bb).count();
+    2.0 * inter as f64 / (ba.len() + bb.len()) as f64
+}
+
+/// Similarity of two identifiers in [0, 1]: greedy best-pair token matching
+/// normalized by the *smaller* token count, so a qualified name still
+/// matches its bare counterpart (`cust_id` ↔ `identifier`).
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let (ta, tb) = (tokens(a), tokens(b));
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    // Global best-first injective assignment so a strong pair is never
+    // starved by a weak one consuming its token.
+    let ta: Vec<&String> = ta.iter().collect();
+    let tb: Vec<&String> = tb.iter().collect();
+    let mut scored: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, t) in ta.iter().enumerate() {
+        for (j, u) in tb.iter().enumerate() {
+            let s = token_similarity(t, u);
+            if s >= 0.3 {
+                scored.push((i, j, s));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut used_a = vec![false; ta.len()];
+    let mut used_b = vec![false; tb.len()];
+    let mut total = 0.0;
+    for (i, j, s) in scored {
+        if used_a[i] || used_b[j] {
+            continue;
+        }
+        used_a[i] = true;
+        used_b[j] = true;
+        total += s;
+    }
+    total / ta.len().min(tb.len()) as f64
+}
+
+/// A proposed correspondence between two schema elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchProposal {
+    pub left: String,
+    pub right: String,
+    pub score: f64,
+    /// Types agree (unifiable) — mismatches need a cast mapping.
+    pub type_compatible: bool,
+}
+
+/// Match two column lists: greedy best-first assignment above `threshold`.
+pub fn match_schemas(
+    left: &[(String, DataType)],
+    right: &[(String, DataType)],
+    threshold: f64,
+) -> Vec<MatchProposal> {
+    let mut scored: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, (ln, _)) in left.iter().enumerate() {
+        for (j, (rn, _)) in right.iter().enumerate() {
+            let s = name_similarity(ln, rn);
+            if s >= threshold {
+                scored.push((i, j, s));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut used_l = BTreeSet::new();
+    let mut used_r = BTreeSet::new();
+    let mut out = Vec::new();
+    for (i, j, s) in scored {
+        if used_l.contains(&i) || used_r.contains(&j) {
+            continue;
+        }
+        used_l.insert(i);
+        used_r.insert(j);
+        out.push(MatchProposal {
+            left: left[i].0.clone(),
+            right: right[j].0.clone(),
+            score: s,
+            type_compatible: left[i].1.unify(right[j].1).is_some(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenization_handles_cases_and_abbreviations() {
+        assert_eq!(tokens("cust_nm"), tokens("CustomerName"));
+        assert_eq!(tokens("custId"), tokens("customer_identifier"));
+        assert!(tokens("order-total").contains("total"));
+    }
+
+    #[test]
+    fn similarity_recognizes_renames() {
+        assert!(name_similarity("cust_nm", "customer_name") > 0.9);
+        assert!(name_similarity("emp_dept", "employee_department") > 0.9);
+        assert!(name_similarity("region", "severity") < 0.5);
+        assert!(name_similarity("customer_name", "customer_region") > 0.3);
+    }
+
+    #[test]
+    fn match_schemas_is_injective() {
+        let left = vec![
+            ("cust_id".to_string(), DataType::Int),
+            ("cust_nm".to_string(), DataType::Str),
+            ("reg".to_string(), DataType::Str),
+        ];
+        let right = vec![
+            ("customer_identifier".to_string(), DataType::Int),
+            ("customer_name".to_string(), DataType::Str),
+            ("region".to_string(), DataType::Str),
+            ("unrelated_flag".to_string(), DataType::Bool),
+        ];
+        let m = match_schemas(&left, &right, 0.6);
+        assert_eq!(m.len(), 3);
+        let mut rights: Vec<&str> = m.iter().map(|p| p.right.as_str()).collect();
+        rights.sort_unstable();
+        rights.dedup();
+        assert_eq!(rights.len(), 3, "no element matched twice");
+        assert!(m.iter().all(|p| p.type_compatible));
+    }
+
+    #[test]
+    fn type_incompatibility_is_flagged() {
+        let left = vec![("amount".to_string(), DataType::Str)];
+        let right = vec![("amount".to_string(), DataType::Float)];
+        let m = match_schemas(&left, &right, 0.5);
+        assert_eq!(m.len(), 1);
+        assert!(!m[0].type_compatible);
+    }
+
+    #[test]
+    fn threshold_filters_noise() {
+        let left = vec![("alpha".to_string(), DataType::Int)];
+        let right = vec![("omega".to_string(), DataType::Int)];
+        assert!(match_schemas(&left, &right, 0.6).is_empty());
+    }
+}

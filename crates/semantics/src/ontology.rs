@@ -1,0 +1,210 @@
+//! A lightweight ontology: named concepts with typed properties and
+//! single-inheritance is-a edges. This is the "formal semantics outside of
+//! code" Pollock argues for, in the smallest shape that lets the hub mapping
+//! topology work.
+
+use std::collections::BTreeMap;
+
+use eii_data::{DataType, EiiError, Result};
+
+/// A concept: a named set of typed properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    pub name: String,
+    /// Declared (non-inherited) properties.
+    pub properties: Vec<(String, DataType)>,
+    /// Parent concept, if any.
+    pub is_a: Option<String>,
+}
+
+/// A concept graph.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    concepts: BTreeMap<String, Concept>,
+}
+
+impl Ontology {
+    /// Empty ontology.
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    /// Add a root concept.
+    pub fn concept(
+        mut self,
+        name: impl Into<String>,
+        properties: Vec<(&str, DataType)>,
+    ) -> Self {
+        let name = name.into();
+        self.concepts.insert(
+            name.clone(),
+            Concept {
+                name,
+                properties: properties
+                    .into_iter()
+                    .map(|(n, t)| (n.to_string(), t))
+                    .collect(),
+            is_a: None,
+            },
+        );
+        self
+    }
+
+    /// Add a subconcept.
+    pub fn subconcept(
+        mut self,
+        name: impl Into<String>,
+        parent: impl Into<String>,
+        properties: Vec<(&str, DataType)>,
+    ) -> Self {
+        let name = name.into();
+        self.concepts.insert(
+            name.clone(),
+            Concept {
+                name,
+                properties: properties
+                    .into_iter()
+                    .map(|(n, t)| (n.to_string(), t))
+                    .collect(),
+                is_a: Some(parent.into()),
+            },
+        );
+        self
+    }
+
+    /// Fetch a concept.
+    pub fn get(&self, name: &str) -> Result<&Concept> {
+        self.concepts
+            .get(name)
+            .ok_or_else(|| EiiError::NotFound(format!("concept {name}")))
+    }
+
+    /// All concept names.
+    pub fn concept_names(&self) -> Vec<String> {
+        self.concepts.keys().cloned().collect()
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True when there are no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Properties of a concept including inherited ones (parents first).
+    pub fn properties_of(&self, name: &str) -> Result<Vec<(String, DataType)>> {
+        let mut chain = Vec::new();
+        let mut cursor = Some(name.to_string());
+        let mut hops = 0;
+        while let Some(n) = cursor {
+            let c = self.get(&n)?;
+            chain.push(c);
+            cursor = c.is_a.clone();
+            hops += 1;
+            if hops > self.concepts.len() {
+                return Err(EiiError::Internal(format!(
+                    "is-a cycle involving concept {name}"
+                )));
+            }
+        }
+        let mut out = Vec::new();
+        for c in chain.iter().rev() {
+            out.extend(c.properties.iter().cloned());
+        }
+        Ok(out)
+    }
+
+    /// Is `a` a (transitive) subconcept of `b`?
+    pub fn is_subconcept(&self, a: &str, b: &str) -> bool {
+        let mut cursor = Some(a.to_string());
+        let mut hops = 0;
+        while let Some(n) = cursor {
+            if n == b {
+                return true;
+            }
+            cursor = self.concepts.get(&n).and_then(|c| c.is_a.clone());
+            hops += 1;
+            if hops > self.concepts.len() {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// The shared enterprise ontology used by examples and benches: parties,
+/// customers, employees, orders, tickets.
+pub fn enterprise_ontology() -> Ontology {
+    Ontology::new()
+        .concept(
+            "Party",
+            vec![("identifier", DataType::Int), ("name", DataType::Str)],
+        )
+        .subconcept(
+            "Customer",
+            "Party",
+            vec![("region", DataType::Str), ("segment", DataType::Str)],
+        )
+        .subconcept(
+            "Employee",
+            "Party",
+            vec![("department", DataType::Str), ("location", DataType::Str)],
+        )
+        .concept(
+            "Order",
+            vec![
+                ("identifier", DataType::Int),
+                ("customer", DataType::Int),
+                ("total", DataType::Float),
+                ("placed_at", DataType::Timestamp),
+            ],
+        )
+        .concept(
+            "Ticket",
+            vec![
+                ("identifier", DataType::Int),
+                ("customer", DataType::Int),
+                ("severity", DataType::Int),
+            ],
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inheritance_collects_properties() {
+        let o = enterprise_ontology();
+        let props = o.properties_of("Customer").unwrap();
+        let names: Vec<&str> = props.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["identifier", "name", "region", "segment"]);
+    }
+
+    #[test]
+    fn subconcept_relation() {
+        let o = enterprise_ontology();
+        assert!(o.is_subconcept("Customer", "Party"));
+        assert!(o.is_subconcept("Customer", "Customer"));
+        assert!(!o.is_subconcept("Party", "Customer"));
+        assert!(!o.is_subconcept("Order", "Party"));
+    }
+
+    #[test]
+    fn missing_concept_not_found() {
+        let o = Ontology::new();
+        assert_eq!(o.get("X").unwrap_err().kind(), "not_found");
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let o = Ontology::new()
+            .subconcept("A", "B", vec![])
+            .subconcept("B", "A", vec![]);
+        assert_eq!(o.properties_of("A").unwrap_err().kind(), "internal");
+        assert!(!o.is_subconcept("A", "Z"));
+    }
+}

@@ -1,0 +1,561 @@
+//! Mapping registries: the two topologies for relating N schemas.
+//!
+//! - [`PairwiseRegistry`]: every schema maps directly to every other —
+//!   O(N²) mappings, and a change to one schema ripples into every
+//!   partnership ("write enough code and I will connect every software
+//!   system anywhere. But then things change." — Pollock §6).
+//! - [`HubRegistry`]: every schema maps once to a shared ontology — O(N)
+//!   mappings; changes are repaired against the hub alone.
+
+use std::collections::BTreeMap;
+
+use eii_data::{DataType, EiiError, Result};
+
+use crate::cost::{AdminLedger, AdminOp};
+use crate::evolution::SchemaChange;
+use crate::matcher::match_schemas;
+use crate::ontology::Ontology;
+
+/// A source's relational shape, as the semantics layer sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSchema {
+    pub name: String,
+    pub columns: Vec<(String, DataType)>,
+}
+
+impl SourceSchema {
+    /// Build from parts.
+    pub fn new(name: impl Into<String>, columns: Vec<(&str, DataType)>) -> Self {
+        SourceSchema {
+            name: name.into(),
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        }
+    }
+
+    fn apply(&mut self, change: &SchemaChange) -> Result<()> {
+        match change {
+            SchemaChange::AddColumn { name, data_type } => {
+                self.columns.push((name.clone(), *data_type));
+            }
+            SchemaChange::RemoveColumn { name } => {
+                let before = self.columns.len();
+                self.columns.retain(|(n, _)| n != name);
+                if self.columns.len() == before {
+                    return Err(EiiError::NotFound(format!(
+                        "column {name} in schema {}",
+                        self.name
+                    )));
+                }
+            }
+            SchemaChange::RenameColumn { from, to } => {
+                let col = self
+                    .columns
+                    .iter_mut()
+                    .find(|(n, _)| n == from)
+                    .ok_or_else(|| {
+                        EiiError::NotFound(format!("column {from} in schema {}", self.name))
+                    })?;
+                col.0 = to.clone();
+            }
+            SchemaChange::ChangeType { name, data_type } => {
+                let col = self
+                    .columns
+                    .iter_mut()
+                    .find(|(n, _)| n == name)
+                    .ok_or_else(|| {
+                        EiiError::NotFound(format!("column {name} in schema {}", self.name))
+                    })?;
+                col.1 = *data_type;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Common interface of the two topologies.
+pub trait MappingRegistry {
+    /// Register a new source schema, creating whatever mappings the
+    /// topology needs. Charges the ledger.
+    fn register(&mut self, schema: SourceSchema) -> Result<()>;
+
+    /// Number of element-level mappings currently maintained.
+    fn mapping_count(&self) -> usize;
+
+    /// Translate a column of one schema into another schema's column, if a
+    /// correspondence exists (directly or through the hub).
+    fn correspondence(&self, from_schema: &str, column: &str, to_schema: &str)
+        -> Option<String>;
+
+    /// Apply a schema change, repairing mappings. Returns the number of
+    /// mappings touched. Charges the ledger.
+    fn apply_change(&mut self, schema: &str, change: &SchemaChange) -> Result<usize>;
+
+    /// Registered schema names.
+    fn schema_names(&self) -> Vec<String>;
+
+    /// The admin-cost ledger.
+    fn ledger(&self) -> &AdminLedger;
+}
+
+const MATCH_THRESHOLD: f64 = 0.55;
+
+// ---------------------------------------------------------------- pairwise
+
+/// Direct schema-to-schema mappings.
+pub struct PairwiseRegistry {
+    schemas: BTreeMap<String, SourceSchema>,
+    /// (schema_a, schema_b) -> [(col_a, col_b)]; key ordered a < b.
+    mappings: BTreeMap<(String, String), Vec<(String, String)>>,
+    ledger: AdminLedger,
+}
+
+impl PairwiseRegistry {
+    /// Empty registry on a ledger.
+    pub fn new(ledger: AdminLedger) -> Self {
+        PairwiseRegistry {
+            schemas: BTreeMap::new(),
+            mappings: BTreeMap::new(),
+            ledger,
+        }
+    }
+
+    fn pair_key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+
+    /// Mapped pair aligned so `.0` belongs to `a`.
+    fn pairs_between(&self, a: &str, b: &str) -> Vec<(String, String)> {
+        let key = Self::pair_key(a, b);
+        let Some(pairs) = self.mappings.get(&key) else {
+            return Vec::new();
+        };
+        if key.0 == a {
+            pairs.clone()
+        } else {
+            pairs.iter().map(|(x, y)| (y.clone(), x.clone())).collect()
+        }
+    }
+}
+
+impl MappingRegistry for PairwiseRegistry {
+    fn register(&mut self, schema: SourceSchema) -> Result<()> {
+        if self.schemas.contains_key(&schema.name) {
+            return Err(EiiError::AlreadyExists(format!("schema {}", schema.name)));
+        }
+        self.ledger.charge(AdminOp::SourceOnboarded, 1);
+        self.ledger.charge(AdminOp::SchemaRegistration, 1);
+        for other in self.schemas.values() {
+            let proposals = match_schemas(&schema.columns, &other.columns, MATCH_THRESHOLD);
+            if proposals.is_empty() {
+                continue;
+            }
+            self.ledger.charge(AdminOp::MappingCreated, proposals.len());
+            let key = Self::pair_key(&schema.name, &other.name);
+            let aligned: Vec<(String, String)> = proposals
+                .into_iter()
+                .map(|p| {
+                    if key.0 == schema.name {
+                        (p.left, p.right)
+                    } else {
+                        (p.right, p.left)
+                    }
+                })
+                .collect();
+            self.mappings.insert(key, aligned);
+        }
+        self.schemas.insert(schema.name.clone(), schema);
+        Ok(())
+    }
+
+    fn mapping_count(&self) -> usize {
+        self.mappings.values().map(Vec::len).sum()
+    }
+
+    fn correspondence(
+        &self,
+        from_schema: &str,
+        column: &str,
+        to_schema: &str,
+    ) -> Option<String> {
+        self.pairs_between(from_schema, to_schema)
+            .into_iter()
+            .find(|(a, _)| a == column)
+            .map(|(_, b)| b)
+    }
+
+    fn apply_change(&mut self, schema: &str, change: &SchemaChange) -> Result<usize> {
+        let s = self
+            .schemas
+            .get_mut(schema)
+            .ok_or_else(|| EiiError::NotFound(format!("schema {schema}")))?;
+        s.apply(change)?;
+        let s = self.schemas.get(schema).expect("present").clone();
+        let mut touched = 0;
+        match change {
+            SchemaChange::RenameColumn { from, to } => {
+                for (key, pairs) in self.mappings.iter_mut() {
+                    let mine_first = key.0 == schema;
+                    if key.0 != schema && key.1 != schema {
+                        continue;
+                    }
+                    for pair in pairs.iter_mut() {
+                        let mine = if mine_first { &mut pair.0 } else { &mut pair.1 };
+                        if mine == from {
+                            *mine = to.clone();
+                            touched += 1;
+                        }
+                    }
+                }
+                self.ledger.charge(AdminOp::MappingRepaired, touched);
+            }
+            SchemaChange::ChangeType { name, .. } => {
+                for (key, pairs) in &self.mappings {
+                    if key.0 != schema && key.1 != schema {
+                        continue;
+                    }
+                    let mine_first = key.0 == schema;
+                    touched += pairs
+                        .iter()
+                        .filter(|p| (if mine_first { &p.0 } else { &p.1 }) == name)
+                        .count();
+                }
+                self.ledger.charge(AdminOp::MappingRepaired, touched);
+            }
+            SchemaChange::RemoveColumn { name } => {
+                for (key, pairs) in self.mappings.iter_mut() {
+                    if key.0 != schema && key.1 != schema {
+                        continue;
+                    }
+                    let mine_first = key.0 == schema;
+                    let before = pairs.len();
+                    pairs.retain(|p| (if mine_first { &p.0 } else { &p.1 }) != name);
+                    touched += before - pairs.len();
+                }
+                self.ledger.charge(AdminOp::MappingDeleted, touched);
+            }
+            SchemaChange::AddColumn { name, data_type } => {
+                // Try to map the new column against every partner.
+                let new_col = vec![(name.clone(), *data_type)];
+                let partners: Vec<String> = self
+                    .schemas
+                    .keys()
+                    .filter(|k| *k != schema)
+                    .cloned()
+                    .collect();
+                for partner in partners {
+                    let other = self.schemas.get(&partner).expect("present");
+                    let proposals = match_schemas(&new_col, &other.columns, MATCH_THRESHOLD);
+                    if let Some(p) = proposals.into_iter().next() {
+                        let key = Self::pair_key(&s.name, &partner);
+                        let aligned = if key.0 == s.name {
+                            (p.left, p.right)
+                        } else {
+                            (p.right, p.left)
+                        };
+                        self.mappings.entry(key).or_default().push(aligned);
+                        touched += 1;
+                    }
+                }
+                self.ledger.charge(AdminOp::MappingCreated, touched);
+            }
+        }
+        Ok(touched)
+    }
+
+    fn schema_names(&self) -> Vec<String> {
+        self.schemas.keys().cloned().collect()
+    }
+
+    fn ledger(&self) -> &AdminLedger {
+        &self.ledger
+    }
+}
+
+// --------------------------------------------------------------------- hub
+
+/// Schemas map once to a shared ontology concept.
+pub struct HubRegistry {
+    ontology: Ontology,
+    schemas: BTreeMap<String, SourceSchema>,
+    /// schema -> (concept, [(column, property)]).
+    mappings: BTreeMap<String, (String, Vec<(String, String)>)>,
+    ledger: AdminLedger,
+}
+
+impl HubRegistry {
+    /// Registry over an ontology. Authoring the ontology itself is charged
+    /// up front — the hub is not free, it just amortizes.
+    pub fn new(ontology: Ontology, ledger: AdminLedger) -> Self {
+        ledger.charge(AdminOp::ConceptAuthored, ontology.len());
+        HubRegistry {
+            ontology,
+            schemas: BTreeMap::new(),
+            mappings: BTreeMap::new(),
+            ledger,
+        }
+    }
+
+    /// Pick the concept whose properties best cover the schema.
+    fn best_concept(&self, schema: &SourceSchema) -> Result<(String, Vec<(String, String)>)> {
+        type Candidate = (String, Vec<(String, String)>, f64);
+        let mut best: Option<Candidate> = None;
+        for concept in self.ontology.concept_names() {
+            let props = self.ontology.properties_of(&concept)?;
+            let proposals = match_schemas(&schema.columns, &props, MATCH_THRESHOLD);
+            let score: f64 = proposals.iter().map(|p| p.score).sum();
+            let pairs: Vec<(String, String)> = proposals
+                .into_iter()
+                .map(|p| (p.left, p.right))
+                .collect();
+            if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                best = Some((concept, pairs, score));
+            }
+        }
+        let (concept, pairs, score) = best.ok_or_else(|| {
+            EiiError::NotFound("ontology has no concepts".to_string())
+        })?;
+        if score == 0.0 {
+            return Err(EiiError::Plan(format!(
+                "schema {} matches no ontology concept; author one first",
+                schema.name
+            )));
+        }
+        Ok((concept, pairs))
+    }
+}
+
+impl MappingRegistry for HubRegistry {
+    fn register(&mut self, schema: SourceSchema) -> Result<()> {
+        if self.schemas.contains_key(&schema.name) {
+            return Err(EiiError::AlreadyExists(format!("schema {}", schema.name)));
+        }
+        self.ledger.charge(AdminOp::SourceOnboarded, 1);
+        self.ledger.charge(AdminOp::SchemaRegistration, 1);
+        let (concept, pairs) = self.best_concept(&schema)?;
+        self.ledger.charge(AdminOp::MappingCreated, pairs.len());
+        self.mappings
+            .insert(schema.name.clone(), (concept, pairs));
+        self.schemas.insert(schema.name.clone(), schema);
+        Ok(())
+    }
+
+    fn mapping_count(&self) -> usize {
+        self.mappings.values().map(|(_, v)| v.len()).sum()
+    }
+
+    fn correspondence(
+        &self,
+        from_schema: &str,
+        column: &str,
+        to_schema: &str,
+    ) -> Option<String> {
+        let (from_concept, from_pairs) = self.mappings.get(from_schema)?;
+        let (to_concept, to_pairs) = self.mappings.get(to_schema)?;
+        // Composition through the hub requires a shared (or related)
+        // concept vocabulary.
+        if from_concept != to_concept
+            && !self.ontology.is_subconcept(from_concept, to_concept)
+            && !self.ontology.is_subconcept(to_concept, from_concept)
+        {
+            return None;
+        }
+        let property = from_pairs
+            .iter()
+            .find(|(c, _)| c == column)
+            .map(|(_, p)| p)?;
+        to_pairs
+            .iter()
+            .find(|(_, p)| p == property)
+            .map(|(c, _)| c.clone())
+    }
+
+    fn apply_change(&mut self, schema: &str, change: &SchemaChange) -> Result<usize> {
+        let s = self
+            .schemas
+            .get_mut(schema)
+            .ok_or_else(|| EiiError::NotFound(format!("schema {schema}")))?;
+        s.apply(change)?;
+        let entry = self
+            .mappings
+            .get_mut(schema)
+            .ok_or_else(|| EiiError::NotFound(format!("mapping for {schema}")))?;
+        let mut touched = 0;
+        match change {
+            SchemaChange::RenameColumn { from, to } => {
+                for (c, _) in entry.1.iter_mut() {
+                    if c == from {
+                        *c = to.clone();
+                        touched += 1;
+                    }
+                }
+                self.ledger.charge(AdminOp::MappingRepaired, touched);
+            }
+            SchemaChange::ChangeType { name, .. } => {
+                touched = entry.1.iter().filter(|(c, _)| c == name).count();
+                self.ledger.charge(AdminOp::MappingRepaired, touched);
+            }
+            SchemaChange::RemoveColumn { name } => {
+                let before = entry.1.len();
+                entry.1.retain(|(c, _)| c != name);
+                touched = before - entry.1.len();
+                self.ledger.charge(AdminOp::MappingDeleted, touched);
+            }
+            SchemaChange::AddColumn { name, data_type } => {
+                let props = self.ontology.properties_of(&entry.0)?;
+                let proposals = match_schemas(
+                    &[(name.clone(), *data_type)],
+                    &props,
+                    MATCH_THRESHOLD,
+                );
+                if let Some(p) = proposals.into_iter().next() {
+                    entry.1.push((p.left, p.right));
+                    touched = 1;
+                }
+                self.ledger.charge(AdminOp::MappingCreated, touched);
+            }
+        }
+        Ok(touched)
+    }
+
+    fn schema_names(&self) -> Vec<String> {
+        self.schemas.keys().cloned().collect()
+    }
+
+    fn ledger(&self) -> &AdminLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::enterprise_ontology;
+
+    fn customer_schema(i: usize) -> SourceSchema {
+        // Each system spells the same concept differently.
+        let spellings = [
+            vec![("cust_id", DataType::Int), ("cust_nm", DataType::Str), ("reg", DataType::Str)],
+            vec![("customerId", DataType::Int), ("customerName", DataType::Str), ("region", DataType::Str)],
+            vec![("id", DataType::Int), ("name", DataType::Str), ("segment", DataType::Str)],
+            vec![("CUST_NO", DataType::Int), ("NM", DataType::Str), ("REGION", DataType::Str)],
+        ];
+        SourceSchema {
+            name: format!("sys{i}"),
+            columns: spellings[i % spellings.len()]
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn pairwise_mapping_count_grows_quadratically() {
+        let ledger = AdminLedger::new();
+        let mut reg = PairwiseRegistry::new(ledger);
+        for i in 0..4 {
+            reg.register(customer_schema(i)).unwrap();
+        }
+        // 4 schemas -> 6 pairs, each with >= 2 correspondences.
+        assert!(reg.mapping_count() >= 12, "got {}", reg.mapping_count());
+    }
+
+    #[test]
+    fn hub_mapping_count_grows_linearly() {
+        let ledger = AdminLedger::new();
+        let mut reg = HubRegistry::new(enterprise_ontology(), ledger);
+        for i in 0..4 {
+            reg.register(customer_schema(i)).unwrap();
+        }
+        // One mapping set per schema, each with <= columns entries.
+        assert!(reg.mapping_count() <= 4 * 4, "got {}", reg.mapping_count());
+        assert_eq!(reg.schema_names().len(), 4);
+    }
+
+    #[test]
+    fn correspondence_translates_in_both_topologies() {
+        let mut pw = PairwiseRegistry::new(AdminLedger::new());
+        pw.register(customer_schema(0)).unwrap();
+        pw.register(customer_schema(1)).unwrap();
+        assert_eq!(
+            pw.correspondence("sys0", "cust_nm", "sys1").as_deref(),
+            Some("customerName")
+        );
+        assert_eq!(
+            pw.correspondence("sys1", "customerName", "sys0").as_deref(),
+            Some("cust_nm")
+        );
+
+        let mut hub = HubRegistry::new(enterprise_ontology(), AdminLedger::new());
+        hub.register(customer_schema(0)).unwrap();
+        hub.register(customer_schema(1)).unwrap();
+        assert_eq!(
+            hub.correspondence("sys0", "cust_nm", "sys1").as_deref(),
+            Some("customerName")
+        );
+    }
+
+    #[test]
+    fn rename_repair_cost_scales_with_partners_only_in_pairwise() {
+        let n = 6;
+        let mut pw = PairwiseRegistry::new(AdminLedger::new());
+        let mut hub = HubRegistry::new(enterprise_ontology(), AdminLedger::new());
+        for i in 0..n {
+            let mut s = customer_schema(0);
+            s.name = format!("sys{i}");
+            pw.register(s.clone()).unwrap();
+            hub.register(s).unwrap();
+        }
+        let change = SchemaChange::RenameColumn {
+            from: "cust_nm".into(),
+            to: "customer_full_name".into(),
+        };
+        let pw_touched = pw.apply_change("sys0", &change).unwrap();
+        let hub_touched = hub.apply_change("sys0", &change).unwrap();
+        assert_eq!(pw_touched, n - 1, "one repair per partner");
+        assert_eq!(hub_touched, 1, "one repair against the hub");
+    }
+
+    #[test]
+    fn remove_column_deletes_mappings() {
+        let mut pw = PairwiseRegistry::new(AdminLedger::new());
+        pw.register(customer_schema(0)).unwrap();
+        pw.register(customer_schema(1)).unwrap();
+        let before = pw.mapping_count();
+        let touched = pw
+            .apply_change(
+                "sys0",
+                &SchemaChange::RemoveColumn { name: "reg".into() },
+            )
+            .unwrap();
+        assert!(touched >= 1);
+        assert_eq!(pw.mapping_count(), before - touched);
+        assert_eq!(pw.correspondence("sys0", "reg", "sys1"), None);
+    }
+
+    #[test]
+    fn unmatchable_schema_is_rejected_by_hub() {
+        let mut hub = HubRegistry::new(enterprise_ontology(), AdminLedger::new());
+        let weird = SourceSchema::new(
+            "telemetry",
+            vec![("xjq9", DataType::Float), ("zzz_flux", DataType::Float)],
+        );
+        assert_eq!(hub.register(weird).unwrap_err().kind(), "plan");
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut pw = PairwiseRegistry::new(AdminLedger::new());
+        pw.register(customer_schema(0)).unwrap();
+        assert_eq!(
+            pw.register(customer_schema(0)).unwrap_err().kind(),
+            "already_exists"
+        );
+    }
+}

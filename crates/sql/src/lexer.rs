@@ -1,0 +1,225 @@
+//! The SQL lexer.
+
+use eii_data::{EiiError, Result};
+
+/// A lexical token. Keywords are uppercased identifiers recognized by the
+/// parser; the lexer only distinguishes shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(EiiError::Parse("unterminated string literal".into()))
+                        }
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if matches!(chars.get(i), Some('e' | 'E')) {
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+' | '-')) {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(char::is_ascii_digit) {
+                        is_float = true;
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let f = text
+                        .parse::<f64>()
+                        .map_err(|e| EiiError::Parse(format!("bad float '{text}': {e}")))?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n = text
+                        .parse::<i64>()
+                        .map_err(|e| EiiError::Parse(format!("bad integer '{text}': {e}")))?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            _ => {
+                let (sym, len) = match (c, chars.get(i + 1)) {
+                    ('<', Some('=')) => (Symbol::LtEq, 2),
+                    ('<', Some('>')) => (Symbol::NotEq, 2),
+                    ('>', Some('=')) => (Symbol::GtEq, 2),
+                    ('!', Some('=')) => (Symbol::NotEq, 2),
+                    ('(', _) => (Symbol::LParen, 1),
+                    (')', _) => (Symbol::RParen, 1),
+                    (',', _) => (Symbol::Comma, 1),
+                    ('.', _) => (Symbol::Dot, 1),
+                    ('*', _) => (Symbol::Star, 1),
+                    ('+', _) => (Symbol::Plus, 1),
+                    ('-', _) => (Symbol::Minus, 1),
+                    ('/', _) => (Symbol::Slash, 1),
+                    ('%', _) => (Symbol::Percent, 1),
+                    ('=', _) => (Symbol::Eq, 1),
+                    ('<', _) => (Symbol::Lt, 1),
+                    ('>', _) => (Symbol::Gt, 1),
+                    (';', _) => (Symbol::Semicolon, 1),
+                    _ => {
+                        return Err(EiiError::Parse(format!(
+                            "unexpected character '{c}' at offset {i}"
+                        )))
+                    }
+                };
+                tokens.push(Token::Symbol(sym));
+                i += len;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 1.5").unwrap();
+        assert_eq!(toks.len(), 10);
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[9], Token::Float(1.5));
+        assert_eq!(toks[8], Token::Symbol(Symbol::GtEq));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'o''brien'").unwrap();
+        assert_eq!(toks, vec![Token::Str("o'brien".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert_eq!(tokenize("'abc").unwrap_err().kind(), "parse");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- comment here\n 1").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Int(1));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e3 2.5E-2 7").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Float(1e3), Token::Float(2.5e-2), Token::Int(7)]
+        );
+    }
+
+    #[test]
+    fn qualified_name_tokens() {
+        let toks = tokenize("crm.customers").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1], Token::Symbol(Symbol::Dot));
+    }
+
+    #[test]
+    fn both_not_eq_spellings() {
+        assert_eq!(tokenize("<>").unwrap(), vec![Token::Symbol(Symbol::NotEq)]);
+        assert_eq!(tokenize("!=").unwrap(), vec![Token::Symbol(Symbol::NotEq)]);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("SELECT @x").is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! # eii-sql
+//!
+//! The SQL front end of the platform: a hand-written lexer and recursive-
+//! descent parser for the federated query language — a pragmatic SQL subset
+//! with joins, subqueries in `FROM`, aggregation, `UNION ALL`, `CREATE VIEW`
+//! (how mediated schemas are defined, following Draper's "views as the
+//! central metaphor"), and a `SEARCH` statement for enterprise keyword search
+//! (Sikka §8).
+//!
+//! Dialect notes (documented deviations from full SQL):
+//! - `HAVING` and `ORDER BY` resolve against the *output* columns of the
+//!   select list (use aliases: `SELECT dept, COUNT(*) AS n ... HAVING n > 2`).
+//! - String literals use single quotes, doubled to escape (`'o''brien'`).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    JoinKind, OrderItem, Query, SelectItem, SelectExpr, SetQuery, Statement, SubqueryPred,
+    TableRef,
+};
+pub use lexer::{tokenize, Token};
+pub use parser::{parse_expression, parse_query, parse_statement};

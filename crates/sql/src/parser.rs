@@ -1,0 +1,1094 @@
+//! Recursive-descent parser for the federated query language.
+
+use eii_data::{DataType, EiiError, Result, Value};
+use eii_expr::{AggFunc, BinaryOp, Expr, ScalarFunc};
+
+use crate::ast::{
+    JoinKind, OrderItem, Query, SelectExpr, SelectItem, SetQuery, Statement, SubqueryPred,
+    TableRef,
+};
+use crate::lexer::{tokenize, Symbol, Token};
+
+/// Parse a single statement.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, ..Parser::default() };
+    let stmt = p.statement()?;
+    p.skip_symbol(Symbol::Semicolon);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parse a query (`SELECT ... [UNION ALL ...]`).
+pub fn parse_query(sql: &str) -> Result<SetQuery> {
+    match parse_statement(sql)? {
+        Statement::Query(q) => Ok(q),
+        other => Err(EiiError::Parse(format!(
+            "expected a query, found {other:?}"
+        ))),
+    }
+}
+
+/// Parse a standalone scalar expression (used by tests and by view tooling).
+pub fn parse_expression(text: &str) -> Result<Expr> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, ..Parser::default() };
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+#[derive(Default)]
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// WHERE-clause side channel for `IN (SELECT ...)` predicates.
+    pending_subs: Vec<SubqueryPred>,
+    /// True only while parsing a WHERE conjunct (where subquery predicates
+    /// are legal).
+    allow_subquery: bool,
+    /// NOT consumed while parsing the current WHERE conjunct.
+    term_not_used: bool,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn skip_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.skip_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword {kw}")))
+        }
+    }
+
+    fn at_symbol(&self, s: Symbol) -> bool {
+        self.peek() == Some(&Token::Symbol(s))
+    }
+
+    fn skip_symbol(&mut self, s: Symbol) -> bool {
+        if self.at_symbol(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Symbol) -> Result<()> {
+        if self.skip_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("{s:?}")))
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(EiiError::Parse(format!(
+                "unexpected trailing input starting at {t:?}"
+            ))),
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> EiiError {
+        match self.peek() {
+            Some(t) => EiiError::Parse(format!("expected {wanted}, found {t:?}")),
+            None => EiiError::Parse(format!("expected {wanted}, found end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(EiiError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.at_kw("CREATE") {
+            self.pos += 1;
+            self.expect_kw("VIEW")?;
+            let name = self.qualified_name()?;
+            self.expect_kw("AS")?;
+            let query = self.set_query()?;
+            return Ok(Statement::CreateView { name, query });
+        }
+        if self.at_kw("SEARCH") {
+            self.pos += 1;
+            let terms = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(EiiError::Parse(format!(
+                        "SEARCH expects a quoted term string, found {other:?}"
+                    )))
+                }
+            };
+            let mut sources = Vec::new();
+            if self.skip_kw("IN") {
+                loop {
+                    sources.push(self.ident()?);
+                    if !self.skip_symbol(Symbol::Comma) {
+                        break;
+                    }
+                }
+            }
+            let limit = if self.skip_kw("LIMIT") {
+                Some(self.usize_literal()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Search {
+                terms,
+                sources,
+                limit,
+            });
+        }
+        Ok(Statement::Query(self.set_query()?))
+    }
+
+    fn usize_literal(&mut self) -> Result<usize> {
+        match self.next() {
+            Some(Token::Int(n)) if n >= 0 => Ok(n as usize),
+            other => Err(EiiError::Parse(format!(
+                "expected non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---- queries ------------------------------------------------------
+
+    fn set_query(&mut self) -> Result<SetQuery> {
+        let mut left = SetQuery::Select(Box::new(self.select()?));
+        while self.at_kw("UNION") {
+            self.pos += 1;
+            self.expect_kw("ALL")?;
+            let right = if self.skip_symbol(Symbol::LParen) {
+                let q = self.set_query()?;
+                self.expect_symbol(Symbol::RParen)?;
+                q
+            } else {
+                SetQuery::Select(Box::new(self.select()?))
+            };
+            left = SetQuery::UnionAll(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn select(&mut self) -> Result<Query> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.skip_kw("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.skip_symbol(Symbol::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.skip_kw("FROM") {
+            from.push(self.table_ref()?);
+            while self.skip_symbol(Symbol::Comma) {
+                from.push(self.table_ref()?);
+            }
+        }
+        let (filter, subquery_preds) = if self.skip_kw("WHERE") {
+            self.where_clause()?
+        } else {
+            (None, Vec::new())
+        };
+        let mut group_by = Vec::new();
+        if self.skip_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.skip_symbol(Symbol::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.skip_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.skip_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.skip_kw("DESC") {
+                    false
+                } else {
+                    self.skip_kw("ASC");
+                    true
+                };
+                order_by.push(OrderItem { expr, asc });
+                if !self.skip_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.skip_kw("LIMIT") {
+            Some(self.usize_literal()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            items,
+            from,
+            filter,
+            group_by,
+            subquery_preds,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    /// Parse a WHERE clause as a list of AND-separated conjuncts. Each
+    /// conjunct is either a `[NOT] EXISTS (SELECT ...)` / `expr [NOT] IN
+    /// (SELECT ...)` subquery predicate or an ordinary boolean term. If a
+    /// top-level OR shows up, the whole clause is re-parsed as one plain
+    /// expression (standard precedence) — in which case subquery predicates
+    /// are rejected, because desugaring them under OR would be unsound.
+    fn where_clause(&mut self) -> Result<(Option<Expr>, Vec<SubqueryPred>)> {
+        let saved_subs = std::mem::take(&mut self.pending_subs);
+        let saved_allow = self.allow_subquery;
+        let start = self.pos;
+        let mut exprs: Vec<Expr> = Vec::new();
+        loop {
+            // [NOT] EXISTS ( ...
+            let exists_here = self.at_kw("EXISTS")
+                && self.peek2() == Some(&Token::Symbol(Symbol::LParen));
+            let not_exists_here = self.at_kw("NOT")
+                && self.peek2().is_some_and(|t| t.is_kw("EXISTS"))
+                && self.tokens.get(self.pos + 2) == Some(&Token::Symbol(Symbol::LParen));
+            if exists_here || not_exists_here {
+                let negated = not_exists_here;
+                self.pos += if negated { 2 } else { 1 };
+                self.expect_symbol(Symbol::LParen)?;
+                let query = self.nested_set_query()?;
+                self.expect_symbol(Symbol::RParen)?;
+                self.pending_subs.push(SubqueryPred::Exists { query, negated });
+            } else {
+                self.allow_subquery = true;
+                self.term_not_used = false;
+                let before = self.pending_subs.len();
+                let e = self.not_expr()?;
+                self.allow_subquery = false;
+                if self.pending_subs.len() > before && self.term_not_used {
+                    return Err(EiiError::Parse(
+                        "IN (SELECT ...) cannot appear under NOT; write NOT IN"
+                            .into(),
+                    ));
+                }
+                // A conjunct that was entirely a subquery predicate leaves
+                // only its neutral TRUE placeholder behind; drop it.
+                if !(self.pending_subs.len() > before && e == Expr::lit(true)) {
+                    exprs.push(e);
+                }
+            }
+            if self.skip_kw("AND") {
+                continue;
+            }
+            if self.at_kw("OR") {
+                // Top-level disjunction: conjunct splitting does not apply.
+                if !self.pending_subs.is_empty() {
+                    return Err(EiiError::Parse(
+                        "IN (SELECT ...) / EXISTS are only supported as \
+                         top-level AND conjuncts of WHERE (not under OR)"
+                            .into(),
+                    ));
+                }
+                self.pos = start;
+                self.pending_subs = saved_subs;
+                self.allow_subquery = false;
+                let e = self.or_expr()?;
+                self.allow_subquery = saved_allow;
+                return Ok((Some(e), Vec::new()));
+            }
+            break;
+        }
+        let subs = std::mem::replace(&mut self.pending_subs, saved_subs);
+        self.allow_subquery = saved_allow;
+        Ok((exprs.into_iter().reduce(Expr::and), subs))
+    }
+
+    /// Parse a nested subquery with the subquery side channel disabled (the
+    /// inner query's own WHERE re-enables it for itself).
+    fn nested_set_query(&mut self) -> Result<SetQuery> {
+        let saved_allow = std::mem::replace(&mut self.allow_subquery, false);
+        let saved_not = self.term_not_used;
+        let q = self.set_query()?;
+        self.allow_subquery = saved_allow;
+        self.term_not_used = saved_not;
+        Ok(q)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // `*`
+        if self.at_symbol(Symbol::Star) {
+            self.pos += 1;
+            return Ok(SelectItem::Wildcard { relation: None });
+        }
+        // `alias.*`
+        if let (Some(Token::Ident(rel)), Some(Token::Symbol(Symbol::Dot))) =
+            (self.peek(), self.peek2())
+        {
+            if self.tokens.get(self.pos + 2) == Some(&Token::Symbol(Symbol::Star)) {
+                let relation = rel.clone();
+                self.pos += 3;
+                return Ok(SelectItem::Wildcard {
+                    relation: Some(relation),
+                });
+            }
+        }
+        let expr = self.select_expr()?;
+        let alias = if self.skip_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            // Bare alias: identifier not followed by '.' or '(' and not a
+            // clause keyword.
+            match self.peek() {
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn select_expr(&mut self) -> Result<SelectExpr> {
+        // Aggregate call?
+        if let (Some(Token::Ident(name)), Some(Token::Symbol(Symbol::LParen))) =
+            (self.peek(), self.peek2())
+        {
+            if let Some(func) = AggFunc::from_name(name) {
+                self.pos += 2;
+                if func == AggFunc::Count && self.at_symbol(Symbol::Star) {
+                    self.pos += 1;
+                    self.expect_symbol(Symbol::RParen)?;
+                    return Ok(SelectExpr::Agg {
+                        func: AggFunc::CountStar,
+                        arg: None,
+                        distinct: false,
+                    });
+                }
+                let distinct = self.skip_kw("DISTINCT");
+                let arg = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                return Ok(SelectExpr::Agg {
+                    func,
+                    arg: Some(arg),
+                    distinct,
+                });
+            }
+        }
+        Ok(SelectExpr::Scalar(self.expr()?))
+    }
+
+    // ---- FROM clause ----------------------------------------------------
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.primary_table_ref()?;
+        loop {
+            let kind = if self.at_kw("JOIN") || self.at_kw("INNER") {
+                self.skip_kw("INNER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.at_kw("LEFT") {
+                self.pos += 1;
+                self.skip_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.at_kw("CROSS") {
+                self.pos += 1;
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.primary_table_ref()?;
+            let on = if kind != JoinKind::Cross {
+                self.expect_kw("ON")?;
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary_table_ref(&mut self) -> Result<TableRef> {
+        if self.skip_symbol(Symbol::LParen) {
+            let query = self.nested_set_query()?;
+            self.expect_symbol(Symbol::RParen)?;
+            self.skip_kw("AS");
+            let alias = self.ident()?;
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.qualified_name()?;
+        let alias = if self.skip_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            match self.peek() {
+                Some(Token::Ident(s)) if !is_clause_keyword(s) && !is_join_keyword(s) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn qualified_name(&mut self) -> Result<String> {
+        let mut name = self.ident()?;
+        while self.at_symbol(Symbol::Dot) {
+            // Only consume the dot if an identifier follows (not `.*`).
+            if matches!(self.peek2(), Some(Token::Ident(_))) {
+                self.pos += 1;
+                name.push('.');
+                name.push_str(&self.ident()?);
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.skip_kw("OR") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.skip_kw("AND") {
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.skip_kw("NOT") {
+            self.term_not_used = true;
+            return Ok(self.not_expr()?.not());
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.at_kw("IS") {
+            self.pos += 1;
+            let negated = self.skip_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] LIKE / IN / BETWEEN
+        let negated = if self.at_kw("NOT")
+            && self
+                .peek2()
+                .is_some_and(|t| t.is_kw("LIKE") || t.is_kw("IN") || t.is_kw("BETWEEN"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.skip_kw("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.skip_kw("IN") {
+            self.expect_symbol(Symbol::LParen)?;
+            if self.at_kw("SELECT") {
+                if !self.allow_subquery {
+                    return Err(EiiError::Parse(
+                        "IN (SELECT ...) is only supported as a top-level AND \
+                         conjunct of WHERE"
+                            .into(),
+                    ));
+                }
+                let query = self.nested_set_query()?;
+                self.expect_symbol(Symbol::RParen)?;
+                self.pending_subs.push(SubqueryPred::In {
+                    expr: left,
+                    query,
+                    negated,
+                });
+                // The predicate leaves the expression tree; its placeholder
+                // is neutral under AND.
+                return Ok(Expr::lit(true));
+            }
+            let mut list = vec![self.expr()?];
+            while self.skip_symbol(Symbol::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.skip_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("LIKE, IN, or BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol(Symbol::Eq)) => BinaryOp::Eq,
+            Some(Token::Symbol(Symbol::NotEq)) => BinaryOp::NotEq,
+            Some(Token::Symbol(Symbol::Lt)) => BinaryOp::Lt,
+            Some(Token::Symbol(Symbol::LtEq)) => BinaryOp::LtEq,
+            Some(Token::Symbol(Symbol::Gt)) => BinaryOp::Gt,
+            Some(Token::Symbol(Symbol::GtEq)) => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.additive()?;
+        Ok(left.binary(op, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Plus)) => BinaryOp::Plus,
+                Some(Token::Symbol(Symbol::Minus)) => BinaryOp::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = left.binary(op, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Star)) => BinaryOp::Multiply,
+                Some(Token::Symbol(Symbol::Slash)) => BinaryOp::Divide,
+                Some(Token::Symbol(Symbol::Percent)) => BinaryOp::Modulo,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = left.binary(op, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.skip_symbol(Symbol::Minus) {
+            let inner = self.unary()?;
+            // Fold negative literals directly.
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
+                other => Expr::Unary {
+                    op: eii_expr::UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::lit(n))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::lit(f))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::lit(s.as_str()))
+            }
+            Some(Token::Symbol(Symbol::LParen)) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::lit(true));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::lit(false));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("CASE") {
+                    return self.case_expr();
+                }
+                if name.eq_ignore_ascii_case("CAST") {
+                    return self.cast_expr();
+                }
+                // Function call?
+                if self.peek2() == Some(&Token::Symbol(Symbol::LParen)) {
+                    if let Some(func) = ScalarFunc::from_name(&name) {
+                        self.pos += 2;
+                        let mut args = Vec::new();
+                        if !self.at_symbol(Symbol::RParen) {
+                            args.push(self.expr()?);
+                            while self.skip_symbol(Symbol::Comma) {
+                                args.push(self.expr()?);
+                            }
+                        }
+                        self.expect_symbol(Symbol::RParen)?;
+                        return Ok(Expr::Func { func, args });
+                    }
+                    if AggFunc::from_name(&name).is_some() {
+                        return Err(EiiError::Parse(format!(
+                            "aggregate {name} is only allowed in the select list"
+                        )));
+                    }
+                    return Err(EiiError::Parse(format!("unknown function {name}")));
+                }
+                // Column reference, possibly qualified.
+                self.pos += 1;
+                if self.at_symbol(Symbol::Dot) {
+                    if let Some(Token::Ident(col)) = self.peek2().cloned() {
+                        self.pos += 2;
+                        return Ok(Expr::qcol(name, col));
+                    }
+                }
+                Ok(Expr::col(name))
+            }
+            other => Err(EiiError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        self.expect_kw("CASE")?;
+        let mut branches = Vec::new();
+        while self.skip_kw("WHEN") {
+            let cond = self.expr()?;
+            self.expect_kw("THEN")?;
+            let result = self.expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(EiiError::Parse("CASE needs at least one WHEN".into()));
+        }
+        let else_expr = if self.skip_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
+    }
+
+    fn cast_expr(&mut self) -> Result<Expr> {
+        self.expect_kw("CAST")?;
+        self.expect_symbol(Symbol::LParen)?;
+        let e = self.expr()?;
+        self.expect_kw("AS")?;
+        let ty_name = self.ident()?;
+        let to = match ty_name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+            "FLOAT" | "DOUBLE" | "REAL" => DataType::Float,
+            "STR" | "STRING" | "VARCHAR" | "TEXT" => DataType::Str,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            "TIMESTAMP" => DataType::Timestamp,
+            other => return Err(EiiError::Parse(format!("unknown type {other}"))),
+        };
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(Expr::Cast {
+            expr: Box::new(e),
+            to,
+        })
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    const KW: &[&str] = &[
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "UNION", "ON", "AS", "AND", "OR",
+        "NOT", "JOIN", "INNER", "LEFT", "CROSS", "ASC", "DESC", "BY",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+fn is_join_keyword(s: &str) -> bool {
+    const KW: &[&str] = &["JOIN", "INNER", "LEFT", "CROSS", "ON"];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_select() {
+        let q = parse_query("SELECT a, b FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10").unwrap();
+        let selects = q.selects();
+        let s = selects[0];
+        assert_eq!(s.items.len(), 2);
+        assert!(s.filter.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(!s.order_by[0].asc);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_qualified_tables_and_aliases() {
+        let q = parse_query("SELECT c.name FROM crm.customers AS c").unwrap();
+        let s = q.selects()[0].clone();
+        match &s.from[0] {
+            TableRef::Table { name, alias } => {
+                assert_eq!(name, "crm.customers");
+                assert_eq!(alias.as_deref(), Some("c"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_alias_without_as() {
+        let q = parse_query("SELECT c.name FROM customers c").unwrap();
+        let s = q.selects()[0].clone();
+        assert_eq!(s.from[0].visible_name(), Some("c"));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let q = parse_query(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.x = c.x",
+        )
+        .unwrap();
+        let s = q.selects()[0].clone();
+        match &s.from[0] {
+            TableRef::Join { kind, left, .. } => {
+                assert_eq!(*kind, JoinKind::Left);
+                assert!(matches!(**left, TableRef::Join { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_and_group_by() {
+        let q = parse_query(
+            "SELECT dept, COUNT(*) AS n, AVG(salary) FROM emp GROUP BY dept HAVING n > 2",
+        )
+        .unwrap();
+        let s = q.selects()[0].clone();
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        match &s.items[1] {
+            SelectItem::Expr {
+                expr: SelectExpr::Agg { func, .. },
+                alias,
+            } => {
+                assert_eq!(*func, AggFunc::CountStar);
+                assert_eq!(alias.as_deref(), Some("n"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let q = parse_query("SELECT COUNT(DISTINCT region) FROM t").unwrap();
+        let s = q.selects()[0].clone();
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: SelectExpr::Agg { func, distinct, .. },
+                ..
+            } => {
+                assert_eq!(*func, AggFunc::Count);
+                assert!(*distinct);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_all() {
+        let q = parse_query("SELECT a FROM t1 UNION ALL SELECT a FROM t2 UNION ALL SELECT a FROM t3")
+            .unwrap();
+        assert_eq!(q.selects().len(), 3);
+    }
+
+    #[test]
+    fn parses_subquery_in_from() {
+        let q = parse_query("SELECT x.n FROM (SELECT a AS n FROM t) AS x WHERE x.n > 0").unwrap();
+        let s = q.selects()[0].clone();
+        assert!(matches!(&s.from[0], TableRef::Subquery { alias, .. } if alias == "x"));
+    }
+
+    #[test]
+    fn parses_create_view() {
+        let stmt =
+            parse_statement("CREATE VIEW global.customers AS SELECT id, name FROM crm.customers")
+                .unwrap();
+        match stmt {
+            Statement::CreateView { name, .. } => assert_eq!(name, "global.customers"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_search() {
+        let stmt = parse_statement("SEARCH 'acme contract renewal' IN crm, docs LIMIT 5").unwrap();
+        match stmt {
+            Statement::Search {
+                terms,
+                sources,
+                limit,
+            } => {
+                assert_eq!(terms, "acme contract renewal");
+                assert_eq!(sources, vec!["crm".to_string(), "docs".to_string()]);
+                assert_eq!(limit, Some(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expression("a + b * 2 < 10 AND NOT c = 3 OR d IS NULL").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "((((a + (b * 2)) < 10) AND (NOT (c = 3))) OR (d IS NULL))"
+        );
+    }
+
+    #[test]
+    fn not_like_and_in_and_between() {
+        let e = parse_expression("name NOT LIKE 'a%' AND x IN (1, 2) AND y NOT BETWEEN 1 AND 5")
+            .unwrap();
+        let s = e.to_string();
+        assert!(s.contains("NOT LIKE"));
+        assert!(s.contains("IN (1, 2)"));
+        assert!(s.contains("NOT BETWEEN"));
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let e = parse_expression(
+            "CASE WHEN x > 0 THEN 'p' ELSE 'n' END",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::Case { .. }));
+        let e = parse_expression("CAST(x AS INT)").unwrap();
+        assert!(matches!(e, Expr::Cast { to: DataType::Int, .. }));
+    }
+
+    #[test]
+    fn scalar_functions_parse() {
+        let e = parse_expression("LOWER(CONCAT(a, '-', b))").unwrap();
+        assert_eq!(e.to_string(), "LOWER(CONCAT(a, '-', b))");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let e = parse_expression("-5").unwrap();
+        assert_eq!(e, Expr::lit(-5i64));
+        let e = parse_expression("-x").unwrap();
+        assert!(matches!(e, Expr::Unary { .. }));
+    }
+
+    #[test]
+    fn wildcard_variants() {
+        let q = parse_query("SELECT *, c.* FROM t AS c").unwrap();
+        let s = q.selects()[0].clone();
+        assert!(matches!(&s.items[0], SelectItem::Wildcard { relation: None }));
+        assert!(
+            matches!(&s.items[1], SelectItem::Wildcard { relation: Some(r) } if r == "c")
+        );
+    }
+
+    #[test]
+    fn parses_in_subquery_as_conjunct() {
+        let q = parse_query(
+            "SELECT name FROM crm.customers WHERE region = 'west' AND \
+             id IN (SELECT customer_id FROM sales.orders WHERE total > 100)",
+        )
+        .unwrap();
+        let s = q.selects()[0].clone();
+        assert!(s.filter.is_some());
+        assert_eq!(s.subquery_preds.len(), 1);
+        match &s.subquery_preds[0] {
+            SubqueryPred::In { expr, negated, .. } => {
+                assert_eq!(expr.to_string(), "id");
+                assert!(!negated);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_in_and_exists() {
+        let q = parse_query(
+            "SELECT name FROM t WHERE id NOT IN (SELECT bad_id FROM blocklist.ids) \
+             AND NOT EXISTS (SELECT 1 FROM ops.freeze) AND EXISTS (SELECT 1 FROM ops.go)",
+        )
+        .unwrap();
+        let s = q.selects()[0].clone();
+        assert_eq!(s.subquery_preds.len(), 3);
+        assert!(matches!(&s.subquery_preds[0], SubqueryPred::In { negated: true, .. }));
+        assert!(matches!(&s.subquery_preds[1], SubqueryPred::Exists { negated: true, .. }));
+        assert!(matches!(&s.subquery_preds[2], SubqueryPred::Exists { negated: false, .. }));
+        assert!(s.filter.is_none(), "all conjuncts were subquery predicates");
+    }
+
+    #[test]
+    fn subquery_under_or_is_rejected() {
+        let err = parse_query(
+            "SELECT name FROM t WHERE region = 'x' OR id IN (SELECT i FROM s.t)",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "parse");
+        let err = parse_query(
+            "SELECT name FROM t WHERE NOT id IN (SELECT i FROM s.t)",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "parse");
+    }
+
+    #[test]
+    fn subquery_outside_where_is_rejected() {
+        let err = parse_query("SELECT id IN (SELECT i FROM s.t) FROM t").unwrap_err();
+        assert_eq!(err.kind(), "parse");
+    }
+
+    #[test]
+    fn nested_subquery_in_subquery_where() {
+        let q = parse_query(
+            "SELECT name FROM a.t WHERE id IN \
+             (SELECT x FROM b.t WHERE y IN (SELECT z FROM c.t))",
+        )
+        .unwrap();
+        let outer = q.selects()[0].clone();
+        assert_eq!(outer.subquery_preds.len(), 1);
+        match &outer.subquery_preds[0] {
+            SubqueryPred::In { query, .. } => {
+                let inner = query.selects()[0].clone();
+                assert_eq!(inner.subquery_preds.len(), 1, "inner IN stays inner");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_as_column_name_still_errors_cleanly() {
+        // `exists` followed by '(' is always the quantifier in this dialect.
+        let q = parse_query("SELECT a FROM t WHERE exists_flag = 1").unwrap();
+        assert!(q.selects()[0].filter.is_some());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("SELECT 1 FROM t garbage garbage").is_err());
+        assert!(parse_statement("SELECT 1;").is_ok());
+    }
+
+    #[test]
+    fn aggregates_rejected_in_where() {
+        let err = parse_query("SELECT a FROM t WHERE SUM(a) > 1").unwrap_err();
+        assert_eq!(err.kind(), "parse");
+    }
+
+    #[test]
+    fn select_without_from() {
+        let q = parse_query("SELECT 1 + 2 AS three").unwrap();
+        let s = q.selects()[0].clone();
+        assert!(s.from.is_empty());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_query("select a from t where a like 'x%' order by a asc").is_ok());
+    }
+}

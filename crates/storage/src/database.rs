@@ -1,0 +1,123 @@
+//! A named collection of tables sharing one simulated clock — one
+//! "enterprise system" (the CRM database, the HR system, the warehouse...).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use eii_data::{EiiError, Result, SimClock};
+
+use crate::table::{Table, TableDef};
+
+/// Shared handle to a table.
+pub type TableHandle = Arc<RwLock<Table>>;
+
+/// A database: a set of tables addressed by name.
+#[derive(Debug, Clone)]
+pub struct Database {
+    name: String,
+    clock: SimClock,
+    tables: Arc<RwLock<BTreeMap<String, TableHandle>>>,
+}
+
+impl Database {
+    /// Create an empty database on the given clock.
+    pub fn new(name: impl Into<String>, clock: SimClock) -> Self {
+        Database {
+            name: name.into(),
+            clock,
+            tables: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Create a table from its definition.
+    pub fn create_table(&self, def: TableDef) -> Result<TableHandle> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&def.name) {
+            return Err(EiiError::AlreadyExists(format!(
+                "table {} in database {}",
+                def.name, self.name
+            )));
+        }
+        let name = def.name.clone();
+        let handle = Arc::new(RwLock::new(Table::new(def, self.clock.clone())));
+        tables.insert(name, Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Fetch a table handle by name.
+    pub fn table(&self, name: &str) -> Result<TableHandle> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                EiiError::NotFound(format!("table {name} in database {}", self.name))
+            })
+    }
+
+    /// Drop a table. Returns true when it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, Schema};
+
+    fn def(name: &str) -> TableDef {
+        TableDef::new(
+            name,
+            Arc::new(Schema::new(vec![Field::new("id", DataType::Int)])),
+        )
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let db = Database::new("crm", SimClock::new());
+        db.create_table(def("customers")).unwrap();
+        assert!(db.table("customers").is_ok());
+        assert_eq!(
+            db.create_table(def("customers")).unwrap_err().kind(),
+            "already_exists"
+        );
+        assert!(db.drop_table("customers"));
+        assert!(!db.drop_table("customers"));
+        assert_eq!(db.table("customers").unwrap_err().kind(), "not_found");
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let db = Database::new("crm", SimClock::new());
+        let t1 = db.create_table(def("t")).unwrap();
+        let t2 = db.table("t").unwrap();
+        t1.write().insert(row![1i64]).unwrap();
+        assert_eq!(t2.read().row_count(), 1);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let db = Database::new("d", SimClock::new());
+        db.create_table(def("zeta")).unwrap();
+        db.create_table(def("alpha")).unwrap();
+        assert_eq!(db.table_names(), vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Table statistics for the federated cost model.
+//!
+//! The planner's cost model (selectivity estimation, join ordering, assembly-
+//! site selection) consumes these. `analyze` computes them exactly; sources
+//! in the real world would expose estimates, which the wrapper layer can
+//! degrade deliberately for the prediction-error experiment (E12).
+
+use std::collections::HashSet;
+
+use eii_data::{Row, Value};
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Minimum non-null value, if any.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any.
+    pub max: Option<Value>,
+    /// Average wire size of a value in this column, bytes.
+    pub avg_width: f64,
+}
+
+/// Whole-table statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute exact statistics from rows.
+    pub fn analyze<'a>(width: usize, rows: impl Iterator<Item = &'a Row>) -> TableStats {
+        let mut row_count = 0usize;
+        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); width];
+        let mut nulls = vec![0usize; width];
+        let mut mins: Vec<Option<Value>> = vec![None; width];
+        let mut maxs: Vec<Option<Value>> = vec![None; width];
+        let mut widths = vec![0usize; width];
+        for row in rows {
+            row_count += 1;
+            for (c, v) in row.values().iter().enumerate() {
+                widths[c] += v.wire_size();
+                if v.is_null() {
+                    nulls[c] += 1;
+                    continue;
+                }
+                distinct[c].insert(v.clone());
+                match &mins[c] {
+                    Some(m) if m <= v => {}
+                    _ => mins[c] = Some(v.clone()),
+                }
+                match &maxs[c] {
+                    Some(m) if m >= v => {}
+                    _ => maxs[c] = Some(v.clone()),
+                }
+            }
+        }
+        let columns = (0..width)
+            .map(|c| ColumnStats {
+                ndv: distinct[c].len(),
+                null_count: nulls[c],
+                min: mins[c].clone(),
+                max: maxs[c].clone(),
+                avg_width: if row_count == 0 {
+                    0.0
+                } else {
+                    widths[c] as f64 / row_count as f64
+                },
+            })
+            .collect();
+        TableStats { row_count, columns }
+    }
+
+    /// Average wire size of a full row.
+    pub fn avg_row_width(&self) -> f64 {
+        self.columns.iter().map(|c| c.avg_width).sum()
+    }
+
+    /// Estimated selectivity of `col = literal` under uniformity: `1/ndv`.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        match self.columns.get(col) {
+            Some(c) if c.ndv > 0 => 1.0 / c.ndv as f64,
+            _ => 0.1,
+        }
+    }
+
+    /// Estimated selectivity of a range predicate on `col` covering the
+    /// fraction of the [min, max] interval between `low` and `high`
+    /// (numeric columns only; defaults to 1/3 otherwise, the classic
+    /// System-R guess).
+    pub fn range_selectivity(&self, col: usize, low: Option<&Value>, high: Option<&Value>) -> f64 {
+        let Some(c) = self.columns.get(col) else {
+            return 1.0 / 3.0;
+        };
+        let (Some(min), Some(max)) = (
+            c.min.as_ref().and_then(Value::as_float),
+            c.max.as_ref().and_then(Value::as_float),
+        ) else {
+            return 1.0 / 3.0;
+        };
+        if max <= min {
+            return 1.0;
+        }
+        let lo = low.and_then(Value::as_float).unwrap_or(min).max(min);
+        let hi = high.and_then(Value::as_float).unwrap_or(max).min(max);
+        ((hi - lo) / (max - min)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::row;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            row![1i64, "a", 10.0],
+            row![2i64, "b", 20.0],
+            row![2i64, "b", 30.0],
+            Row::new(vec![Value::Int(3), Value::Null, Value::Float(40.0)]),
+        ]
+    }
+
+    #[test]
+    fn analyze_counts() {
+        let rs = rows();
+        let s = TableStats::analyze(3, rs.iter());
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.columns[0].ndv, 3);
+        assert_eq!(s.columns[1].ndv, 2);
+        assert_eq!(s.columns[1].null_count, 1);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn selectivities() {
+        let rs = rows();
+        let s = TableStats::analyze(3, rs.iter());
+        assert!((s.eq_selectivity(0) - 1.0 / 3.0).abs() < 1e-9);
+        // Range covering half of [10, 40].
+        let sel = s.range_selectivity(2, Some(&Value::Float(10.0)), Some(&Value::Float(25.0)));
+        assert!((sel - 0.5).abs() < 1e-9);
+        // Non-numeric column falls back to 1/3.
+        assert!((s.range_selectivity(1, None, None) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = TableStats::analyze(2, std::iter::empty());
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.avg_row_width(), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # eii-warehouse
+//!
+//! The data warehouse + ETL substrate — the technology EII is measured
+//! against throughout the paper. Bitton §3: "the data warehouse has
+//! successfully evolved from monthly dumps of operational data lightly
+//! cleansed and transformed by batch programs, to sophisticated
+//! metadata-driven systems that move large volumes of data through staging
+//! areas to operational data stores to data warehouses".
+//!
+//! It provides:
+//! - [`EtlJob`]s: extract (full re-extract, or incremental via the
+//!   connectors' change-data capture), a [`Transform`] pipeline (filter,
+//!   derive, rename, select, cleanse), and load into warehouse tables;
+//! - a [`Warehouse`] with scheduled refresh and **staleness accounting**
+//!   (the "cost of accessing stale data" in Halevy's tradeoff triangle);
+//! - build/refresh **cost accounting** for the EII-vs-warehouse economics
+//!   experiment (E1).
+
+pub mod etl;
+pub mod warehouse;
+
+pub use etl::{EtlJob, EtlStats, Transform};
+pub use warehouse::{RefreshMode, Warehouse};

@@ -1,0 +1,191 @@
+//! Carey's employee self-service portal (§4): reads are a mediated EII view
+//! ("express the integration of employee data once, as a view, and let the
+//! system choose the right query plan"), while updates — "insert employee
+//! into company is really a business process" — run as an EAI saga with
+//! compensation.
+//!
+//! Run with: `cargo run --example employee_self_service`
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eii::eai::{ProcessDef, SagaOutcome, Step};
+use eii::federation::UpdateOp;
+use eii::prelude::*;
+use eii::row;
+
+fn main() -> Result<()> {
+    let clock = SimClock::new();
+
+    // HR system.
+    let hr = Database::new("hr", clock.clone());
+    hr.create_table(
+        TableDef::new(
+            "employees",
+            Arc::new(Schema::new(vec![
+                Field::new("emp_id", DataType::Int).not_null(),
+                Field::new("name", DataType::Str),
+                Field::new("department", DataType::Str),
+            ])),
+        )
+        .with_primary_key(0),
+    )?;
+
+    // Facilities system.
+    let facilities = Database::new("facilities", clock.clone());
+    facilities.create_table(
+        TableDef::new(
+            "offices",
+            Arc::new(Schema::new(vec![
+                Field::new("office_id", DataType::Int).not_null(),
+                Field::new("occupant", DataType::Int),
+                Field::new("location", DataType::Str),
+            ])),
+        )
+        .with_primary_key(0),
+    )?;
+
+    // IT asset system.
+    let it = Database::new("it", clock.clone());
+    it.create_table(
+        TableDef::new(
+            "assets",
+            Arc::new(Schema::new(vec![
+                Field::new("asset_id", DataType::Int).not_null(),
+                Field::new("owner", DataType::Int),
+                Field::new("model", DataType::Str),
+            ])),
+        )
+        .with_primary_key(0),
+    )?;
+
+    let mut system = EiiSystem::new(clock.clone());
+    for db in [hr, facilities, it] {
+        system.register_source(
+            Arc::new(RelationalConnector::new(db)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )?;
+    }
+
+    // ── Reads: the single view of employee, defined once ───────────────
+    system.execute(
+        "CREATE VIEW employee_view AS \
+         SELECT e.emp_id, e.name, e.department, o.location, a.model \
+         FROM hr.employees e \
+         LEFT JOIN facilities.offices o ON e.emp_id = o.occupant \
+         LEFT JOIN it.assets a ON e.emp_id = a.owner",
+    )?;
+
+    // ── Updates: the onboarding business process ────────────────────────
+    let onboard = |_emp_id: i64, name: &str, fail_approval: bool| {
+        let name = name.to_string();
+        ProcessDef::new("onboard_employee")
+            .step(
+                Step::new("create_hr_record", move |env| {
+                    let id = env.get("emp_id").unwrap().as_int().unwrap();
+                    let nm = env.get("name").unwrap();
+                    env.federation.source("hr")?.update(&UpdateOp::Insert {
+                        table: "employees".into(),
+                        row: row![id, nm.to_string(), "engineering"],
+                    })?;
+                    Ok(())
+                })
+                .with_compensation(move |env| {
+                    let id = env.get("emp_id").unwrap();
+                    env.federation.source("hr")?.update(&UpdateOp::DeleteByKey {
+                        table: "employees".into(),
+                        key: id,
+                    })?;
+                    Ok(())
+                })
+                .taking_ms(1_000),
+            )
+            .step(
+                Step::new("provision_office", move |env| {
+                    let id = env.get("emp_id").unwrap().as_int().unwrap();
+                    env.federation.source("facilities")?.update(&UpdateOp::Insert {
+                        table: "offices".into(),
+                        row: row![9000 + id, id, "bldg 7"],
+                    })?;
+                    Ok(())
+                })
+                .with_compensation(move |env| {
+                    let id = env.get("emp_id").unwrap().as_int().unwrap();
+                    env.federation
+                        .source("facilities")?
+                        .update(&UpdateOp::DeleteByKey {
+                            table: "offices".into(),
+                            key: Value::Int(9000 + id),
+                        })?;
+                    Ok(())
+                })
+                // "possibly needing to run over a period of hours or days"
+                .taking_ms(86_400_000),
+            )
+            .step(
+                Step::new("order_laptop_with_approval", move |env| {
+                    if fail_approval {
+                        return Err(EiiError::Process("purchase approval denied".into()));
+                    }
+                    let id = env.get("emp_id").unwrap().as_int().unwrap();
+                    env.federation.source("it")?.update(&UpdateOp::Insert {
+                        table: "assets".into(),
+                        row: row![5000 + id, id, "ThinkPad T42"],
+                    })?;
+                    Ok(())
+                })
+                .taking_ms(3_600_000),
+            )
+            .step(Step::new("announce", {
+                let name = name.clone();
+                move |env| {
+                    env.broker.publish(eii::eai::Message {
+                        topic: "hr.hired".into(),
+                        key: env.get("emp_id").unwrap(),
+                        body: format!("{name} onboarded"),
+                    });
+                    Ok(())
+                }
+            }))
+    };
+
+    let announcements = system.broker().subscribe("hr.hired");
+
+    // Successful onboarding.
+    let mut vars = HashMap::new();
+    vars.insert("emp_id".to_string(), Value::Int(1));
+    vars.insert("name".to_string(), Value::str("Jamie"));
+    let (outcome, journal) = system.run_process(&onboard(1, "Jamie", false), vars)?;
+    println!("onboard #1 outcome: {outcome:?} ({} journal entries)", journal.len());
+    println!("announcement: {:?}", announcements.try_recv().map(|m| m.body));
+
+    // Rejected onboarding: approval fails AFTER office provisioning — the
+    // saga must undo the HR record and the office, exactly the compensation
+    // scenario Carey describes.
+    let mut vars = HashMap::new();
+    vars.insert("emp_id".to_string(), Value::Int(2));
+    vars.insert("name".to_string(), Value::str("Robin"));
+    let (outcome, journal) = system.run_process(&onboard(2, "Robin", true), vars)?;
+    println!("\nonboard #2 outcome: {outcome:?}");
+    for e in &journal {
+        println!("  @{:>12} {:<28} {:?}", e.at_ms, e.step, e.event);
+    }
+    assert!(matches!(outcome, SagaOutcome::Compensated { .. }));
+
+    // ── The view answers all the access paths the portal needs ─────────
+    println!("\n== employee_view after both processes ==");
+    let out = system.execute("SELECT * FROM employee_view ORDER BY emp_id")?;
+    println!("{}", out.rows()?);
+    println!("Robin (emp 2) is absent: every partial effect was compensated.");
+
+    for sql in [
+        "SELECT name FROM employee_view WHERE emp_id = 1",
+        "SELECT name FROM employee_view WHERE department = 'engineering'",
+        "SELECT name FROM employee_view WHERE model = 'ThinkPad T42'",
+    ] {
+        let n = system.execute(sql)?.rows()?.num_rows();
+        println!("{sql} -> {n} row(s)");
+    }
+    Ok(())
+}

@@ -1,0 +1,326 @@
+//! Deterministic assertions of the paper's qualitative claims — compact
+//! versions of the experiments in `crates/bench`, pinned as tests so the
+//! "shape" of each result (who wins, which direction) cannot silently
+//! regress. The experiment ids match DESIGN.md §3.
+
+use std::sync::Arc;
+
+use eii::matview::{CorrelationIndex, MatViewManager, RefreshPolicy};
+use eii::prelude::*;
+use eii::row;
+use eii::semantics::ontology::enterprise_ontology;
+use eii::semantics::{
+    measure_agility, AdminLedger, HubRegistry, MappingRegistry, PairwiseRegistry,
+    SchemaChange, SourceSchema,
+};
+use eii::warehouse::{EtlJob, RefreshMode, Warehouse};
+
+fn customers_and_orders(n_customers: i64, orders_per: i64) -> (EiiSystem, SimClock) {
+    let clock = SimClock::new();
+    let crm = Database::new("crm", clock.clone());
+    let t = crm
+        .create_table(
+            TableDef::new(
+                "customers",
+                Arc::new(Schema::new(vec![
+                    Field::new("customer_id", DataType::Int).not_null(),
+                    Field::new("customer_name", DataType::Str),
+                    Field::new("customer_region", DataType::Str),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    for i in 0..n_customers {
+        t.write()
+            .insert(row![i, format!("customer number {i}"), format!("region{}", i % 8)])
+            .unwrap();
+    }
+    let sales = Database::new("sales", clock.clone());
+    let ot = sales
+        .create_table(
+            TableDef::new(
+                "orders",
+                Arc::new(Schema::new(vec![
+                    Field::new("order_id", DataType::Int).not_null(),
+                    Field::new("customer_id", DataType::Int),
+                    Field::new("order_total", DataType::Float),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    for i in 0..(n_customers * orders_per) {
+        ot.write()
+            .insert(row![i, i % n_customers, (i % 97) as f64])
+            .unwrap();
+    }
+    let mut sys = EiiSystem::new(clock.clone());
+    sys.register_source(
+        Arc::new(RelationalConnector::new(crm)),
+        LinkProfile::wan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    sys.register_source(
+        Arc::new(RelationalConnector::new(sales)),
+        LinkProfile::wan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    (sys, clock)
+}
+
+/// E3 — pushdown ablation: each optimization step strictly reduces bytes
+/// shipped for a selective cross-source join; naive XML shipping is worst.
+#[test]
+fn e3_pushdown_ladder_reduces_bytes() {
+    let sql = "SELECT c.customer_name, o.order_total \
+               FROM crm.customers c JOIN sales.orders o ON c.customer_id = o.customer_id \
+               WHERE c.customer_region = 'region3' AND o.order_total > 90";
+
+    let measure = |config: PlannerConfig, xml: bool| {
+        let (mut sys, _) = customers_and_orders(64, 8);
+        if xml {
+            sys.federation_mut().set_wire_format("crm", WireFormat::Xml).unwrap();
+            sys.federation_mut().set_wire_format("sales", WireFormat::Xml).unwrap();
+        }
+        let sys = sys.with_config(config);
+        sys.federation().ledger().reset();
+        let out = sys.execute(sql).unwrap();
+        let rows = out.rows().unwrap().num_rows();
+        (sys.federation().ledger().total().bytes, rows)
+    };
+
+    let (naive_xml, r0) = measure(PlannerConfig::naive(), true);
+    let (naive, r1) = measure(PlannerConfig::naive(), false);
+    let (filters, r2) = measure(PlannerConfig::filters_only(), false);
+    let (optimized, r3) = measure(PlannerConfig::optimized(), false);
+    assert_eq!(r0, r1);
+    assert_eq!(r1, r2);
+    assert_eq!(r2, r3);
+    assert!(
+        naive_xml > naive && naive > filters && filters > optimized,
+        "ladder: xml={naive_xml} native={naive} filters={filters} optimized={optimized}"
+    );
+    // Bitton's "about 3 times" XML inflation.
+    let inflation = naive_xml as f64 / naive as f64;
+    assert!(
+        (2.0..=4.5).contains(&inflation),
+        "xml inflation {inflation}"
+    );
+}
+
+/// E5 — materialized views: live fetches cost more per fetch but are never
+/// stale; periodic fetches are cheap but stale.
+#[test]
+fn e5_freshness_is_bought_with_cost() {
+    let (sys, clock) = customers_and_orders(64, 4);
+    let views = MatViewManager::new(sys.federation().clone(), clock.clone());
+    let sql = "SELECT customer_region, COUNT(*) AS n FROM crm.customers GROUP BY customer_region";
+    views
+        .define("live", sql, sys.catalog(), RefreshPolicy::Live)
+        .unwrap();
+    views
+        .define(
+            "cached",
+            sql,
+            sys.catalog(),
+            RefreshPolicy::Periodic { interval_ms: 100_000 },
+        )
+        .unwrap();
+    let mut live_cost = 0.0;
+    let mut cached_cost = 0.0;
+    let mut max_staleness = 0;
+    for _ in 0..10 {
+        clock.advance_ms(5_000);
+        let (_, o) = views.fetch("live").unwrap();
+        live_cost += o.sim_ms;
+        assert_eq!(o.staleness_ms, 0);
+        let (_, o) = views.fetch("cached").unwrap();
+        cached_cost += o.sim_ms;
+        max_staleness = max_staleness.max(o.staleness_ms);
+    }
+    assert!(live_cost > 5.0 * cached_cost, "live={live_cost} cached={cached_cost}");
+    assert!(max_staleness > 0);
+}
+
+/// E6 — record correlation: where exact joins find nothing, the index
+/// recovers the true matches.
+#[test]
+fn e6_correlation_beats_exact_join() {
+    let left_schema = Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("name", DataType::Str),
+    ]));
+    let right_schema = Arc::new(Schema::new(vec![
+        Field::new("ref", DataType::Int),
+        Field::new("company", DataType::Str),
+    ]));
+    let companies = [
+        "Acme Corporation",
+        "Globex Incorporated",
+        "Initech LLC",
+        "Umbrella Co",
+        "Stark Industries",
+    ];
+    let dirty = [
+        "ACME corp",
+        "globex inc.",
+        "Initech",
+        "Umbrella Company",
+        "Starkk Industries", // typo
+    ];
+    let left = Batch::new(
+        left_schema,
+        companies
+            .iter()
+            .enumerate()
+            .map(|(i, c)| row![i as i64, *c])
+            .collect(),
+    );
+    let right = Batch::new(
+        right_schema,
+        dirty
+            .iter()
+            .enumerate()
+            .map(|(i, c)| row![100 + i as i64, *c])
+            .collect(),
+    );
+    // Exact join: zero matches.
+    let exact = left
+        .rows()
+        .iter()
+        .flat_map(|l| right.rows().iter().filter(move |r| l.get(1) == r.get(1)))
+        .count();
+    assert_eq!(exact, 0);
+    // Correlation: recovers all five true pairs, no false ones
+    // (ground truth is positional).
+    let ix = CorrelationIndex::build(&left, "id", "name", &right, "ref", "company", 0.5).unwrap();
+    let mut correct = 0;
+    let mut wrong = 0;
+    for c in ix.pairs() {
+        let l = c.left_key.as_int().unwrap();
+        let r = c.right_key.as_int().unwrap() - 100;
+        if l == r {
+            correct += 1;
+        } else {
+            wrong += 1;
+        }
+    }
+    assert!(correct >= 4, "recall too low: {correct}/5");
+    assert_eq!(wrong, 0, "no false correlations at this threshold");
+}
+
+/// E7 — mapping topologies: pairwise mappings grow quadratically and repair
+/// cost grows with partner count; the hub stays linear/constant.
+#[test]
+fn e7_hub_topology_is_more_agile() {
+    let schemas: Vec<SourceSchema> = (0..10)
+        .map(|i| {
+            SourceSchema::new(
+                format!("sys{i}"),
+                vec![
+                    ("cust_id", DataType::Int),
+                    ("cust_nm", DataType::Str),
+                    ("region", DataType::Str),
+                ],
+            )
+        })
+        .collect();
+    let mut pairwise = PairwiseRegistry::new(AdminLedger::new());
+    let mut hub = HubRegistry::new(enterprise_ontology(), AdminLedger::new());
+    for s in &schemas {
+        pairwise.register(s.clone()).unwrap();
+        hub.register(s.clone()).unwrap();
+    }
+    assert!(pairwise.mapping_count() > 3 * hub.mapping_count());
+
+    let script = vec![(
+        "sys0".to_string(),
+        SchemaChange::RenameColumn {
+            from: "cust_nm".into(),
+            to: "customer_name".into(),
+        },
+    )];
+    let pw = measure_agility(&mut pairwise, &script).unwrap();
+    let hb = measure_agility(&mut hub, &script).unwrap();
+    assert_eq!(pw.mappings_touched, 9, "one repair per partner");
+    assert_eq!(hb.mappings_touched, 1, "one repair at the hub");
+}
+
+/// E1 — the crossover: at low query rates the warehouse's standing refresh
+/// cost dominates (EII cheaper); at high query rates per-query live costs
+/// dominate (warehouse cheaper).
+#[test]
+fn e1_eii_vs_warehouse_crossover() {
+    let sql = "SELECT customer_region, COUNT(*) AS n FROM crm.customers GROUP BY customer_region";
+    let total_cost = |queries: usize| -> (f64, f64) {
+        // EII: pay per live query.
+        let (sys, clock) = customers_and_orders(128, 2);
+        let mut eii_cost = 0.0;
+        for _ in 0..queries {
+            let out = sys.execute(sql).unwrap();
+            eii_cost += out.query_result().unwrap().cost.sim_ms;
+        }
+        // Warehouse: pay hourly refreshes for a day, queries are local.
+        let mut wh = Warehouse::new("wh", sys.federation().clone(), clock.clone());
+        wh.add_job(EtlJob::copy("c", "crm.customers", "customers").with_key("customer_id"))
+            .unwrap();
+        let mut wh_cost = 0.0;
+        for _ in 0..24 {
+            wh_cost += wh.refresh("c", RefreshMode::Full).unwrap();
+        }
+        let mut wh_sys = EiiSystem::new(clock);
+        wh_sys
+            .register_source(
+                Arc::new(RelationalConnector::new(wh.database().clone())),
+                LinkProfile::local(),
+                WireFormat::Native,
+            )
+            .unwrap();
+        let local_sql =
+            "SELECT customer_region, COUNT(*) AS n FROM wh.customers GROUP BY customer_region";
+        for _ in 0..queries {
+            let out = wh_sys.execute(local_sql).unwrap();
+            wh_cost += out.query_result().unwrap().cost.sim_ms;
+        }
+        (eii_cost, wh_cost)
+    };
+    let (eii_low, wh_low) = total_cost(3);
+    let (eii_high, wh_high) = total_cost(600);
+    assert!(
+        eii_low < wh_low,
+        "few queries: EII should win ({eii_low} vs {wh_low})"
+    );
+    assert!(
+        eii_high > wh_high,
+        "many queries: warehouse should win ({eii_high} vs {wh_high})"
+    );
+}
+
+/// E11 — dialect modeling: the fine-grained dialect ships fewer bytes than
+/// a lowest-common-denominator wrapper on the same engine.
+#[test]
+fn e11_fine_dialect_pushes_more() {
+    let sql = "SELECT customer_name FROM crm.customers \
+               WHERE customer_region LIKE 'region1%' AND customer_id > 10";
+    let run_with = |override_dialect: bool| {
+        let (sys, _) = customers_and_orders(128, 1);
+        let mut cfg = PlannerConfig::optimized();
+        if override_dialect {
+            cfg.dialect_override = Some(eii::federation::Dialect::lowest_common_denominator());
+        }
+        let sys = sys.with_config(cfg);
+        sys.federation().ledger().reset();
+        let out = sys.execute(sql).unwrap();
+        (sys.federation().ledger().total().bytes, out.rows().unwrap().num_rows())
+    };
+    let (fine_bytes, n1) = run_with(false);
+    let (lcd_bytes, n2) = run_with(true);
+    assert_eq!(n1, n2, "same answer either way");
+    assert!(
+        fine_bytes < lcd_bytes,
+        "fine={fine_bytes} lcd={lcd_bytes}"
+    );
+}

@@ -1,0 +1,255 @@
+//! Property-based tests over the whole engine: on randomized data and
+//! predicates, the optimized federated plan must agree with the naive plan,
+//! pushdown must never change results, the warehouse must converge to the
+//! source, and SQL rendering must round-trip.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use eii::prelude::*;
+use eii::row;
+use eii::warehouse::{EtlJob, RefreshMode, Warehouse};
+
+/// Build a system whose crm.customers table holds the given rows.
+fn system_with_customers(rows: &[(i64, String, i64)]) -> (EiiSystem, SimClock) {
+    let clock = SimClock::new();
+    let crm = Database::new("crm", clock.clone());
+    let t = crm
+        .create_table(
+            TableDef::new(
+                "customers",
+                Arc::new(Schema::new(vec![
+                    Field::new("id", DataType::Int).not_null(),
+                    Field::new("name", DataType::Str),
+                    Field::new("score", DataType::Int),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    {
+        let mut tt = t.write();
+        for (id, name, score) in rows {
+            tt.insert(row![*id, name.clone(), *score]).unwrap();
+        }
+    }
+    let orders = Database::new("sales", clock.clone());
+    let ot = orders
+        .create_table(
+            TableDef::new(
+                "orders",
+                Arc::new(Schema::new(vec![
+                    Field::new("order_id", DataType::Int).not_null(),
+                    Field::new("customer_id", DataType::Int),
+                    Field::new("total", DataType::Float),
+                ])),
+            )
+            .with_primary_key(0),
+        )
+        .unwrap();
+    {
+        let mut tt = ot.write();
+        for (i, (id, _, score)) in rows.iter().enumerate() {
+            tt.insert(row![i as i64, *id, (*score % 50) as f64]).unwrap();
+        }
+    }
+    let mut sys = EiiSystem::new(clock.clone());
+    sys.register_source(
+        Arc::new(RelationalConnector::new(crm)),
+        LinkProfile::lan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    sys.register_source(
+        Arc::new(RelationalConnector::new(orders)),
+        LinkProfile::wan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    (sys, clock)
+}
+
+fn unique_rows() -> impl Strategy<Value = Vec<(i64, String, i64)>> {
+    proptest::collection::btree_map(0i64..200, ("[a-d]{1,6}", -50i64..50), 0..25)
+        .prop_map(|m| m.into_iter().map(|(id, (n, s))| (id, n, s)).collect())
+}
+
+/// A small predicate grammar over (id, name, score).
+fn predicates() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        (0i64..200).prop_map(|k| format!("id < {k}")),
+        (-50i64..50).prop_map(|k| format!("score >= {k}")),
+        "[a-d]{1,3}".prop_map(|s| format!("name LIKE '{s}%'")),
+        (0i64..200).prop_map(|k| format!("id = {k}")),
+        Just("name IS NOT NULL".to_string()),
+        (-50i64..50).prop_map(|k| format!("score BETWEEN {} AND {}", k - 10, k + 10)),
+    ];
+    proptest::collection::vec(atom, 1..3).prop_flat_map(|atoms| {
+        prop_oneof![Just("AND"), Just("OR")].prop_map(move |op| {
+            atoms
+                .iter()
+                .map(|a| format!("({a})"))
+                .collect::<Vec<_>>()
+                .join(&format!(" {op} "))
+        })
+    })
+}
+
+fn sorted(batch: &Batch) -> Vec<Row> {
+    let mut rows = batch.rows().to_vec();
+    rows.sort();
+    rows
+}
+
+fn run(sys: &EiiSystem, sql: &str) -> Batch {
+    sys.execute(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+        .rows()
+        .unwrap()
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant: every optimization ablation returns exactly
+    /// the rows the naive plan returns.
+    #[test]
+    fn optimized_equals_naive_on_filters(rows in unique_rows(), pred in predicates()) {
+        let sql = format!("SELECT id, name FROM crm.customers WHERE {pred}");
+        let (sys, _) = system_with_customers(&rows);
+        let optimized = run(&sys, &sql);
+        let naive_sys = {
+            let (s, _) = system_with_customers(&rows);
+            s.with_config(PlannerConfig::naive())
+        };
+        let naive = run(&naive_sys, &sql);
+        prop_assert_eq!(sorted(&optimized), sorted(&naive));
+    }
+
+    /// Joins agree too, including the join-reorder and bind-join paths.
+    #[test]
+    fn optimized_equals_naive_on_joins(rows in unique_rows(), pred in predicates()) {
+        let sql = format!(
+            "SELECT c.name, o.total FROM crm.customers c \
+             JOIN sales.orders o ON c.id = o.customer_id WHERE {pred}"
+        );
+        let (sys, _) = system_with_customers(&rows);
+        let optimized = run(&sys, &sql);
+        let naive_sys = {
+            let (s, _) = system_with_customers(&rows);
+            s.with_config(PlannerConfig::naive())
+        };
+        let naive = run(&naive_sys, &sql);
+        prop_assert_eq!(sorted(&optimized), sorted(&naive));
+    }
+
+    /// Aggregates agree between plans and with a hand computation.
+    #[test]
+    fn aggregates_match_oracle(rows in unique_rows()) {
+        let (sys, _) = system_with_customers(&rows);
+        let batch = run(&sys, "SELECT COUNT(*) AS n, SUM(score) AS s FROM crm.customers");
+        prop_assert_eq!(batch.rows()[0].get(0), &Value::Int(rows.len() as i64));
+        if rows.is_empty() {
+            prop_assert_eq!(batch.rows()[0].get(1), &Value::Null);
+        } else {
+            let total: i64 = rows.iter().map(|(_, _, s)| *s).sum();
+            prop_assert_eq!(batch.rows()[0].get(1), &Value::Int(total));
+        }
+    }
+
+    /// ORDER BY returns rows in key order regardless of plan shape.
+    #[test]
+    fn sort_is_correct(rows in unique_rows()) {
+        let (sys, _) = system_with_customers(&rows);
+        let batch = run(&sys, "SELECT score FROM crm.customers ORDER BY score DESC");
+        let scores: Vec<i64> = batch.rows().iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        let mut expected = scores.clone();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(scores, expected);
+    }
+
+    /// A copy ETL job converges the warehouse to the source under both
+    /// refresh modes, whatever mutations happen in between.
+    #[test]
+    fn warehouse_converges_to_source(
+        rows in unique_rows(),
+        extra in proptest::collection::btree_map(200i64..300, ("[a-d]{1,4}", -50i64..50), 0..8)
+            .prop_map(|m| m.into_iter().map(|(id, (n, s))| (id, n, s)).collect::<Vec<_>>()),
+        incremental in any::<bool>(),
+    ) {
+        let (sys, clock) = system_with_customers(&rows);
+        let mut wh = Warehouse::new("wh", sys.federation().clone(), clock);
+        wh.add_job(EtlJob::copy("copy", "crm.customers", "customers").with_key("id")).unwrap();
+        wh.refresh("copy", RefreshMode::Full).unwrap();
+
+        // Mutate the source.
+        for (id, name, score) in &extra {
+            sys.federation().source("crm").unwrap().update(&eii::federation::UpdateOp::Insert {
+                table: "customers".into(),
+                row: row![*id, name.clone(), *score],
+            }).unwrap();
+        }
+        let mode = if incremental { RefreshMode::Incremental } else { RefreshMode::Full };
+        wh.refresh("copy", mode).unwrap();
+
+        let live = run(&sys, "SELECT id, name, score FROM crm.customers");
+        let handle = wh.database().table("customers").unwrap();
+        let mut warehouse_rows = handle.read().all_rows();
+        warehouse_rows.sort();
+        prop_assert_eq!(sorted(&live), warehouse_rows);
+    }
+
+    /// Expression SQL rendering round-trips through the parser.
+    #[test]
+    fn predicate_sql_round_trips(pred in predicates()) {
+        let parsed = eii::sql::parse_expression(&pred).unwrap();
+        let rendered = parsed.to_string();
+        let reparsed = eii::sql::parse_expression(&rendered).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// `IN (SELECT ...)` agrees with its relational-algebra oracle
+    /// (distinct inner join), and `NOT IN` with its complement, on random
+    /// data.
+    #[test]
+    fn in_subquery_matches_join_oracle(rows in unique_rows(), cutoff in -50i64..50) {
+        let (sys, _) = system_with_customers(&rows);
+        let semi = run(&sys, &format!(
+            "SELECT id FROM crm.customers WHERE id IN \
+             (SELECT customer_id FROM sales.orders WHERE total >= {cutoff})"
+        ));
+        let oracle = run(&sys, &format!(
+            "SELECT DISTINCT c.id FROM crm.customers c \
+             JOIN sales.orders o ON c.id = o.customer_id WHERE o.total >= {cutoff}"
+        ));
+        prop_assert_eq!(sorted(&semi), sorted(&oracle));
+
+        let anti = run(&sys, &format!(
+            "SELECT id FROM crm.customers WHERE id NOT IN \
+             (SELECT customer_id FROM sales.orders WHERE total >= {cutoff})"
+        ));
+        // Complement: semi + anti partition the customers exactly.
+        let all = run(&sys, "SELECT id FROM crm.customers");
+        prop_assert_eq!(semi.num_rows() + anti.num_rows(), all.num_rows());
+        let mut union: Vec<Row> = semi.rows().to_vec();
+        union.extend(anti.rows().to_vec());
+        union.sort();
+        prop_assert_eq!(union, sorted(&all));
+    }
+
+    /// LIMIT never yields more rows than asked, and the prefix matches the
+    /// unlimited ordering.
+    #[test]
+    fn limit_is_a_prefix(rows in unique_rows(), n in 0usize..10) {
+        let (sys, _) = system_with_customers(&rows);
+        let all = run(&sys, "SELECT id FROM crm.customers ORDER BY id");
+        let limited = run(&sys, &format!("SELECT id FROM crm.customers ORDER BY id LIMIT {n}"));
+        prop_assert!(limited.num_rows() <= n);
+        prop_assert_eq!(
+            limited.rows(),
+            &all.rows()[..limited.num_rows()]
+        );
+    }
+}
