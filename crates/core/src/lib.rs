@@ -39,8 +39,8 @@ use std::sync::Arc;
 use eii_catalog::Catalog;
 use eii_data::{Batch, EiiError, Result, SimClock};
 use eii_eai::{MessageBroker, ProcessDef, ProcessEnv, SagaEngine, SagaOutcome};
-use eii_exec::{Executor, QueryResult};
-use eii_federation::{Connector, Federation, LinkProfile, WireFormat};
+use eii_exec::{DegradationPolicy, Executor, FallbackStore, QueryResult};
+use eii_federation::{Connector, Federation, LinkProfile, SourceQuery, WireFormat};
 use eii_planner::{optimize, PlanBuilder, PhysicalPlanner, PlannerConfig};
 use eii_search::{EnterpriseSearch, Hit};
 use eii_sql::{parse_statement, Statement};
@@ -53,10 +53,11 @@ pub mod prelude {
         Batch, DataType, EiiError, Field, Result, Row, Schema, SimClock, Value,
     };
     pub use eii_docstore::{DocStore, Document};
+    pub use eii_exec::{DegradationPolicy, FallbackStore, SourceReport};
     pub use eii_federation::{
-        adapters::document::VirtualTable, Connector, CsvConnector, DocumentConnector,
-        Federation, LinkProfile, RelationalConnector, UpdateOp, WebServiceConnector,
-        WireFormat,
+        adapters::document::VirtualTable, CircuitBreakerConfig, Connector, CsvConnector,
+        DocumentConnector, FaultProfile, Federation, LinkProfile, RelationalConnector,
+        RetryPolicy, UpdateOp, WebServiceConnector, WireFormat,
     };
     pub use eii_planner::PlannerConfig;
     pub use eii_storage::{Database, TableDef};
@@ -127,6 +128,8 @@ pub struct EiiSystem {
     config: PlannerConfig,
     broker: MessageBroker,
     search: Option<EnterpriseSearch>,
+    degradation: DegradationPolicy,
+    fallbacks: FallbackStore,
 }
 
 impl EiiSystem {
@@ -134,12 +137,14 @@ impl EiiSystem {
     /// enabled.
     pub fn new(clock: SimClock) -> Self {
         EiiSystem {
+            federation: Federation::with_clock(clock.clone()),
             clock,
-            federation: Federation::new(),
             catalog: Catalog::new(),
             config: PlannerConfig::optimized(),
             broker: MessageBroker::new(),
             search: None,
+            degradation: DegradationPolicy::Fail,
+            fallbacks: FallbackStore::new(),
         }
     }
 
@@ -194,13 +199,36 @@ impl EiiSystem {
         self.search = Some(search);
     }
 
+    /// Choose what queries do when a source stays down past the
+    /// federation's retry layer (default: fail).
+    pub fn set_degradation(&mut self, policy: DegradationPolicy) {
+        self.degradation = policy;
+    }
+
+    /// The stale-snapshot store consulted under
+    /// [`DegradationPolicy::Fallback`].
+    pub fn fallbacks(&self) -> &FallbackStore {
+        &self.fallbacks
+    }
+
+    /// Snapshot `source.table` live right now and register it as the
+    /// fallback copy (stamped with the current simulated time).
+    pub fn snapshot_fallback(&self, qualified: &str) -> Result<()> {
+        let (h, table) = self.federation.resolve(qualified)?;
+        let (batch, _) = h.query(&SourceQuery::full_table(table))?;
+        self.fallbacks
+            .register(qualified, batch, self.clock.now_ms());
+        Ok(())
+    }
+
     /// Execute one SQL statement as the given role.
     pub fn execute_as(&self, sql: &str, role: &str) -> Result<ExecOutcome> {
         match parse_statement(sql)? {
             Statement::Query(q) => {
                 let plan =
                     eii_planner::plan_query(&q, &self.catalog, &self.federation, &self.config)?;
-                let exec = Executor::new(&self.federation);
+                let exec = Executor::new(&self.federation)
+                    .with_degradation(self.degradation, self.fallbacks.clone());
                 Ok(ExecOutcome::Rows(exec.execute(&plan)?))
             }
             Statement::CreateView { name, query } => {

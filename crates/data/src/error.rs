@@ -37,6 +37,20 @@ pub enum EiiError {
     Constraint(String),
     /// Catalog (de)serialization problems.
     Serde(String),
+    /// A source stayed unreachable through every retry attempt (or its
+    /// circuit breaker is open and requests fail fast).
+    SourceUnavailable {
+        source: String,
+        /// Requests actually attempted before giving up (0 when the breaker
+        /// rejected the call without trying).
+        attempts: usize,
+    },
+    /// A request to a source exceeded its deadline.
+    Timeout {
+        source: String,
+        /// How long the caller waited, simulated milliseconds.
+        deadline_ms: i64,
+    },
     /// Anything else.
     Internal(String),
 }
@@ -58,12 +72,15 @@ impl EiiError {
             EiiError::Process(_) => "process",
             EiiError::Constraint(_) => "constraint",
             EiiError::Serde(_) => "serde",
+            EiiError::SourceUnavailable { .. } => "source_unavailable",
+            EiiError::Timeout { .. } => "timeout",
             EiiError::Internal(_) => "internal",
         }
     }
 
-    /// The human-readable message carried by the error.
-    pub fn message(&self) -> &str {
+    /// The human-readable message carried by the error. Structured variants
+    /// render their fields.
+    pub fn message(&self) -> String {
         match self {
             EiiError::Parse(m)
             | EiiError::NotFound(m)
@@ -77,7 +94,14 @@ impl EiiError {
             | EiiError::Process(m)
             | EiiError::Constraint(m)
             | EiiError::Serde(m)
-            | EiiError::Internal(m) => m,
+            | EiiError::Internal(m) => m.clone(),
+            EiiError::SourceUnavailable { source, attempts } => {
+                format!("source {source} unavailable after {attempts} attempt(s)")
+            }
+            EiiError::Timeout {
+                source,
+                deadline_ms,
+            } => format!("request to {source} timed out after {deadline_ms} ms"),
         }
     }
 }
@@ -100,6 +124,25 @@ mod tests {
         assert_eq!(e.to_string(), "plan error: no viable decomposition");
         assert_eq!(e.kind(), "plan");
         assert_eq!(e.message(), "no viable decomposition");
+    }
+
+    #[test]
+    fn structured_variants_render_their_fields() {
+        let e = EiiError::SourceUnavailable {
+            source: "crm".into(),
+            attempts: 3,
+        };
+        assert_eq!(e.kind(), "source_unavailable");
+        assert_eq!(
+            e.to_string(),
+            "source_unavailable error: source crm unavailable after 3 attempt(s)"
+        );
+        let t = EiiError::Timeout {
+            source: "sales".into(),
+            deadline_ms: 250,
+        };
+        assert_eq!(t.kind(), "timeout");
+        assert!(t.message().contains("250 ms"));
     }
 
     #[test]
@@ -126,6 +169,14 @@ mod tests {
             EiiError::Process(String::new()),
             EiiError::Constraint(String::new()),
             EiiError::Serde(String::new()),
+            EiiError::SourceUnavailable {
+                source: String::new(),
+                attempts: 0,
+            },
+            EiiError::Timeout {
+                source: String::new(),
+                deadline_ms: 0,
+            },
             EiiError::Internal(String::new()),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|e| e.kind()).collect();

@@ -29,6 +29,17 @@ impl FailureInjector {
         FailureInjector::new(0.0, 0)
     }
 
+    /// Injector driven by the federation's shared fault model: a saga step
+    /// fails whenever the profile would fail or time out a request, under
+    /// the profile's own seed. One fault configuration now describes both
+    /// the query path and the process path.
+    pub fn from_profile(profile: &eii_federation::FaultProfile) -> Self {
+        FailureInjector::new(
+            (profile.fail_prob + profile.timeout_prob).clamp(0.0, 1.0),
+            profile.seed,
+        )
+    }
+
     fn roll(&self) -> bool {
         self.rate > 0.0 && self.rng.lock().gen_bool(self.rate.clamp(0.0, 1.0))
     }
@@ -316,6 +327,37 @@ mod tests {
             engine.run(&def, &e).unwrap().0
         };
         assert_eq!(run_once(7), run_once(7), "same seed, same outcome");
+    }
+
+    #[test]
+    fn shared_fault_profile_drives_saga_failures() {
+        use eii_federation::FaultProfile;
+
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let run_with = |injector: FailureInjector| {
+            let clock = SimClock::new();
+            let e = env(&fed, &broker, &clock);
+            let def = ProcessDef::new("p")
+                .step(Step::new("a", |_| Ok(())))
+                .step(Step::new("b", |_| Ok(())))
+                .step(Step::new("c", |_| Ok(())));
+            let engine = SagaEngine::new(clock.clone()).with_injector(injector);
+            engine.run(&def, &e).unwrap().0
+        };
+        // The one profile that configures the query path configures the
+        // process path too, and replays identically.
+        let profile = FaultProfile::failing(0.4, 99).with_timeouts(0.2, 50);
+        assert_eq!(
+            run_with(FailureInjector::from_profile(&profile)),
+            run_with(FailureInjector::from_profile(&profile)),
+            "same profile, same saga outcome"
+        );
+        // A fault-free profile never trips a step.
+        assert_eq!(
+            run_with(FailureInjector::from_profile(&FaultProfile::none())),
+            SagaOutcome::Completed
+        );
     }
 
     #[test]

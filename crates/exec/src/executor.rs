@@ -1,15 +1,17 @@
 //! The physical-plan interpreter.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use eii_data::{Batch, EiiError, Result, Row, Value};
+use eii_data::{Batch, EiiError, Result, Row, SchemaRef, Value};
 use eii_expr::{bind, BoundExpr, Expr};
-use eii_federation::{Federation, QueryCost};
+use eii_federation::{Federation, QueryCost, SourceQuery};
 use eii_planner::{JoinSite, PhysicalPlan};
 use eii_sql::JoinKind;
 
 use crate::agg::Accumulator;
+use crate::degrade::{degrade, DegradationPolicy, FallbackStore, SourceReport};
 
 /// The result of executing a plan: rows, simulated cost, and real wall time.
 #[derive(Debug, Clone)]
@@ -19,6 +21,16 @@ pub struct QueryResult {
     pub cost: QueryCost,
     /// Real elapsed time of the interpreter.
     pub wall: Duration,
+    /// Sources that could not answer live, one entry per degraded
+    /// component query. Empty when every answer was live and complete.
+    pub degraded: Vec<SourceReport>,
+}
+
+impl QueryResult {
+    /// True when every source answered live (nothing stale or dropped).
+    pub fn fully_live(&self) -> bool {
+        self.degraded.is_empty()
+    }
 }
 
 /// Executes physical plans against a federation.
@@ -26,6 +38,9 @@ pub struct Executor<'a> {
     federation: &'a Federation,
     /// Hub-side processing cost per row touched, simulated ms.
     pub hub_ms_per_row: f64,
+    degradation: DegradationPolicy,
+    fallbacks: FallbackStore,
+    degraded: Mutex<Vec<SourceReport>>,
 }
 
 impl<'a> Executor<'a> {
@@ -34,18 +49,57 @@ impl<'a> Executor<'a> {
         Executor {
             federation,
             hub_ms_per_row: 0.0005,
+            degradation: DegradationPolicy::Fail,
+            fallbacks: FallbackStore::new(),
+            degraded: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Enable graceful degradation: what to do when a source request fails
+    /// past the federation's resilience layer, and which stale snapshots
+    /// may stand in for dead sources.
+    pub fn with_degradation(mut self, policy: DegradationPolicy, fallbacks: FallbackStore) -> Self {
+        self.degradation = policy;
+        self.fallbacks = fallbacks;
+        self
     }
 
     /// Execute a plan to completion.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
         let start = Instant::now();
+        self.degraded.lock().expect("degraded lock").clear();
         let (batch, cost) = self.run(plan)?;
         Ok(QueryResult {
             batch,
             cost,
             wall: start.elapsed(),
+            degraded: std::mem::take(&mut *self.degraded.lock().expect("degraded lock")),
         })
+    }
+
+    /// Resolve one failed component query under the degradation policy:
+    /// either a substitute batch (with the report recorded) or the error.
+    fn degrade_source(
+        &self,
+        source: &str,
+        q: &SourceQuery,
+        expect_schema: &SchemaRef,
+        err: EiiError,
+    ) -> Result<(Batch, QueryCost)> {
+        let now_ms = self.federation.clock().now_ms();
+        let (batch, report) = degrade(
+            self.degradation,
+            &self.fallbacks,
+            source,
+            q,
+            expect_schema,
+            now_ms,
+            err,
+        )?;
+        self.degraded.lock().expect("degraded lock").push(report);
+        // A snapshot read is hub-local work: no network, no source scan.
+        let cost = self.cpu(batch.num_rows());
+        Ok((batch, cost))
     }
 
     fn cpu(&self, rows: usize) -> QueryCost {
@@ -63,7 +117,10 @@ impl<'a> Executor<'a> {
                 schema,
             } => {
                 let handle = self.federation.source(source)?;
-                let (batch, cost) = handle.query(query)?;
+                let (batch, cost) = match handle.query(query) {
+                    Ok(ok) => ok,
+                    Err(err) => self.degrade_source(source, query, schema, err)?,
+                };
                 // Re-tag with the alias-qualified schema.
                 Ok((Batch::new(schema.clone(), batch.into_rows()), cost))
             }
@@ -204,7 +261,10 @@ impl<'a> Executor<'a> {
                 } else {
                     let mut q = template.clone();
                     q.bindings = vec![(bind_column.clone(), values)];
-                    handle.query(&q)?
+                    match handle.query(&q) {
+                        Ok(ok) => ok,
+                        Err(err) => self.degrade_source(source, &q, right_schema, err)?,
+                    }
                 };
                 // Map returned columns onto the scan's output schema and
                 // find the bind column among the returned fields.
@@ -386,7 +446,7 @@ impl<'a> Executor<'a> {
                             .collect();
                         handles
                             .into_iter()
-                            .map(|h| h.join().map_err(|_| panic_err())?)
+                            .map(|h| h.join().map_err(panic_err)?)
                             .collect::<Result<Vec<_>>>()
                     })?
                 } else {
@@ -424,8 +484,8 @@ impl<'a> Executor<'a> {
             std::thread::scope(|s| {
                 let lh = s.spawn(move || self.run(left));
                 let rh = s.spawn(move || self.run(right));
-                let l = lh.join().map_err(|_| panic_err())??;
-                let r = rh.join().map_err(|_| panic_err())??;
+                let l = lh.join().map_err(panic_err)??;
+                let r = rh.join().map_err(panic_err)??;
                 Ok((l, r))
             })
         } else {
@@ -474,20 +534,36 @@ impl<'a> Executor<'a> {
                     ));
                 };
                 let handle = self.federation.source(source)?;
-                let (site_batch, site_cost) = handle.query_staying_local(query)?;
+                let (site_batch, site_cost, site_live) =
+                    match handle.query_staying_local(query) {
+                        Ok((b, c)) => (b, c, true),
+                        Err(err) => {
+                            let (b, c) =
+                                self.degrade_source(source, query, site_schema, err)?;
+                            (b, c, false)
+                        }
+                    };
                 let site_batch = Batch::new(site_schema.clone(), site_batch.into_rows());
                 let (other_batch, other_cost) = self.run(other_child)?;
-                let forward = handle.charge_shipment(&other_batch);
                 let fetch = if parallel {
                     site_cost.alongside(other_cost)
                 } else {
                     site_cost.then(other_cost)
                 };
-                let cost = fetch.then(forward);
-                if site_is_left {
-                    (site_batch, other_batch, cost, Some(source.clone()))
+                // A dead site degrades to a hub join: nothing is forwarded
+                // to the site and the result needs no return shipment.
+                let (cost, result_site) = if site_live {
+                    (
+                        fetch.then(handle.charge_shipment(&other_batch)),
+                        Some(source.clone()),
+                    )
                 } else {
-                    (other_batch, site_batch, cost, Some(source.clone()))
+                    (fetch, None)
+                };
+                if site_is_left {
+                    (site_batch, other_batch, cost, result_site)
+                } else {
+                    (other_batch, site_batch, cost, result_site)
                 }
             }
         };
@@ -590,6 +666,17 @@ fn null_extend(left: &Row, right_width: usize) -> Row {
     row
 }
 
-fn panic_err() -> EiiError {
-    EiiError::Execution("parallel worker panicked".into())
+/// Turn a worker thread's panic payload into a real error instead of
+/// swallowing it: `panic!` with a message carries a `&str` or `String`
+/// payload, which callers (and tests) need to see to diagnose the failure.
+fn panic_err(payload: Box<dyn std::any::Any + Send>) -> EiiError {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        s.to_string()
+    } else {
+        match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "non-string panic payload".to_string(),
+        }
+    };
+    EiiError::Execution(format!("parallel worker panicked: {msg}"))
 }

@@ -9,6 +9,8 @@
 //! assembly" (Bitton §3).
 
 pub mod agg;
+pub mod degrade;
 pub mod executor;
 
+pub use degrade::{apply_source_query, DegradationPolicy, FallbackStore, SourceReport};
 pub use executor::{Executor, QueryResult};

@@ -1,0 +1,244 @@
+//! Fault tolerance through the whole executor: injected source faults,
+//! retry healing, stale-snapshot fallback, partial results, and panic
+//! propagation from parallel workers.
+
+use std::sync::Arc;
+
+use eii_catalog::Catalog;
+use eii_data::{row, DataType, Field, Result, Row, Schema, SimClock};
+use eii_exec::{DegradationPolicy, Executor, FallbackStore};
+use eii_federation::{
+    CircuitBreakerConfig, Connector, FaultProfile, Federation, LinkProfile,
+    RelationalConnector, RetryPolicy, SourceAnswer, SourceQuery, WireFormat,
+};
+use eii_planner::{plan_query, PlannerConfig};
+use eii_sql::parse_query;
+use eii_storage::{Database, TableDef};
+
+const JOIN_SQL: &str = "SELECT c.name, o.total FROM crm.customers c \
+                        JOIN sales.orders o ON c.id = o.customer_id \
+                        WHERE o.total > 15";
+
+fn relational(
+    fed: &mut Federation,
+    clock: &SimClock,
+    source: &str,
+    table: &str,
+    fields: Vec<Field>,
+    rows: Vec<Row>,
+) {
+    let db = Database::new(source, clock.clone());
+    let t = db
+        .create_table(TableDef::new(table, Arc::new(Schema::new(fields))).with_primary_key(0))
+        .unwrap();
+    {
+        let mut t = t.write();
+        for r in rows {
+            t.insert(r).unwrap();
+        }
+    }
+    fed.register(
+        Arc::new(RelationalConnector::new(db)),
+        LinkProfile::lan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+}
+
+/// Two-source federation on a shared clock; crm x sales join.
+fn federation(clock: &SimClock) -> Federation {
+    let mut fed = Federation::with_clock(clock.clone());
+    relational(
+        &mut fed,
+        clock,
+        "crm",
+        "customers",
+        vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+        ],
+        (0..20i64).map(|i| row![i, format!("cust{i}")]).collect(),
+    );
+    relational(
+        &mut fed,
+        clock,
+        "sales",
+        "orders",
+        vec![
+            Field::new("order_id", DataType::Int).not_null(),
+            Field::new("customer_id", DataType::Int),
+            Field::new("total", DataType::Float),
+        ],
+        (0..60i64)
+            .map(|i| row![i, i % 20, (i as f64) * 1.5])
+            .collect(),
+    );
+    fed
+}
+
+fn run(fed: &Federation, exec: &Executor<'_>, sql: &str) -> Result<eii_exec::QueryResult> {
+    let q = parse_query(sql)?;
+    let plan = plan_query(&q, &Catalog::new(), fed, &PlannerConfig::optimized())?;
+    exec.execute(&plan)
+}
+
+/// Snapshot every table of every source (taken before faults start).
+fn snapshot_all(fed: &Federation, store: &FallbackStore) {
+    for qualified in fed.all_tables() {
+        let (h, table) = fed.resolve(&qualified).unwrap();
+        let (batch, _) = h.query(&SourceQuery::full_table(table)).unwrap();
+        store.register(qualified, batch, fed.clock().now_ms());
+    }
+    fed.ledger().reset();
+}
+
+#[test]
+fn dead_source_fails_strict_queries() {
+    let clock = SimClock::new();
+    let mut fed = federation(&clock);
+    fed.inject_faults("sales", FaultProfile::failing(1.0, 3)).unwrap();
+    let exec = Executor::new(&fed);
+    let err = run(&fed, &exec, JOIN_SQL).unwrap_err();
+    assert_eq!(err.kind(), "source");
+}
+
+#[test]
+fn retries_heal_a_transient_outage_with_identical_results() {
+    let clock = SimClock::new();
+    let fed = federation(&clock);
+    let exec = Executor::new(&fed);
+    let expect = run(&fed, &exec, JOIN_SQL).unwrap();
+    assert!(expect.fully_live());
+
+    let clock2 = SimClock::new();
+    let mut fed2 = federation(&clock2);
+    fed2.inject_faults("sales", FaultProfile::none().with_outage(0, 30))
+        .unwrap();
+    fed2.harden(
+        "sales",
+        RetryPolicy::standard().with_attempts(5),
+        CircuitBreakerConfig::default(),
+    )
+    .unwrap();
+    let exec2 = Executor::new(&fed2);
+    let got = run(&fed2, &exec2, JOIN_SQL).unwrap();
+    assert!(got.fully_live(), "healed answers are live, not degraded");
+    assert_eq!(got.batch.rows(), expect.batch.rows(), "byte-identical rows");
+    assert!(fed2.ledger().traffic("sales").retries >= 1);
+}
+
+#[test]
+fn fallback_serves_stale_snapshot_when_source_dies() {
+    let clock = SimClock::new();
+    let fed_live = federation(&clock);
+    let exec_live = Executor::new(&fed_live);
+    let expect = run(&fed_live, &exec_live, JOIN_SQL).unwrap();
+
+    let clock2 = SimClock::new();
+    let mut fed = federation(&clock2);
+    let store = FallbackStore::new();
+    snapshot_all(&fed, &store);
+    clock2.advance_ms(5_000); // snapshots age before the outage
+    fed.inject_faults("sales", FaultProfile::failing(1.0, 3)).unwrap();
+    let exec = Executor::new(&fed).with_degradation(DegradationPolicy::Fallback, store);
+    let got = run(&fed, &exec, JOIN_SQL).unwrap();
+    // The data didn't change between snapshot and outage, so the stale
+    // answer happens to be complete — and it is labeled stale.
+    assert_eq!(got.batch.rows(), expect.batch.rows());
+    assert!(!got.fully_live());
+    assert_eq!(got.degraded.len(), 1);
+    let report = &got.degraded[0];
+    assert_eq!((report.source.as_str(), report.table.as_str()), ("sales", "orders"));
+    assert_eq!(report.stale_ms, Some(5_000));
+    assert!(report.error.contains("injected fault"));
+}
+
+#[test]
+fn partial_results_keep_surviving_branches() {
+    let clock = SimClock::new();
+    let mut fed = federation(&clock);
+    fed.inject_faults("sales", FaultProfile::failing(1.0, 3)).unwrap();
+    let exec =
+        Executor::new(&fed).with_degradation(DegradationPolicy::PartialResults, FallbackStore::new());
+
+    // The union's crm branch survives; the sales branch comes back empty.
+    let sql = "SELECT name FROM crm.customers WHERE id < 3 \
+               UNION ALL SELECT name FROM crm.customers WHERE id >= 18";
+    let ok = run(&fed, &exec, sql).unwrap();
+    assert_eq!(ok.batch.num_rows(), 5);
+    assert!(ok.fully_live());
+
+    let joined = run(&fed, &exec, JOIN_SQL).unwrap();
+    assert_eq!(joined.batch.num_rows(), 0, "dead join side yields no matches");
+    assert_eq!(joined.degraded.len(), 1);
+    assert_eq!(joined.degraded[0].stale_ms, None, "dropped, not stale");
+}
+
+#[test]
+fn degradation_report_resets_between_queries() {
+    let clock = SimClock::new();
+    let mut fed = federation(&clock);
+    let store = FallbackStore::new();
+    snapshot_all(&fed, &store);
+    fed.inject_faults("sales", FaultProfile::failing(1.0, 3)).unwrap();
+    let exec = Executor::new(&fed).with_degradation(DegradationPolicy::Fallback, store);
+    let first = run(&fed, &exec, JOIN_SQL).unwrap();
+    assert_eq!(first.degraded.len(), 1);
+    // A crm-only query touches no dead source: its report must be clean.
+    let second = run(&fed, &exec, "SELECT name FROM crm.customers WHERE id = 1").unwrap();
+    assert!(second.fully_live());
+}
+
+/// A connector that panics inside `execute` — drives the worker-panic path.
+struct PanickingConnector;
+
+impl Connector for PanickingConnector {
+    fn name(&self) -> &str {
+        "haywire"
+    }
+
+    fn tables(&self) -> Vec<String> {
+        vec!["t".into()]
+    }
+
+    fn table_schema(&self, _table: &str) -> Result<eii_data::SchemaRef> {
+        Ok(Arc::new(Schema::new(vec![Field::new(
+            "x",
+            DataType::Str,
+        )])))
+    }
+
+    fn capabilities(&self) -> eii_federation::SourceCapabilities {
+        eii_federation::SourceCapabilities::relational()
+    }
+
+    fn dialect(&self) -> eii_federation::Dialect {
+        eii_federation::Dialect::ansi_full()
+    }
+
+    fn execute(&self, _query: &SourceQuery) -> Result<SourceAnswer> {
+        panic!("haywire wrapper bug: lost connection state");
+    }
+}
+
+#[test]
+fn worker_panic_payload_reaches_the_caller() {
+    let clock = SimClock::new();
+    let mut fed = federation(&clock);
+    fed.register(
+        Arc::new(PanickingConnector),
+        LinkProfile::lan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    let exec = Executor::new(&fed);
+    // Parallel union: one branch panics in its worker thread.
+    let sql = "SELECT name FROM crm.customers WHERE id < 2 \
+               UNION ALL SELECT x FROM haywire.t";
+    let err = run(&fed, &exec, sql).unwrap_err();
+    assert_eq!(err.kind(), "execution");
+    assert!(
+        err.message().contains("haywire wrapper bug"),
+        "panic payload must not be swallowed: {err}"
+    );
+}

@@ -13,6 +13,9 @@
 //!   (web-service sources only answer given bound inputs).
 //! - [`LinkProfile`] + [`TransferLedger`]: the simulated network that makes
 //!   bytes-shipped and latency measurable and deterministic.
+//! - [`FaultProfile`] + [`ResilientConnector`]: deterministic source fault
+//!   injection (failures, timeouts, latency spikes, outage windows) and the
+//!   retry/backoff + circuit-breaker machinery that survives it.
 //! - Adapters: relational ([`RelationalConnector`]), document
 //!   ([`DocumentConnector`]), delimited-file ([`CsvConnector`]), and
 //!   web-service ([`WebServiceConnector`]) sources.
@@ -24,13 +27,20 @@ pub mod connector;
 pub mod dialect;
 pub mod net;
 pub mod registry;
+pub mod resilience;
 
 pub use adapters::csv::CsvConnector;
 pub use adapters::document::DocumentConnector;
 pub use adapters::relational::RelationalConnector;
 pub use adapters::webservice::WebServiceConnector;
 pub use capability::{BindingPattern, SourceCapabilities};
-pub use connector::{Connector, SourceQuery, UpdateOp, UpdateResult};
+pub use connector::{Connector, SourceAnswer, SourceQuery, UpdateOp, UpdateResult};
 pub use dialect::Dialect;
-pub use net::{LinkProfile, QueryCost, TransferLedger, WireFormat};
+pub use net::{
+    FaultDecision, FaultInjector, FaultProfile, FaultyConnector, LinkProfile, QueryCost,
+    TransferLedger, WireFormat,
+};
 pub use registry::{Federation, SourceHandle};
+pub use resilience::{
+    BreakerState, CircuitBreaker, CircuitBreakerConfig, ResilientConnector, RetryPolicy,
+};

@@ -126,6 +126,10 @@ pub struct SourceTraffic {
     pub bytes: usize,
     pub rows: usize,
     pub sim_ms: f64,
+    /// Requests that failed (injected fault, outage, or timeout).
+    pub failures: usize,
+    /// Requests that were re-issued after a failure.
+    pub retries: usize,
 }
 
 /// A shared ledger recording all traffic by source name. Cloning shares the
@@ -151,6 +155,16 @@ impl TransferLedger {
         t.sim_ms += sim_ms;
     }
 
+    /// Record one failed request from `source`.
+    pub fn record_failure(&self, source: &str) {
+        self.inner.lock().entry(source.to_string()).or_default().failures += 1;
+    }
+
+    /// Record one retry (a request re-issued after a failure) to `source`.
+    pub fn record_retry(&self, source: &str) {
+        self.inner.lock().entry(source.to_string()).or_default().retries += 1;
+    }
+
     /// Traffic attributed to one source.
     pub fn traffic(&self, source: &str) -> SourceTraffic {
         self.inner.lock().get(source).copied().unwrap_or_default()
@@ -165,6 +179,8 @@ impl TransferLedger {
                 bytes: a.bytes + b.bytes,
                 rows: a.rows + b.rows,
                 sim_ms: a.sim_ms + b.sim_ms,
+                failures: a.failures + b.failures,
+                retries: a.retries + b.retries,
             }
         })
     }
@@ -181,6 +197,259 @@ impl TransferLedger {
     /// Clear all counters (between experiment trials).
     pub fn reset(&self) {
         self.inner.lock().clear();
+    }
+}
+
+// ── Fault injection ─────────────────────────────────────────────────────
+//
+// Sources in a real enterprise go away: machines reboot, WANs partition,
+// engines hang. The fault layer makes that observable and *deterministic* —
+// a seeded RNG decides each request's fate, and transient outages are
+// windows on the simulated clock, so every experiment replays exactly.
+
+use eii_data::{EiiError, Result, SimClock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::connector::{Connector, SourceAnswer, SourceQuery, UpdateOp, UpdateResult};
+
+/// Deterministic fault model for one source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Probability an individual request fails outright (connection
+    /// refused, engine error).
+    pub fail_prob: f64,
+    /// Probability an individual request hangs until the client deadline.
+    pub timeout_prob: f64,
+    /// Probability a request succeeds but suffers a latency spike.
+    pub spike_prob: f64,
+    /// Extra simulated latency a spike adds, ms.
+    pub spike_ms: i64,
+    /// How long a caller waits on a hung request before declaring a
+    /// timeout, simulated ms.
+    pub deadline_ms: i64,
+    /// Transient outage windows `[start_ms, end_ms)` on the simulated
+    /// clock. Every request inside a window fails regardless of the dice;
+    /// once the window passes, the source heals.
+    pub outages: Vec<(i64, i64)>,
+    /// RNG seed: same profile, same request sequence, same faults.
+    pub seed: u64,
+}
+
+impl FaultProfile {
+    /// A profile that never faults (useful as a baseline control).
+    pub fn none() -> Self {
+        FaultProfile {
+            fail_prob: 0.0,
+            timeout_prob: 0.0,
+            spike_prob: 0.0,
+            spike_ms: 0,
+            deadline_ms: 1_000,
+            outages: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Each request fails independently with probability `fail_prob`.
+    pub fn failing(fail_prob: f64, seed: u64) -> Self {
+        FaultProfile {
+            fail_prob,
+            seed,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Add a transient outage window `[start_ms, end_ms)`.
+    pub fn with_outage(mut self, start_ms: i64, end_ms: i64) -> Self {
+        assert!(start_ms <= end_ms, "outage window must not be inverted");
+        self.outages.push((start_ms, end_ms));
+        self
+    }
+
+    /// Requests additionally hang (then time out) with this probability.
+    pub fn with_timeouts(mut self, timeout_prob: f64, deadline_ms: i64) -> Self {
+        self.timeout_prob = timeout_prob;
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Requests additionally suffer latency spikes with this probability.
+    pub fn with_spikes(mut self, spike_prob: f64, spike_ms: i64) -> Self {
+        self.spike_prob = spike_prob;
+        self.spike_ms = spike_ms;
+        self
+    }
+
+    /// True if `now_ms` falls inside an outage window.
+    pub fn in_outage(&self, now_ms: i64) -> bool {
+        self.outages.iter().any(|&(s, e)| now_ms >= s && now_ms < e)
+    }
+}
+
+/// One request's fate, as decided by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// The request goes through, with `extra_ms` of added latency.
+    Deliver { extra_ms: i64 },
+    /// The request fails immediately.
+    Fail,
+    /// The request hangs; the caller gives up at its deadline.
+    Timeout,
+}
+
+/// Rolls the dice for each request against a [`FaultProfile`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: Mutex<StdRng>,
+}
+
+impl FaultInjector {
+    /// Injector for the given profile.
+    pub fn new(profile: FaultProfile) -> Self {
+        let rng = Mutex::new(StdRng::seed_from_u64(profile.seed));
+        FaultInjector { profile, rng }
+    }
+
+    /// The profile this injector rolls against.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Decide the fate of one request issued at simulated time `now_ms`.
+    ///
+    /// Outage windows override the dice (and do not consume a roll), so
+    /// retry behavior around an outage is independent of its timing.
+    pub fn decide(&self, now_ms: i64) -> FaultDecision {
+        if self.profile.in_outage(now_ms) {
+            return FaultDecision::Fail;
+        }
+        let p = &self.profile;
+        if p.fail_prob <= 0.0 && p.timeout_prob <= 0.0 && p.spike_prob <= 0.0 {
+            return FaultDecision::Deliver { extra_ms: 0 };
+        }
+        let roll: f64 = self.rng.lock().gen_range(0.0..1.0);
+        if roll < p.fail_prob {
+            FaultDecision::Fail
+        } else if roll < p.fail_prob + p.timeout_prob {
+            FaultDecision::Timeout
+        } else if roll < p.fail_prob + p.timeout_prob + p.spike_prob {
+            FaultDecision::Deliver {
+                extra_ms: p.spike_ms,
+            }
+        } else {
+            FaultDecision::Deliver { extra_ms: 0 }
+        }
+    }
+}
+
+/// A connector wrapper that subjects every `execute`/`update` to a
+/// [`FaultProfile`]. Metadata calls (schemas, statistics, capabilities) are
+/// never faulted — they model locally cached catalog information.
+pub struct FaultyConnector {
+    inner: Arc<dyn Connector>,
+    injector: FaultInjector,
+    clock: SimClock,
+    ledger: TransferLedger,
+}
+
+impl FaultyConnector {
+    /// Wrap `inner`, rolling faults from `profile` on the given clock and
+    /// recording failures in `ledger`.
+    pub fn new(
+        inner: Arc<dyn Connector>,
+        profile: FaultProfile,
+        clock: SimClock,
+        ledger: TransferLedger,
+    ) -> Self {
+        FaultyConnector {
+            inner,
+            injector: FaultInjector::new(profile),
+            clock,
+            ledger,
+        }
+    }
+
+    /// The wrapped connector.
+    pub fn inner(&self) -> &Arc<dyn Connector> {
+        &self.inner
+    }
+
+    fn gate(&self) -> Result<i64> {
+        match self.injector.decide(self.clock.now_ms()) {
+            FaultDecision::Deliver { extra_ms } => Ok(extra_ms),
+            FaultDecision::Fail => {
+                self.ledger.record_failure(self.inner.name());
+                Err(EiiError::Source(format!(
+                    "injected fault: {} refused the request",
+                    self.inner.name()
+                )))
+            }
+            FaultDecision::Timeout => {
+                let deadline = self.injector.profile().deadline_ms;
+                // The caller waits out its full deadline before giving up.
+                self.clock.advance_ms(deadline);
+                self.ledger.record_failure(self.inner.name());
+                Err(EiiError::Timeout {
+                    source: self.inner.name().to_string(),
+                    deadline_ms: deadline,
+                })
+            }
+        }
+    }
+}
+
+impl Connector for FaultyConnector {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.inner.tables()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<eii_data::SchemaRef> {
+        self.inner.table_schema(table)
+    }
+
+    fn capabilities(&self) -> crate::capability::SourceCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn dialect(&self) -> crate::dialect::Dialect {
+        self.inner.dialect()
+    }
+
+    fn statistics(&self, table: &str) -> Result<eii_storage::TableStats> {
+        self.inner.statistics(table)
+    }
+
+    fn execute(&self, query: &SourceQuery) -> Result<SourceAnswer> {
+        let extra_ms = self.gate()?;
+        if extra_ms > 0 {
+            self.clock.advance_ms(extra_ms);
+        }
+        self.inner.execute(query)
+    }
+
+    fn update(&self, op: &UpdateOp) -> Result<UpdateResult> {
+        let extra_ms = self.gate()?;
+        if extra_ms > 0 {
+            self.clock.advance_ms(extra_ms);
+        }
+        self.inner.update(op)
+    }
+
+    fn changes_since(
+        &self,
+        table: &str,
+        after_seq: u64,
+    ) -> Result<(Vec<eii_storage::Change>, u64)> {
+        let extra_ms = self.gate()?;
+        if extra_ms > 0 {
+            self.clock.advance_ms(extra_ms);
+        }
+        self.inner.changes_since(table, after_seq)
     }
 }
 
@@ -254,5 +523,42 @@ mod tests {
         let b = a.clone();
         a.record("s", 1, 1, 1.0);
         assert_eq!(b.traffic("s").bytes, 1);
+    }
+
+    #[test]
+    fn ledger_counts_failures_and_retries() {
+        let ledger = TransferLedger::new();
+        ledger.record_failure("crm");
+        ledger.record_failure("crm");
+        ledger.record_retry("crm");
+        let t = ledger.traffic("crm");
+        assert_eq!((t.failures, t.retries), (2, 1));
+        assert_eq!(ledger.total().failures, 2);
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<FaultDecision> {
+            let inj = FaultInjector::new(
+                FaultProfile::failing(0.3, seed).with_timeouts(0.2, 100),
+            );
+            (0..50).map(|_| inj.decide(0)).collect()
+        };
+        assert_eq!(run(9), run(9), "same seed, same fault sequence");
+        assert_ne!(run(9), run(10), "different seeds diverge");
+        let faults = run(9)
+            .iter()
+            .filter(|d| !matches!(d, FaultDecision::Deliver { .. }))
+            .count();
+        assert!(faults > 0, "a 50% combined fault rate must fire in 50 rolls");
+    }
+
+    #[test]
+    fn outage_windows_override_the_dice() {
+        let inj = FaultInjector::new(FaultProfile::none().with_outage(100, 200));
+        assert_eq!(inj.decide(99), FaultDecision::Deliver { extra_ms: 0 });
+        assert_eq!(inj.decide(100), FaultDecision::Fail);
+        assert_eq!(inj.decide(199), FaultDecision::Fail);
+        assert_eq!(inj.decide(200), FaultDecision::Deliver { extra_ms: 0 });
     }
 }

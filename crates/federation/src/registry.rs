@@ -4,11 +4,12 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use eii_data::{Batch, EiiError, Result, SchemaRef};
+use eii_data::{Batch, EiiError, Result, SchemaRef, SimClock};
 use eii_storage::TableStats;
 
 use crate::connector::{Connector, SourceQuery, UpdateOp, UpdateResult};
-use crate::net::{LinkProfile, QueryCost, TransferLedger, WireFormat};
+use crate::net::{FaultProfile, FaultyConnector, LinkProfile, QueryCost, TransferLedger, WireFormat};
+use crate::resilience::{CircuitBreakerConfig, ResilientConnector, RetryPolicy};
 
 /// A registered source: connector + link + wire format.
 #[derive(Clone)]
@@ -119,17 +120,32 @@ impl SourceHandle {
 pub struct Federation {
     sources: BTreeMap<String, SourceHandle>,
     ledger: TransferLedger,
+    clock: SimClock,
 }
 
 impl Federation {
-    /// Empty federation.
+    /// Empty federation on its own clock.
     pub fn new() -> Self {
         Federation::default()
+    }
+
+    /// Empty federation telling time through `clock` (fault windows,
+    /// retry backoff, and breaker cooldowns all read it).
+    pub fn with_clock(clock: SimClock) -> Self {
+        Federation {
+            clock,
+            ..Federation::default()
+        }
     }
 
     /// The shared traffic ledger.
     pub fn ledger(&self) -> &TransferLedger {
         &self.ledger
+    }
+
+    /// The clock the federation's fault and resilience machinery reads.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
     }
 
     /// Register a connector behind a link. The source name comes from the
@@ -165,6 +181,50 @@ impl Federation {
             .get_mut(source)
             .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
         h.scan_ms_per_row = ms_per_row;
+        Ok(())
+    }
+
+    /// Subject a registered source to a [`FaultProfile`]: every subsequent
+    /// `execute`/`update` rolls seeded dice and may fail, hang, or slow
+    /// down. Layer [`Federation::harden`] on top to survive the faults.
+    pub fn inject_faults(&mut self, source: &str, profile: FaultProfile) -> Result<()> {
+        let clock = self.clock.clone();
+        let ledger = self.ledger.clone();
+        let h = self
+            .sources
+            .get_mut(source)
+            .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
+        h.connector = Arc::new(FaultyConnector::new(
+            h.connector.clone(),
+            profile,
+            clock,
+            ledger,
+        ));
+        Ok(())
+    }
+
+    /// Harden a registered source with retry/backoff and a circuit breaker.
+    /// Apply after [`Federation::inject_faults`] so the resilience layer
+    /// wraps the faulty transport, as it would in production.
+    pub fn harden(
+        &mut self,
+        source: &str,
+        policy: RetryPolicy,
+        breaker: CircuitBreakerConfig,
+    ) -> Result<()> {
+        let clock = self.clock.clone();
+        let ledger = self.ledger.clone();
+        let h = self
+            .sources
+            .get_mut(source)
+            .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
+        h.connector = Arc::new(ResilientConnector::new(
+            h.connector.clone(),
+            policy,
+            breaker,
+            clock,
+            ledger,
+        ));
         Ok(())
     }
 
@@ -309,6 +369,80 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err.kind(), "already_exists");
+    }
+
+    #[test]
+    fn injected_faults_fail_queries_and_are_counted() {
+        let mut fed = federation();
+        fed.inject_faults("crm", FaultProfile::failing(1.0, 5)).unwrap();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let err = h.query(&SourceQuery::full_table(table)).unwrap_err();
+        assert_eq!(err.kind(), "source");
+        assert_eq!(fed.ledger().traffic("crm").failures, 1);
+        assert_eq!(fed.ledger().traffic("crm").requests, 0, "nothing shipped");
+    }
+
+    #[test]
+    fn injected_timeouts_wait_out_the_deadline() {
+        let mut fed = federation();
+        fed.inject_faults(
+            "crm",
+            FaultProfile::none().with_timeouts(1.0, 500),
+        )
+        .unwrap();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let err = h.query(&SourceQuery::full_table(table)).unwrap_err();
+        assert_eq!(
+            err,
+            eii_data::EiiError::Timeout {
+                source: "crm".into(),
+                deadline_ms: 500,
+            }
+        );
+        assert_eq!(fed.clock().now_ms(), 500);
+    }
+
+    #[test]
+    fn hardened_source_retries_through_a_transient_outage() {
+        let mut fed = federation();
+        fed.inject_faults("crm", FaultProfile::none().with_outage(0, 25))
+            .unwrap();
+        fed.harden(
+            "crm",
+            crate::resilience::RetryPolicy::standard().with_attempts(5),
+            crate::resilience::CircuitBreakerConfig::default(),
+        )
+        .unwrap();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let (batch, cost) = h.query(&SourceQuery::full_table(table)).unwrap();
+        assert_eq!(batch.num_rows(), 100, "outage healed, full answer");
+        assert!(cost.requests >= 2, "retries are charged as round trips");
+        let traffic = fed.ledger().traffic("crm");
+        assert!(traffic.retries >= 1);
+        assert!(traffic.failures >= 1);
+        assert!(fed.clock().now_ms() >= 25, "backoff advanced past the outage");
+    }
+
+    #[test]
+    fn zero_fault_profile_changes_nothing() {
+        let plain = federation();
+        let (h, table) = plain.resolve("crm.customers").unwrap();
+        let (expect, expect_cost) = h.query(&SourceQuery::full_table(table)).unwrap();
+
+        let mut fed = federation();
+        fed.inject_faults("crm", FaultProfile::none()).unwrap();
+        fed.harden(
+            "crm",
+            crate::resilience::RetryPolicy::standard(),
+            crate::resilience::CircuitBreakerConfig::default(),
+        )
+        .unwrap();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let (got, got_cost) = h.query(&SourceQuery::full_table(table)).unwrap();
+        assert_eq!(got.rows(), expect.rows());
+        assert_eq!(got_cost, expect_cost);
+        assert_eq!(fed.ledger().traffic("crm").retries, 0);
+        assert_eq!(fed.clock().now_ms(), 0);
     }
 
     #[test]

@@ -1,0 +1,581 @@
+//! Fault tolerance for source requests: retry with exponential backoff and
+//! jitter, per-source circuit breakers, and the [`ResilientConnector`]
+//! wrapper that applies both.
+//!
+//! All waiting happens on the simulated clock, so hardened federations stay
+//! deterministic: a retried request advances time by its backoff and is
+//! charged an extra round trip in the cost ledger.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eii_data::{EiiError, Result, SimClock};
+
+use crate::connector::{Connector, SourceAnswer, SourceQuery, UpdateOp, UpdateResult};
+use crate::net::TransferLedger;
+
+/// How a hardened source retries failed requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = no retries).
+    pub max_attempts: usize,
+    /// Wait before the first retry, simulated ms.
+    pub base_backoff_ms: i64,
+    /// Backoff multiplier per subsequent retry (exponential backoff).
+    pub backoff_multiplier: f64,
+    /// Random jitter as a fraction of each backoff (0.0 = none). Jitter is
+    /// drawn from a seeded RNG so runs replay exactly.
+    pub jitter_frac: f64,
+    /// Seed for the jitter RNG.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, failures surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            backoff_multiplier: 1.0,
+            jitter_frac: 0.0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// A sensible default: 3 attempts, 10 ms base backoff doubling each
+    /// retry, 10% jitter.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+            backoff_multiplier: 2.0,
+            jitter_frac: 0.1,
+            jitter_seed: 17,
+        }
+    }
+
+    /// Same policy with a different attempt budget.
+    pub fn with_attempts(mut self, max_attempts: usize) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Backoff before retry number `retry` (1-based), before jitter.
+    pub fn backoff_ms(&self, retry: usize) -> i64 {
+        let factor = self.backoff_multiplier.powi(retry.saturating_sub(1) as i32);
+        (self.base_backoff_ms as f64 * factor).round() as i64
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: usize,
+    /// How long an open breaker rejects requests before letting a probe
+    /// through (half-open), simulated ms.
+    pub cooldown_ms: i64,
+    /// Successful probes required to close again from half-open.
+    pub success_threshold: usize,
+}
+
+impl Default for CircuitBreakerConfig {
+    fn default() -> Self {
+        CircuitBreakerConfig {
+            failure_threshold: 5,
+            cooldown_ms: 1_000,
+            success_threshold: 1,
+        }
+    }
+}
+
+/// The three classic breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests fail fast without touching the source.
+    Open,
+    /// A limited number of probe requests are let through.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: usize,
+    probe_successes: usize,
+    opened_at_ms: i64,
+}
+
+/// Per-source circuit breaker on the simulated clock.
+///
+/// Closed → (failure_threshold consecutive failures) → Open →
+/// (cooldown elapses) → HalfOpen → (success_threshold probe successes) →
+/// Closed, or (any probe failure) → Open again.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: CircuitBreakerConfig,
+    clock: SimClock,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// New breaker, initially closed.
+    pub fn new(config: CircuitBreakerConfig, clock: SimClock) -> Self {
+        CircuitBreaker {
+            config,
+            clock,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                probe_successes: 0,
+                opened_at_ms: 0,
+            }),
+        }
+    }
+
+    /// Current state, transitioning Open → HalfOpen if the cooldown has
+    /// elapsed.
+    pub fn state(&self) -> BreakerState {
+        let mut inner = self.inner.lock();
+        if inner.state == BreakerState::Open
+            && self.clock.now_ms() - inner.opened_at_ms >= self.config.cooldown_ms
+        {
+            inner.state = BreakerState::HalfOpen;
+            inner.probe_successes = 0;
+        }
+        inner.state
+    }
+
+    /// May a request proceed right now?
+    pub fn allow(&self) -> bool {
+        self.state() != BreakerState::Open
+    }
+
+    /// Record a successful request.
+    pub fn on_success(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.probe_successes += 1;
+                if inner.probe_successes >= self.config.success_threshold {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                }
+            }
+            // A success while open can only come from a racing request that
+            // was admitted before the trip; ignore it.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed request.
+    pub fn on_failure(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at_ms = self.clock.now_ms();
+                }
+            }
+            // Any failure during a probe re-opens immediately.
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at_ms = self.clock.now_ms();
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+/// A connector wrapper adding retry/backoff and a circuit breaker around an
+/// (often faulty) inner connector.
+///
+/// Each retry advances the simulated clock by its backoff and bumps the
+/// answer's `calls` count, so the registry charges the extra round trips to
+/// the cost ledger; retries are also counted per source in the
+/// [`TransferLedger`].
+pub struct ResilientConnector {
+    inner: Arc<dyn Connector>,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    clock: SimClock,
+    ledger: TransferLedger,
+    jitter_rng: Mutex<StdRng>,
+}
+
+impl ResilientConnector {
+    /// Harden `inner` with the given retry policy and breaker config.
+    pub fn new(
+        inner: Arc<dyn Connector>,
+        policy: RetryPolicy,
+        breaker_config: CircuitBreakerConfig,
+        clock: SimClock,
+        ledger: TransferLedger,
+    ) -> Self {
+        let jitter_rng = Mutex::new(StdRng::seed_from_u64(policy.jitter_seed));
+        ResilientConnector {
+            inner,
+            breaker: CircuitBreaker::new(breaker_config, clock.clone()),
+            policy,
+            clock,
+            ledger,
+            jitter_rng,
+        }
+    }
+
+    /// The breaker (observability and tests).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The wrapped connector.
+    pub fn inner(&self) -> &Arc<dyn Connector> {
+        &self.inner
+    }
+
+    /// Backoff for retry number `retry` (1-based) with jitter applied.
+    fn jittered_backoff_ms(&self, retry: usize) -> i64 {
+        let base = self.policy.backoff_ms(retry);
+        if self.policy.jitter_frac <= 0.0 || base == 0 {
+            return base;
+        }
+        let frac = self.policy.jitter_frac.min(1.0);
+        let jitter: f64 = self.jitter_rng.lock().gen_range(-frac..frac);
+        (base as f64 * (1.0 + jitter)).round().max(0.0) as i64
+    }
+
+    /// Run `attempt` with retry + breaker bookkeeping. Returns the result
+    /// of the first successful attempt plus the number of retries used.
+    fn with_retries<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T>,
+    ) -> Result<(T, usize)> {
+        if !self.breaker.allow() {
+            return Err(EiiError::SourceUnavailable {
+                source: self.inner.name().to_string(),
+                attempts: 0,
+            });
+        }
+        let mut retries = 0usize;
+        loop {
+            match attempt() {
+                Ok(v) => {
+                    self.breaker.on_success();
+                    return Ok((v, retries));
+                }
+                Err(err) => {
+                    self.breaker.on_failure();
+                    let attempts = retries + 1;
+                    if attempts >= self.policy.max_attempts {
+                        // Exhausted: collapse into the structured error
+                        // unless the inner error is already structural
+                        // (planner misuse etc. should not be masked).
+                        return Err(match err {
+                            EiiError::Source(_) | EiiError::Timeout { .. } => {
+                                EiiError::SourceUnavailable {
+                                    source: self.inner.name().to_string(),
+                                    attempts,
+                                }
+                            }
+                            other => other,
+                        });
+                    }
+                    if !matches!(err, EiiError::Source(_) | EiiError::Timeout { .. }) {
+                        // Non-transport errors (bad query, missing table)
+                        // will not heal with retries.
+                        return Err(err);
+                    }
+                    if !self.breaker.allow() {
+                        return Err(EiiError::SourceUnavailable {
+                            source: self.inner.name().to_string(),
+                            attempts,
+                        });
+                    }
+                    retries += 1;
+                    self.ledger.record_retry(self.inner.name());
+                    self.clock.advance_ms(self.jittered_backoff_ms(retries));
+                }
+            }
+        }
+    }
+}
+
+impl Connector for ResilientConnector {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.inner.tables()
+    }
+
+    fn table_schema(&self, table: &str) -> Result<eii_data::SchemaRef> {
+        self.inner.table_schema(table)
+    }
+
+    fn capabilities(&self) -> crate::capability::SourceCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn dialect(&self) -> crate::dialect::Dialect {
+        self.inner.dialect()
+    }
+
+    fn statistics(&self, table: &str) -> Result<eii_storage::TableStats> {
+        self.inner.statistics(table)
+    }
+
+    fn execute(&self, query: &SourceQuery) -> Result<SourceAnswer> {
+        let (mut ans, retries) = self.with_retries(|| self.inner.execute(query))?;
+        // Every retry was a real round trip the cost model must charge.
+        ans.calls += retries;
+        Ok(ans)
+    }
+
+    fn update(&self, op: &UpdateOp) -> Result<UpdateResult> {
+        let (res, _retries) = self.with_retries(|| self.inner.update(op))?;
+        Ok(res)
+    }
+
+    fn changes_since(
+        &self,
+        table: &str,
+        after_seq: u64,
+    ) -> Result<(Vec<eii_storage::Change>, u64)> {
+        let (res, _retries) = self.with_retries(|| self.inner.changes_since(table, after_seq))?;
+        Ok(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A connector that fails its first `fail_first` requests, then
+    /// succeeds forever.
+    struct FlakyConnector {
+        fail_first: usize,
+        served: AtomicUsize,
+    }
+
+    impl FlakyConnector {
+        fn new(fail_first: usize) -> Self {
+            FlakyConnector {
+                fail_first,
+                served: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Connector for FlakyConnector {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+
+        fn tables(&self) -> Vec<String> {
+            vec!["t".into()]
+        }
+
+        fn table_schema(&self, _table: &str) -> Result<eii_data::SchemaRef> {
+            Ok(std::sync::Arc::new(eii_data::Schema::new(vec![
+                eii_data::Field::new("x", eii_data::DataType::Int),
+            ])))
+        }
+
+        fn capabilities(&self) -> crate::capability::SourceCapabilities {
+            crate::capability::SourceCapabilities::relational()
+        }
+
+        fn dialect(&self) -> crate::dialect::Dialect {
+            crate::dialect::Dialect::ansi_full()
+        }
+
+        fn execute(&self, _query: &SourceQuery) -> Result<SourceAnswer> {
+            let n = self.served.fetch_add(1, Ordering::SeqCst);
+            if n < self.fail_first {
+                Err(EiiError::Source("flaky: refused".into()))
+            } else {
+                let schema = self.table_schema("t")?;
+                Ok(SourceAnswer::one_shot(
+                    eii_data::Batch::new(schema, vec![eii_data::row![1i64]]),
+                    1,
+                ))
+            }
+        }
+    }
+
+    fn hardened(fail_first: usize, policy: RetryPolicy) -> (ResilientConnector, SimClock) {
+        let clock = SimClock::new();
+        let conn = ResilientConnector::new(
+            Arc::new(FlakyConnector::new(fail_first)),
+            policy,
+            CircuitBreakerConfig::default(),
+            clock.clone(),
+            TransferLedger::new(),
+        );
+        (conn, clock)
+    }
+
+    #[test]
+    fn retries_heal_transient_failures_and_charge_round_trips() {
+        let (conn, clock) = hardened(2, RetryPolicy::standard());
+        let ans = conn.execute(&SourceQuery::full_table("t")).unwrap();
+        assert_eq!(ans.batch.num_rows(), 1);
+        assert_eq!(ans.calls, 3, "1 answer + 2 retries");
+        // Backoffs advanced the simulated clock: 10ms + 20ms, +/- 10% jitter.
+        assert!((27..=33).contains(&clock.now_ms()), "now={}", clock.now_ms());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_source_unavailable() {
+        let (conn, _clock) = hardened(100, RetryPolicy::standard());
+        let err = conn.execute(&SourceQuery::full_table("t")).unwrap_err();
+        assert_eq!(err.kind(), "source_unavailable");
+        assert_eq!(
+            err,
+            EiiError::SourceUnavailable {
+                source: "flaky".into(),
+                attempts: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn non_transport_errors_do_not_retry() {
+        struct BadQuery;
+        impl Connector for BadQuery {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn tables(&self) -> Vec<String> {
+                vec![]
+            }
+            fn table_schema(&self, _t: &str) -> Result<eii_data::SchemaRef> {
+                Err(EiiError::NotFound("t".into()))
+            }
+            fn capabilities(&self) -> crate::capability::SourceCapabilities {
+                crate::capability::SourceCapabilities::relational()
+            }
+            fn dialect(&self) -> crate::dialect::Dialect {
+                crate::dialect::Dialect::ansi_full()
+            }
+            fn execute(&self, _q: &SourceQuery) -> Result<SourceAnswer> {
+                Err(EiiError::NotFound("no such table".into()))
+            }
+        }
+        let ledger = TransferLedger::new();
+        let conn = ResilientConnector::new(
+            Arc::new(BadQuery),
+            RetryPolicy::standard(),
+            CircuitBreakerConfig::default(),
+            SimClock::new(),
+            ledger.clone(),
+        );
+        let err = conn.execute(&SourceQuery::full_table("t")).unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+        assert_eq!(ledger.traffic("bad").retries, 0);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let clock = SimClock::new();
+        let breaker = CircuitBreaker::new(
+            CircuitBreakerConfig {
+                failure_threshold: 3,
+                cooldown_ms: 100,
+                success_threshold: 2,
+            },
+            clock.clone(),
+        );
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // Two failures + a success reset the streak.
+        breaker.on_failure();
+        breaker.on_failure();
+        breaker.on_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // Three consecutive failures trip it.
+        breaker.on_failure();
+        breaker.on_failure();
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow());
+        // Cooldown not yet elapsed.
+        clock.advance_ms(99);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Cooldown elapses: half-open lets probes through.
+        clock.advance_ms(1);
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(breaker.allow());
+        // First probe succeeds but threshold is 2: still half-open.
+        breaker.on_success();
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.on_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn halfopen_probe_failure_reopens() {
+        let clock = SimClock::new();
+        let breaker = CircuitBreaker::new(
+            CircuitBreakerConfig {
+                failure_threshold: 1,
+                cooldown_ms: 50,
+                success_threshold: 1,
+            },
+            clock.clone(),
+        );
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        clock.advance_ms(50);
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // The cooldown restarts from the re-open.
+        clock.advance_ms(49);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        clock.advance_ms(1);
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_without_touching_the_source() {
+        let clock = SimClock::new();
+        let inner = Arc::new(FlakyConnector::new(usize::MAX));
+        let conn = ResilientConnector::new(
+            inner.clone(),
+            RetryPolicy::none(),
+            CircuitBreakerConfig {
+                failure_threshold: 2,
+                cooldown_ms: 1_000,
+                success_threshold: 1,
+            },
+            clock.clone(),
+            TransferLedger::new(),
+        );
+        let q = SourceQuery::full_table("t");
+        assert!(conn.execute(&q).is_err());
+        assert!(conn.execute(&q).is_err());
+        let before = inner.served.load(Ordering::SeqCst);
+        // Breaker is now open: requests are rejected without reaching the
+        // inner connector, with attempts = 0.
+        let err = conn.execute(&q).unwrap_err();
+        assert_eq!(
+            err,
+            EiiError::SourceUnavailable {
+                source: "flaky".into(),
+                attempts: 0,
+            }
+        );
+        assert_eq!(inner.served.load(Ordering::SeqCst), before);
+    }
+}

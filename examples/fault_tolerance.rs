@@ -1,0 +1,132 @@
+//! Fault tolerance end to end: inject source faults, harden with
+//! retries + a circuit breaker, and degrade to stale snapshots when a
+//! source stays dead.
+//!
+//! ```bash
+//! cargo run -p eii --release --example fault_tolerance
+//! ```
+
+use std::sync::Arc;
+
+use eii::prelude::*;
+use eii::row;
+
+fn main() -> Result<()> {
+    let clock = SimClock::new();
+    let mut sys = EiiSystem::new(clock.clone());
+
+    let crm = Database::new("crm", clock.clone());
+    let customers = crm
+        .create_table(
+            TableDef::new(
+                "customers",
+                Arc::new(Schema::new(vec![
+                    Field::new("id", DataType::Int).not_null(),
+                    Field::new("name", DataType::Str),
+                ])),
+            )
+            .with_primary_key(0),
+        )?;
+    {
+        let mut t = customers.write();
+        for (i, name) in ["Acme Corp", "Globex", "Initech"].iter().enumerate() {
+            t.insert(row![i as i64, *name])?;
+        }
+    }
+
+    let sales = Database::new("sales", clock.clone());
+    let orders = sales
+        .create_table(
+            TableDef::new(
+                "orders",
+                Arc::new(Schema::new(vec![
+                    Field::new("order_id", DataType::Int).not_null(),
+                    Field::new("customer_id", DataType::Int),
+                    Field::new("total", DataType::Float),
+                ])),
+            )
+            .with_primary_key(0),
+        )?;
+    {
+        let mut t = orders.write();
+        for i in 0..9i64 {
+            t.insert(row![i, i % 3, (i as f64 + 1.0) * 100.0])?;
+        }
+    }
+
+    sys.register_source(
+        Arc::new(RelationalConnector::new(crm)),
+        LinkProfile::lan(),
+        WireFormat::Native,
+    )?;
+    sys.register_source(
+        Arc::new(RelationalConnector::new(sales)),
+        LinkProfile::wan(),
+        WireFormat::Native,
+    )?;
+
+    let sql = "SELECT c.name, SUM(o.total) AS revenue \
+               FROM crm.customers c JOIN sales.orders o ON c.id = o.customer_id \
+               GROUP BY c.name ORDER BY revenue DESC";
+
+    println!("== Healthy federation ==");
+    print_result(&sys, sql)?;
+
+    // Take fallback snapshots while everything is still alive.
+    sys.snapshot_fallback("crm.customers")?;
+    sys.snapshot_fallback("sales.orders")?;
+
+    // A transient outage: sales is dark for the first 30 simulated ms.
+    println!("\n== Transient outage on sales, hardened with retries ==");
+    sys.federation_mut()
+        .inject_faults("sales", FaultProfile::none().with_outage(0, 30))?;
+    sys.federation_mut().harden(
+        "sales",
+        RetryPolicy::standard().with_attempts(5),
+        CircuitBreakerConfig::default(),
+    )?;
+    print_result(&sys, sql)?;
+    println!(
+        "retries recorded against sales: {}",
+        sys.federation().ledger().traffic("sales").retries
+    );
+
+    // A hard outage: every request to sales now fails. Strict mode
+    // surfaces the error; fallback mode serves the stale snapshot.
+    println!("\n== Hard outage on sales ==");
+    sys.federation_mut()
+        .inject_faults("sales", FaultProfile::failing(1.0, 7))?;
+    clock.advance_ms(60_000);
+    match sys.execute(sql) {
+        Ok(_) => println!("unexpected success"),
+        Err(e) => println!("strict policy: {e}"),
+    }
+
+    sys.set_degradation(DegradationPolicy::Fallback);
+    println!("\n== Same outage, degrading to the stale snapshot ==");
+    print_result(&sys, sql)?;
+
+    Ok(())
+}
+
+fn print_result(sys: &EiiSystem, sql: &str) -> Result<()> {
+    let out = sys.execute(sql)?;
+    let result = out.query_result()?;
+    for r in result.batch.rows() {
+        println!("  {r}");
+    }
+    if result.fully_live() {
+        println!("all answers live");
+    } else {
+        for report in &result.degraded {
+            println!(
+                "degraded: {}.{} served {} ms stale ({})",
+                report.source,
+                report.table,
+                report.stale_ms.unwrap_or(0),
+                report.error
+            );
+        }
+    }
+    Ok(())
+}

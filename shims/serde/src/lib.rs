@@ -1,0 +1,540 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Instead of serde's visitor-based data model, this shim serializes through
+//! an owned JSON tree ([`Json`]): `Serialize` renders a value into `Json`,
+//! `Deserialize` rebuilds a value from `&Json`. The `serde_derive` shim
+//! generates impls against this model, and the `serde_json` shim provides the
+//! text layer (parse/print). Externally-tagged enum encoding matches real
+//! serde: unit variants become strings, data variants become single-key
+//! objects.
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Owned JSON tree. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view; integral floats qualify so `3` and `3.0` interconvert.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Short name of the JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Pretty-print with two-space indentation (serde_json style).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(entries) if !entries.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{other}"));
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact rendering with no whitespace (`{"id":"e0"}`).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Float(_) => f.write_str("null"),
+            Json::Str(s) => {
+                let mut buf = String::new();
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::new();
+                    write_escaped(&mut buf, k);
+                    write!(f, "{buf}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    pub fn expected(what: &str, got: &str) -> Self {
+        DeError(format!("expected {got} for {what}"))
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("field `{field}`: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render a value into the JSON tree.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+/// Rebuild a value from a JSON tree.
+pub trait Deserialize: Sized {
+    fn from_json(json: &Json) -> Result<Self, DeError>;
+}
+
+// -------------------------------------------------- derive support helpers
+
+/// Externally-tagged enum payload: `{"Variant": payload}`.
+pub fn variant(name: &str, payload: Json) -> Json {
+    Json::Obj(vec![(name.to_string(), payload)])
+}
+
+/// Look up and deserialize a struct field; a missing key deserializes from
+/// `null` so `Option` fields default to `None`.
+pub fn field<T: Deserialize>(obj: &[(String, Json)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_json(v).map_err(|e| e.in_field(name)),
+        None => T::from_json(&Json::Null)
+            .map_err(|_| DeError(format!("missing field `{name}`"))),
+    }
+}
+
+/// Classified externally-tagged enum encoding.
+pub enum EnumRepr<'a> {
+    /// `"Variant"`.
+    Unit(&'a str),
+    /// `{"Variant": payload}`.
+    Data(&'a str, &'a Json),
+    Invalid,
+}
+
+pub fn enum_repr(json: &Json) -> EnumRepr<'_> {
+    match json {
+        Json::Str(s) => EnumRepr::Unit(s),
+        Json::Obj(entries) if entries.len() == 1 => EnumRepr::Data(&entries[0].0, &entries[0].1),
+        _ => EnumRepr::Invalid,
+    }
+}
+
+/// Fixed-arity array payload for tuple structs/variants.
+pub fn tuple_payload<'a>(json: &'a Json, n: usize, what: &str) -> Result<&'a [Json], DeError> {
+    let arr = json
+        .as_arr()
+        .ok_or_else(|| DeError::expected(what, "array"))?;
+    if arr.len() != n {
+        return Err(DeError(format!(
+            "{what}: expected {n} elements, found {}",
+            arr.len()
+        )));
+    }
+    Ok(arr)
+}
+
+// --------------------------------------------------------- impl: primitives
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_json(json: &Json) -> Result<Self, DeError> {
+                let i = json
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected(stringify!($t), json.type_name()))?;
+                <$t>::try_from(i)
+                    .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        json.as_bool()
+            .ok_or_else(|| DeError::expected("bool", json.type_name()))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        json.as_f64()
+            .ok_or_else(|| DeError::expected("f64", json.type_name()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        f64::from_json(json).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        json.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", json.type_name()))
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        Ok(json.clone())
+    }
+}
+
+// --------------------------------------------------------- impl: containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        T::from_json(json).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        T::from_json(json).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        json.as_str()
+            .map(Arc::from)
+            .ok_or_else(|| DeError::expected("string", json.type_name()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        T::from_json(json).map(Rc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        json.as_arr()
+            .ok_or_else(|| DeError::expected("Vec", json.type_name()))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        let arr = tuple_payload(json, 2, "2-tuple")?;
+        Ok((A::from_json(&arr[0])?, B::from_json(&arr[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        let arr = tuple_payload(json, 3, "3-tuple")?;
+        Ok((
+            A::from_json(&arr[0])?,
+            B::from_json(&arr[1])?,
+            C::from_json(&arr[2])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_display_has_no_spaces() {
+        let j = Json::Obj(vec![
+            ("id".into(), Json::Str("e0".into())),
+            ("n".into(), Json::Int(3)),
+        ]);
+        assert_eq!(j.to_string(), r#"{"id":"e0","n":3}"#);
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let j = v.to_json();
+        assert_eq!(Vec::<Option<u32>>::from_json(&j).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_field_yields_none_for_option() {
+        let obj = vec![("present".to_string(), Json::Int(1))];
+        let present: Option<i64> = field(&obj, "present").unwrap();
+        let absent: Option<i64> = field(&obj, "absent").unwrap();
+        assert_eq!(present, Some(1));
+        assert_eq!(absent, None);
+        assert!(field::<i64>(&obj, "absent").is_err());
+    }
+
+    #[test]
+    fn string_escaping() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd""#);
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the shim `serde` crate's
+//! `Json` data model. The parser walks the raw token stream directly (no
+//! `syn`/`quote`, which are unavailable offline) and supports the shapes this
+//! workspace uses: named structs, tuple structs, unit structs, and enums with
+//! unit/tuple/struct variants. Generics and serde attributes are not
+//! supported and fail loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_text(&toks, i).expect("serde shim: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_text(&toks, i).expect("serde shim: expected type name");
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_field_count(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn ident_text(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list on commas outside `<...>` (parens and brackets
+/// are whole `Group` tokens, so only angle brackets need depth tracking).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            ident_text(&chunk, i).expect("serde shim: expected field name")
+        })
+        .collect()
+}
+
+fn tuple_field_count(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = ident_text(&chunk, i).expect("serde shim: expected variant name");
+            i += 1;
+            let kind = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(tuple_field_count(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(named_fields(g.stream()))
+                }
+                None => VariantKind::Unit,
+                _ => panic!("serde shim: unsupported variant form `{name}`"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation
+
+fn obj_entries(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json({})),",
+                access(f)
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => format!(
+            "::serde::Json::Obj(::std::vec![{}])",
+            obj_entries(fields, |f| format!("&self.{f}"))
+        ),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i}),"))
+                .collect();
+            format!("::serde::Json::Arr(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Json::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Json::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::variant(\"{vn}\", ::serde::Serialize::to_json(__f0)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::variant(\"{vn}\", ::serde::Json::Arr(::std::vec![{items}])),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => format!(
+                            "{name}::{vn} {{ {} }} => ::serde::variant(\"{vn}\", ::serde::Json::Obj(::std::vec![{}])),",
+                            fields.join(", "),
+                            obj_entries(fields, |f| f.to_string())
+                        ),
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_json(&self) -> ::serde::Json {{ {body} }} \
+         }}"
+    )
+}
+
+fn field_inits(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(__obj, \"{f}\")?,"))
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => format!(
+            "let __obj = __j.as_obj().ok_or_else(|| ::serde::DeError::expected(\"{name}\", \"object\"))?; \
+             ::std::result::Result::Ok({name} {{ {} }})",
+            field_inits(fields)
+        ),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json(__j)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?,"))
+                .collect();
+            format!(
+                "let __arr = ::serde::tuple_payload(__j, {n}usize, \"{name}\")?; \
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Shape::UnitStruct => format!(
+            "if __j.is_null() {{ ::std::result::Result::Ok({name}) }} \
+             else {{ ::std::result::Result::Err(::serde::DeError::expected(\"{name}\", \"null\")) }}"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_json(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                     let __arr = ::serde::tuple_payload(__payload, {n}usize, \"{name}::{vn}\")?; \
+                                     ::std::result::Result::Ok({name}::{vn}({inits})) \
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => Some(format!(
+                            "\"{vn}\" => {{ \
+                                 let __obj = __payload.as_obj().ok_or_else(|| ::serde::DeError::expected(\"{name}::{vn}\", \"object\"))?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) \
+                             }}",
+                            field_inits(fields)
+                        )),
+                    }
+                })
+                .collect();
+            let unit_arm = if unit_arms.is_empty() {
+                format!(
+                    "::serde::EnumRepr::Unit(__other) => \
+                         ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),"
+                )
+            } else {
+                format!(
+                    "::serde::EnumRepr::Unit(__v) => match __v {{ \
+                         {unit_arms} \
+                         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)), \
+                     }},"
+                )
+            };
+            let data_arm = if data_arms.is_empty() {
+                format!(
+                    "::serde::EnumRepr::Data(__other, _) => \
+                         ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),"
+                )
+            } else {
+                format!(
+                    "::serde::EnumRepr::Data(__v, __payload) => match __v {{ \
+                         {data_arms} \
+                         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)), \
+                     }},"
+                )
+            };
+            format!(
+                "match ::serde::enum_repr(__j) {{ \
+                     {unit_arm} \
+                     {data_arm} \
+                     ::serde::EnumRepr::Invalid => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"{name}\", \"string or single-key object\")), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_json(__j: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}

@@ -387,3 +387,51 @@ fn catalog_export_reimports_into_working_system() {
     let out = sys2.execute("SELECT name FROM west").unwrap();
     assert_eq!(out.rows().unwrap().num_rows(), 1);
 }
+
+#[test]
+fn facade_degrades_to_stale_snapshots_when_a_source_dies() {
+    let (mut sys, clock) = build_system();
+    let sql = "SELECT c.name, o.total FROM crm.customers c \
+               JOIN sales.orders o ON c.id = o.customer_id \
+               WHERE o.total > 150";
+    let live = sys.execute(sql).unwrap();
+    let live_rows = live.rows().unwrap().rows().to_vec();
+    assert!(live.query_result().unwrap().fully_live());
+
+    // Snapshot sales before the outage, then kill the source outright.
+    sys.snapshot_fallback("sales.orders").unwrap();
+    clock.advance_ms(2_000);
+    sys.federation_mut()
+        .inject_faults("sales", FaultProfile::failing(1.0, 7))
+        .unwrap();
+
+    // Strict policy: the query fails.
+    assert!(sys.execute(sql).is_err());
+
+    // Fallback policy: same answer, flagged stale.
+    sys.set_degradation(DegradationPolicy::Fallback);
+    let out = sys.execute(sql).unwrap();
+    let result = out.query_result().unwrap();
+    assert_eq!(result.batch.rows(), live_rows.as_slice());
+    assert!(!result.fully_live());
+    assert_eq!(result.degraded[0].stale_ms, Some(2_000));
+}
+
+#[test]
+fn facade_retries_ride_out_a_transient_outage() {
+    let (mut sys, _clock) = build_system();
+    let sql = "SELECT name FROM crm.customers WHERE region = 'west'";
+    sys.federation_mut()
+        .inject_faults("crm", FaultProfile::none().with_outage(0, 40))
+        .unwrap();
+    sys.federation_mut()
+        .harden(
+            "crm",
+            RetryPolicy::standard().with_attempts(6),
+            CircuitBreakerConfig::default(),
+        )
+        .unwrap();
+    let out = sys.execute(sql).unwrap();
+    assert_eq!(out.rows().unwrap().num_rows(), 2);
+    assert!(sys.federation().ledger().traffic("crm").retries >= 1);
+}

@@ -239,6 +239,41 @@ proptest! {
         prop_assert_eq!(union, sorted(&all));
     }
 
+    /// Transient faults healed by retries are invisible: a hardened source
+    /// behind an outage window returns byte-identical rows to a fault-free
+    /// run, whatever the data, predicate, or outage length.
+    #[test]
+    fn healed_retries_are_invisible_to_results(
+        rows in unique_rows(),
+        pred in predicates(),
+        outage_end in 1i64..60,
+    ) {
+        let sql = format!(
+            "SELECT c.name, o.total FROM crm.customers c \
+             JOIN sales.orders o ON c.id = o.customer_id WHERE {pred}"
+        );
+        let (clean, _) = system_with_customers(&rows);
+        let expect = run(&clean, &sql);
+
+        let (mut sys, _) = system_with_customers(&rows);
+        sys.federation_mut()
+            .inject_faults("sales", FaultProfile::none().with_outage(0, outage_end))
+            .unwrap();
+        // Backoff accumulates past 60 ms well before the attempt budget
+        // runs out, so every outage in range heals.
+        sys.federation_mut()
+            .harden(
+                "sales",
+                RetryPolicy::standard().with_attempts(12),
+                CircuitBreakerConfig::default(),
+            )
+            .unwrap();
+        let got = run(&sys, &sql);
+        prop_assert_eq!(got.rows(), expect.rows());
+        let result = sys.execute(&sql).unwrap();
+        prop_assert!(result.query_result().unwrap().fully_live());
+    }
+
     /// LIMIT never yields more rows than asked, and the prefix matches the
     /// unlimited ordering.
     #[test]
