@@ -4,6 +4,7 @@
 
 pub mod economics;
 pub mod engine;
+pub mod observability;
 pub mod resilience;
 pub mod services;
 
@@ -12,8 +13,8 @@ use eii::data::Result;
 use crate::report::Report;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Run one experiment by id.
@@ -32,6 +33,7 @@ pub fn run(id: &str) -> Result<Report> {
         "e11" => engine::e11_dialect_ablation(),
         "e12" => engine::e12_prediction(),
         "e13" => resilience::e13_fault_tolerance(),
+        "e14" => observability::e14_observability_overhead(),
         other => Err(eii::data::EiiError::NotFound(format!(
             "experiment {other}; known: {}",
             ALL.join(", ")

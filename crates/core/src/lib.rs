@@ -34,16 +34,20 @@
 //! assert_eq!(out.rows().unwrap().num_rows(), 1);
 //! ```
 
-use std::sync::Arc;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 
 use eii_catalog::Catalog;
 use eii_data::{Batch, EiiError, Result, SimClock};
 use eii_eai::{MessageBroker, ProcessDef, ProcessEnv, SagaEngine, SagaOutcome};
-use eii_exec::{DegradationPolicy, Executor, FallbackStore, QueryResult};
-use eii_federation::{Connector, Federation, LinkProfile, SourceQuery, WireFormat};
-use eii_planner::{optimize, PlanBuilder, PhysicalPlanner, PlannerConfig};
+use eii_exec::{
+    DegradationPolicy, Executor, FallbackStore, OperatorProfile, QueryResult, SourceReport,
+};
+use eii_federation::{Connector, Federation, LinkProfile, SourceHealth, SourceQuery, WireFormat};
+use eii_obs::{MetricsRegistry, QueryTrace, Tracer};
+use eii_planner::{optimize, CostModel, PhysicalPlan, PlanBuilder, PhysicalPlanner, PlannerConfig};
 use eii_search::{EnterpriseSearch, Hit};
-use eii_sql::{parse_statement, Statement};
+use eii_sql::{parse_statement, SetQuery, Statement};
 
 /// Everything an application typically imports.
 pub mod prelude {
@@ -88,12 +92,15 @@ pub use eii_data::row;
 /// Result of executing one statement.
 #[derive(Debug)]
 pub enum ExecOutcome {
-    /// A query's rows plus cost accounting.
-    Rows(QueryResult),
+    /// A query's rows plus cost accounting (boxed: a [`QueryResult`] with
+    /// its operator profile dwarfs the other variants).
+    Rows(Box<QueryResult>),
     /// `CREATE VIEW` succeeded; the view name.
     ViewCreated(String),
     /// `SEARCH` hits.
     SearchHits(Vec<Hit>),
+    /// `EXPLAIN [ANALYZE]` text.
+    Explained(String),
 }
 
 impl ExecOutcome {
@@ -116,6 +123,16 @@ impl ExecOutcome {
             ))),
         }
     }
+
+    /// The rendered plan, if this outcome is an `EXPLAIN [ANALYZE]`.
+    pub fn explained(&self) -> Result<&str> {
+        match self {
+            ExecOutcome::Explained(s) => Ok(s),
+            other => Err(EiiError::Execution(format!(
+                "statement was not an EXPLAIN: {other:?}"
+            ))),
+        }
+    }
 }
 
 /// The EII server: a federation of wrapped sources, a metadata catalog, a
@@ -130,6 +147,7 @@ pub struct EiiSystem {
     search: Option<EnterpriseSearch>,
     degradation: DegradationPolicy,
     fallbacks: FallbackStore,
+    last_trace: Mutex<Option<QueryTrace>>,
 }
 
 impl EiiSystem {
@@ -145,6 +163,7 @@ impl EiiSystem {
             search: None,
             degradation: DegradationPolicy::Fail,
             fallbacks: FallbackStore::new(),
+            last_trace: Mutex::new(None),
         }
     }
 
@@ -221,15 +240,36 @@ impl EiiSystem {
         Ok(())
     }
 
-    /// Execute one SQL statement as the given role.
+    /// Execute one SQL statement as the given role. The statement's trace
+    /// (parse/plan/execute spans plus per-operator actuals) is retained and
+    /// readable through [`EiiSystem::last_trace`].
     pub fn execute_as(&self, sql: &str, role: &str) -> Result<ExecOutcome> {
-        match parse_statement(sql)? {
+        let tracer = Tracer::new(self.clock.clone());
+        let outcome = self.execute_traced(sql, role, &tracer);
+        *self.last_trace.lock().expect("trace lock") = Some(tracer.finish());
+        outcome
+    }
+
+    fn execute_traced(&self, sql: &str, role: &str, tracer: &Tracer) -> Result<ExecOutcome> {
+        let _statement = tracer.span("statement");
+        let stmt = {
+            let _parse = tracer.span("parse");
+            parse_statement(sql)?
+        };
+        match stmt {
             Statement::Query(q) => {
-                let plan =
-                    eii_planner::plan_query(&q, &self.catalog, &self.federation, &self.config)?;
-                let exec = Executor::new(&self.federation)
-                    .with_degradation(self.degradation, self.fallbacks.clone());
-                Ok(ExecOutcome::Rows(exec.execute(&plan)?))
+                Ok(ExecOutcome::Rows(Box::new(self.run_query(&q, tracer)?)))
+            }
+            Statement::Explain { analyze: false, query } => {
+                let (optimized, physical) = self.plan_explain(&query, tracer)?;
+                Ok(ExecOutcome::Explained(format!(
+                    "== Logical plan ==\n{}== Physical plan ==\n{}",
+                    optimized.display(),
+                    physical.display()
+                )))
+            }
+            Statement::Explain { analyze: true, query } => {
+                Ok(ExecOutcome::Explained(self.run_explain_analyze(&query, tracer)?))
             }
             Statement::CreateView { name, query } => {
                 // Validate the body plans before accepting the definition.
@@ -263,6 +303,112 @@ impl EiiSystem {
     /// Execute one SQL statement as the default (`public`) role.
     pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
         self.execute_as(sql, "public")
+    }
+
+    /// Plan and run one query, tracing the plan and execute phases and
+    /// grafting the executor's per-operator profile into the trace.
+    fn run_query(&self, q: &SetQuery, tracer: &Tracer) -> Result<QueryResult> {
+        let plan = {
+            let _plan = tracer.span("plan");
+            eii_planner::plan_query(q, &self.catalog, &self.federation, &self.config)?
+        };
+        let execute = tracer.span("execute");
+        let exec = Executor::new(&self.federation)
+            .with_degradation(self.degradation, self.fallbacks.clone())
+            .with_metrics(self.federation.metrics().clone());
+        let result = exec.execute(&plan)?;
+        execute.annotate("rows", result.batch.num_rows());
+        execute.annotate("bytes", result.cost.bytes);
+        if !result.degraded.is_empty() {
+            execute.annotate("degraded", result.degraded.len());
+        }
+        if let Some(profile) = &result.profile {
+            tracer.attach(profile.to_span());
+        }
+        drop(execute);
+        Ok(result)
+    }
+
+    /// Build the optimized logical plan and its physical plan, under a
+    /// `plan` span.
+    fn plan_explain(
+        &self,
+        q: &SetQuery,
+        tracer: &Tracer,
+    ) -> Result<(eii_planner::LogicalPlan, PhysicalPlan)> {
+        let _plan = tracer.span("plan");
+        let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
+        let optimized = optimize(logical, &self.federation, &self.config)?;
+        let physical =
+            PhysicalPlanner::new(&self.federation, &self.config).create(optimized.clone())?;
+        Ok((optimized, physical))
+    }
+
+    /// Execute the query and render the physical plan with per-operator
+    /// estimated versus actual rows, bytes, and simulated time.
+    fn run_explain_analyze(&self, q: &SetQuery, tracer: &Tracer) -> Result<String> {
+        let (_, physical) = self.plan_explain(q, tracer)?;
+        let execute = tracer.span("execute");
+        let exec = Executor::new(&self.federation)
+            .with_degradation(self.degradation, self.fallbacks.clone())
+            .with_metrics(self.federation.metrics().clone());
+        let result = exec.execute(&physical)?;
+        if let Some(profile) = &result.profile {
+            tracer.attach(profile.to_span());
+        }
+        drop(execute);
+        let profile = result.profile.as_ref().ok_or_else(|| {
+            EiiError::Execution("EXPLAIN ANALYZE needs executor instrumentation".into())
+        })?;
+        let model = CostModel::new(&self.federation);
+        let mut out = String::new();
+        render_analyze(&physical, profile, &model, &result.degraded, 0, &mut out);
+        let _ = write!(
+            out,
+            "Total: rows={} bytes={} sim={:.1}ms wall={:.1?}{}",
+            result.batch.num_rows(),
+            result.cost.bytes,
+            result.cost.sim_ms,
+            result.wall,
+            if result.fully_live() {
+                String::new()
+            } else {
+                format!(" degraded_sources={}", result.degraded.len())
+            }
+        );
+        out.push('\n');
+        Ok(out)
+    }
+
+    /// `EXPLAIN ANALYZE` as a direct call: execute `sql` (a query) and
+    /// return the annotated plan text.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let q = match parse_statement(sql)? {
+            Statement::Query(q) | Statement::Explain { query: q, .. } => q,
+            _ => return Err(EiiError::Plan("EXPLAIN ANALYZE expects a query".into())),
+        };
+        let tracer = Tracer::new(self.clock.clone());
+        let text = self.run_explain_analyze(&q, &tracer);
+        *self.last_trace.lock().expect("trace lock") = Some(tracer.finish());
+        text
+    }
+
+    /// The trace of the most recently executed statement (spans for parse,
+    /// plan, execute, and one `op:<label>` span per physical operator).
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.last_trace.lock().expect("trace lock").clone()
+    }
+
+    /// The metrics registry every query, source, breaker, and saga records
+    /// into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.federation.metrics()
+    }
+
+    /// Current health of every registered source: cumulative traffic,
+    /// failures and retries, circuit-breaker state, and the last error.
+    pub fn source_health(&self) -> Vec<SourceHealth> {
+        self.federation.source_health()
     }
 
     /// EXPLAIN: render the optimized logical and physical plans.
@@ -300,7 +446,59 @@ impl EiiSystem {
         vars: std::collections::HashMap<String, eii_data::Value>,
     ) -> Result<(SagaOutcome, Vec<eii_eai::JournalEntry>)> {
         let env = ProcessEnv::new(&self.federation, &self.broker, &self.clock, vars);
-        SagaEngine::new(self.clock.clone()).run(def, &env)
+        SagaEngine::new(self.clock.clone())
+            .with_metrics(self.federation.metrics().clone())
+            .run(def, &env)
+    }
+}
+
+/// Render one `EXPLAIN ANALYZE` line per operator: the describe line, the
+/// pushdown summary (source-facing operators), the cost model's estimate
+/// next to the measured actuals, and a `[DEGRADED: ...]` flag on operators
+/// whose source could not answer live.
+fn render_analyze(
+    plan: &PhysicalPlan,
+    profile: &OperatorProfile,
+    model: &CostModel,
+    degraded: &[SourceReport],
+    depth: usize,
+    out: &mut String,
+) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&plan.describe());
+    if let Some(p) = plan.pushdown() {
+        let _ = write!(out, " {p}");
+    }
+    match model.estimate_physical(plan) {
+        Ok(est) => {
+            let _ = write!(
+                out,
+                " (est rows={:.0} bytes={:.0} sim={:.1}ms",
+                est.rows, est.bytes, est.sim_ms
+            );
+        }
+        Err(_) => out.push_str(" (est ?"),
+    }
+    let _ = write!(
+        out,
+        " | act rows={} bytes={} sim={:.1}ms wall={:.1?})",
+        profile.rows, profile.cost.bytes, profile.cost.sim_ms, profile.wall
+    );
+    if let Some(src) = &profile.source {
+        for report in degraded.iter().filter(|r| &r.source == src) {
+            match report.stale_ms {
+                Some(ms) => {
+                    let _ = write!(out, " [DEGRADED: {} stale {}ms]", report.table, ms);
+                }
+                None => {
+                    let _ = write!(out, " [DEGRADED: {} dropped: {}]", report.table, report.error);
+                }
+            }
+        }
+    }
+    out.push('\n');
+    for (child, child_profile) in plan.children().iter().zip(&profile.children) {
+        render_analyze(child, child_profile, model, degraded, depth + 1, out);
     }
 }
 

@@ -78,6 +78,13 @@ impl EiiError {
         }
     }
 
+    /// Is this a transport-level failure (the source was reached but the
+    /// request failed in transit)? Transport errors are the ones worth
+    /// retrying; structural errors (bad query, missing table) will not heal.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, EiiError::Source(_) | EiiError::Timeout { .. })
+    }
+
     /// The human-readable message carried by the error. Structured variants
     /// render their fields.
     pub fn message(&self) -> String {

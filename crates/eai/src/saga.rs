@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use eii_data::{Result, SimClock};
+use eii_obs::MetricsRegistry;
 use parking_lot::Mutex;
 
 use crate::process::{ProcessDef, ProcessEnv};
@@ -82,6 +83,7 @@ pub enum SagaOutcome {
 pub struct SagaEngine {
     clock: SimClock,
     injector: FailureInjector,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl SagaEngine {
@@ -90,12 +92,21 @@ impl SagaEngine {
         SagaEngine {
             clock,
             injector: FailureInjector::none(),
+            metrics: None,
         }
     }
 
     /// Attach a failure injector.
     pub fn with_injector(mut self, injector: FailureInjector) -> Self {
         self.injector = injector;
+        self
+    }
+
+    /// Record saga step and outcome counters (`saga.step.started`,
+    /// `saga.step.compensated`, `saga.outcome.stuck`, ...) into `metrics`
+    /// after every run.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -106,6 +117,33 @@ impl SagaEngine {
     /// of all *completed* steps run in reverse order. A compensation that
     /// itself fails leaves the saga [`SagaOutcome::Stuck`].
     pub fn run(
+        &self,
+        def: &ProcessDef,
+        env: &ProcessEnv<'_>,
+    ) -> Result<(SagaOutcome, Vec<JournalEntry>)> {
+        let (outcome, journal) = self.run_steps(def, env)?;
+        if let Some(m) = &self.metrics {
+            for entry in &journal {
+                let event = match entry.event {
+                    JournalEvent::Started => "started",
+                    JournalEvent::Completed => "completed",
+                    JournalEvent::Failed => "failed",
+                    JournalEvent::Compensated => "compensated",
+                    JournalEvent::CompensationFailed => "compensation_failed",
+                };
+                m.inc(&format!("saga.step.{event}"));
+            }
+            let outcome_name = match &outcome {
+                SagaOutcome::Completed => "completed",
+                SagaOutcome::Compensated { .. } => "compensated",
+                SagaOutcome::Stuck { .. } => "stuck",
+            };
+            m.inc(&format!("saga.outcome.{outcome_name}"));
+        }
+        Ok((outcome, journal))
+    }
+
+    fn run_steps(
         &self,
         def: &ProcessDef,
         env: &ProcessEnv<'_>,

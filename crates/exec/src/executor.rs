@@ -7,11 +7,13 @@ use std::time::{Duration, Instant};
 use eii_data::{Batch, EiiError, Result, Row, SchemaRef, Value};
 use eii_expr::{bind, BoundExpr, Expr};
 use eii_federation::{Federation, QueryCost, SourceQuery};
+use eii_obs::MetricsRegistry;
 use eii_planner::{JoinSite, PhysicalPlan};
 use eii_sql::JoinKind;
 
 use crate::agg::Accumulator;
 use crate::degrade::{degrade, DegradationPolicy, FallbackStore, SourceReport};
+use crate::profile::OperatorProfile;
 
 /// The result of executing a plan: rows, simulated cost, and real wall time.
 #[derive(Debug, Clone)]
@@ -24,6 +26,9 @@ pub struct QueryResult {
     /// Sources that could not answer live, one entry per degraded
     /// component query. Empty when every answer was live and complete.
     pub degraded: Vec<SourceReport>,
+    /// Per-operator actuals mirroring the plan tree; `None` when the
+    /// executor ran with instrumentation disabled.
+    pub profile: Option<OperatorProfile>,
 }
 
 impl QueryResult {
@@ -31,6 +36,15 @@ impl QueryResult {
     pub fn fully_live(&self) -> bool {
         self.degraded.is_empty()
     }
+}
+
+/// What one finished operator measured; keyed by its path from the plan
+/// root (child indexes), from which the profile tree is reassembled.
+struct OpRecord {
+    path: Vec<usize>,
+    rows: usize,
+    cost: QueryCost,
+    wall: Duration,
 }
 
 /// Executes physical plans against a federation.
@@ -41,10 +55,15 @@ pub struct Executor<'a> {
     degradation: DegradationPolicy,
     fallbacks: FallbackStore,
     degraded: Mutex<Vec<SourceReport>>,
+    instrument: bool,
+    metrics: Option<MetricsRegistry>,
+    ops: Mutex<Vec<OpRecord>>,
 }
 
 impl<'a> Executor<'a> {
     /// New executor with the default hub speed (matching the cost model).
+    /// Per-operator instrumentation is on; E14 measures it under 5%
+    /// overhead, so it stays on unless an experiment turns it off.
     pub fn new(federation: &'a Federation) -> Self {
         Executor {
             federation,
@@ -52,6 +71,9 @@ impl<'a> Executor<'a> {
             degradation: DegradationPolicy::Fail,
             fallbacks: FallbackStore::new(),
             degraded: Mutex::new(Vec::new()),
+            instrument: true,
+            metrics: None,
+            ops: Mutex::new(Vec::new()),
         }
     }
 
@@ -64,16 +86,52 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Record query/operator metrics (`exec.queries`,
+    /// `exec.rows_emitted.<op>`, `query.exec_sim_ms`, ...) into `metrics`
+    /// after every execution.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Disable per-operator instrumentation (the uninstrumented baseline of
+    /// overhead experiment E14). [`QueryResult::profile`] will be `None`.
+    pub fn without_instrumentation(mut self) -> Self {
+        self.instrument = false;
+        self
+    }
+
     /// Execute a plan to completion.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
         let start = Instant::now();
         self.degraded.lock().expect("degraded lock").clear();
+        self.ops.lock().expect("ops lock").clear();
         let (batch, cost) = self.run(plan)?;
+        let degraded = std::mem::take(&mut *self.degraded.lock().expect("degraded lock"));
+        let profile = if self.instrument {
+            let records = std::mem::take(&mut *self.ops.lock().expect("ops lock"));
+            Some(assemble_profile(plan, &records, &mut Vec::new()))
+        } else {
+            None
+        };
+        let wall = start.elapsed();
+        if let Some(m) = &self.metrics {
+            m.inc("exec.queries");
+            m.observe("query.exec_sim_ms", cost.sim_ms);
+            m.observe("query.exec_wall_ms", wall.as_secs_f64() * 1000.0);
+            if !degraded.is_empty() {
+                m.add("exec.degraded_sources", degraded.len() as u64);
+            }
+            if let Some(p) = &profile {
+                record_operator_metrics(m, p);
+            }
+        }
         Ok(QueryResult {
             batch,
             cost,
-            wall: start.elapsed(),
-            degraded: std::mem::take(&mut *self.degraded.lock().expect("degraded lock")),
+            wall,
+            degraded,
+            profile,
         })
     }
 
@@ -110,6 +168,27 @@ impl<'a> Executor<'a> {
     }
 
     fn run(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryCost)> {
+        self.run_node(plan, Vec::new())
+    }
+
+    /// Run one operator, recording its measurements under its path from the
+    /// plan root when instrumentation is on.
+    fn run_node(&self, plan: &PhysicalPlan, path: Vec<usize>) -> Result<(Batch, QueryCost)> {
+        if !self.instrument {
+            return self.run_inner(plan, &path);
+        }
+        let start_wall = Instant::now();
+        let (batch, cost) = self.run_inner(plan, &path)?;
+        self.ops.lock().expect("ops lock").push(OpRecord {
+            path,
+            rows: batch.num_rows(),
+            cost,
+            wall: start_wall.elapsed(),
+        });
+        Ok((batch, cost))
+    }
+
+    fn run_inner(&self, plan: &PhysicalPlan, path: &[usize]) -> Result<(Batch, QueryCost)> {
         match plan {
             PhysicalPlan::Source {
                 source,
@@ -129,7 +208,7 @@ impl<'a> Executor<'a> {
                 QueryCost::default(),
             )),
             PhysicalPlan::Filter { input, predicate } => {
-                let (batch, cost) = self.run(input)?;
+                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 let bound = bind(predicate, batch.schema())?;
                 let n = batch.num_rows();
                 let schema = batch.schema().clone();
@@ -146,7 +225,7 @@ impl<'a> Executor<'a> {
                 exprs,
                 schema,
             } => {
-                let (batch, cost) = self.run(input)?;
+                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 let bound: Vec<BoundExpr> = exprs
                     .iter()
                     .map(|(e, _)| bind(e, batch.schema()))
@@ -174,6 +253,7 @@ impl<'a> Executor<'a> {
                 schema,
             } => self.run_hash_join(
                 left, right, left_keys, right_keys, *kind, residual, site, *parallel, schema,
+                path,
             ),
             PhysicalPlan::NestedLoopJoin {
                 left,
@@ -183,7 +263,7 @@ impl<'a> Executor<'a> {
                 parallel,
                 schema,
             } => {
-                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, *parallel)?;
+                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, *parallel, path)?;
                 let children_cost = if *parallel { lc.alongside(rc) } else { lc.then(rc) };
                 let filtering = matches!(kind, JoinKind::Semi | JoinKind::Anti);
                 // Semi/anti join conditions see both sides even though only
@@ -240,7 +320,7 @@ impl<'a> Executor<'a> {
                 residual,
                 schema,
             } => {
-                let (lb, lc) = self.run(left)?;
+                let (lb, lc) = self.run_node(left, child_path(path, 0))?;
                 let key_expr = bind(left_key, lb.schema())?;
                 let mut values: Vec<Value> = Vec::new();
                 let mut seen: HashSet<Value> = HashSet::new();
@@ -317,7 +397,7 @@ impl<'a> Executor<'a> {
                 aggs,
                 schema,
             } => {
-                let (batch, cost) = self.run(input)?;
+                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 let in_schema = batch.schema().clone();
                 let bound_groups: Vec<BoundExpr> = group_by
                     .iter()
@@ -382,7 +462,7 @@ impl<'a> Executor<'a> {
                 Ok((Batch::new(schema.clone(), rows), cost.then(self.cpu(n))))
             }
             PhysicalPlan::Distinct { input } => {
-                let (batch, cost) = self.run(input)?;
+                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 let schema = batch.schema().clone();
                 let n = batch.num_rows();
                 let mut seen = HashSet::new();
@@ -395,7 +475,7 @@ impl<'a> Executor<'a> {
                 Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
             }
             PhysicalPlan::Sort { input, keys } => {
-                let (batch, cost) = self.run(input)?;
+                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 let schema = batch.schema().clone();
                 let bound: Vec<(BoundExpr, bool)> = keys
                     .iter()
@@ -427,7 +507,7 @@ impl<'a> Executor<'a> {
                 Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
             }
             PhysicalPlan::Limit { input, n } => {
-                let (batch, cost) = self.run(input)?;
+                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 let schema = batch.schema().clone();
                 let mut rows = batch.into_rows();
                 rows.truncate(*n);
@@ -442,7 +522,11 @@ impl<'a> Executor<'a> {
                     std::thread::scope(|s| {
                         let handles: Vec<_> = inputs
                             .iter()
-                            .map(|p| s.spawn(move || self.run(p)))
+                            .enumerate()
+                            .map(|(i, p)| {
+                                let cp = child_path(path, i);
+                                s.spawn(move || self.run_node(p, cp))
+                            })
                             .collect();
                         handles
                             .into_iter()
@@ -452,7 +536,8 @@ impl<'a> Executor<'a> {
                 } else {
                     inputs
                         .iter()
-                        .map(|p| self.run(p))
+                        .enumerate()
+                        .map(|(i, p)| self.run_node(p, child_path(path, i)))
                         .collect::<Result<Vec<_>>>()?
                 };
                 let mut rows = Vec::new();
@@ -468,7 +553,7 @@ impl<'a> Executor<'a> {
                 Ok((Batch::new(schema.clone(), rows), cost))
             }
             PhysicalPlan::Rename { input, schema } => {
-                let (batch, cost) = self.run(input)?;
+                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 Ok((Batch::new(schema.clone(), batch.into_rows()), cost))
             }
         }
@@ -479,17 +564,19 @@ impl<'a> Executor<'a> {
         left: &PhysicalPlan,
         right: &PhysicalPlan,
         parallel: bool,
+        path: &[usize],
     ) -> Result<((Batch, QueryCost), (Batch, QueryCost))> {
+        let (lp, rp) = (child_path(path, 0), child_path(path, 1));
         if parallel {
             std::thread::scope(|s| {
-                let lh = s.spawn(move || self.run(left));
-                let rh = s.spawn(move || self.run(right));
+                let lh = s.spawn(move || self.run_node(left, lp));
+                let rh = s.spawn(move || self.run_node(right, rp));
                 let l = lh.join().map_err(panic_err)??;
                 let r = rh.join().map_err(panic_err)??;
                 Ok((l, r))
             })
         } else {
-            Ok((self.run(left)?, self.run(right)?))
+            Ok((self.run_node(left, lp)?, self.run_node(right, rp)?))
         }
     }
 
@@ -505,11 +592,12 @@ impl<'a> Executor<'a> {
         site: &JoinSite,
         parallel: bool,
         schema: &eii_data::SchemaRef,
+        path: &[usize],
     ) -> Result<(Batch, QueryCost)> {
         // Fetch inputs, honoring the assembly site's cost model.
         let (lb, rb, mut cost, result_site) = match site {
             JoinSite::Hub => {
-                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, parallel)?;
+                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, parallel, path)?;
                 let c = if parallel { lc.alongside(rc) } else { lc.then(rc) };
                 (lb, rb, c, None)
             }
@@ -544,7 +632,19 @@ impl<'a> Executor<'a> {
                         }
                     };
                 let site_batch = Batch::new(site_schema.clone(), site_batch.into_rows());
-                let (other_batch, other_cost) = self.run(other_child)?;
+                let (site_idx, other_idx) = if site_is_left { (0, 1) } else { (1, 0) };
+                if self.instrument {
+                    // The site child bypasses `run_node` (it is queried
+                    // in-place at the source), so record it here.
+                    self.ops.lock().expect("ops lock").push(OpRecord {
+                        path: child_path(path, site_idx),
+                        rows: site_batch.num_rows(),
+                        cost: site_cost,
+                        wall: Duration::ZERO,
+                    });
+                }
+                let (other_batch, other_cost) =
+                    self.run_node(other_child, child_path(path, other_idx))?;
                 let fetch = if parallel {
                     site_cost.alongside(other_cost)
                 } else {
@@ -679,4 +779,57 @@ fn panic_err(payload: Box<dyn std::any::Any + Send>) -> EiiError {
         }
     };
     EiiError::Execution(format!("parallel worker panicked: {msg}"))
+}
+
+/// `path` extended by one child index: the address of `plan.children()[i]`.
+fn child_path(path: &[usize], i: usize) -> Vec<usize> {
+    let mut p = Vec::with_capacity(path.len() + 1);
+    p.extend_from_slice(path);
+    p.push(i);
+    p
+}
+
+/// Rebuild the profile tree by walking the plan and matching each node's
+/// path against the flat record list the (possibly parallel) workers
+/// produced. An operator without a record — a branch short-circuited by an
+/// error path, or the at-site child of a degraded site join — reports zeros.
+fn assemble_profile(
+    plan: &PhysicalPlan,
+    records: &[OpRecord],
+    path: &mut Vec<usize>,
+) -> OperatorProfile {
+    let rec = records.iter().find(|r| r.path == *path);
+    let source = match plan {
+        PhysicalPlan::Source { source, .. } | PhysicalPlan::BindJoin { source, .. } => {
+            Some(source.clone())
+        }
+        _ => None,
+    };
+    let children = plan
+        .children()
+        .into_iter()
+        .enumerate()
+        .map(|(i, child)| {
+            path.push(i);
+            let p = assemble_profile(child, records, path);
+            path.pop();
+            p
+        })
+        .collect();
+    OperatorProfile {
+        label: plan.label(),
+        source,
+        rows: rec.map_or(0, |r| r.rows),
+        cost: rec.map_or_else(QueryCost::default, |r| r.cost),
+        wall: rec.map_or(Duration::ZERO, |r| r.wall),
+        children,
+    }
+}
+
+/// Bump `exec.rows_emitted.<label>` for every operator in the profile.
+fn record_operator_metrics(m: &MetricsRegistry, p: &OperatorProfile) {
+    m.add(&format!("exec.rows_emitted.{}", p.label), p.rows as u64);
+    for c in &p.children {
+        record_operator_metrics(m, c);
+    }
 }

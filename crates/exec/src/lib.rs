@@ -11,6 +11,8 @@
 pub mod agg;
 pub mod degrade;
 pub mod executor;
+pub mod profile;
 
 pub use degrade::{apply_source_query, DegradationPolicy, FallbackStore, SourceReport};
 pub use executor::{Executor, QueryResult};
+pub use profile::OperatorProfile;

@@ -171,6 +171,18 @@ pub trait Connector: Send + Sync {
             self.name()
         )))
     }
+
+    /// Circuit-breaker snapshot, when a breaker protects this connector
+    /// somewhere in the wrapper chain. Default: none.
+    fn breaker_status(&self) -> Option<crate::resilience::BreakerStatus> {
+        None
+    }
+
+    /// Message of the most recent failed request, when tracked. Default:
+    /// none.
+    fn last_error(&self) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! Source-health introspection: one unified view per source combining the
+//! [`TransferLedger`](crate::net::TransferLedger)'s accumulated traffic,
+//! fault outcomes (failures, retries), and — for hardened sources — the
+//! circuit breaker's state and the last observed error.
+//!
+//! Built by [`Federation::source_health`](crate::registry::Federation::source_health);
+//! surfaced to applications through `EiiSystem::source_health()`.
+
+use serde::Serialize;
+
+use crate::net::SourceTraffic;
+use crate::resilience::{BreakerState, BreakerStatus};
+
+/// Health snapshot of one registered source.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SourceHealth {
+    /// Source name.
+    pub source: String,
+    /// Accumulated traffic: requests, bytes, rows, failures, retries.
+    pub traffic: SourceTraffic,
+    /// Breaker snapshot, when the source is hardened.
+    pub breaker: Option<BreakerStatus>,
+    /// Message of the most recent failed request, when tracked.
+    pub last_error: Option<String>,
+}
+
+impl SourceHealth {
+    /// Is the source currently usable? True unless its breaker is open.
+    pub fn available(&self) -> bool {
+        !matches!(
+            self.breaker,
+            Some(BreakerStatus {
+                state: BreakerState::Open,
+                ..
+            })
+        )
+    }
+
+    /// One-line human-readable rendering for dashboards and logs.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "{}: requests={} bytes={} rows={} failures={} retries={}",
+            self.source,
+            self.traffic.requests,
+            self.traffic.bytes,
+            self.traffic.rows,
+            self.traffic.failures,
+            self.traffic.retries,
+        );
+        if let Some(b) = &self.breaker {
+            line.push_str(&format!(
+                " breaker={:?} consecutive_failures={} trips={}",
+                b.state, b.consecutive_failures, b.to_open
+            ));
+        }
+        if let Some(err) = &self.last_error {
+            line.push_str(&format!(" last_error={err:?}"));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health(breaker: Option<BreakerStatus>) -> SourceHealth {
+        SourceHealth {
+            source: "crm".into(),
+            traffic: SourceTraffic {
+                requests: 3,
+                bytes: 1024,
+                rows: 42,
+                sim_ms: 7.5,
+                failures: 2,
+                retries: 1,
+            },
+            breaker,
+            last_error: Some("injected fault: crm refused the request".into()),
+        }
+    }
+
+    fn status(state: BreakerState) -> BreakerStatus {
+        BreakerStatus {
+            state,
+            consecutive_failures: 2,
+            opened_at_ms: 10,
+            to_open: 1,
+            to_half_open: 0,
+            to_closed: 0,
+        }
+    }
+
+    #[test]
+    fn availability_follows_breaker_state() {
+        assert!(health(None).available());
+        assert!(health(Some(status(BreakerState::Closed))).available());
+        assert!(health(Some(status(BreakerState::HalfOpen))).available());
+        assert!(!health(Some(status(BreakerState::Open))).available());
+    }
+
+    #[test]
+    fn render_mentions_traffic_breaker_and_error() {
+        let line = health(Some(status(BreakerState::Open))).render();
+        assert!(line.contains("crm:"), "{line}");
+        assert!(line.contains("failures=2"), "{line}");
+        assert!(line.contains("breaker=Open"), "{line}");
+        assert!(line.contains("refused the request"), "{line}");
+    }
+
+    #[test]
+    fn health_serializes() {
+        let json = serde_json::to_string(&health(Some(status(BreakerState::Closed)))).unwrap();
+        assert!(json.contains("\"source\":\"crm\""), "{json}");
+        assert!(json.contains("\"state\":\"Closed\""), "{json}");
+    }
+}

@@ -16,6 +16,8 @@
 //! - [`FaultProfile`] + [`ResilientConnector`]: deterministic source fault
 //!   injection (failures, timeouts, latency spikes, outage windows) and the
 //!   retry/backoff + circuit-breaker machinery that survives it.
+//! - [`SourceHealth`]: per-source introspection unifying ledger traffic,
+//!   fault outcomes, breaker state, and the last observed error.
 //! - Adapters: relational ([`RelationalConnector`]), document
 //!   ([`DocumentConnector`]), delimited-file ([`CsvConnector`]), and
 //!   web-service ([`WebServiceConnector`]) sources.
@@ -25,6 +27,7 @@ pub mod adapters;
 pub mod capability;
 pub mod connector;
 pub mod dialect;
+pub mod health;
 pub mod net;
 pub mod registry;
 pub mod resilience;
@@ -40,7 +43,9 @@ pub use net::{
     FaultDecision, FaultInjector, FaultProfile, FaultyConnector, LinkProfile, QueryCost,
     TransferLedger, WireFormat,
 };
+pub use health::SourceHealth;
 pub use registry::{Federation, SourceHandle};
 pub use resilience::{
-    BreakerState, CircuitBreaker, CircuitBreakerConfig, ResilientConnector, RetryPolicy,
+    BreakerState, BreakerStatus, CircuitBreaker, CircuitBreakerConfig, ResilientConnector,
+    RetryPolicy,
 };

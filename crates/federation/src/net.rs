@@ -120,7 +120,7 @@ impl QueryCost {
 }
 
 /// Per-source accumulated transfer statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct SourceTraffic {
     pub requests: usize,
     pub bytes: usize,
@@ -450,6 +450,14 @@ impl Connector for FaultyConnector {
             self.clock.advance_ms(extra_ms);
         }
         self.inner.changes_since(table, after_seq)
+    }
+
+    fn breaker_status(&self) -> Option<crate::resilience::BreakerStatus> {
+        self.inner.breaker_status()
+    }
+
+    fn last_error(&self) -> Option<String> {
+        self.inner.last_error()
     }
 }
 

@@ -5,9 +5,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use eii_data::{Batch, EiiError, Result, SchemaRef, SimClock};
+use eii_obs::MetricsRegistry;
 use eii_storage::TableStats;
 
 use crate::connector::{Connector, SourceQuery, UpdateOp, UpdateResult};
+use crate::health::SourceHealth;
 use crate::net::{FaultProfile, FaultyConnector, LinkProfile, QueryCost, TransferLedger, WireFormat};
 use crate::resilience::{CircuitBreakerConfig, ResilientConnector, RetryPolicy};
 
@@ -18,6 +20,7 @@ pub struct SourceHandle {
     link: LinkProfile,
     wire: WireFormat,
     ledger: TransferLedger,
+    metrics: MetricsRegistry,
     /// Source-engine scan speed, simulated ms per row examined.
     scan_ms_per_row: f64,
 }
@@ -60,7 +63,17 @@ impl SourceHandle {
         };
         self.ledger
             .record(self.connector.name(), bytes, ans.batch.num_rows(), sim_ms);
+        self.note_traffic(bytes, ans.calls);
         Ok((ans.batch, cost))
+    }
+
+    /// Record shipped bytes and round trips as per-source counters.
+    fn note_traffic(&self, bytes: usize, requests: usize) {
+        let name = self.connector.name();
+        self.metrics
+            .add(&format!("source.{name}.bytes_shipped"), bytes as u64);
+        self.metrics
+            .add(&format!("source.{name}.requests"), requests as u64);
     }
 
     /// Execute a component query whose results STAY at the source site
@@ -79,6 +92,7 @@ impl SourceHandle {
         };
         self.ledger
             .record(self.connector.name(), 0, 0, sim_ms);
+        self.note_traffic(0, ans.calls);
         Ok((ans.batch, cost))
     }
 
@@ -97,6 +111,7 @@ impl SourceHandle {
         };
         self.ledger
             .record(self.connector.name(), bytes, batch.num_rows(), sim_ms);
+        self.note_traffic(bytes, 1);
         cost
     }
 
@@ -121,6 +136,7 @@ pub struct Federation {
     sources: BTreeMap<String, SourceHandle>,
     ledger: TransferLedger,
     clock: SimClock,
+    metrics: MetricsRegistry,
 }
 
 impl Federation {
@@ -148,6 +164,26 @@ impl Federation {
         &self.clock
     }
 
+    /// The shared metrics registry every source and breaker records into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Unified health view of every source, sorted by name: accumulated
+    /// traffic from the [`TransferLedger`] plus, for hardened sources,
+    /// breaker state and the last observed error.
+    pub fn source_health(&self) -> Vec<SourceHealth> {
+        self.sources
+            .iter()
+            .map(|(name, h)| SourceHealth {
+                source: name.clone(),
+                traffic: self.ledger.traffic(name),
+                breaker: h.connector.breaker_status(),
+                last_error: h.connector.last_error(),
+            })
+            .collect()
+    }
+
     /// Register a connector behind a link. The source name comes from the
     /// connector.
     pub fn register(
@@ -167,6 +203,7 @@ impl Federation {
                 link,
                 wire,
                 ledger: self.ledger.clone(),
+                metrics: self.metrics.clone(),
                 scan_ms_per_row: 0.001,
             },
         );
@@ -218,13 +255,10 @@ impl Federation {
             .sources
             .get_mut(source)
             .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
-        h.connector = Arc::new(ResilientConnector::new(
-            h.connector.clone(),
-            policy,
-            breaker,
-            clock,
-            ledger,
-        ));
+        h.connector = Arc::new(
+            ResilientConnector::new(h.connector.clone(), policy, breaker, clock, ledger)
+                .instrumented(self.metrics.clone()),
+        );
         Ok(())
     }
 

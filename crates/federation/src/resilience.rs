@@ -13,6 +13,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use eii_data::{EiiError, Result, SimClock};
+use eii_obs::MetricsRegistry;
+use serde::Serialize;
 
 use crate::connector::{Connector, SourceAnswer, SourceQuery, UpdateOp, UpdateResult};
 use crate::net::TransferLedger;
@@ -94,7 +96,7 @@ impl Default for CircuitBreakerConfig {
 }
 
 /// The three classic breaker states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum BreakerState {
     /// Requests flow normally.
     Closed,
@@ -110,6 +112,27 @@ struct BreakerInner {
     consecutive_failures: usize,
     probe_successes: usize,
     opened_at_ms: i64,
+    to_open: u64,
+    to_half_open: u64,
+    to_closed: u64,
+}
+
+/// Owned snapshot of a breaker for health reports: current state plus
+/// lifetime transition counts.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BreakerStatus {
+    /// Current state (cooldown transitions applied).
+    pub state: BreakerState,
+    /// Consecutive failures observed while closed.
+    pub consecutive_failures: u64,
+    /// Simulated ms at which the breaker last tripped open.
+    pub opened_at_ms: i64,
+    /// Lifetime Closed/HalfOpen → Open transitions.
+    pub to_open: u64,
+    /// Lifetime Open → HalfOpen transitions.
+    pub to_half_open: u64,
+    /// Lifetime HalfOpen → Closed transitions.
+    pub to_closed: u64,
 }
 
 /// Per-source circuit breaker on the simulated clock.
@@ -122,6 +145,9 @@ pub struct CircuitBreaker {
     config: CircuitBreakerConfig,
     clock: SimClock,
     inner: Mutex<BreakerInner>,
+    /// Where transition counters land (`breaker.<source>.to_open` etc.),
+    /// when the federation is instrumented.
+    metrics: Option<(MetricsRegistry, String)>,
 }
 
 impl CircuitBreaker {
@@ -135,7 +161,30 @@ impl CircuitBreaker {
                 consecutive_failures: 0,
                 probe_successes: 0,
                 opened_at_ms: 0,
+                to_open: 0,
+                to_half_open: 0,
+                to_closed: 0,
             }),
+            metrics: None,
+        }
+    }
+
+    /// Emit transition counters (`breaker.<source>.to_open` / `.to_half_open`
+    /// / `.to_closed`) into `metrics` from now on.
+    pub fn instrumented(mut self, metrics: MetricsRegistry, source: &str) -> Self {
+        self.metrics = Some((metrics, source.to_string()));
+        self
+    }
+
+    fn note_transition(&self, inner: &mut BreakerInner, to: BreakerState) {
+        let (count, suffix) = match to {
+            BreakerState::Open => (&mut inner.to_open, "to_open"),
+            BreakerState::HalfOpen => (&mut inner.to_half_open, "to_half_open"),
+            BreakerState::Closed => (&mut inner.to_closed, "to_closed"),
+        };
+        *count += 1;
+        if let Some((metrics, source)) = &self.metrics {
+            metrics.inc(&format!("breaker.{source}.{suffix}"));
         }
     }
 
@@ -148,6 +197,7 @@ impl CircuitBreaker {
         {
             inner.state = BreakerState::HalfOpen;
             inner.probe_successes = 0;
+            self.note_transition(&mut inner, BreakerState::HalfOpen);
         }
         inner.state
     }
@@ -155,6 +205,21 @@ impl CircuitBreaker {
     /// May a request proceed right now?
     pub fn allow(&self) -> bool {
         self.state() != BreakerState::Open
+    }
+
+    /// Owned snapshot for health reports (cooldown transitions applied
+    /// first, so a cooled-down breaker reads half-open, not open).
+    pub fn status(&self) -> BreakerStatus {
+        let state = self.state();
+        let inner = self.inner.lock();
+        BreakerStatus {
+            state,
+            consecutive_failures: inner.consecutive_failures as u64,
+            opened_at_ms: inner.opened_at_ms,
+            to_open: inner.to_open,
+            to_half_open: inner.to_half_open,
+            to_closed: inner.to_closed,
+        }
     }
 
     /// Record a successful request.
@@ -167,6 +232,7 @@ impl CircuitBreaker {
                 if inner.probe_successes >= self.config.success_threshold {
                     inner.state = BreakerState::Closed;
                     inner.consecutive_failures = 0;
+                    self.note_transition(&mut inner, BreakerState::Closed);
                 }
             }
             // A success while open can only come from a racing request that
@@ -184,12 +250,14 @@ impl CircuitBreaker {
                 if inner.consecutive_failures >= self.config.failure_threshold {
                     inner.state = BreakerState::Open;
                     inner.opened_at_ms = self.clock.now_ms();
+                    self.note_transition(&mut inner, BreakerState::Open);
                 }
             }
             // Any failure during a probe re-opens immediately.
             BreakerState::HalfOpen => {
                 inner.state = BreakerState::Open;
                 inner.opened_at_ms = self.clock.now_ms();
+                self.note_transition(&mut inner, BreakerState::Open);
             }
             BreakerState::Open => {}
         }
@@ -210,6 +278,8 @@ pub struct ResilientConnector {
     clock: SimClock,
     ledger: TransferLedger,
     jitter_rng: Mutex<StdRng>,
+    last_error: Mutex<Option<String>>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl ResilientConnector {
@@ -223,13 +293,25 @@ impl ResilientConnector {
     ) -> Self {
         let jitter_rng = Mutex::new(StdRng::seed_from_u64(policy.jitter_seed));
         ResilientConnector {
-            inner,
             breaker: CircuitBreaker::new(breaker_config, clock.clone()),
             policy,
             clock,
             ledger,
             jitter_rng,
+            last_error: Mutex::new(None),
+            metrics: None,
+            inner,
         }
+    }
+
+    /// Emit retry/failure counters (`source.<name>.retries`,
+    /// `source.<name>.failures`) and breaker transition counters into
+    /// `metrics` from now on.
+    pub fn instrumented(mut self, metrics: MetricsRegistry) -> Self {
+        let source = self.inner.name().to_string();
+        self.breaker = self.breaker.instrumented(metrics.clone(), &source);
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The breaker (observability and tests).
@@ -260,10 +342,12 @@ impl ResilientConnector {
         mut attempt: impl FnMut() -> Result<T>,
     ) -> Result<(T, usize)> {
         if !self.breaker.allow() {
-            return Err(EiiError::SourceUnavailable {
+            let err = EiiError::SourceUnavailable {
                 source: self.inner.name().to_string(),
                 attempts: 0,
-            });
+            };
+            self.note_failure(&err, true);
+            return Err(err);
         }
         let mut retries = 0usize;
         loop {
@@ -274,22 +358,22 @@ impl ResilientConnector {
                 }
                 Err(err) => {
                     self.breaker.on_failure();
+                    self.note_failure(&err, false);
                     let attempts = retries + 1;
                     if attempts >= self.policy.max_attempts {
                         // Exhausted: collapse into the structured error
                         // unless the inner error is already structural
                         // (planner misuse etc. should not be masked).
-                        return Err(match err {
-                            EiiError::Source(_) | EiiError::Timeout { .. } => {
-                                EiiError::SourceUnavailable {
-                                    source: self.inner.name().to_string(),
-                                    attempts,
-                                }
+                        return Err(if err.is_transport() {
+                            EiiError::SourceUnavailable {
+                                source: self.inner.name().to_string(),
+                                attempts,
                             }
-                            other => other,
+                        } else {
+                            err
                         });
                     }
-                    if !matches!(err, EiiError::Source(_) | EiiError::Timeout { .. }) {
+                    if !err.is_transport() {
                         // Non-transport errors (bad query, missing table)
                         // will not heal with retries.
                         return Err(err);
@@ -302,9 +386,23 @@ impl ResilientConnector {
                     }
                     retries += 1;
                     self.ledger.record_retry(self.inner.name());
+                    if let Some(metrics) = &self.metrics {
+                        metrics.inc(&format!("source.{}.retries", self.inner.name()));
+                    }
                     self.clock.advance_ms(self.jittered_backoff_ms(retries));
                 }
             }
+        }
+    }
+
+    /// Remember the latest error for health reports and count it. Fail-fast
+    /// rejections from an open breaker are counted separately — the source
+    /// itself was never consulted.
+    fn note_failure(&self, err: &EiiError, rejected: bool) {
+        *self.last_error.lock() = Some(err.message());
+        if let Some(metrics) = &self.metrics {
+            let suffix = if rejected { "rejected" } else { "failures" };
+            metrics.inc(&format!("source.{}.{suffix}", self.inner.name()));
         }
     }
 }
@@ -353,6 +451,14 @@ impl Connector for ResilientConnector {
     ) -> Result<(Vec<eii_storage::Change>, u64)> {
         let (res, _retries) = self.with_retries(|| self.inner.changes_since(table, after_seq))?;
         Ok(res)
+    }
+
+    fn breaker_status(&self) -> Option<BreakerStatus> {
+        Some(self.breaker.status())
+    }
+
+    fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
     }
 }
 
@@ -521,6 +627,45 @@ mod tests {
         assert_eq!(breaker.state(), BreakerState::HalfOpen);
         breaker.on_success();
         assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_transitions_emit_exact_metric_counts() {
+        let clock = SimClock::new();
+        let metrics = eii_obs::MetricsRegistry::new();
+        let breaker = CircuitBreaker::new(
+            CircuitBreakerConfig {
+                failure_threshold: 2,
+                cooldown_ms: 100,
+                success_threshold: 1,
+            },
+            clock.clone(),
+        )
+        .instrumented(metrics.clone(), "crm");
+        // One full closed -> open -> half-open -> closed walk.
+        breaker.on_failure();
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        clock.advance_ms(100);
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.on_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("breaker.crm.to_open"), 1);
+        assert_eq!(snap.counter("breaker.crm.to_half_open"), 1);
+        assert_eq!(snap.counter("breaker.crm.to_closed"), 1);
+        // The status view carries the same counts.
+        let status = breaker.status();
+        assert_eq!(status.state, BreakerState::Closed);
+        assert_eq!((status.to_open, status.to_half_open, status.to_closed), (1, 1, 1));
+        // A second trip increments only the open counter.
+        breaker.on_failure();
+        breaker.on_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("breaker.crm.to_open"), 2);
+        assert_eq!(snap.counter("breaker.crm.to_half_open"), 1);
+        assert_eq!(snap.counter("breaker.crm.to_closed"), 1);
     }
 
     #[test]

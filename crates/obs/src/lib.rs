@@ -1,0 +1,32 @@
+//! # eii-obs
+//!
+//! The observability core of the EII engine: query tracing and metrics.
+//!
+//! The paper's performance arguments — pushdown opportunity, bytes shipped,
+//! round trips, and the cost of live sources that are "slow, unavailable, or
+//! return errors" — are only arguments if they are *measurable*. This crate
+//! provides the two primitives the rest of the engine threads through its
+//! hot paths:
+//!
+//! - [`Tracer`] / [`SpanGuard`] / [`QueryTrace`]: nested spans timed by both
+//!   the shared [`eii_data::SimClock`] (simulated milliseconds) and the wall
+//!   clock, collected into a per-query tree covering parse → plan →
+//!   optimize → execute.
+//! - [`MetricsRegistry`]: named counters, gauges, and fixed-bucket
+//!   histograms with cheap atomic recording and a [`MetricsRegistry::snapshot`]
+//!   for tests and the bench harness.
+//!
+//! Both are deliberately zero-dependency (standard library atomics and
+//! mutexes only) so every crate in the workspace can afford to depend on
+//! them, and both are cheap enough to stay always-on: recording a counter is
+//! one atomic add, and a span is two clock reads plus one `Vec` push.
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_MS_BUCKETS,
+};
+pub use span::{QueryTrace, SpanGuard, SpanRecord, Tracer};

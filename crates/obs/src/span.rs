@@ -1,0 +1,290 @@
+//! Query tracing: nested spans on the simulated clock.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s; guards opened while another
+//! guard is alive become children of that span, so the lexical structure of
+//! the instrumented code becomes the trace tree. Each span records both
+//! simulated time (from the shared [`SimClock`], the currency of every
+//! experiment) and wall time (what the instrumentation overhead experiment
+//! E14 measures). [`Tracer::finish`] yields the immutable [`QueryTrace`].
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use eii_data::SimClock;
+
+/// One finished span: a named phase with timings, key=value annotations,
+/// and child spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Phase name (`parse`, `plan`, `execute`, `op:HashJoin`, ...).
+    pub name: String,
+    /// Simulated time when the span opened, ms.
+    pub start_sim_ms: i64,
+    /// Simulated time when the span closed, ms.
+    pub end_sim_ms: i64,
+    /// Real elapsed time inside the span.
+    pub wall: Duration,
+    /// Free-form `key=value` annotations attached while the span was open.
+    pub annotations: Vec<(String, String)>,
+    /// Child spans, in completion order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Simulated milliseconds elapsed inside this span.
+    pub fn sim_ms(&self) -> i64 {
+        self.end_sim_ms - self.start_sim_ms
+    }
+
+    /// Depth-first search for the first span with this name (including
+    /// `self`).
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Total number of spans in this subtree (including `self`).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanRecord::span_count).sum::<usize>()
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let _ = write!(
+            out,
+            "{indent}{} sim={}ms wall={:.1?}",
+            self.name,
+            self.sim_ms(),
+            self.wall
+        );
+        for (k, v) in &self.annotations {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// A span that is still open.
+struct OpenSpan {
+    name: String,
+    start_sim_ms: i64,
+    start_wall: Instant,
+    annotations: Vec<(String, String)>,
+    children: Vec<SpanRecord>,
+}
+
+struct TracerInner {
+    stack: Vec<OpenSpan>,
+    roots: Vec<SpanRecord>,
+}
+
+/// Collects a tree of spans for one query. Cloning shares the collector.
+#[derive(Clone)]
+pub struct Tracer {
+    clock: SimClock,
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl Tracer {
+    /// A new tracer telling simulated time through `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        Tracer {
+            clock,
+            inner: Arc::new(Mutex::new(TracerInner {
+                stack: Vec::new(),
+                roots: Vec::new(),
+            })),
+        }
+    }
+
+    /// Open a span. The span closes (and attaches to its parent) when the
+    /// returned guard drops; guards must drop in LIFO order, which lexical
+    /// scoping guarantees.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        self.inner.lock().expect("tracer lock").stack.push(OpenSpan {
+            name: name.into(),
+            start_sim_ms: self.clock.now_ms(),
+            start_wall: Instant::now(),
+            annotations: Vec::new(),
+            children: Vec::new(),
+        });
+        SpanGuard {
+            tracer: self.clone(),
+        }
+    }
+
+    /// Annotate the innermost open span with a `key=value` pair.
+    pub fn annotate(&self, key: impl Into<String>, value: impl ToString) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        if let Some(top) = inner.stack.last_mut() {
+            top.annotations.push((key.into(), value.to_string()));
+        }
+    }
+
+    /// Attach an already-built span subtree to the innermost open span (or
+    /// to the root list). This is how the executor's per-operator profile —
+    /// collected across worker threads — joins the single-threaded phase
+    /// trace.
+    pub fn attach(&self, span: SpanRecord) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        match inner.stack.last_mut() {
+            Some(top) => top.children.push(span),
+            None => inner.roots.push(span),
+        }
+    }
+
+    fn close_top(&self) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let Some(open) = inner.stack.pop() else {
+            return;
+        };
+        let record = SpanRecord {
+            name: open.name,
+            start_sim_ms: open.start_sim_ms,
+            end_sim_ms: self.clock.now_ms(),
+            wall: open.start_wall.elapsed(),
+            annotations: open.annotations,
+            children: open.children,
+        };
+        match inner.stack.last_mut() {
+            Some(parent) => parent.children.push(record),
+            None => inner.roots.push(record),
+        }
+    }
+
+    /// Close any still-open spans and return the finished trace.
+    pub fn finish(self) -> QueryTrace {
+        loop {
+            let open = !self.inner.lock().expect("tracer lock").stack.is_empty();
+            if !open {
+                break;
+            }
+            self.close_top();
+        }
+        let mut inner = self.inner.lock().expect("tracer lock");
+        QueryTrace {
+            spans: std::mem::take(&mut inner.roots),
+        }
+    }
+}
+
+/// RAII handle for one open span; closes the span on drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+}
+
+impl SpanGuard {
+    /// Annotate this span with a `key=value` pair (it must still be the
+    /// innermost open span).
+    pub fn annotate(&self, key: impl Into<String>, value: impl ToString) {
+        self.tracer.annotate(key, value);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.close_top();
+    }
+}
+
+/// The finished trace of one query: a forest of phase spans (normally a
+/// single root covering the whole statement).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryTrace {
+    /// Root spans in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl QueryTrace {
+    /// Depth-first search across all roots for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Total number of spans in the trace.
+    pub fn span_count(&self) -> usize {
+        self.spans.iter().map(SpanRecord::span_count).sum()
+    }
+
+    /// Indented human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            s.render_into(0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_lexically_and_time_the_sim_clock() {
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone());
+        {
+            let _q = tracer.span("query");
+            {
+                let p = tracer.span("parse");
+                p.annotate("tokens", 42);
+                clock.advance_ms(3);
+            }
+            {
+                let _e = tracer.span("execute");
+                clock.advance_ms(7);
+            }
+        }
+        let trace = tracer.finish();
+        assert_eq!(trace.spans.len(), 1);
+        let root = &trace.spans[0];
+        assert_eq!(root.name, "query");
+        assert_eq!(root.sim_ms(), 10);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(trace.find("parse").unwrap().sim_ms(), 3);
+        assert_eq!(trace.find("execute").unwrap().sim_ms(), 7);
+        assert_eq!(
+            trace.find("parse").unwrap().annotations,
+            vec![("tokens".to_string(), "42".to_string())]
+        );
+        assert_eq!(trace.span_count(), 3);
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans() {
+        let tracer = Tracer::new(SimClock::new());
+        let guard = tracer.span("left-open");
+        std::mem::forget(guard); // simulate an early-return path
+        let trace = tracer.clone().finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "left-open");
+    }
+
+    #[test]
+    fn attach_grafts_foreign_subtrees() {
+        let clock = SimClock::new();
+        let tracer = Tracer::new(clock.clone());
+        {
+            let _e = tracer.span("execute");
+            tracer.attach(SpanRecord {
+                name: "op:HashJoin".into(),
+                start_sim_ms: 0,
+                end_sim_ms: 5,
+                wall: Duration::from_micros(10),
+                annotations: vec![("rows".into(), "7".into())],
+                children: vec![],
+            });
+        }
+        let trace = tracer.finish();
+        assert_eq!(trace.find("op:HashJoin").unwrap().sim_ms(), 5);
+        assert!(trace.render().contains("op:HashJoin"));
+        assert!(trace.render().contains("rows=7"));
+    }
+}

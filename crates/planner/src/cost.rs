@@ -7,11 +7,12 @@
 
 use eii_data::{Result, Value};
 use eii_expr::{BinaryOp, Expr};
-use eii_federation::Federation;
+use eii_federation::{Federation, SourceQuery};
 use eii_sql::JoinKind;
 use eii_storage::TableStats;
 
 use crate::logical::LogicalPlan;
+use crate::physical::PhysicalPlan;
 
 /// Default selectivity guesses (System R heritage) for predicates the model
 /// cannot analyze.
@@ -331,6 +332,192 @@ impl<'a> CostModel<'a> {
                 }
             }
         })
+    }
+
+    /// Predicted profile of one component query: rows surviving the pushed
+    /// filters (and limit), the bytes they occupy on the wire, and source
+    /// scan + transfer time.
+    fn estimate_component(&self, source: &str, query: &SourceQuery) -> PlanEstimate {
+        let stats = self.stats(source, &query.table);
+        let base_schema = self
+            .federation
+            .table_schema(&format!("{source}.{}", query.table))
+            .ok();
+        let lookup = |name: &str| {
+            base_schema
+                .as_ref()
+                .and_then(|s| s.index_of(None, name).ok())
+        };
+        let mut rows = stats.row_count as f64;
+        for f in &query.filters {
+            rows *= self.selectivity(f, &stats, &lookup);
+        }
+        if let Some(n) = query.limit {
+            rows = rows.min(n as f64);
+        }
+        let width = match &query.projection {
+            None if !stats.columns.is_empty() => stats.avg_row_width(),
+            None => 48.0,
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    lookup(c)
+                        .and_then(|i| stats.columns.get(i))
+                        .map_or(12.0, |cs| cs.avg_width)
+                })
+                .sum(),
+        };
+        let bytes = rows * width;
+        let link = self
+            .federation
+            .source(source)
+            .map(|h| h.link())
+            .unwrap_or(eii_federation::LinkProfile::local());
+        PlanEstimate {
+            rows,
+            bytes,
+            sim_ms: link.transfer_ms(bytes as usize) + stats.row_count as f64 * 0.001,
+        }
+    }
+
+    /// Predict the execution profile of one physical operator's subtree.
+    /// `EXPLAIN ANALYZE` prints this next to each operator's actuals; unlike
+    /// [`CostModel::estimate`] it follows the *physical* shape the planner
+    /// chose (bind joins, pushed component queries, parallel unions).
+    pub fn estimate_physical(&self, plan: &PhysicalPlan) -> Result<PlanEstimate> {
+        Ok(match plan {
+            PhysicalPlan::Source { source, query, .. } => self.estimate_component(source, query),
+            PhysicalPlan::Values { rows, .. } => PlanEstimate {
+                rows: rows.len() as f64,
+                bytes: 0.0,
+                sim_ms: 0.0,
+            },
+            PhysicalPlan::Filter { input, predicate } => {
+                let e = self.estimate_physical(input)?;
+                let sel = self.selectivity(predicate, &TableStats::default(), &|_| None);
+                PlanEstimate {
+                    rows: e.rows * sel,
+                    bytes: e.bytes,
+                    sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
+                }
+            }
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Rename { input, .. } => {
+                let e = self.estimate_physical(input)?;
+                PlanEstimate {
+                    sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
+                    ..e
+                }
+            }
+            PhysicalPlan::Limit { input, n } => {
+                let e = self.estimate_physical(input)?;
+                PlanEstimate {
+                    rows: e.rows.min(*n as f64),
+                    ..e
+                }
+            }
+            PhysicalPlan::Distinct { input } => {
+                let e = self.estimate_physical(input)?;
+                PlanEstimate {
+                    rows: e.rows * 0.9,
+                    bytes: e.bytes,
+                    sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
+                }
+            }
+            PhysicalPlan::HashJoin {
+                left, right, kind, parallel, ..
+            }
+            | PhysicalPlan::NestedLoopJoin {
+                left, right, kind, parallel, ..
+            } => {
+                let l = self.estimate_physical(left)?;
+                let r = self.estimate_physical(right)?;
+                let rows = join_rows(l.rows, r.rows, *kind, plan.join_condition_present());
+                let input_sim = if *parallel {
+                    l.sim_ms.max(r.sim_ms)
+                } else {
+                    l.sim_ms + r.sim_ms
+                };
+                PlanEstimate {
+                    rows,
+                    bytes: l.bytes + r.bytes,
+                    sim_ms: input_sim + (l.rows + r.rows + rows) * self.hub_ms_per_row,
+                }
+            }
+            PhysicalPlan::BindJoin {
+                left,
+                source,
+                template,
+                ..
+            } => {
+                let l = self.estimate_physical(left)?;
+                let right = self.estimate_component(source, template);
+                // One round trip per distinct probe key; only matching rows
+                // ship back.
+                let rows = join_rows(l.rows, right.rows, JoinKind::Inner, true);
+                let width = if right.rows > 0.0 {
+                    right.bytes / right.rows
+                } else {
+                    0.0
+                };
+                let match_bytes = rows * width;
+                let link = self
+                    .federation
+                    .source(source)
+                    .map(|h| h.link())
+                    .unwrap_or(eii_federation::LinkProfile::local());
+                PlanEstimate {
+                    rows,
+                    bytes: l.bytes + match_bytes,
+                    sim_ms: l.sim_ms
+                        + l.rows.max(1.0) * link.latency_ms
+                        + link.transfer_ms(match_bytes as usize)
+                        + (l.rows + rows) * self.hub_ms_per_row,
+                }
+            }
+            PhysicalPlan::Aggregate {
+                input, group_by, ..
+            } => {
+                let e = self.estimate_physical(input)?;
+                let rows = if group_by.is_empty() {
+                    1.0
+                } else {
+                    e.rows.sqrt().max(1.0).min(e.rows)
+                };
+                PlanEstimate {
+                    rows,
+                    bytes: e.bytes,
+                    sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
+                }
+            }
+            PhysicalPlan::UnionAll { inputs, parallel, .. } => {
+                let mut est = PlanEstimate::default();
+                for i in inputs {
+                    let e = self.estimate_physical(i)?;
+                    est.rows += e.rows;
+                    est.bytes += e.bytes;
+                    est.sim_ms = if *parallel {
+                        est.sim_ms.max(e.sim_ms)
+                    } else {
+                        est.sim_ms + e.sim_ms
+                    };
+                }
+                est
+            }
+        })
+    }
+}
+
+/// Shared equi-join cardinality heuristic: `|L|*|R| / max(|L|,|R|)` with a
+/// condition, the full cross product without one; outer joins keep at least
+/// the left side.
+fn join_rows(l: f64, r: f64, kind: JoinKind, has_condition: bool) -> f64 {
+    match kind {
+        JoinKind::Left => (l * r / r.max(1.0)).max(l),
+        JoinKind::Semi | JoinKind::Anti => (l * 0.5).max(1.0).min(l),
+        _ if has_condition => (l * r / l.max(r).max(1.0)).max(1.0),
+        _ => l * r,
     }
 }
 

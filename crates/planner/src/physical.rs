@@ -142,34 +142,64 @@ impl PhysicalPlan {
         }
     }
 
-    /// Indented EXPLAIN rendering.
-    pub fn display(&self) -> String {
-        let mut out = String::new();
-        self.display_into(0, &mut out);
-        out
+    /// Short operator name (stable across queries; used for metric names and
+    /// operator profiles).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhysicalPlan::Source { .. } => "Source",
+            PhysicalPlan::Values { .. } => "Values",
+            PhysicalPlan::Filter { .. } => "Filter",
+            PhysicalPlan::Project { .. } => "Project",
+            PhysicalPlan::HashJoin { .. } => "HashJoin",
+            PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysicalPlan::BindJoin { .. } => "BindJoin",
+            PhysicalPlan::Aggregate { .. } => "Aggregate",
+            PhysicalPlan::Distinct { .. } => "Distinct",
+            PhysicalPlan::Sort { .. } => "Sort",
+            PhysicalPlan::Limit { .. } => "Limit",
+            PhysicalPlan::UnionAll { .. } => "UnionAll",
+            PhysicalPlan::Rename { .. } => "Rename",
+        }
     }
 
-    fn display_into(&self, depth: usize, out: &mut String) {
-        let indent = "  ".repeat(depth);
-        let (line, children): (String, Vec<&PhysicalPlan>) = match self {
-            PhysicalPlan::Source { source, query, .. } => (
-                format!("SourceQuery {source}: {}", query.to_sql()),
-                vec![],
-            ),
-            PhysicalPlan::Values { rows, .. } => {
-                (format!("Values ({} rows)", rows.len()), vec![])
+    /// Child operators, in the order the executor visits them. A
+    /// [`PhysicalPlan::BindJoin`]'s probe side runs inside the operator, so
+    /// only its build side appears.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::Source { .. } | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Rename { input, .. } => vec![input.as_ref()],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                vec![left.as_ref(), right.as_ref()]
             }
-            PhysicalPlan::Filter { input, predicate } => {
-                (format!("Filter {predicate}"), vec![input.as_ref()])
+            PhysicalPlan::BindJoin { left, .. } => vec![left.as_ref()],
+            PhysicalPlan::UnionAll { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    /// One-line description of this operator (no children): the line
+    /// [`PhysicalPlan::display`] prints for it, and the line `EXPLAIN
+    /// ANALYZE` annotates.
+    pub fn describe(&self) -> String {
+        match self {
+            PhysicalPlan::Source { source, query, .. } => {
+                format!("SourceQuery {source}: {}", query.to_sql())
             }
-            PhysicalPlan::Project { input, exprs, .. } => {
+            PhysicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysicalPlan::Project { exprs, .. } => {
                 let items: Vec<String> =
                     exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                (format!("Project [{}]", items.join(", ")), vec![input.as_ref()])
+                format!("Project [{}]", items.join(", "))
             }
             PhysicalPlan::HashJoin {
-                left,
-                right,
                 left_keys,
                 right_keys,
                 kind,
@@ -182,74 +212,94 @@ impl PhysicalPlan {
                     .zip(right_keys)
                     .map(|(l, r)| format!("{l}={r}"))
                     .collect();
-                (
-                    format!(
-                        "HashJoin[{kind}] keys=[{}] site={site}{}",
-                        keys.join(", "),
-                        if *parallel { " parallel" } else { "" }
-                    ),
-                    vec![left.as_ref(), right.as_ref()],
+                format!(
+                    "HashJoin[{kind}] keys=[{}] site={site}{}",
+                    keys.join(", "),
+                    if *parallel { " parallel" } else { "" }
                 )
             }
-            PhysicalPlan::NestedLoopJoin {
-                left,
-                right,
-                kind,
-                on,
-                ..
-            } => (
-                format!(
-                    "NestedLoopJoin[{kind}]{}",
-                    on.as_ref().map(|o| format!(" ON {o}")).unwrap_or_default()
-                ),
-                vec![left.as_ref(), right.as_ref()],
+            PhysicalPlan::NestedLoopJoin { kind, on, .. } => format!(
+                "NestedLoopJoin[{kind}]{}",
+                on.as_ref().map(|o| format!(" ON {o}")).unwrap_or_default()
             ),
             PhysicalPlan::BindJoin {
-                left,
                 left_key,
                 source,
                 bind_column,
                 ..
-            } => (
-                format!("BindJoin {left_key} -> {source}.{bind_column}"),
-                vec![left.as_ref()],
-            ),
-            PhysicalPlan::Aggregate {
-                input,
-                group_by,
-                aggs,
-                ..
-            } => {
+            } => format!("BindJoin {left_key} -> {source}.{bind_column}"),
+            PhysicalPlan::Aggregate { group_by, aggs, .. } => {
                 let g: Vec<String> = group_by.iter().map(ToString::to_string).collect();
                 let a: Vec<String> = aggs.iter().map(|x| x.name.clone()).collect();
-                (
-                    format!("HashAggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", ")),
-                    vec![input.as_ref()],
-                )
+                format!("HashAggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "))
             }
-            PhysicalPlan::Distinct { input } => ("Distinct".into(), vec![input.as_ref()]),
-            PhysicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Distinct { .. } => "Distinct".into(),
+            PhysicalPlan::Sort { keys, .. } => {
                 let k: Vec<String> = keys
                     .iter()
                     .map(|(e, asc)| format!("{e} {}", if *asc { "ASC" } else { "DESC" }))
                     .collect();
-                (format!("Sort [{}]", k.join(", ")), vec![input.as_ref()])
+                format!("Sort [{}]", k.join(", "))
             }
-            PhysicalPlan::Limit { input, n } => (format!("Limit {n}"), vec![input.as_ref()]),
-            PhysicalPlan::UnionAll {
-                inputs, parallel, ..
-            } => (
-                format!("UnionAll{}", if *parallel { " parallel" } else { "" }),
-                inputs.iter().collect(),
-            ),
-            PhysicalPlan::Rename { input, schema } => {
-                (format!("Rename {}", schema), vec![input.as_ref()])
+            PhysicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            PhysicalPlan::UnionAll { parallel, .. } => {
+                format!("UnionAll{}", if *parallel { " parallel" } else { "" })
             }
+            PhysicalPlan::Rename { schema, .. } => format!("Rename {}", schema),
+        }
+    }
+
+    /// Does this operator join on some condition (equi keys or an `ON`
+    /// clause)? False for non-joins and for pure cross products.
+    pub fn join_condition_present(&self) -> bool {
+        match self {
+            PhysicalPlan::HashJoin { left_keys, .. } => !left_keys.is_empty(),
+            PhysicalPlan::NestedLoopJoin { on, .. } => on.is_some(),
+            PhysicalPlan::BindJoin { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// What this operator pushed down to a source, when it talks to one:
+    /// `pushed=[...]` for [`PhysicalPlan::Source`] and
+    /// [`PhysicalPlan::BindJoin`], `None` for hub-side operators.
+    pub fn pushdown(&self) -> Option<String> {
+        let (query, bound) = match self {
+            PhysicalPlan::Source { query, .. } => (query, false),
+            PhysicalPlan::BindJoin { template, .. } => (template, true),
+            _ => return None,
         };
-        out.push_str(&indent);
-        out.push_str(&line);
+        let mut parts = Vec::new();
+        if let Some(p) = &query.projection {
+            parts.push(format!("projection:{}", p.len()));
+        }
+        if !query.filters.is_empty() {
+            parts.push(format!("filters:{}", query.filters.len()));
+        }
+        if let Some(n) = query.limit {
+            parts.push(format!("limit:{n}"));
+        }
+        if bound {
+            parts.push("bindings:1".into());
+        }
+        if parts.is_empty() {
+            parts.push("none".into());
+        }
+        Some(format!("pushed=[{}]", parts.join(" ")))
+    }
+
+    /// Indented EXPLAIN rendering.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        self.display_into(0, &mut out);
+        out
+    }
+
+    fn display_into(&self, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.describe());
         out.push('\n');
-        for c in children {
+        for c in self.children() {
             c.display_into(depth + 1, out);
         }
     }

@@ -21,6 +21,10 @@ pub enum Statement {
         sources: Vec<String>,
         limit: Option<usize>,
     },
+    /// `EXPLAIN [ANALYZE] <query>` — render the physical plan; with
+    /// `ANALYZE`, also execute it and annotate each operator with actual
+    /// rows, bytes shipped, and simulated time next to the estimates.
+    Explain { analyze: bool, query: SetQuery },
 }
 
 /// A query with optional `UNION ALL` combinations.

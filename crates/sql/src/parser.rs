@@ -138,6 +138,12 @@ impl Parser {
     // ---- statements ---------------------------------------------------
 
     fn statement(&mut self) -> Result<Statement> {
+        if self.at_kw("EXPLAIN") {
+            self.pos += 1;
+            let analyze = self.skip_kw("ANALYZE");
+            let query = self.set_query()?;
+            return Ok(Statement::Explain { analyze, query });
+        }
         if self.at_kw("CREATE") {
             self.pos += 1;
             self.expect_kw("VIEW")?;

@@ -472,6 +472,24 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json(json: &Json) -> Result<Self, DeError> {
+        match json {
+            Json::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map object", other.type_name())),
+        }
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_json(&self) -> Json {
         Json::Arr(vec![self.0.to_json(), self.1.to_json()])

@@ -418,6 +418,121 @@ fn facade_degrades_to_stale_snapshots_when_a_source_dies() {
 }
 
 #[test]
+fn explain_analyze_annotates_federated_join_with_estimates_and_actuals() {
+    let (sys, _) = build_system();
+    // Pin the join strategy so the plan shape under test is deterministic.
+    let sys = sys.with_config(PlannerConfig {
+        use_bind_joins: false,
+        ..PlannerConfig::optimized()
+    });
+    let out = sys
+        .execute(
+            "EXPLAIN ANALYZE SELECT c.name, o.total FROM crm.customers c \
+             JOIN sales.orders o ON c.id = o.customer_id WHERE o.total > 150",
+        )
+        .unwrap();
+    let text = out.explained().unwrap();
+    // Every operator line carries estimated and actual rows/bytes/sim-time.
+    for line in text.lines().filter(|l| !l.starts_with("Total:")) {
+        assert!(line.contains("est rows="), "missing estimate: {line}");
+        assert!(line.contains("| act rows="), "missing actuals: {line}");
+        assert!(line.contains("sim="), "missing sim time: {line}");
+    }
+    // The join and both source scans are visible, with pushdown status.
+    assert!(text.contains("HashJoin"), "{text}");
+    assert!(text.contains("SourceQuery crm"), "{text}");
+    assert!(text.contains("SourceQuery sales"), "{text}");
+    assert!(text.contains("pushed=["), "{text}");
+    assert!(text.contains("Total: rows="), "{text}");
+    // The direct entry point renders the same thing.
+    let direct = sys
+        .explain_analyze(
+            "SELECT c.name, o.total FROM crm.customers c \
+             JOIN sales.orders o ON c.id = o.customer_id WHERE o.total > 150",
+        )
+        .unwrap();
+    assert!(direct.contains("| act rows="));
+}
+
+#[test]
+fn explain_analyze_flags_degraded_sources() {
+    let (mut sys, clock) = build_system();
+    let sql = "SELECT c.name, o.total FROM crm.customers c \
+               JOIN sales.orders o ON c.id = o.customer_id WHERE o.total > 150";
+    sys.snapshot_fallback("sales.orders").unwrap();
+    clock.advance_ms(1_500);
+    sys.federation_mut()
+        .inject_faults("sales", FaultProfile::failing(1.0, 7))
+        .unwrap();
+    sys.set_degradation(DegradationPolicy::Fallback);
+    let text = sys.explain_analyze(sql).unwrap();
+    assert!(text.contains("[DEGRADED: orders stale 1500ms]"), "{text}");
+    assert!(text.contains("degraded_sources=1"), "{text}");
+}
+
+#[test]
+fn source_health_reports_traffic_retries_and_breaker_under_faults() {
+    let (mut sys, _clock) = build_system();
+    sys.federation_mut()
+        .inject_faults("crm", FaultProfile::none().with_outage(0, 40))
+        .unwrap();
+    sys.federation_mut()
+        .harden(
+            "crm",
+            RetryPolicy::standard().with_attempts(6),
+            CircuitBreakerConfig::default(),
+        )
+        .unwrap();
+    sys.execute("SELECT name FROM crm.customers WHERE region = 'west'")
+        .unwrap();
+    let health = sys.source_health();
+    assert_eq!(health.len(), 3, "{health:?}");
+    let crm = health.iter().find(|h| h.source == "crm").unwrap();
+    assert!(crm.available());
+    assert!(crm.traffic.requests >= 1);
+    assert!(crm.traffic.bytes > 0);
+    assert!(crm.traffic.retries >= 1, "{crm:?}");
+    let breaker = crm.breaker.as_ref().expect("crm is hardened");
+    assert_eq!(breaker.state, eii::federation::BreakerState::Closed);
+    // Un-hardened sources report traffic but no breaker.
+    let sales = health.iter().find(|h| h.source == "sales").unwrap();
+    assert!(sales.breaker.is_none());
+    // The same retries surface as metrics.
+    let snap = sys.metrics().snapshot();
+    assert!(snap.counter("source.crm.retries") >= 1);
+    assert!(snap.counter("source.crm.requests") >= 1);
+    assert_eq!(snap.counter("exec.queries"), 1);
+}
+
+#[test]
+fn query_trace_covers_phases_and_operators() {
+    let (sys, _) = build_system();
+    let sys = sys.with_config(PlannerConfig {
+        use_bind_joins: false,
+        ..PlannerConfig::optimized()
+    });
+    sys.execute(
+        "SELECT c.name, o.total FROM crm.customers c \
+         JOIN sales.orders o ON c.id = o.customer_id",
+    )
+    .unwrap();
+    let trace = sys.last_trace().expect("trace retained");
+    for phase in ["statement", "parse", "plan", "execute"] {
+        assert!(trace.find(phase).is_some(), "missing {phase} span:\n{}", trace.render());
+    }
+    let join = trace.find("op:HashJoin").expect("operator span");
+    assert!(join
+        .annotations
+        .iter()
+        .any(|(k, v)| k == "rows" && v.parse::<usize>().unwrap() > 0));
+    assert_eq!(join.children.len(), 2, "join has both inputs:\n{}", trace.render());
+    // Executing another statement replaces the trace.
+    sys.execute("SELECT name FROM crm.customers").unwrap();
+    let trace2 = sys.last_trace().unwrap();
+    assert!(trace2.find("op:HashJoin").is_none());
+}
+
+#[test]
 fn facade_retries_ride_out_a_transient_outage() {
     let (mut sys, _clock) = build_system();
     let sql = "SELECT name FROM crm.customers WHERE region = 'west'";
