@@ -2,6 +2,7 @@
 //! experiment mapping). Each function regenerates one table; the
 //! `experiments` binary prints them.
 
+pub mod caching;
 pub mod economics;
 pub mod engine;
 pub mod observability;
@@ -13,8 +14,9 @@ use eii::data::Result;
 use crate::report::Report;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
 ];
 
 /// Run one experiment by id.
@@ -34,6 +36,7 @@ pub fn run(id: &str) -> Result<Report> {
         "e12" => engine::e12_prediction(),
         "e13" => resilience::e13_fault_tolerance(),
         "e14" => observability::e14_observability_overhead(),
+        "e15" => caching::e15_views_and_cache(),
         other => Err(eii::data::EiiError::NotFound(format!(
             "experiment {other}; known: {}",
             ALL.join(", ")

@@ -36,18 +36,32 @@
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use eii_catalog::Catalog;
 use eii_data::{Batch, EiiError, Result, SimClock};
 use eii_eai::{MessageBroker, ProcessDef, ProcessEnv, SagaEngine, SagaOutcome};
 use eii_exec::{
-    DegradationPolicy, Executor, FallbackStore, OperatorProfile, QueryResult, SourceReport,
+    CacheConfig, CacheLookup, CachedResult, DegradationPolicy, Executor, FallbackStore,
+    OperatorProfile, QueryResult, ResultCache, SourceReport,
 };
-use eii_federation::{Connector, Federation, LinkProfile, SourceHealth, SourceQuery, WireFormat};
+use eii_federation::{
+    Connector, Federation, LinkProfile, QueryCost, SourceHealth, SourceQuery, WireFormat,
+};
+use eii_matview::{MatViewManager, RefreshPolicy};
 use eii_obs::{MetricsRegistry, QueryTrace, Tracer};
-use eii_planner::{optimize, CostModel, PhysicalPlan, PlanBuilder, PhysicalPlanner, PlannerConfig};
+use eii_planner::{
+    optimize, rewrite_matviews, CostModel, LogicalPlan, PhysicalPlan, PlanBuilder,
+    PhysicalPlanner, PlannerConfig,
+};
 use eii_search::{EnterpriseSearch, Hit};
 use eii_sql::{parse_statement, SetQuery, Statement};
+
+/// Simulated ms to serve a memoized result (mirrors a matview cache read).
+const CACHE_HIT_MS: f64 = 0.05;
+/// Hub-side per-row cost applied to served cache hits (the executor's
+/// default rate).
+const CACHE_HUB_MS_PER_ROW: f64 = 0.0005;
 
 /// Everything an application typically imports.
 pub mod prelude {
@@ -57,7 +71,8 @@ pub mod prelude {
         Batch, DataType, EiiError, Field, Result, Row, Schema, SimClock, Value,
     };
     pub use eii_docstore::{DocStore, Document};
-    pub use eii_exec::{DegradationPolicy, FallbackStore, SourceReport};
+    pub use eii_exec::{CacheConfig, DegradationPolicy, FallbackStore, SourceReport};
+    pub use eii_matview::RefreshPolicy;
     pub use eii_federation::{
         adapters::document::VirtualTable, CircuitBreakerConfig, Connector, CsvConnector,
         DocumentConnector, FaultProfile, Federation, LinkProfile, RelationalConnector,
@@ -147,6 +162,8 @@ pub struct EiiSystem {
     search: Option<EnterpriseSearch>,
     degradation: DegradationPolicy,
     fallbacks: FallbackStore,
+    matviews: Option<MatViewManager>,
+    cache: Option<ResultCache>,
     last_trace: Mutex<Option<QueryTrace>>,
 }
 
@@ -163,6 +180,8 @@ impl EiiSystem {
             search: None,
             degradation: DegradationPolicy::Fail,
             fallbacks: FallbackStore::new(),
+            matviews: None,
+            cache: None,
             last_trace: Mutex::new(None),
         }
     }
@@ -240,6 +259,64 @@ impl EiiSystem {
         Ok(())
     }
 
+    /// Define a materialized view over the federation and materialize it
+    /// now; returns the initial refresh's simulated cost. Once a view is
+    /// fresh under its policy, the planner's rewrite pass (when
+    /// [`PlannerConfig::rewrite_matviews`] is on) answers matching query
+    /// subtrees from it instead of the sources.
+    ///
+    /// The manager snapshots the federation on first use: register every
+    /// source before creating views.
+    pub fn create_matview(&mut self, name: &str, sql: &str, policy: RefreshPolicy) -> Result<f64> {
+        if self.matviews.is_none() {
+            self.matviews = Some(MatViewManager::new(
+                self.federation.clone(),
+                self.clock.clone(),
+            ));
+        }
+        let mgr = self.matviews.as_ref().expect("manager just created");
+        mgr.define(name, sql, &self.catalog, policy)?;
+        mgr.refresh(name)
+    }
+
+    /// Recompute a materialized view now; returns the refresh's simulated
+    /// cost.
+    pub fn refresh_matview(&self, name: &str) -> Result<f64> {
+        self.matviews
+            .as_ref()
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?
+            .refresh(name)
+    }
+
+    /// The materialized-view manager, once any view has been created.
+    pub fn matviews(&self) -> Option<&MatViewManager> {
+        self.matviews.as_ref()
+    }
+
+    /// Turn on the semantic result cache: query results are memoized under
+    /// their normalized plan and served back — version-checked against each
+    /// base table's change log — until invalidated, evicted, or older than
+    /// the configured staleness budget.
+    pub fn enable_result_cache(&mut self, config: CacheConfig) {
+        self.cache = Some(
+            ResultCache::new(config).with_metrics(self.federation.metrics().clone()),
+        );
+    }
+
+    /// The semantic result cache, when enabled.
+    pub fn result_cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Tell the cache a write landed on `source.table`; every dependent
+    /// entry is dropped. (Version probing catches change-logged sources on
+    /// its own; this is the hook for sources without CDC.)
+    pub fn invalidate_cached(&self, qualified: &str) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.invalidate_table(qualified))
+    }
+
     /// Execute one SQL statement as the given role. The statement's trace
     /// (parse/plan/execute spans plus per-operator actuals) is retained and
     /// readable through [`EiiSystem::last_trace`].
@@ -305,18 +382,75 @@ impl EiiSystem {
         self.execute_as(sql, "public")
     }
 
+    /// Build and optimize the logical plan, then apply the
+    /// answering-queries-using-views rewrite when enabled and any view is
+    /// servable right now.
+    fn optimize_with_views(&self, q: &SetQuery) -> Result<LogicalPlan> {
+        let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
+        let optimized = optimize(logical, &self.federation, &self.config)?;
+        match (&self.matviews, self.config.rewrite_matviews) {
+            (Some(mgr), true) => {
+                let defs = mgr.defs(self.clock.now_ms());
+                rewrite_matviews(optimized, &defs, &self.federation)
+            }
+            _ => Ok(optimized),
+        }
+    }
+
     /// Plan and run one query, tracing the plan and execute phases and
     /// grafting the executor's per-operator profile into the trace.
+    ///
+    /// The full answer path: normalize the plan → probe the semantic cache
+    /// (hit: serve memoized rows, fresh or stale-flagged) → rewrite against
+    /// materialized views → execute federated → memoize the result.
     fn run_query(&self, q: &SetQuery, tracer: &Tracer) -> Result<QueryResult> {
-        let plan = {
-            let _plan = tracer.span("plan");
-            eii_planner::plan_query(q, &self.catalog, &self.federation, &self.config)?
+        let start = Instant::now();
+        let now = self.clock.now_ms();
+        let plan_span = tracer.span("plan");
+        let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
+        let optimized = optimize(logical, &self.federation, &self.config)?;
+
+        // The cache key is the normalized (optimized) plan, so equivalent
+        // SQL shares an entry; base tables drive version validation.
+        let key = optimized.display();
+        let tables = base_tables(&optimized);
+        if let Some(cache) = &self.cache {
+            match cache.lookup(&key, now, &self.federation) {
+                CacheLookup::Hit(hit) => {
+                    drop(plan_span);
+                    return Ok(self.serve_cached(hit, Vec::new(), start, tracer));
+                }
+                CacheLookup::Stale(hit, reports) => {
+                    drop(plan_span);
+                    return Ok(self.serve_cached(hit, reports, start, tracer));
+                }
+                CacheLookup::Miss => {}
+            }
+        }
+
+        let rewritten = match (&self.matviews, self.config.rewrite_matviews) {
+            (Some(mgr), true) => {
+                let defs = mgr.defs(now);
+                rewrite_matviews(optimized, &defs, &self.federation)?
+            }
+            _ => optimized,
         };
+        let physical = PhysicalPlanner::new(&self.federation, &self.config).create(rewritten)?;
+        drop(plan_span);
+
+        let traffic_before = self
+            .cache
+            .as_ref()
+            .map(|_| self.federation.ledger().snapshot());
+
         let execute = tracer.span("execute");
-        let exec = Executor::new(&self.federation)
+        let mut exec = Executor::new(&self.federation)
             .with_degradation(self.degradation, self.fallbacks.clone())
             .with_metrics(self.federation.metrics().clone());
-        let result = exec.execute(&plan)?;
+        if let Some(mgr) = &self.matviews {
+            exec = exec.with_matviews(mgr.store());
+        }
+        let result = exec.execute(&physical)?;
         execute.annotate("rows", result.batch.num_rows());
         execute.annotate("bytes", result.cost.bytes);
         if !result.degraded.is_empty() {
@@ -326,32 +460,110 @@ impl EiiSystem {
             tracer.attach(profile.to_span());
         }
         drop(execute);
+
+        self.credit_matview_savings(&physical);
+
+        if let Some(cache) = &self.cache {
+            let per_source = traffic_delta(
+                &traffic_before.expect("snapshot taken when cache enabled"),
+                &self.federation.ledger().snapshot(),
+            );
+            let versions = ResultCache::probe_versions(&self.federation, &tables);
+            cache.fill(key, result.batch.clone(), result.cost, per_source, versions, now);
+        }
         Ok(result)
     }
 
-    /// Build the optimized logical plan and its physical plan, under a
-    /// `plan` span.
+    /// Serve a memoized result: credit every byte the original execution
+    /// shipped to the saved side of the ledger, and report stale entries
+    /// exactly like degraded (stale-fallback) answers.
+    fn serve_cached(
+        &self,
+        hit: CachedResult,
+        reports: Vec<SourceReport>,
+        start: Instant,
+        tracer: &Tracer,
+    ) -> QueryResult {
+        let metrics = self.federation.metrics();
+        for (source, bytes) in &hit.per_source_bytes {
+            self.federation.ledger().record_saved(source, *bytes);
+            metrics.add(&format!("source.{source}.bytes_saved"), *bytes as u64);
+        }
+        metrics.add("cache.bytes_saved", hit.cost.bytes as u64);
+        metrics.observe("cache.age_ms", hit.age_ms as f64);
+        let span = tracer.span("cache_hit");
+        span.annotate("rows", hit.batch.num_rows());
+        span.annotate("age_ms", hit.age_ms as usize);
+        drop(span);
+        let rows = hit.batch.num_rows();
+        QueryResult {
+            batch: hit.batch,
+            cost: QueryCost {
+                sim_ms: CACHE_HIT_MS + rows as f64 * CACHE_HUB_MS_PER_ROW,
+                ..QueryCost::default()
+            },
+            wall: start.elapsed(),
+            degraded: reports,
+            profile: None,
+        }
+    }
+
+    /// Credit the bytes each `MatViewScan` in the executed plan avoided
+    /// shipping, per source, and count the rewrites.
+    fn credit_matview_savings(&self, plan: &PhysicalPlan) {
+        let mut saved: Vec<(String, f64)> = Vec::new();
+        let mut scans = 0usize;
+        collect_matview_savings(plan, &mut saved, &mut scans);
+        if scans == 0 {
+            return;
+        }
+        let metrics = self.federation.metrics();
+        metrics.add("matview.hits", scans as u64);
+        for (source, bytes) in saved {
+            self.federation.ledger().record_saved(&source, bytes as usize);
+            metrics.add(&format!("source.{source}.bytes_saved"), bytes as u64);
+            metrics.add("matview.bytes_saved", bytes as u64);
+        }
+    }
+
+    /// Build the optimized (and view-rewritten) logical plan plus its
+    /// physical plan, under a `plan` span.
     fn plan_explain(
         &self,
         q: &SetQuery,
         tracer: &Tracer,
     ) -> Result<(eii_planner::LogicalPlan, PhysicalPlan)> {
         let _plan = tracer.span("plan");
-        let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
-        let optimized = optimize(logical, &self.federation, &self.config)?;
+        let optimized = self.optimize_with_views(q)?;
         let physical =
             PhysicalPlanner::new(&self.federation, &self.config).create(optimized.clone())?;
         Ok((optimized, physical))
     }
 
     /// Execute the query and render the physical plan with per-operator
-    /// estimated versus actual rows, bytes, and simulated time.
+    /// estimated versus actual rows, bytes, and simulated time. When the
+    /// semantic cache holds the answer there is no operator tree to render:
+    /// the output is a `[CACHED]` header (with staleness flags mirroring
+    /// `[DEGRADED: ...]`) plus the total line.
     fn run_explain_analyze(&self, q: &SetQuery, tracer: &Tracer) -> Result<String> {
+        if let Some(cache) = &self.cache {
+            let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
+            let optimized = optimize(logical, &self.federation, &self.config)?;
+            let probe = cache.lookup(&optimized.display(), self.clock.now_ms(), &self.federation);
+            match probe {
+                CacheLookup::Hit(hit) => return Ok(render_cached(&hit, &[])),
+                CacheLookup::Stale(hit, reports) => return Ok(render_cached(&hit, &reports)),
+                CacheLookup::Miss => {}
+            }
+        }
         let (_, physical) = self.plan_explain(q, tracer)?;
         let execute = tracer.span("execute");
-        let exec = Executor::new(&self.federation)
+        let mut exec = Executor::new(&self.federation)
             .with_degradation(self.degradation, self.fallbacks.clone())
             .with_metrics(self.federation.metrics().clone());
+        if let Some(mgr) = &self.matviews {
+            exec = exec.with_matviews(mgr.store());
+        }
         let result = exec.execute(&physical)?;
         if let Some(profile) = &result.profile {
             tracer.attach(profile.to_span());
@@ -411,13 +623,14 @@ impl EiiSystem {
         self.federation.source_health()
     }
 
-    /// EXPLAIN: render the optimized logical and physical plans.
+    /// EXPLAIN: render the optimized logical and physical plans (including
+    /// any `MatViewScan` substitutions with their chosen-versus-rejected
+    /// costs).
     pub fn explain(&self, sql: &str) -> Result<String> {
         let Statement::Query(q) = parse_statement(sql)? else {
             return Err(EiiError::Plan("EXPLAIN expects a query".into()));
         };
-        let logical = PlanBuilder::new(&self.catalog, &self.federation).build(&q)?;
-        let optimized = optimize(logical, &self.federation, &self.config)?;
+        let optimized = self.optimize_with_views(&q)?;
         let physical =
             PhysicalPlanner::new(&self.federation, &self.config).create(optimized.clone())?;
         Ok(format!(
@@ -450,6 +663,94 @@ impl EiiSystem {
             .with_metrics(self.federation.metrics().clone())
             .run(def, &env)
     }
+}
+
+/// Every distinct `source.table` a logical plan scans.
+fn base_tables(plan: &LogicalPlan) -> Vec<String> {
+    fn walk(plan: &LogicalPlan, out: &mut Vec<String>) {
+        if let LogicalPlan::SourceScan { source, table, .. } = plan {
+            let qualified = format!("{source}.{table}");
+            if !out.contains(&qualified) {
+                out.push(qualified);
+            }
+        }
+        for child in plan.children() {
+            walk(child, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
+}
+
+/// Bytes shipped per source between two ledger snapshots — what one
+/// execution cost, attributed by source.
+fn traffic_delta(
+    before: &[(String, eii_federation::SourceTraffic)],
+    after: &[(String, eii_federation::SourceTraffic)],
+) -> Vec<(String, usize)> {
+    after
+        .iter()
+        .filter_map(|(source, t)| {
+            let prior = before
+                .iter()
+                .find(|(s, _)| s == source)
+                .map_or(0, |(_, p)| p.bytes);
+            let delta = t.bytes.saturating_sub(prior);
+            (delta > 0).then(|| (source.clone(), delta))
+        })
+        .collect()
+}
+
+/// Accumulate the per-source saved-bytes estimates of every `MatViewScan`
+/// in the plan, counting the scans.
+fn collect_matview_savings(plan: &PhysicalPlan, saved: &mut Vec<(String, f64)>, scans: &mut usize) {
+    if let PhysicalPlan::MatViewScan { saved: s, .. } = plan {
+        *scans += 1;
+        for (source, bytes) in s {
+            match saved.iter_mut().find(|(name, _)| name == source) {
+                Some((_, acc)) => *acc += bytes,
+                None => saved.push((source.clone(), *bytes)),
+            }
+        }
+    }
+    for child in plan.children() {
+        collect_matview_savings(child, saved, scans);
+    }
+}
+
+/// Render the `EXPLAIN ANALYZE` output for a semantic-cache hit: no
+/// operator tree ran, so the header says where the rows came from, and any
+/// staleness is flagged the way degraded sources are.
+fn render_cached(hit: &CachedResult, reports: &[SourceReport]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "Result [CACHED] semantic result cache hit (age={}ms, originally \
+         rows={} bytes={} sim={:.1}ms)",
+        hit.age_ms,
+        hit.batch.num_rows(),
+        hit.cost.bytes,
+        hit.cost.sim_ms
+    );
+    for report in reports {
+        let _ = write!(
+            out,
+            " [STALE: {}.{} {}ms]",
+            report.source,
+            report.table,
+            report.stale_ms.unwrap_or(0)
+        );
+    }
+    out.push('\n');
+    let rows = hit.batch.num_rows();
+    let _ = write!(
+        out,
+        "Total: rows={rows} bytes=0 sim={:.1}ms (served from cache)",
+        CACHE_HIT_MS + rows as f64 * CACHE_HUB_MS_PER_ROW
+    );
+    out.push('\n');
+    out
 }
 
 /// Render one `EXPLAIN ANALYZE` line per operator: the describe line, the
@@ -587,5 +888,119 @@ mod tests {
         let sys = system();
         let err = sys.execute("SEARCH 'acme'").unwrap_err();
         assert_eq!(err.kind(), "execution");
+    }
+
+    #[test]
+    fn matview_rewrite_answers_locally_and_credits_saved_bytes() {
+        let mut sys = system();
+        sys.create_matview(
+            "all_customers",
+            "SELECT * FROM crm.customers",
+            RefreshPolicy::Manual,
+        )
+        .unwrap();
+        let shipped_before = sys.federation().ledger().total().bytes;
+
+        // EXPLAIN shows the substitution with both alternatives' costs.
+        let text = sys.explain("SELECT * FROM crm.customers").unwrap();
+        assert!(text.contains("[MATVIEW]"), "{text}");
+        assert!(text.contains("rejected federated"), "{text}");
+
+        let out = sys.execute("SELECT * FROM crm.customers").unwrap();
+        assert_eq!(out.rows().unwrap().num_rows(), 2);
+        let total = sys.federation().ledger().total();
+        assert_eq!(
+            total.bytes, shipped_before,
+            "the rewritten query must ship nothing"
+        );
+        assert!(total.bytes_saved > 0, "savings are credited to the ledger");
+        assert_eq!(sys.metrics().snapshot().counter("matview.hits"), 1);
+    }
+
+    #[test]
+    fn matview_rewrite_compensates_narrower_scans() {
+        let mut sys = system();
+        sys.create_matview(
+            "all_customers",
+            "SELECT * FROM crm.customers",
+            RefreshPolicy::Manual,
+        )
+        .unwrap();
+        let before = sys.federation().ledger().total().bytes;
+        let out = sys
+            .execute("SELECT name FROM crm.customers WHERE region = 'west'")
+            .unwrap();
+        let batch = out.rows().unwrap();
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.rows()[0], row!["alice"]);
+        assert_eq!(
+            sys.federation().ledger().total().bytes,
+            before,
+            "containment rewrite must not touch the source"
+        );
+    }
+
+    #[test]
+    fn result_cache_serves_repeats_and_invalidates_on_writes() {
+        let clock = SimClock::new();
+        let crm = Database::new("crm", clock.clone());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+        ]));
+        let t = crm
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        t.write().insert(row![1i64, "alice"]).unwrap();
+        let mut sys = EiiSystem::new(clock);
+        sys.register_source(
+            Arc::new(RelationalConnector::new(crm)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        sys.enable_result_cache(CacheConfig::default());
+
+        let q = "SELECT name FROM crm.customers";
+        sys.execute(q).unwrap();
+        let shipped_after_first = sys.federation().ledger().total().bytes;
+        let out = sys.execute(q).unwrap();
+        assert_eq!(out.rows().unwrap().num_rows(), 1);
+        assert_eq!(
+            sys.federation().ledger().total().bytes,
+            shipped_after_first,
+            "second run is a cache hit"
+        );
+        let snap = sys.metrics().snapshot();
+        assert_eq!(snap.counter("cache.hits"), 1);
+        assert_eq!(snap.counter("cache.misses"), 1);
+        assert!(sys.federation().ledger().total().bytes_saved > 0);
+
+        // A write to the base table bumps its change-log watermark: the
+        // next read must miss and see the new row.
+        t.write().insert(row![2i64, "bob"]).unwrap();
+        let out = sys.execute(q).unwrap();
+        assert_eq!(out.rows().unwrap().num_rows(), 2, "fresh data after write");
+        assert!(
+            sys.federation().ledger().total().bytes > shipped_after_first,
+            "the refreshed answer came from the source"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_flags_cached_results() {
+        let mut sys = system();
+        sys.enable_result_cache(CacheConfig::default());
+        let q = "SELECT name FROM crm.customers";
+        sys.execute(q).unwrap();
+        let text = sys.explain_analyze(q).unwrap();
+        assert!(text.contains("[CACHED]"), "{text}");
+        assert!(text.contains("served from cache"), "{text}");
+        // A query the cache has not seen renders the normal operator tree.
+        let text = sys
+            .explain_analyze("SELECT id FROM crm.customers")
+            .unwrap();
+        assert!(!text.contains("[CACHED]"), "{text}");
+        assert!(text.contains("act rows="), "{text}");
     }
 }

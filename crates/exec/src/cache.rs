@@ -1,0 +1,484 @@
+//! The local answer stores: materialized-view rows for the planner's
+//! `MatViewScan` nodes, and the semantic result cache that short-circuits
+//! whole queries.
+//!
+//! Both are clone-shared (like [`FallbackStore`](crate::degrade::FallbackStore))
+//! so the application, the matview manager, and the executor can hold the
+//! same store.
+//!
+//! The result cache is *semantic*: its key is the normalized (optimized)
+//! logical plan, so two syntactically different queries that optimize to
+//! the same plan share an entry. Freshness is version-based — at fill time
+//! the cache records each base table's change-log high watermark, and a
+//! lookup re-probes them: all unchanged ⇒ a silent hit; changed or
+//! unverifiable ⇒ the entry is stale, servable only within the configured
+//! staleness budget and then reported exactly like stale fallback data
+//! (per-source [`SourceReport`]s), composing with the degradation layer's
+//! contract that "the answer" is never silently stale.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use eii_data::{Batch, Result, Row};
+use eii_federation::{Federation, QueryCost};
+use eii_obs::MetricsRegistry;
+
+use crate::degrade::SourceReport;
+
+/// Materialized rows for registered views, keyed by view name; shared by
+/// cloning. The matview manager fills it on define/refresh; the executor
+/// reads it to serve `MatViewScan` operators.
+#[derive(Debug, Clone, Default)]
+pub struct MatViewStore {
+    inner: Arc<Mutex<BTreeMap<String, (Batch, i64)>>>,
+}
+
+impl MatViewStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        MatViewStore::default()
+    }
+
+    /// Insert (or replace) the materialization for `name`, stamped with the
+    /// simulated time it was computed.
+    pub fn put(&self, name: impl Into<String>, batch: Batch, as_of_ms: i64) {
+        self.inner
+            .lock()
+            .expect("matview store lock")
+            .insert(name.into(), (batch, as_of_ms));
+    }
+
+    /// The materialization for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<(Batch, i64)> {
+        self.inner
+            .lock()
+            .expect("matview store lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Drop the materialization for `name`.
+    pub fn remove(&self, name: &str) {
+        self.inner.lock().expect("matview store lock").remove(name);
+    }
+
+    /// All stored view names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("matview store lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+/// Re-shape a stored batch to `target`'s columns by name (qualifiers are
+/// ignored — the stored rows come from a single relation). Lets one
+/// materialization serve scans that project fewer columns or use a
+/// different alias.
+pub fn adapt_batch(stored: &Batch, target: &eii_data::SchemaRef) -> Result<Batch> {
+    let from = stored.schema();
+    let indices = target
+        .fields()
+        .iter()
+        .map(|f| from.index_of(None, &f.name))
+        .collect::<Result<Vec<_>>>()?;
+    let identity = indices.len() == from.len() && indices.iter().enumerate().all(|(i, &j)| i == j);
+    let rows: Vec<Row> = if identity {
+        stored.rows().to_vec()
+    } else {
+        stored.rows().iter().map(|r| r.project(&indices)).collect()
+    };
+    Ok(Batch::new(target.clone(), rows))
+}
+
+/// Result-cache tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum cached results; least-recently-used entries evict beyond it.
+    pub capacity: usize,
+    /// How old (simulated ms) a result whose base tables changed — or
+    /// cannot be verified — may be and still be served, reported as stale.
+    /// `0` means only version-verified hits are ever served.
+    pub staleness_budget_ms: i64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 64,
+            staleness_budget_ms: 0,
+        }
+    }
+}
+
+/// A result served from the cache.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The memoized rows.
+    pub batch: Batch,
+    /// What the original federated execution cost — the spend this hit
+    /// avoided.
+    pub cost: QueryCost,
+    /// Bytes the original execution shipped, per source; credited to the
+    /// ledger's bytes-saved account on a hit.
+    pub per_source_bytes: Vec<(String, usize)>,
+    /// Simulated ms since the entry was filled.
+    pub age_ms: i64,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Entry present and every base table's version verified unchanged.
+    Hit(CachedResult),
+    /// Entry present but base data changed (or could not be verified);
+    /// still within the staleness budget, so it may be served — flagged
+    /// with one report per suspect table, like stale fallback data.
+    Stale(CachedResult, Vec<SourceReport>),
+    /// No servable entry.
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    batch: Batch,
+    cost: QueryCost,
+    per_source_bytes: Vec<(String, usize)>,
+    /// `source.table` → change-log high watermark at fill time (`None`
+    /// when the source exposes no change log).
+    versions: Vec<(String, Option<u64>)>,
+    filled_at_ms: i64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: BTreeMap<String, CacheEntry>,
+    tick: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// Bounded, freshness-aware semantic result cache, shared by cloning.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    inner: Arc<Mutex<CacheInner>>,
+    config: CacheConfig,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl ResultCache {
+    /// Empty cache with the given bounds.
+    pub fn new(config: CacheConfig) -> Self {
+        ResultCache {
+            inner: Arc::new(Mutex::new(CacheInner::default())),
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Record cache events (`cache.hits`, `cache.misses`,
+    /// `cache.stale_hits`, `cache.evictions`, `cache.invalidations`) into
+    /// `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn metric(&self, name: &str, delta: u64) {
+        if let Some(m) = &self.metrics {
+            m.add(name, delta);
+        }
+    }
+
+    /// Current change-log high watermark of each `source.table`, probed
+    /// through the federation (`None` where the source has no change log).
+    /// Probes read connector metadata only — no rows ship, nothing is
+    /// charged to the transfer ledger.
+    pub fn probe_versions(
+        federation: &Federation,
+        tables: &[String],
+    ) -> Vec<(String, Option<u64>)> {
+        tables
+            .iter()
+            .map(|qualified| {
+                let version = qualified.split_once('.').and_then(|(source, table)| {
+                    let handle = federation.source(source).ok()?;
+                    let (_, watermark) = handle.connector().changes_since(table, u64::MAX).ok()?;
+                    Some(watermark)
+                });
+                (qualified.clone(), version)
+            })
+            .collect()
+    }
+
+    /// Probe the cache for `key` at simulated time `now_ms`, re-validating
+    /// the entry's base-table versions against the federation.
+    pub fn lookup(&self, key: &str, now_ms: i64, federation: &Federation) -> CacheLookup {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(entry) = inner.entries.get_mut(key) else {
+            self.metric("cache.misses", 1);
+            return CacheLookup::Miss;
+        };
+        entry.last_used = tick;
+        let age_ms = (now_ms - entry.filled_at_ms).max(0);
+        let mut suspect: Vec<SourceReport> = Vec::new();
+        for (qualified, filled_version) in &entry.versions {
+            let (source, table) = qualified
+                .split_once('.')
+                .unwrap_or((qualified.as_str(), ""));
+            let current = federation
+                .source(source)
+                .ok()
+                .and_then(|h| h.connector().changes_since(table, u64::MAX).ok())
+                .map(|(_, watermark)| watermark);
+            let verified = matches!((filled_version, current), (Some(a), Some(b)) if *a == b);
+            if !verified {
+                suspect.push(SourceReport {
+                    source: source.to_string(),
+                    table: table.to_string(),
+                    stale_ms: Some(age_ms),
+                    error: match (filled_version, current) {
+                        (Some(a), Some(b)) => format!(
+                            "cached result is stale: {qualified} changed \
+                             (watermark {a} -> {b})"
+                        ),
+                        _ => format!("cached result age unverifiable for {qualified}"),
+                    },
+                });
+            }
+        }
+        let result = CachedResult {
+            batch: entry.batch.clone(),
+            cost: entry.cost,
+            per_source_bytes: entry.per_source_bytes.clone(),
+            age_ms,
+        };
+        if suspect.is_empty() {
+            self.metric("cache.hits", 1);
+            CacheLookup::Hit(result)
+        } else if self.config.staleness_budget_ms > 0 && age_ms <= self.config.staleness_budget_ms {
+            self.metric("cache.stale_hits", 1);
+            CacheLookup::Stale(result, suspect)
+        } else {
+            inner.entries.remove(key);
+            inner.invalidations += 1;
+            self.metric("cache.invalidations", 1);
+            self.metric("cache.misses", 1);
+            CacheLookup::Miss
+        }
+    }
+
+    /// Memoize a freshly executed result under `key`, evicting the least
+    /// recently used entries beyond capacity.
+    pub fn fill(
+        &self,
+        key: impl Into<String>,
+        batch: Batch,
+        cost: QueryCost,
+        per_source_bytes: Vec<(String, usize)>,
+        versions: Vec<(String, Option<u64>)>,
+        now_ms: i64,
+    ) {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
+            key.into(),
+            CacheEntry {
+                batch,
+                cost,
+                per_source_bytes,
+                versions,
+                filled_at_ms: now_ms,
+                last_used: tick,
+            },
+        );
+        while inner.entries.len() > self.config.capacity.max(1) {
+            let Some(lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            inner.entries.remove(&lru);
+            inner.evictions += 1;
+            self.metric("cache.evictions", 1);
+        }
+    }
+
+    /// Drop every entry that depends on `source.table` (a write landed
+    /// there); returns how many were invalidated.
+    pub fn invalidate_table(&self, qualified: &str) -> usize {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        let doomed: Vec<String> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.versions.iter().any(|(t, _)| t == qualified))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            inner.entries.remove(k);
+        }
+        inner.invalidations += doomed.len() as u64;
+        self.metric("cache.invalidations", doomed.len() as u64);
+        doomed.len()
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("result cache lock").entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("result cache lock").evictions
+    }
+
+    /// Total entries dropped for staleness or explicit invalidation.
+    pub fn invalidations(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("result cache lock")
+            .invalidations
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("result cache lock")
+            .entries
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, DataType, Field, Schema};
+    use std::sync::Arc as StdArc;
+
+    fn batch() -> Batch {
+        let schema = StdArc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).with_relation("c"),
+            Field::new("name", DataType::Str).with_relation("c"),
+        ]));
+        Batch::new(schema, vec![row![1i64, "alice"], row![2i64, "bob"]])
+    }
+
+    #[test]
+    fn matview_store_round_trips() {
+        let store = MatViewStore::new();
+        assert!(store.get("top").is_none());
+        store.put("top", batch(), 5);
+        let (b, at) = store.get("top").unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(at, 5);
+        assert_eq!(store.names(), vec!["top".to_string()]);
+        store.remove("top");
+        assert!(store.get("top").is_none());
+    }
+
+    #[test]
+    fn adapt_batch_projects_and_requalifies() {
+        let target = StdArc::new(Schema::new(vec![
+            Field::new("name", DataType::Str).with_relation("x")
+        ]));
+        let out = adapt_batch(&batch(), &target).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.schema().field(0).relation.as_deref(), Some("x"));
+        assert_eq!(out.rows()[0], row!["alice"]);
+    }
+
+    #[test]
+    fn adapt_batch_rejects_missing_columns() {
+        let target = StdArc::new(Schema::new(vec![Field::new("ghost", DataType::Str)]));
+        assert!(adapt_batch(&batch(), &target).is_err());
+    }
+
+    #[test]
+    fn cache_fill_hit_and_lru_eviction() {
+        let fed = Federation::new();
+        let cache = ResultCache::new(CacheConfig {
+            capacity: 2,
+            staleness_budget_ms: 0,
+        });
+        // No version tracking: empty versions always verify.
+        cache.fill("q1", batch(), QueryCost::default(), vec![], vec![], 0);
+        cache.fill("q2", batch(), QueryCost::default(), vec![], vec![], 0);
+        assert!(matches!(cache.lookup("q1", 0, &fed), CacheLookup::Hit(_)));
+        // q2 is now least-recently-used; a third fill evicts it.
+        cache.fill("q3", batch(), QueryCost::default(), vec![], vec![], 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(matches!(cache.lookup("q2", 0, &fed), CacheLookup::Miss));
+        assert!(matches!(cache.lookup("q1", 0, &fed), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn unverifiable_entries_respect_the_staleness_budget() {
+        let fed = Federation::new();
+        let budget = ResultCache::new(CacheConfig {
+            capacity: 8,
+            staleness_budget_ms: 100,
+        });
+        // A version over a source the federation does not know: never
+        // verifiable.
+        let versions = vec![("ghost.t".to_string(), None)];
+        budget.fill("q", batch(), QueryCost::default(), vec![], versions, 0);
+        match budget.lookup("q", 50, &fed) {
+            CacheLookup::Stale(res, reports) => {
+                assert_eq!(res.age_ms, 50);
+                assert_eq!(reports.len(), 1);
+                assert_eq!(reports[0].source, "ghost");
+                assert_eq!(reports[0].stale_ms, Some(50));
+            }
+            other => panic!("expected stale hit, got {other:?}"),
+        }
+        // Past the budget the entry dies.
+        assert!(matches!(budget.lookup("q", 200, &fed), CacheLookup::Miss));
+        assert_eq!(budget.invalidations(), 1);
+        assert!(budget.is_empty());
+    }
+
+    #[test]
+    fn invalidate_table_drops_dependents_only() {
+        let cache = ResultCache::new(CacheConfig::default());
+        cache.fill(
+            "q1",
+            batch(),
+            QueryCost::default(),
+            vec![],
+            vec![("crm.customers".into(), Some(3))],
+            0,
+        );
+        cache.fill(
+            "q2",
+            batch(),
+            QueryCost::default(),
+            vec![],
+            vec![("sales.orders".into(), Some(7))],
+            0,
+        );
+        assert_eq!(cache.invalidate_table("crm.customers"), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidations(), 1);
+    }
+}

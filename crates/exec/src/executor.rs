@@ -12,8 +12,13 @@ use eii_planner::{JoinSite, PhysicalPlan};
 use eii_sql::JoinKind;
 
 use crate::agg::Accumulator;
+use crate::cache::{adapt_batch, MatViewStore};
 use crate::degrade::{degrade, DegradationPolicy, FallbackStore, SourceReport};
 use crate::profile::OperatorProfile;
+
+/// Simulated ms to open a local materialization (mirrors the planner's
+/// estimate for the chosen `MatViewScan` alternative).
+const MATVIEW_OPEN_MS: f64 = 0.05;
 
 /// The result of executing a plan: rows, simulated cost, and real wall time.
 #[derive(Debug, Clone)]
@@ -54,6 +59,7 @@ pub struct Executor<'a> {
     pub hub_ms_per_row: f64,
     degradation: DegradationPolicy,
     fallbacks: FallbackStore,
+    matviews: MatViewStore,
     degraded: Mutex<Vec<SourceReport>>,
     instrument: bool,
     metrics: Option<MetricsRegistry>,
@@ -70,6 +76,7 @@ impl<'a> Executor<'a> {
             hub_ms_per_row: 0.0005,
             degradation: DegradationPolicy::Fail,
             fallbacks: FallbackStore::new(),
+            matviews: MatViewStore::new(),
             degraded: Mutex::new(Vec::new()),
             instrument: true,
             metrics: None,
@@ -83,6 +90,13 @@ impl<'a> Executor<'a> {
     pub fn with_degradation(mut self, policy: DegradationPolicy, fallbacks: FallbackStore) -> Self {
         self.degradation = policy;
         self.fallbacks = fallbacks;
+        self
+    }
+
+    /// Attach the materialized-view row store that `MatViewScan` operators
+    /// (substituted by the planner's rewrite pass) are served from.
+    pub fn with_matviews(mut self, matviews: MatViewStore) -> Self {
+        self.matviews = matviews;
         self
     }
 
@@ -207,6 +221,62 @@ impl<'a> Executor<'a> {
                 Batch::new(schema.clone(), rows.clone()),
                 QueryCost::default(),
             )),
+            PhysicalPlan::MatViewScan {
+                name,
+                schema,
+                filters,
+                limit,
+                ..
+            } => {
+                let Some((stored, _)) = self.matviews.get(name) else {
+                    return Err(EiiError::Execution(format!(
+                        "plan scans materialized view '{name}' but the \
+                         executor's store has no materialization for it"
+                    )));
+                };
+                let scanned = stored.num_rows();
+                // Compensating filters run over the full materialization
+                // (it may hold columns the output projects away), then the
+                // survivors are reshaped to the node's output columns.
+                let stored = if filters.is_empty() {
+                    stored
+                } else {
+                    let bound: Vec<_> = filters
+                        .iter()
+                        .map(|f| bind(f, stored.schema()))
+                        .collect::<Result<_>>()?;
+                    let in_schema = stored.schema().clone();
+                    let mut rows = Vec::new();
+                    for row in stored.into_rows() {
+                        if bound
+                            .iter()
+                            .map(|b| b.eval_predicate(&row))
+                            .collect::<Result<Vec<_>>>()?
+                            .into_iter()
+                            .all(|keep| keep)
+                        {
+                            rows.push(row);
+                        }
+                    }
+                    Batch::new(in_schema, rows)
+                };
+                let mut batch = adapt_batch(&stored, schema)?;
+                if let Some(n) = limit {
+                    if batch.num_rows() > *n {
+                        batch = Batch::new(
+                            batch.schema().clone(),
+                            batch.rows()[..*n].to_vec(),
+                        );
+                    }
+                }
+                // Hub-local read: no network, no source scan.
+                let cost = QueryCost {
+                    sim_ms: MATVIEW_OPEN_MS,
+                    ..QueryCost::default()
+                }
+                .then(self.cpu(scanned));
+                Ok((batch, cost))
+            }
             PhysicalPlan::Filter { input, predicate } => {
                 let (batch, cost) = self.run_node(input, child_path(path, 0))?;
                 let bound = bind(predicate, batch.schema())?;

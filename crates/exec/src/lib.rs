@@ -9,10 +9,14 @@
 //! assembly" (Bitton §3).
 
 pub mod agg;
+pub mod cache;
 pub mod degrade;
 pub mod executor;
 pub mod profile;
 
+pub use cache::{
+    adapt_batch, CacheConfig, CacheLookup, CachedResult, MatViewStore, ResultCache,
+};
 pub use degrade::{apply_source_query, DegradationPolicy, FallbackStore, SourceReport};
 pub use executor::{Executor, QueryResult};
 pub use profile::OperatorProfile;

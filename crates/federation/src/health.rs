@@ -74,6 +74,7 @@ mod tests {
                 sim_ms: 7.5,
                 failures: 2,
                 retries: 1,
+                bytes_saved: 0,
             },
             breaker,
             last_error: Some("injected fault: crm refused the request".into()),

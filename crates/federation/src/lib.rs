@@ -41,7 +41,7 @@ pub use connector::{Connector, SourceAnswer, SourceQuery, UpdateOp, UpdateResult
 pub use dialect::Dialect;
 pub use net::{
     FaultDecision, FaultInjector, FaultProfile, FaultyConnector, LinkProfile, QueryCost,
-    TransferLedger, WireFormat,
+    SourceTraffic, TransferLedger, WireFormat,
 };
 pub use health::SourceHealth;
 pub use registry::{Federation, SourceHandle};

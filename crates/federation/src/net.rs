@@ -130,6 +130,10 @@ pub struct SourceTraffic {
     pub failures: usize,
     /// Requests that were re-issued after a failure.
     pub retries: usize,
+    /// Bytes a federated plan *would* have shipped from this source but did
+    /// not, because a materialized view or the semantic result cache
+    /// answered instead.
+    pub bytes_saved: usize,
 }
 
 /// A shared ledger recording all traffic by source name. Cloning shares the
@@ -165,6 +169,17 @@ impl TransferLedger {
         self.inner.lock().entry(source.to_string()).or_default().retries += 1;
     }
 
+    /// Record bytes a query avoided shipping from `source` (served from a
+    /// materialized view or the result cache instead of the live source).
+    /// These bytes do NOT count toward [`SourceTraffic::bytes`].
+    pub fn record_saved(&self, source: &str, bytes: usize) {
+        self.inner
+            .lock()
+            .entry(source.to_string())
+            .or_default()
+            .bytes_saved += bytes;
+    }
+
     /// Traffic attributed to one source.
     pub fn traffic(&self, source: &str) -> SourceTraffic {
         self.inner.lock().get(source).copied().unwrap_or_default()
@@ -181,6 +196,7 @@ impl TransferLedger {
                 sim_ms: a.sim_ms + b.sim_ms,
                 failures: a.failures + b.failures,
                 retries: a.retries + b.retries,
+                bytes_saved: a.bytes_saved + b.bytes_saved,
             }
         })
     }
@@ -542,6 +558,17 @@ mod tests {
         let t = ledger.traffic("crm");
         assert_eq!((t.failures, t.retries), (2, 1));
         assert_eq!(ledger.total().failures, 2);
+    }
+
+    #[test]
+    fn ledger_tracks_saved_bytes_separately() {
+        let ledger = TransferLedger::new();
+        ledger.record("crm", 100, 2, 5.0);
+        ledger.record_saved("crm", 400);
+        ledger.record_saved("sales", 50);
+        assert_eq!(ledger.traffic("crm").bytes_saved, 400);
+        assert_eq!(ledger.traffic("crm").bytes, 100, "saved bytes never shipped");
+        assert_eq!(ledger.total().bytes_saved, 450);
     }
 
     #[test]

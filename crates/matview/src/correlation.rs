@@ -58,8 +58,11 @@ pub fn similarity(a: &str, b: &str) -> f64 {
 /// One stored correspondence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Correspondence {
+    /// Join key on the left relation.
     pub left_key: Value,
+    /// Join key on the right relation.
     pub right_key: Value,
+    /// Similarity score that matched the pair, in `[0, 1]`.
     pub score: f64,
 }
 

@@ -14,6 +14,8 @@
 //!   no simply-computable join key ... creating and storing what was
 //!   essentially a join index between the sources."
 
+#![deny(missing_docs)]
+
 pub mod correlation;
 pub mod matview;
 

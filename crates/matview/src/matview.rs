@@ -5,10 +5,12 @@ use std::collections::BTreeMap;
 use parking_lot::Mutex;
 
 use eii_catalog::Catalog;
-use eii_data::{Batch, EiiError, Result, SimClock};
-use eii_exec::Executor;
+use eii_data::{Batch, EiiError, Result, SchemaRef, SimClock};
+use eii_exec::{Executor, MatViewStore};
 use eii_federation::Federation;
-use eii_planner::{plan_query, PhysicalPlan, PlannerConfig};
+use eii_planner::{
+    optimize, LogicalPlan, MatViewDef, PhysicalPlan, PhysicalPlanner, PlanBuilder, PlannerConfig,
+};
 use eii_sql::parse_query;
 
 /// When a view's cached result is recomputed.
@@ -17,7 +19,10 @@ pub enum RefreshPolicy {
     /// Never cache: every fetch runs the federated query (fresh, slow).
     Live,
     /// Recompute when the cache is older than the interval.
-    Periodic { interval_ms: i64 },
+    Periodic {
+        /// Maximum cache age before a fetch recomputes, simulated ms.
+        interval_ms: i64,
+    },
     /// Recompute only on explicit [`MatViewManager::refresh`].
     Manual,
 }
@@ -35,6 +40,10 @@ pub struct FetchOutcome {
 
 struct ViewState {
     plan: PhysicalPlan,
+    /// The optimized logical definition, exported to the planner's
+    /// answering-queries-using-views rewrite pass.
+    logical: LogicalPlan,
+    schema: SchemaRef,
     policy: RefreshPolicy,
     cache: Option<Batch>,
     cached_at_ms: i64,
@@ -42,11 +51,28 @@ struct ViewState {
     total_refresh_ms: f64,
 }
 
+impl ViewState {
+    /// Is the cached materialization servable at `now_ms` without a
+    /// recompute? Live views never are (every fetch recomputes); periodic
+    /// views are within their interval; manual views whenever materialized.
+    fn servable(&self, now_ms: i64) -> bool {
+        self.cache.is_some()
+            && match self.policy {
+                RefreshPolicy::Live => false,
+                RefreshPolicy::Periodic { interval_ms } => {
+                    now_ms - self.cached_at_ms < interval_ms
+                }
+                RefreshPolicy::Manual => true,
+            }
+    }
+}
+
 /// Manages a set of materialized views.
 pub struct MatViewManager {
     federation: Federation,
     clock: SimClock,
     views: Mutex<BTreeMap<String, ViewState>>,
+    store: MatViewStore,
 }
 
 impl MatViewManager {
@@ -56,7 +82,33 @@ impl MatViewManager {
             federation,
             clock,
             views: Mutex::new(BTreeMap::new()),
+            store: MatViewStore::new(),
         }
+    }
+
+    /// The shared row store every materialization is synced into. Hand a
+    /// clone to [`Executor::with_matviews`] so rewritten plans can scan
+    /// the views locally.
+    pub fn store(&self) -> MatViewStore {
+        self.store.clone()
+    }
+
+    /// Definitions of every view whose materialization is servable at
+    /// `now_ms` under its refresh policy, as plain data for
+    /// [`eii_planner::rewrite_matviews`]. Live views (which must always
+    /// recompute) and expired or never-materialized caches are excluded.
+    pub fn defs(&self, now_ms: i64) -> Vec<MatViewDef> {
+        self.views
+            .lock()
+            .iter()
+            .filter(|(_, s)| s.servable(now_ms))
+            .map(|(name, s)| MatViewDef {
+                name: name.clone(),
+                plan: s.logical.clone(),
+                schema: s.schema.clone(),
+                rows: s.cache.as_ref().map_or(0, Batch::num_rows),
+            })
+            .collect()
     }
 
     /// Define a materialized view from SQL (planned once against the
@@ -73,11 +125,17 @@ impl MatViewManager {
             return Err(EiiError::AlreadyExists(format!("materialized view {name}")));
         }
         let query = parse_query(sql)?;
-        let plan = plan_query(&query, catalog, &self.federation, &PlannerConfig::optimized())?;
+        let config = PlannerConfig::optimized();
+        let logical = PlanBuilder::new(catalog, &self.federation).build(&query)?;
+        let logical = optimize(logical, &self.federation, &config)?;
+        let schema = logical.schema()?;
+        let plan = PhysicalPlanner::new(&self.federation, &config).create(logical.clone())?;
         views.insert(
             name.to_string(),
             ViewState {
                 plan,
+                logical,
+                schema,
                 policy,
                 cache: None,
                 cached_at_ms: 0,
@@ -88,11 +146,13 @@ impl MatViewManager {
         Ok(())
     }
 
-    fn compute(&self, state: &mut ViewState) -> Result<(Batch, f64)> {
+    fn compute(&self, name: &str, state: &mut ViewState) -> Result<(Batch, f64)> {
         let exec = Executor::new(&self.federation);
         let res = exec.execute(&state.plan)?;
         state.refresh_count += 1;
         state.total_refresh_ms += res.cost.sim_ms;
+        self.store
+            .put(name, res.batch.clone(), self.clock.now_ms());
         Ok((res.batch, res.cost.sim_ms))
     }
 
@@ -103,15 +163,9 @@ impl MatViewManager {
             .get_mut(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
         let now = self.clock.now_ms();
-        let recompute = match state.policy {
-            RefreshPolicy::Live => true,
-            RefreshPolicy::Periodic { interval_ms } => {
-                state.cache.is_none() || now - state.cached_at_ms >= interval_ms
-            }
-            RefreshPolicy::Manual => state.cache.is_none(),
-        };
+        let recompute = !state.servable(now);
         if recompute {
-            let (batch, sim_ms) = self.compute(state)?;
+            let (batch, sim_ms) = self.compute(name, state)?;
             state.cache = Some(batch.clone());
             state.cached_at_ms = now;
             return Ok((
@@ -140,7 +194,7 @@ impl MatViewManager {
         let state = views
             .get_mut(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
-        let (batch, sim_ms) = self.compute(state)?;
+        let (batch, sim_ms) = self.compute(name, state)?;
         state.cache = Some(batch);
         state.cached_at_ms = self.clock.now_ms();
         Ok(sim_ms)
@@ -273,6 +327,56 @@ mod tests {
         mgr.set_policy("v", RefreshPolicy::Live).unwrap();
         let (_, o) = mgr.fetch("v").unwrap();
         assert!(o.recomputed);
+    }
+
+    #[test]
+    fn defs_export_only_servable_views() {
+        let (cat, fed, clock, _) = setup();
+        let mgr = MatViewManager::new(fed, clock.clone());
+        mgr.define("live", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Live)
+            .unwrap();
+        mgr.define(
+            "periodic",
+            "SELECT id FROM crm.customers",
+            &cat,
+            RefreshPolicy::Periodic { interval_ms: 1000 },
+        )
+        .unwrap();
+        mgr.define("manual", "SELECT region FROM crm.customers", &cat, RefreshPolicy::Manual)
+            .unwrap();
+        // Nothing materialized yet: nothing servable.
+        assert!(mgr.defs(clock.now_ms()).is_empty());
+        mgr.fetch("live").unwrap();
+        mgr.fetch("periodic").unwrap();
+        mgr.refresh("manual").unwrap();
+        let defs = mgr.defs(clock.now_ms());
+        let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        // Live views must always recompute, so they never export.
+        assert_eq!(names, vec!["manual", "periodic"]);
+        assert!(defs.iter().all(|d| d.rows == 10));
+        // Past its interval the periodic view's cache expires out.
+        clock.advance_ms(5000);
+        let names: Vec<String> = mgr
+            .defs(clock.now_ms())
+            .into_iter()
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(names, vec!["manual".to_string()]);
+    }
+
+    #[test]
+    fn materializations_sync_into_the_shared_store() {
+        let (cat, fed, clock, src) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        let store = mgr.store();
+        mgr.define("v", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Manual)
+            .unwrap();
+        assert!(store.get("v").is_none());
+        mgr.fetch("v").unwrap();
+        assert_eq!(store.get("v").unwrap().0.num_rows(), 10);
+        src.write().insert(row![100i64, "r9"]).unwrap();
+        mgr.refresh("v").unwrap();
+        assert_eq!(store.get("v").unwrap().0.num_rows(), 11);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct PlannerConfig {
     /// Fetch independent sources in parallel (affects elapsed time, not
     /// bytes).
     pub parallel_fetch: bool,
+    /// Rewrite query subtrees that a registered materialized view can
+    /// answer ("answering queries using views") when the cost model says
+    /// the local materialization beats federated execution.
+    pub rewrite_matviews: bool,
     /// When set, the planner ignores each source's declared dialect and
     /// assumes this one for pushdown decisions (the lowest-common-
     /// denominator wrapper of experiment E11). It must be a *subset* of
@@ -42,6 +46,7 @@ impl PlannerConfig {
             use_bind_joins: true,
             choose_assembly_site: true,
             parallel_fetch: true,
+            rewrite_matviews: true,
             dialect_override: None,
         }
     }

@@ -149,6 +149,7 @@ impl<'a> CostModel<'a> {
                 rows
             }
             LogicalPlan::Values { rows, .. } => rows.len() as f64,
+            LogicalPlan::MatViewScan { local, .. } => local.rows,
             LogicalPlan::Filter { input, predicate } => {
                 // Generic filter: use default selectivities (no stats for
                 // derived relations).
@@ -258,6 +259,8 @@ impl<'a> CostModel<'a> {
                     + stats.row_count as f64 * 0.001;
                 PlanEstimate { rows, bytes, sim_ms }
             }
+            // The rewrite pass froze this node's estimate when it chose it.
+            LogicalPlan::MatViewScan { local, .. } => *local,
             LogicalPlan::Join { left, right, .. } => {
                 // Access-limited sides execute as bind joins: one service
                 // call per probe key, and only matching rows ship back.
@@ -392,6 +395,9 @@ impl<'a> CostModel<'a> {
                 bytes: 0.0,
                 sim_ms: 0.0,
             },
+            // Frozen by the rewrite pass when it chose the view over the
+            // federated alternative.
+            PhysicalPlan::MatViewScan { local, .. } => *local,
             PhysicalPlan::Filter { input, predicate } => {
                 let e = self.estimate_physical(input)?;
                 let sel = self.selectivity(predicate, &TableStats::default(), &|_| None);

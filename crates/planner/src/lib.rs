@@ -21,6 +21,7 @@ pub mod cost;
 pub mod join_order;
 pub mod logical;
 pub mod physical;
+pub mod rewrite;
 pub mod rules;
 pub(crate) mod util;
 
@@ -29,6 +30,7 @@ pub use config::PlannerConfig;
 pub use cost::{CostModel, PlanEstimate};
 pub use logical::{AggItem, LogicalPlan};
 pub use physical::{JoinSite, PhysicalPlan, PhysicalPlanner};
+pub use rewrite::{rewrite_matviews, MatViewDef};
 pub use rules::optimize;
 
 use eii_catalog::Catalog;
@@ -43,7 +45,27 @@ pub fn plan_query(
     federation: &Federation,
     config: &PlannerConfig,
 ) -> Result<PhysicalPlan> {
+    plan_query_with_views(query, catalog, federation, config, &[])
+}
+
+/// Like [`plan_query`], but after rule-based optimization the plan is also
+/// matched against the given materialized-view definitions ("answering
+/// queries using views") when [`PlannerConfig::rewrite_matviews`] is on.
+/// Subtrees a view can answer more cheaply become
+/// [`LogicalPlan::MatViewScan`] nodes served from the local store.
+pub fn plan_query_with_views(
+    query: &SetQuery,
+    catalog: &Catalog,
+    federation: &Federation,
+    config: &PlannerConfig,
+    views: &[MatViewDef],
+) -> Result<PhysicalPlan> {
     let logical = PlanBuilder::new(catalog, federation).build(query)?;
     let logical = optimize(logical, federation, config)?;
+    let logical = if config.rewrite_matviews && !views.is_empty() {
+        rewrite_matviews(logical, views, federation)?
+    } else {
+        logical
+    };
     PhysicalPlanner::new(federation, config).create(logical)
 }

@@ -56,6 +56,31 @@ pub enum LogicalPlan {
     },
     /// Literal rows (`SELECT 1`).
     Values { schema: SchemaRef, rows: Vec<Row> },
+    /// A scan of a local materialized view that the rewrite pass
+    /// substituted for an equivalent (or containing) federated subtree
+    /// because the cost model preferred it. Carries both sides of that
+    /// decision so EXPLAIN can show the chosen local cost next to the
+    /// rejected federated one.
+    MatViewScan {
+        /// Registered view name.
+        name: String,
+        /// Output schema, qualified like the subtree this scan replaced.
+        schema: SchemaRef,
+        /// Compensating predicates the query pushed beyond the view's
+        /// definition, evaluated over the *full* materialization (which may
+        /// hold columns the output projects away) before projecting.
+        filters: Vec<Expr>,
+        /// Compensating row cap applied after the filters.
+        limit: Option<usize>,
+        /// Cost model's estimate for reading the local materialization
+        /// (the chosen alternative).
+        local: crate::cost::PlanEstimate,
+        /// Cost model's estimate for the federated subtree this scan
+        /// replaced (the rejected alternative).
+        federated: crate::cost::PlanEstimate,
+        /// Estimated bytes per source the rewrite avoids shipping.
+        saved: Vec<(String, f64)>,
+    },
     /// Row filter.
     Filter {
         input: Box<LogicalPlan>,
@@ -123,7 +148,8 @@ impl LogicalPlan {
                     }
                 }
             }
-            LogicalPlan::Values { schema, .. } => Ok(schema.clone()),
+            LogicalPlan::Values { schema, .. }
+            | LogicalPlan::MatViewScan { schema, .. } => Ok(schema.clone()),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Sort { input, .. }
@@ -229,7 +255,9 @@ impl LogicalPlan {
     /// Children of this node, for generic traversal.
     pub fn children(&self) -> Vec<&LogicalPlan> {
         match self {
-            LogicalPlan::SourceScan { .. } | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::SourceScan { .. }
+            | LogicalPlan::Values { .. }
+            | LogicalPlan::MatViewScan { .. } => vec![],
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
@@ -276,6 +304,28 @@ impl LogicalPlan {
                 s
             }
             LogicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+            LogicalPlan::MatViewScan {
+                name,
+                filters,
+                limit,
+                local,
+                federated,
+                ..
+            } => {
+                let mut s = format!(
+                    "MatViewScan {name} [MATVIEW] (local sim={:.1}ms bytes=0 | \
+                     rejected federated sim={:.1}ms bytes={:.0})",
+                    local.sim_ms, federated.sim_ms, federated.bytes
+                );
+                if !filters.is_empty() {
+                    let preds: Vec<String> = filters.iter().map(ToString::to_string).collect();
+                    s.push_str(&format!(" compensate=[{}]", preds.join(" AND ")));
+                }
+                if let Some(n) = limit {
+                    s.push_str(&format!(" limit={n}"));
+                }
+                s
+            }
             LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
             LogicalPlan::Project { exprs, .. } => {
                 let items: Vec<String> = exprs

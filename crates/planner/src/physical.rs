@@ -15,7 +15,7 @@ use eii_federation::{Federation, SourceQuery};
 use eii_sql::JoinKind;
 
 use crate::config::PlannerConfig;
-use crate::cost::CostModel;
+use crate::cost::{CostModel, PlanEstimate};
 use crate::logical::{AggItem, LogicalPlan};
 
 /// Where a cross-source join's rows are assembled.
@@ -48,6 +48,28 @@ pub enum PhysicalPlan {
     },
     /// Literal rows.
     Values { schema: SchemaRef, rows: Vec<Row> },
+    /// Local scan of a materialized view, substituted by the planner's
+    /// rewrite pass for an equivalent federated subtree. The executor
+    /// serves it from the matview store; nothing crosses the network.
+    MatViewScan {
+        /// Registered view name (the executor's store key).
+        name: String,
+        /// Output schema, qualified like the replaced subtree.
+        schema: SchemaRef,
+        /// Compensating predicates, evaluated over the full materialization
+        /// (it may hold columns the output projects away) before projecting.
+        filters: Vec<Expr>,
+        /// Compensating row cap applied after the filters.
+        limit: Option<usize>,
+        /// Chosen alternative: cost of reading the local materialization.
+        local: PlanEstimate,
+        /// Rejected alternative: cost of executing the replaced subtree
+        /// against the federation.
+        federated: PlanEstimate,
+        /// Estimated bytes per source this scan avoids shipping, for the
+        /// ledger's bytes-saved accounting.
+        saved: Vec<(String, f64)>,
+    },
     /// Assembly-site filter.
     Filter {
         input: Box<PhysicalPlan>,
@@ -128,6 +150,7 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::Source { schema, .. }
             | PhysicalPlan::Values { schema, .. }
+            | PhysicalPlan::MatViewScan { schema, .. }
             | PhysicalPlan::Project { schema, .. }
             | PhysicalPlan::HashJoin { schema, .. }
             | PhysicalPlan::NestedLoopJoin { schema, .. }
@@ -148,6 +171,7 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::Source { .. } => "Source",
             PhysicalPlan::Values { .. } => "Values",
+            PhysicalPlan::MatViewScan { .. } => "MatViewScan",
             PhysicalPlan::Filter { .. } => "Filter",
             PhysicalPlan::Project { .. } => "Project",
             PhysicalPlan::HashJoin { .. } => "HashJoin",
@@ -167,7 +191,9 @@ impl PhysicalPlan {
     /// only its build side appears.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::Source { .. } | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Source { .. }
+            | PhysicalPlan::Values { .. }
+            | PhysicalPlan::MatViewScan { .. } => vec![],
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Aggregate { input, .. }
@@ -193,6 +219,28 @@ impl PhysicalPlan {
                 format!("SourceQuery {source}: {}", query.to_sql())
             }
             PhysicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+            PhysicalPlan::MatViewScan {
+                name,
+                filters,
+                limit,
+                local,
+                federated,
+                ..
+            } => {
+                let mut s = format!(
+                    "MatViewScan {name} [MATVIEW] (local sim={:.1}ms bytes=0 | \
+                     rejected federated sim={:.1}ms bytes={:.0})",
+                    local.sim_ms, federated.sim_ms, federated.bytes
+                );
+                if !filters.is_empty() {
+                    let preds: Vec<String> = filters.iter().map(ToString::to_string).collect();
+                    s.push_str(&format!(" compensate=[{}]", preds.join(" AND ")));
+                }
+                if let Some(n) = limit {
+                    s.push_str(&format!(" limit={n}"));
+                }
+                s
+            }
             PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
             PhysicalPlan::Project { exprs, .. } => {
                 let items: Vec<String> =
@@ -336,6 +384,23 @@ impl<'a> PhysicalPlanner<'a> {
                 self.scan_to_source(&plan)
             }
             LogicalPlan::Values { schema, rows } => Ok(PhysicalPlan::Values { schema, rows }),
+            LogicalPlan::MatViewScan {
+                name,
+                schema,
+                filters,
+                limit,
+                local,
+                federated,
+                saved,
+            } => Ok(PhysicalPlan::MatViewScan {
+                name,
+                schema,
+                filters,
+                limit,
+                local,
+                federated,
+                saved,
+            }),
             LogicalPlan::Filter { input, predicate } => Ok(PhysicalPlan::Filter {
                 input: Box::new(self.create(*input)?),
                 predicate,

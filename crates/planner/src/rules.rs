@@ -577,7 +577,9 @@ fn push_down(
                 residual,
             ))
         }
-        leaf @ LogicalPlan::Values { .. } => Ok(wrap_residual(leaf, pending)),
+        leaf @ (LogicalPlan::Values { .. } | LogicalPlan::MatViewScan { .. }) => {
+            Ok(wrap_residual(leaf, pending))
+        }
     }
 }
 

@@ -274,6 +274,46 @@ proptest! {
         prop_assert!(result.query_result().unwrap().fully_live());
     }
 
+    /// Answering queries using views is invisible to results: with a
+    /// materialized view over the base table and the semantic result cache
+    /// enabled, every query — first run (matview rewrite) and repeat run
+    /// (cache hit) — returns row-identical results to a plain federated
+    /// system, whatever the data and predicate.
+    #[test]
+    fn matview_and_cache_answers_equal_federated(rows in unique_rows(), pred in predicates()) {
+        let sql = format!("SELECT id, name FROM crm.customers WHERE {pred}");
+        let (plain, _) = system_with_customers(&rows);
+        let expect = run(&plain, &sql);
+
+        let (mut sys, _) = system_with_customers(&rows);
+        sys.create_matview("mv_all", "SELECT * FROM crm.customers", RefreshPolicy::Manual)
+            .unwrap();
+        sys.enable_result_cache(CacheConfig::default());
+        let first = run(&sys, &sql);
+        prop_assert_eq!(sorted(&first), sorted(&expect));
+        let repeat = run(&sys, &sql);
+        prop_assert_eq!(repeat.rows(), first.rows());
+    }
+
+    /// Cache invalidation: a write to the base source bumps its change-log
+    /// watermark, so the next read misses the cache and sees the new row —
+    /// the cache never silently serves pre-write data.
+    #[test]
+    fn cache_misses_after_base_write(rows in unique_rows(), new_id in 500i64..600) {
+        let sql = "SELECT id FROM crm.customers";
+        let (mut sys, _) = system_with_customers(&rows);
+        sys.enable_result_cache(CacheConfig::default());
+        let before = run(&sys, sql);
+        run(&sys, sql); // repeat: served from cache
+        sys.federation().source("crm").unwrap().update(&eii::federation::UpdateOp::Insert {
+            table: "customers".into(),
+            row: row![new_id, "newcomer", 0i64],
+        }).unwrap();
+        let after = run(&sys, sql);
+        prop_assert_eq!(after.num_rows(), before.num_rows() + 1);
+        prop_assert!(after.rows().iter().any(|r| r.get(0) == &Value::Int(new_id)));
+    }
+
     /// LIMIT never yields more rows than asked, and the prefix matches the
     /// unlimited ordering.
     #[test]
