@@ -25,7 +25,7 @@ fn setup() -> (Federation, SimClock) {
         .with_primary_key(0),
     )
     .expect("create table");
-    let mut fed = Federation::new();
+    let fed = Federation::new();
     fed.register(
         Arc::new(RelationalConnector::new(hr)),
         LinkProfile::lan(),

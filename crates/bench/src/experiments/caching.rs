@@ -66,25 +66,25 @@ struct Run {
 /// Build a fresh FedMark environment under `cfg` and run the repeated
 /// workload, collecting traffic and latency.
 fn run_config(cfg: Config) -> Result<Run> {
-    let mut env = FedMark::build(1, 23)?;
+    let env = FedMark::build(1, 23)?;
     let mut build_ms = 0.0;
     if cfg.matviews {
         // The two hottest scan targets in the suite: every Q1/Q2/Q3/Q5..Q11
         // touches customers; orders feeds the join-heavy queries over the
         // WAN link where shipped bytes hurt most.
-        build_ms += env.system.create_matview(
+        build_ms += env.system.define_matview(
             "mv_customers",
             "SELECT * FROM crm.customers",
             RefreshPolicy::Manual,
         )?;
-        build_ms += env.system.create_matview(
+        build_ms += env.system.define_matview(
             "mv_orders",
             "SELECT * FROM sales.orders",
             RefreshPolicy::Manual,
         )?;
     }
     if cfg.cache {
-        env.system.enable_result_cache(CacheConfig::default());
+        env.system.install_result_cache(CacheConfig::default());
     }
     // Materialization itself ships rows; measure the workload from here so
     // `bytes` is what the queries cost and `build_ms` is the investment.

@@ -53,8 +53,8 @@ pub fn e1_eii_vs_warehouse() -> Result<Report> {
     for _ in 0..24 {
         refresh_day_ms += wh.refresh_all(RefreshMode::Full)?;
     }
-    let mut wh_sys = EiiSystem::new(env.clock.clone());
-    wh_sys.register_source(
+    let wh_sys = EiiSystem::new(env.clock.clone());
+    wh_sys.add_source(
         Arc::new(RelationalConnector::new(wh.database().clone())),
         LinkProfile::local(),
         WireFormat::Native,

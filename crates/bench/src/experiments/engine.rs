@@ -57,10 +57,10 @@ pub fn e3_pushdown_ablation() -> Result<Report> {
             ("+ filter pushdown", PlannerConfig::filters_only(), false),
             ("full optimizer", PlannerConfig::optimized(), false),
         ] {
-            let mut env = FedMark::build_with_config(1, 23, config)?;
+            let env = FedMark::build_with_config(1, 23, config)?;
             if xml {
                 for s in ["crm", "sales"] {
-                    env.system.federation_mut().set_wire_format(s, WireFormat::Xml)?;
+                    env.system.federation().set_wire_format(s, WireFormat::Xml)?;
                 }
             }
             let (rows, bytes, ms) = measure(&env.system, &sql)?;
@@ -150,14 +150,15 @@ pub fn e4_views_vs_handwritten() -> Result<Report> {
                 .write()
                 .insert(row![i, i, format!("model{}", i % 9)])?;
         }
-        let mut sys = EiiSystem::new(clock).with_config(config);
+        let mut builder = EiiSystem::builder(clock).planner_config(config);
         for db in [hr, fac, it] {
-            sys.register_source(
+            builder = builder.source(
                 Arc::new(RelationalConnector::new(db)),
                 LinkProfile::wan(),
                 WireFormat::Native,
-            )?;
+            );
         }
+        let sys = builder.build_owned()?;
         sys.execute(
             "CREATE VIEW employee_view AS \
              SELECT e.emp_id, e.name, e.department, o.location, a.model \
@@ -229,8 +230,8 @@ pub fn e9_fedmark() -> Result<Report> {
             wh.add_job(EtlJob::copy(format!("j_{target}"), table, target).with_key(key))?;
         }
         wh.refresh_all(RefreshMode::Full)?;
-        let mut wh_sys = EiiSystem::new(env.clock.clone());
-        wh_sys.register_source(
+        let wh_sys = EiiSystem::new(env.clock.clone());
+        wh_sys.add_source(
             Arc::new(RelationalConnector::new(wh.database().clone())),
             LinkProfile::local(),
             WireFormat::Native,

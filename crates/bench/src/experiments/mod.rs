@@ -3,6 +3,7 @@
 //! `experiments` binary prints them.
 
 pub mod caching;
+pub mod concurrency;
 pub mod economics;
 pub mod engine;
 pub mod observability;
@@ -14,9 +15,9 @@ use eii::data::Result;
 use crate::report::Report;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e15", "e16",
 ];
 
 /// Run one experiment by id.
@@ -37,6 +38,7 @@ pub fn run(id: &str) -> Result<Report> {
         "e13" => resilience::e13_fault_tolerance(),
         "e14" => observability::e14_observability_overhead(),
         "e15" => caching::e15_views_and_cache(),
+        "e16" => concurrency::e16_concurrent_sessions(),
         other => Err(eii::data::EiiError::NotFound(format!(
             "experiment {other}; known: {}",
             ALL.join(", ")

@@ -68,7 +68,7 @@ pub fn e13_fault_tolerance() -> Result<Report> {
             ("retry + stale fallback", true, DegradationPolicy::Fallback),
             ("retry + partial results", true, DegradationPolicy::PartialResults),
         ] {
-            let mut env = FedMark::build(1, SEED)?;
+            let env = FedMark::build(1, SEED)?;
             // Snapshots are taken while the sources are still healthy —
             // the last good extract before the trouble starts.
             env.system.snapshot_fallback("crm.customers")?;
@@ -76,17 +76,17 @@ pub fn e13_fault_tolerance() -> Result<Report> {
             env.system.snapshot_fallback("support.tickets")?;
             for (i, source) in FAULTED_SOURCES.iter().enumerate() {
                 env.system
-                    .federation_mut()
+                    .federation()
                     .inject_faults(source, FaultProfile::failing(rate, 40 + i as u64))?;
                 if retry {
-                    env.system.federation_mut().harden(
+                    env.system.federation().harden(
                         source,
                         RetryPolicy::standard(),
                         CircuitBreakerConfig::default(),
                     )?;
                 }
             }
-            env.system.set_degradation(policy);
+            env.system.set_degradation_policy(policy);
             env.system.federation().ledger().reset();
 
             let mut ok = 0usize;

@@ -309,7 +309,7 @@ pub fn e10_saga_resilience() -> Result<Report> {
             )
             .with_primary_key(0),
         )?;
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(hr.clone())),
             LinkProfile::lan(),

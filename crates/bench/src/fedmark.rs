@@ -30,7 +30,7 @@ pub type ScaleFactor = usize;
 
 /// A generated FedMark environment.
 pub struct FedMark {
-    pub system: EiiSystem,
+    pub system: Arc<EiiSystem>,
     pub clock: SimClock,
     /// The support-ticket document store (schema-less).
     pub tickets: DocStore,
@@ -309,35 +309,37 @@ impl FedMark {
         }
 
         // ── assemble ──────────────────────────────────────────────────
-        let mut system = EiiSystem::new(clock.clone()).with_config(config);
-        system.register_source(
-            Arc::new(RelationalConnector::new(crm)),
-            LinkProfile::lan(),
-            WireFormat::Native,
-        )?;
-        system.register_source(
-            Arc::new(
-                RelationalConnector::new(sales)
-                    .with_dialect(eii::federation::Dialect::legacy_minimal()),
-            ),
-            LinkProfile::wan(),
-            WireFormat::Native,
-        )?;
-        system.register_source(
-            Arc::new(RelationalConnector::new(hr)),
-            LinkProfile::lan(),
-            WireFormat::Native,
-        )?;
-        system.register_source(Arc::new(support), LinkProfile::lan(), WireFormat::Native)?;
-        system.register_source(Arc::new(files), LinkProfile::wan(), WireFormat::Native)?;
-        system.register_source(
-            Arc::new(
-                WebServiceConnector::new("credit", credit_db)
-                    .require_binding("ratings", "customer_id"),
-            ),
-            LinkProfile::wan(),
-            WireFormat::Native,
-        )?;
+        let system = EiiSystem::builder(clock.clone())
+            .planner_config(config)
+            .source(
+                Arc::new(RelationalConnector::new(crm)),
+                LinkProfile::lan(),
+                WireFormat::Native,
+            )
+            .source(
+                Arc::new(
+                    RelationalConnector::new(sales)
+                        .with_dialect(eii::federation::Dialect::legacy_minimal()),
+                ),
+                LinkProfile::wan(),
+                WireFormat::Native,
+            )
+            .source(
+                Arc::new(RelationalConnector::new(hr)),
+                LinkProfile::lan(),
+                WireFormat::Native,
+            )
+            .source(Arc::new(support), LinkProfile::lan(), WireFormat::Native)
+            .source(Arc::new(files), LinkProfile::wan(), WireFormat::Native)
+            .source(
+                Arc::new(
+                    WebServiceConnector::new("credit", credit_db)
+                        .require_binding("ratings", "customer_id"),
+                ),
+                LinkProfile::wan(),
+                WireFormat::Native,
+            )
+            .build()?;
 
         Ok(FedMark {
             system,

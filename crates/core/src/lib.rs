@@ -25,9 +25,11 @@
 //! t.write().insert(eii::row![1i64, "alice"]).unwrap();
 //!
 //! // ...registered with the EII system and queried through a mediated view.
-//! let mut system = EiiSystem::new(clock);
-//! system
-//!     .register_source(Arc::new(RelationalConnector::new(crm)), LinkProfile::lan(), WireFormat::Native)
+//! // `build()` returns an `Arc<EiiSystem>` that is `Send + Sync`, so the
+//! // same system can serve queries from many threads or [`Session`]s.
+//! let system = EiiSystem::builder(clock)
+//!     .source(Arc::new(RelationalConnector::new(crm)), LinkProfile::lan(), WireFormat::Native)
+//!     .build()
 //!     .unwrap();
 //! system.execute("CREATE VIEW customers AS SELECT id, name FROM crm.customers").unwrap();
 //! let out = system.execute("SELECT name FROM customers WHERE id = 1").unwrap();
@@ -35,8 +37,10 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
 
 use eii_catalog::Catalog;
 use eii_data::{Batch, EiiError, Result, SimClock};
@@ -63,9 +67,16 @@ const CACHE_HIT_MS: f64 = 0.05;
 /// default rate).
 const CACHE_HUB_MS_PER_ROW: f64 = 0.0005;
 
+pub mod builder;
+pub mod session;
+
+pub use builder::EiiSystemBuilder;
+pub use session::{ExplainMode, QueryScheduler, Session};
+
 /// Everything an application typically imports.
 pub mod prelude {
-    pub use crate::{EiiSystem, ExecOutcome};
+    pub use crate::{EiiSystem, EiiSystemBuilder, ExecOutcome, QueryScheduler, Session};
+    pub use eii_exec::{AdmissionConfig, QueryTicket, SchedulerStats};
     pub use eii_catalog::{Catalog, SourceMeta};
     pub use eii_data::{
         Batch, DataType, EiiError, Field, Result, Row, Schema, SimClock, Value,
@@ -148,28 +159,109 @@ impl ExecOutcome {
             ))),
         }
     }
+
+    /// The rows, when this outcome carries any (non-erroring probe).
+    pub fn try_rows(&self) -> Option<&Batch> {
+        match self {
+            ExecOutcome::Rows(r) => Some(&r.batch),
+            _ => None,
+        }
+    }
+
+    /// The full query result, when this outcome is a query.
+    pub fn try_query_result(&self) -> Option<&QueryResult> {
+        match self {
+            ExecOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The rendered plan, when this outcome is an `EXPLAIN [ANALYZE]`.
+    pub fn try_explained(&self) -> Option<&str> {
+        match self {
+            ExecOutcome::Explained(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The search hits, when this outcome is a `SEARCH`.
+    pub fn try_search_hits(&self) -> Option<&[Hit]> {
+        match self {
+            ExecOutcome::SearchHits(hits) => Some(hits),
+            _ => None,
+        }
+    }
+
+    /// Consume the outcome into its query result — the typed accessor
+    /// scheduler callers use so joined tickets aren't triple-unwrapped.
+    pub fn into_query_result(self) -> Result<QueryResult> {
+        match self {
+            ExecOutcome::Rows(r) => Ok(*r),
+            other => Err(EiiError::Execution(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Per-query execution options, carried by [`Session`] handles and
+/// accepted directly by [`EiiSystem::execute_with`].
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Role for access-controlled statements (`SEARCH` honors it).
+    pub role: String,
+    /// Per-query override of the semantic result cache's staleness budget,
+    /// in simulated milliseconds (`None`: use the configured budget).
+    pub staleness_budget_ms: Option<i64>,
+}
+
+impl ExecOptions {
+    /// Options for a role with no overrides.
+    pub fn for_role(role: &str) -> Self {
+        ExecOptions {
+            role: role.to_string(),
+            staleness_budget_ms: None,
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions::for_role("public")
+    }
 }
 
 /// The EII server: a federation of wrapped sources, a metadata catalog, a
 /// planner configuration, a message broker, and (optionally) an enterprise
 /// search service.
+///
+/// The system is `Send + Sync` end to end: every piece of genuinely shared
+/// state is behind interior mutability (the federation's source registry,
+/// the transfer ledger, metrics, the result cache, the materialized-view
+/// manager, the fallback store, and the degradation policy), so an
+/// `Arc<EiiSystem>` built by [`EiiSystemBuilder`] can serve concurrent
+/// sessions from many threads. Hot query paths take only short read locks;
+/// see `docs/architecture.md` ("Concurrency model") for the lock map.
 pub struct EiiSystem {
     clock: SimClock,
     federation: Federation,
     catalog: Catalog,
     config: PlannerConfig,
     broker: MessageBroker,
-    search: Option<EnterpriseSearch>,
-    degradation: DegradationPolicy,
+    search: OnceLock<EnterpriseSearch>,
+    degradation: RwLock<DegradationPolicy>,
     fallbacks: FallbackStore,
-    matviews: Option<MatViewManager>,
-    cache: Option<ResultCache>,
+    matviews: OnceLock<MatViewManager>,
+    cache: OnceLock<ResultCache>,
+    scan_partitions: usize,
     last_trace: Mutex<Option<QueryTrace>>,
 }
 
 impl EiiSystem {
     /// A new system on the given simulated clock, with all optimizations
-    /// enabled.
+    /// enabled. Prefer [`EiiSystem::builder`] for anything beyond a bare
+    /// system: it wires sources, policies, caches, and views at build time
+    /// and hands back a shareable `Arc<EiiSystem>`.
     pub fn new(clock: SimClock) -> Self {
         EiiSystem {
             federation: Federation::with_clock(clock.clone()),
@@ -177,19 +269,35 @@ impl EiiSystem {
             catalog: Catalog::new(),
             config: PlannerConfig::optimized(),
             broker: MessageBroker::new(),
-            search: None,
-            degradation: DegradationPolicy::Fail,
+            search: OnceLock::new(),
+            degradation: RwLock::new(DegradationPolicy::Fail),
             fallbacks: FallbackStore::new(),
-            matviews: None,
-            cache: None,
+            matviews: OnceLock::new(),
+            cache: OnceLock::new(),
+            scan_partitions: 1,
             last_trace: Mutex::new(None),
         }
     }
 
+    /// Start configuring a system (see [`EiiSystemBuilder`]).
+    pub fn builder(clock: SimClock) -> EiiSystemBuilder {
+        EiiSystemBuilder::new(clock)
+    }
+
     /// Replace the planner configuration (ablations, naive mode, ...).
+    /// Consumes the system, so it only composes before the system is
+    /// shared; after that, configuration is fixed.
     pub fn with_config(mut self, config: PlannerConfig) -> Self {
         self.config = config;
         self
+    }
+
+    pub(crate) fn set_planner_config(&mut self, config: PlannerConfig) {
+        self.config = config;
+    }
+
+    pub(crate) fn set_scan_partitions(&mut self, n: usize) {
+        self.scan_partitions = n.max(1);
     }
 
     /// The simulated clock.
@@ -197,12 +305,14 @@ impl EiiSystem {
         &self.clock
     }
 
-    /// The federation (read access: ledger, schemas, handles).
+    /// The federation: ledger, schemas, handles, and (interior-mutable)
+    /// source reconfiguration — fault injection, hardening, wire formats.
     pub fn federation(&self) -> &Federation {
         &self.federation
     }
 
-    /// Mutable federation access (wire-format switches etc.).
+    /// Mutable federation access.
+    #[deprecated(note = "Federation is interior-mutable; use federation()")]
     pub fn federation_mut(&mut self) -> &mut Federation {
         &mut self.federation
     }
@@ -223,8 +333,8 @@ impl EiiSystem {
     }
 
     /// Register a wrapped source behind a network link.
-    pub fn register_source(
-        &mut self,
+    pub fn add_source(
+        &self,
         connector: Arc<dyn Connector>,
         link: LinkProfile,
         wire: WireFormat,
@@ -232,15 +342,44 @@ impl EiiSystem {
         self.federation.register(connector, link, wire)
     }
 
-    /// Attach an enterprise-search service (see [`eii_search`]).
+    /// Register a wrapped source behind a network link.
+    #[deprecated(note = "use add_source (or EiiSystemBuilder::source)")]
+    pub fn register_source(
+        &mut self,
+        connector: Arc<dyn Connector>,
+        link: LinkProfile,
+        wire: WireFormat,
+    ) -> Result<()> {
+        self.add_source(connector, link, wire)
+    }
+
+    /// Attach an enterprise-search service (see [`eii_search`]); a no-op if
+    /// one is already attached.
+    pub fn attach_search_service(&self, search: EnterpriseSearch) {
+        let _ = self.search.set(search);
+    }
+
+    /// Attach an enterprise-search service.
+    #[deprecated(note = "use attach_search_service (or EiiSystemBuilder::search)")]
     pub fn attach_search(&mut self, search: EnterpriseSearch) {
-        self.search = Some(search);
+        self.attach_search_service(search);
     }
 
     /// Choose what queries do when a source stays down past the
     /// federation's retry layer (default: fail).
+    pub fn set_degradation_policy(&self, policy: DegradationPolicy) {
+        *self.degradation.write() = policy;
+    }
+
+    /// Choose what queries do when a source stays down.
+    #[deprecated(note = "use set_degradation_policy (or EiiSystemBuilder::degradation)")]
     pub fn set_degradation(&mut self, policy: DegradationPolicy) {
-        self.degradation = policy;
+        self.set_degradation_policy(policy);
+    }
+
+    /// The currently active degradation policy.
+    pub fn degradation_policy(&self) -> DegradationPolicy {
+        *self.degradation.read()
     }
 
     /// The stale-snapshot store consulted under
@@ -267,45 +406,54 @@ impl EiiSystem {
     ///
     /// The manager snapshots the federation on first use: register every
     /// source before creating views.
-    pub fn create_matview(&mut self, name: &str, sql: &str, policy: RefreshPolicy) -> Result<f64> {
-        if self.matviews.is_none() {
-            self.matviews = Some(MatViewManager::new(
-                self.federation.clone(),
-                self.clock.clone(),
-            ));
-        }
-        let mgr = self.matviews.as_ref().expect("manager just created");
+    pub fn define_matview(&self, name: &str, sql: &str, policy: RefreshPolicy) -> Result<f64> {
+        let mgr = self.matviews.get_or_init(|| {
+            MatViewManager::new(self.federation.clone(), self.clock.clone())
+        });
         mgr.define(name, sql, &self.catalog, policy)?;
         mgr.refresh(name)
+    }
+
+    /// Define and materialize a view.
+    #[deprecated(note = "use define_matview (or EiiSystemBuilder::matview)")]
+    pub fn create_matview(&mut self, name: &str, sql: &str, policy: RefreshPolicy) -> Result<f64> {
+        self.define_matview(name, sql, policy)
     }
 
     /// Recompute a materialized view now; returns the refresh's simulated
     /// cost.
     pub fn refresh_matview(&self, name: &str) -> Result<f64> {
         self.matviews
-            .as_ref()
+            .get()
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?
             .refresh(name)
     }
 
     /// The materialized-view manager, once any view has been created.
     pub fn matviews(&self) -> Option<&MatViewManager> {
-        self.matviews.as_ref()
+        self.matviews.get()
     }
 
     /// Turn on the semantic result cache: query results are memoized under
     /// their normalized plan and served back — version-checked against each
     /// base table's change log — until invalidated, evicted, or older than
-    /// the configured staleness budget.
+    /// the configured staleness budget. Returns `false` (and leaves the
+    /// existing cache in place) if one is already installed.
+    pub fn install_result_cache(&self, config: CacheConfig) -> bool {
+        self.cache
+            .set(ResultCache::new(config).with_metrics(self.federation.metrics().clone()))
+            .is_ok()
+    }
+
+    /// Turn on the semantic result cache.
+    #[deprecated(note = "use install_result_cache (or EiiSystemBuilder::result_cache)")]
     pub fn enable_result_cache(&mut self, config: CacheConfig) {
-        self.cache = Some(
-            ResultCache::new(config).with_metrics(self.federation.metrics().clone()),
-        );
+        self.install_result_cache(config);
     }
 
     /// The semantic result cache, when enabled.
     pub fn result_cache(&self) -> Option<&ResultCache> {
-        self.cache.as_ref()
+        self.cache.get()
     }
 
     /// Tell the cache a write landed on `source.table`; every dependent
@@ -313,7 +461,7 @@ impl EiiSystem {
     /// its own; this is the hook for sources without CDC.)
     pub fn invalidate_cached(&self, qualified: &str) -> usize {
         self.cache
-            .as_ref()
+            .get()
             .map_or(0, |c| c.invalidate_table(qualified))
     }
 
@@ -321,13 +469,41 @@ impl EiiSystem {
     /// (parse/plan/execute spans plus per-operator actuals) is retained and
     /// readable through [`EiiSystem::last_trace`].
     pub fn execute_as(&self, sql: &str, role: &str) -> Result<ExecOutcome> {
+        self.execute_with(sql, &ExecOptions::for_role(role))
+    }
+
+    /// Execute one SQL statement under explicit per-query options (what
+    /// [`Session`] handles thread through). The trace lands in
+    /// [`EiiSystem::last_trace`] and is also returned to the caller via
+    /// `opts` consumers; sessions keep their own copy.
+    pub fn execute_with(&self, sql: &str, opts: &ExecOptions) -> Result<ExecOutcome> {
         let tracer = Tracer::new(self.clock.clone());
-        let outcome = self.execute_traced(sql, role, &tracer);
-        *self.last_trace.lock().expect("trace lock") = Some(tracer.finish());
+        let outcome = self.execute_traced(sql, opts, &tracer);
+        *self.last_trace.lock() = Some(tracer.finish());
         outcome
     }
 
-    fn execute_traced(&self, sql: &str, role: &str, tracer: &Tracer) -> Result<ExecOutcome> {
+    /// As [`EiiSystem::execute_with`], but hands the finished trace back to
+    /// the caller instead of only the shared `last_trace` slot.
+    pub fn execute_with_trace(
+        &self,
+        sql: &str,
+        opts: &ExecOptions,
+    ) -> (Result<ExecOutcome>, QueryTrace) {
+        let tracer = Tracer::new(self.clock.clone());
+        let outcome = self.execute_traced(sql, opts, &tracer);
+        let trace = tracer.finish();
+        *self.last_trace.lock() = Some(trace.clone());
+        (outcome, trace)
+    }
+
+    fn execute_traced(
+        &self,
+        sql: &str,
+        opts: &ExecOptions,
+        tracer: &Tracer,
+    ) -> Result<ExecOutcome> {
+        let role = opts.role.as_str();
         let _statement = tracer.span("statement");
         let stmt = {
             let _parse = tracer.span("parse");
@@ -335,7 +511,7 @@ impl EiiSystem {
         };
         match stmt {
             Statement::Query(q) => {
-                Ok(ExecOutcome::Rows(Box::new(self.run_query(&q, tracer)?)))
+                Ok(ExecOutcome::Rows(Box::new(self.run_query(&q, opts, tracer)?)))
             }
             Statement::Explain { analyze: false, query } => {
                 let (optimized, physical) = self.plan_explain(&query, tracer)?;
@@ -363,7 +539,7 @@ impl EiiSystem {
                 sources,
                 limit,
             } => {
-                let Some(search) = &self.search else {
+                let Some(search) = self.search.get() else {
                     return Err(EiiError::Execution(
                         "no search service attached; call attach_search first".into(),
                     ));
@@ -388,7 +564,7 @@ impl EiiSystem {
     fn optimize_with_views(&self, q: &SetQuery) -> Result<LogicalPlan> {
         let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
         let optimized = optimize(logical, &self.federation, &self.config)?;
-        match (&self.matviews, self.config.rewrite_matviews) {
+        match (self.matviews.get(), self.config.rewrite_matviews) {
             (Some(mgr), true) => {
                 let defs = mgr.defs(self.clock.now_ms());
                 rewrite_matviews(optimized, &defs, &self.federation)
@@ -403,7 +579,12 @@ impl EiiSystem {
     /// The full answer path: normalize the plan → probe the semantic cache
     /// (hit: serve memoized rows, fresh or stale-flagged) → rewrite against
     /// materialized views → execute federated → memoize the result.
-    fn run_query(&self, q: &SetQuery, tracer: &Tracer) -> Result<QueryResult> {
+    fn run_query(
+        &self,
+        q: &SetQuery,
+        opts: &ExecOptions,
+        tracer: &Tracer,
+    ) -> Result<QueryResult> {
         let start = Instant::now();
         let now = self.clock.now_ms();
         let plan_span = tracer.span("plan");
@@ -414,8 +595,13 @@ impl EiiSystem {
         // SQL shares an entry; base tables drive version validation.
         let key = optimized.display();
         let tables = base_tables(&optimized);
-        if let Some(cache) = &self.cache {
-            match cache.lookup(&key, now, &self.federation) {
+        if let Some(cache) = self.cache.get() {
+            match cache.lookup_with_budget(
+                &key,
+                now,
+                &self.federation,
+                opts.staleness_budget_ms,
+            ) {
                 CacheLookup::Hit(hit) => {
                     drop(plan_span);
                     return Ok(self.serve_cached(hit, Vec::new(), start, tracer));
@@ -428,7 +614,7 @@ impl EiiSystem {
             }
         }
 
-        let rewritten = match (&self.matviews, self.config.rewrite_matviews) {
+        let rewritten = match (self.matviews.get(), self.config.rewrite_matviews) {
             (Some(mgr), true) => {
                 let defs = mgr.defs(now);
                 rewrite_matviews(optimized, &defs, &self.federation)?
@@ -440,14 +626,15 @@ impl EiiSystem {
 
         let traffic_before = self
             .cache
-            .as_ref()
+            .get()
             .map(|_| self.federation.ledger().snapshot());
 
         let execute = tracer.span("execute");
         let mut exec = Executor::new(&self.federation)
-            .with_degradation(self.degradation, self.fallbacks.clone())
-            .with_metrics(self.federation.metrics().clone());
-        if let Some(mgr) = &self.matviews {
+            .with_degradation(self.degradation_policy(), self.fallbacks.clone())
+            .with_metrics(self.federation.metrics().clone())
+            .with_scan_partitions(self.scan_partitions);
+        if let Some(mgr) = self.matviews.get() {
             exec = exec.with_matviews(mgr.store());
         }
         let result = exec.execute(&physical)?;
@@ -463,7 +650,7 @@ impl EiiSystem {
 
         self.credit_matview_savings(&physical);
 
-        if let Some(cache) = &self.cache {
+        if let Some(cache) = self.cache.get() {
             let per_source = traffic_delta(
                 &traffic_before.expect("snapshot taken when cache enabled"),
                 &self.federation.ledger().snapshot(),
@@ -546,7 +733,7 @@ impl EiiSystem {
     /// the output is a `[CACHED]` header (with staleness flags mirroring
     /// `[DEGRADED: ...]`) plus the total line.
     fn run_explain_analyze(&self, q: &SetQuery, tracer: &Tracer) -> Result<String> {
-        if let Some(cache) = &self.cache {
+        if let Some(cache) = self.cache.get() {
             let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
             let optimized = optimize(logical, &self.federation, &self.config)?;
             let probe = cache.lookup(&optimized.display(), self.clock.now_ms(), &self.federation);
@@ -559,9 +746,10 @@ impl EiiSystem {
         let (_, physical) = self.plan_explain(q, tracer)?;
         let execute = tracer.span("execute");
         let mut exec = Executor::new(&self.federation)
-            .with_degradation(self.degradation, self.fallbacks.clone())
-            .with_metrics(self.federation.metrics().clone());
-        if let Some(mgr) = &self.matviews {
+            .with_degradation(self.degradation_policy(), self.fallbacks.clone())
+            .with_metrics(self.federation.metrics().clone())
+            .with_scan_partitions(self.scan_partitions);
+        if let Some(mgr) = self.matviews.get() {
             exec = exec.with_matviews(mgr.store());
         }
         let result = exec.execute(&physical)?;
@@ -601,14 +789,14 @@ impl EiiSystem {
         };
         let tracer = Tracer::new(self.clock.clone());
         let text = self.run_explain_analyze(&q, &tracer);
-        *self.last_trace.lock().expect("trace lock") = Some(tracer.finish());
+        *self.last_trace.lock() = Some(tracer.finish());
         text
     }
 
     /// The trace of the most recently executed statement (spans for parse,
     /// plan, execute, and one `op:<label>` span per physical operator).
     pub fn last_trace(&self) -> Option<QueryTrace> {
-        self.last_trace.lock().expect("trace lock").clone()
+        self.last_trace.lock().clone()
     }
 
     /// The metrics registry every query, source, breaker, and saga records
@@ -825,8 +1013,8 @@ mod tests {
             t.insert(row![1i64, "alice", "west"]).unwrap();
             t.insert(row![2i64, "bob", "east"]).unwrap();
         }
-        let mut sys = EiiSystem::new(clock);
-        sys.register_source(
+        let sys = EiiSystem::new(clock);
+        sys.add_source(
             Arc::new(RelationalConnector::new(crm)),
             LinkProfile::lan(),
             WireFormat::Native,
@@ -892,8 +1080,8 @@ mod tests {
 
     #[test]
     fn matview_rewrite_answers_locally_and_credits_saved_bytes() {
-        let mut sys = system();
-        sys.create_matview(
+        let sys = system();
+        sys.define_matview(
             "all_customers",
             "SELECT * FROM crm.customers",
             RefreshPolicy::Manual,
@@ -919,8 +1107,8 @@ mod tests {
 
     #[test]
     fn matview_rewrite_compensates_narrower_scans() {
-        let mut sys = system();
-        sys.create_matview(
+        let sys = system();
+        sys.define_matview(
             "all_customers",
             "SELECT * FROM crm.customers",
             RefreshPolicy::Manual,
@@ -952,14 +1140,14 @@ mod tests {
             .create_table(TableDef::new("customers", schema).with_primary_key(0))
             .unwrap();
         t.write().insert(row![1i64, "alice"]).unwrap();
-        let mut sys = EiiSystem::new(clock);
-        sys.register_source(
+        let sys = EiiSystem::new(clock);
+        sys.add_source(
             Arc::new(RelationalConnector::new(crm)),
             LinkProfile::lan(),
             WireFormat::Native,
         )
         .unwrap();
-        sys.enable_result_cache(CacheConfig::default());
+        sys.install_result_cache(CacheConfig::default());
 
         let q = "SELECT name FROM crm.customers";
         sys.execute(q).unwrap();
@@ -989,8 +1177,8 @@ mod tests {
 
     #[test]
     fn explain_analyze_flags_cached_results() {
-        let mut sys = system();
-        sys.enable_result_cache(CacheConfig::default());
+        let sys = system();
+        sys.install_result_cache(CacheConfig::default());
         let q = "SELECT name FROM crm.customers";
         sys.execute(q).unwrap();
         let text = sys.explain_analyze(q).unwrap();
@@ -1002,5 +1190,40 @@ mod tests {
             .unwrap();
         assert!(!text.contains("[CACHED]"), "{text}");
         assert!(text.contains("act rows="), "{text}");
+    }
+
+    /// The pre-builder mutator API must keep compiling (with deprecation
+    /// warnings) so downstream code migrates on its own schedule.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_mutator_api_still_works() {
+        let clock = SimClock::new();
+        let crm = Database::new("crm", clock.clone());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+        ]));
+        let t = crm
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        t.write().insert(row![1i64, "alice"]).unwrap();
+        let mut sys = EiiSystem::new(clock).with_config(PlannerConfig::optimized());
+        sys.register_source(
+            Arc::new(RelationalConnector::new(crm)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        sys.set_degradation(DegradationPolicy::Fail);
+        sys.enable_result_cache(CacheConfig::default());
+        sys.create_matview(
+            "all_customers",
+            "SELECT * FROM crm.customers",
+            RefreshPolicy::Manual,
+        )
+        .unwrap();
+        sys.federation_mut().set_scan_speed("crm", 0.001).unwrap();
+        let out = sys.execute("SELECT name FROM crm.customers").unwrap();
+        assert_eq!(out.rows().unwrap().num_rows(), 1);
     }
 }

@@ -1,0 +1,235 @@
+//! Session handles and the concurrent query scheduler.
+//!
+//! A [`Session`] is a cheap per-client view over a shared
+//! `Arc<EiiSystem>`: it carries the client's role, per-session overrides
+//! (staleness budget, explain mode), an optional metrics label, and its
+//! own last-trace slot, so concurrent clients never clobber each other's
+//! observability. A [`QueryScheduler`] runs many sessions' statements
+//! through the admission-controlled worker pool
+//! ([`eii_exec::Scheduler`]), returning [`QueryTicket`] handles.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use eii_data::Result;
+use eii_exec::{AdmissionConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats};
+use eii_obs::QueryTrace;
+use eii_planner::{LogicalPlan, PlanBuilder};
+use eii_sql::{parse_statement, Statement};
+
+use crate::{EiiSystem, ExecOptions, ExecOutcome};
+
+/// What a session does with queries: run them, or render their plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Execute normally.
+    #[default]
+    Off,
+    /// Queries return `EXPLAIN` text instead of rows.
+    Plan,
+    /// Queries execute and return `EXPLAIN ANALYZE` text instead of rows.
+    Analyze,
+}
+
+/// A per-client handle over a shared system; see the module docs.
+///
+/// Sessions are created with [`EiiSystem::session`] and configured with
+/// the `with_*` builder methods. They are `Send + Sync`; each one keeps
+/// its own trace slot.
+pub struct Session {
+    system: Arc<EiiSystem>,
+    opts: ExecOptions,
+    label: Option<String>,
+    explain: ExplainMode,
+    last_trace: Mutex<Option<QueryTrace>>,
+}
+
+impl Session {
+    /// Set the role access-controlled statements run as (default
+    /// `public`).
+    pub fn with_role(mut self, role: &str) -> Self {
+        self.opts.role = role.to_string();
+        self
+    }
+
+    /// Label this session's metrics: each execute bumps
+    /// `session.<label>.queries` and observes `session.<label>.sim_ms`.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = Some(label.to_string());
+        self
+    }
+
+    /// Override the semantic result cache's staleness budget for this
+    /// session's queries (simulated ms; `0` refuses stale hits entirely).
+    pub fn with_staleness_budget(mut self, budget_ms: i64) -> Self {
+        self.opts.staleness_budget_ms = Some(budget_ms);
+        self
+    }
+
+    /// Choose what this session's queries return (rows or plan text).
+    pub fn with_explain_mode(mut self, mode: ExplainMode) -> Self {
+        self.explain = mode;
+        self
+    }
+
+    /// The role this session runs as.
+    pub fn role(&self) -> &str {
+        &self.opts.role
+    }
+
+    /// The shared system this session talks to.
+    pub fn system(&self) -> &Arc<EiiSystem> {
+        &self.system
+    }
+
+    /// Execute one SQL statement under this session's options. Honors the
+    /// session's [`ExplainMode`] for queries; non-query statements always
+    /// execute normally.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        let explain_query = self.explain != ExplainMode::Off
+            && matches!(parse_statement(sql), Ok(Statement::Query(_)));
+        let outcome = if explain_query {
+            let text = match self.explain {
+                ExplainMode::Plan => self.system.explain(sql),
+                _ => self.system.explain_analyze(sql),
+            };
+            text.map(ExecOutcome::Explained)
+        } else {
+            let (outcome, trace) = self.system.execute_with_trace(sql, &self.opts);
+            *self.last_trace.lock() = Some(trace);
+            outcome
+        };
+        if let Some(label) = &self.label {
+            let metrics = self.system.metrics();
+            metrics.add(&format!("session.{label}.queries"), 1);
+            if let Ok(out) = &outcome {
+                if let Some(r) = out.try_query_result() {
+                    metrics.observe(&format!("session.{label}.sim_ms"), r.cost.sim_ms);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// The trace of this session's most recent executed statement (not
+    /// shared with other sessions).
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.last_trace.lock().clone()
+    }
+}
+
+/// Runs statements through the admission-controlled worker pool. Create
+/// one with [`EiiSystem::scheduler`]; submit SQL and join the returned
+/// [`QueryTicket`]s. Per-source permits keep one slow source from
+/// starving the pool (composing with the federation's circuit breakers),
+/// and the stats expose throughput and latency on the deterministic
+/// virtual timeline.
+pub struct QueryScheduler {
+    system: Arc<EiiSystem>,
+    pool: Scheduler<ExecOutcome>,
+}
+
+impl QueryScheduler {
+    /// Submit one statement; always accepted (admission gates execution).
+    pub fn submit(&self, sql: &str, role: &str) -> QueryTicket<ExecOutcome> {
+        let (sources, work) = self.job(sql, role);
+        self.pool.submit(sources, work)
+    }
+
+    /// Submit one statement only if the admission controller has capacity
+    /// right now; otherwise reject with an `Execution` error.
+    pub fn try_submit(&self, sql: &str, role: &str) -> Result<QueryTicket<ExecOutcome>> {
+        let (sources, work) = self.job(sql, role);
+        self.pool.try_submit(sources, work)
+    }
+
+    fn job(
+        &self,
+        sql: &str,
+        role: &str,
+    ) -> (
+        Vec<String>,
+        impl FnOnce() -> Result<JobOutput<ExecOutcome>> + Send + 'static,
+    ) {
+        let sources = base_sources(&self.system, sql);
+        let system = Arc::clone(&self.system);
+        let sql = sql.to_string();
+        let role = role.to_string();
+        let work = move || {
+            let outcome = system.execute_as(&sql, &role)?;
+            let sim_ms = outcome
+                .try_query_result()
+                .map_or(0.0, |r| r.cost.sim_ms);
+            Ok(JobOutput {
+                value: outcome,
+                sim_ms,
+            })
+        };
+        (sources, work)
+    }
+
+    /// The admission configuration the pool runs under.
+    pub fn config(&self) -> AdmissionConfig {
+        self.pool.config()
+    }
+
+    /// Point-in-time scheduler statistics (virtual timeline).
+    pub fn stats(&self) -> SchedulerStats {
+        self.pool.stats()
+    }
+
+    /// Drain the queue, stop the workers, and return the final
+    /// statistics.
+    pub fn finish(self) -> SchedulerStats {
+        self.pool.join()
+    }
+}
+
+impl EiiSystem {
+    /// A new session over this system with default options (`public`
+    /// role, no overrides).
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            system: Arc::clone(self),
+            opts: ExecOptions::default(),
+            label: None,
+            explain: ExplainMode::Off,
+            last_trace: Mutex::new(None),
+        }
+    }
+
+    /// A concurrent query scheduler over this system; see
+    /// [`QueryScheduler`].
+    pub fn scheduler(self: &Arc<Self>, config: AdmissionConfig) -> QueryScheduler {
+        QueryScheduler {
+            system: Arc::clone(self),
+            pool: Scheduler::new(config),
+        }
+    }
+}
+
+/// Every distinct source a statement's plan scans — what the admission
+/// controller counts against per-source permits. Statements that don't
+/// plan (or aren't queries) claim no permits.
+fn base_sources(system: &EiiSystem, sql: &str) -> Vec<String> {
+    let Ok(Statement::Query(q)) = parse_statement(sql) else {
+        return Vec::new();
+    };
+    let Ok(plan) = PlanBuilder::new(system.catalog(), system.federation()).build(&q) else {
+        return Vec::new();
+    };
+    fn walk(plan: &LogicalPlan, out: &mut Vec<String>) {
+        if let LogicalPlan::SourceScan { source, .. } = plan {
+            if !out.iter().any(|s| s == source) {
+                out.push(source.clone());
+            }
+        }
+        for child in plan.children() {
+            walk(child, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(&plan, &mut out);
+    out
+}

@@ -222,6 +222,20 @@ impl ResultCache {
     /// Probe the cache for `key` at simulated time `now_ms`, re-validating
     /// the entry's base-table versions against the federation.
     pub fn lookup(&self, key: &str, now_ms: i64, federation: &Federation) -> CacheLookup {
+        self.lookup_with_budget(key, now_ms, federation, None)
+    }
+
+    /// [`ResultCache::lookup`] with a per-query staleness budget override
+    /// (milliseconds a stale entry may still be served): sessions can relax
+    /// or tighten the configured budget without touching the shared config.
+    pub fn lookup_with_budget(
+        &self,
+        key: &str,
+        now_ms: i64,
+        federation: &Federation,
+        staleness_budget_ms: Option<i64>,
+    ) -> CacheLookup {
+        let budget = staleness_budget_ms.unwrap_or(self.config.staleness_budget_ms);
         let mut inner = self.inner.lock().expect("result cache lock");
         inner.tick += 1;
         let tick = inner.tick;
@@ -266,7 +280,7 @@ impl ResultCache {
         if suspect.is_empty() {
             self.metric("cache.hits", 1);
             CacheLookup::Hit(result)
-        } else if self.config.staleness_budget_ms > 0 && age_ms <= self.config.staleness_budget_ms {
+        } else if budget > 0 && age_ms <= budget {
             self.metric("cache.stale_hits", 1);
             CacheLookup::Stale(result, suspect)
         } else {

@@ -64,6 +64,8 @@ pub struct Executor<'a> {
     instrument: bool,
     metrics: Option<MetricsRegistry>,
     ops: Mutex<Vec<OpRecord>>,
+    /// Partition-parallel scan fan-out per source scan (1 = serial).
+    scan_partitions: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -81,7 +83,20 @@ impl<'a> Executor<'a> {
             instrument: true,
             metrics: None,
             ops: Mutex::new(Vec::new()),
+            scan_partitions: 1,
         }
+    }
+
+    /// Fan each source scan out into `n` partition-parallel workers,
+    /// extending the parallel join machinery down into the scans. Only
+    /// scans that keep the accounting exact actually partition: native wire
+    /// format (per-row sizes, so partition bytes sum to the serial bytes),
+    /// no limit, no bind values, and a connector that opts in
+    /// ([`eii_federation::Connector::supports_partitioned_scans`]);
+    /// everything else falls back to the serial path.
+    pub fn with_scan_partitions(mut self, n: usize) -> Self {
+        self.scan_partitions = n.max(1);
+        self
     }
 
     /// Enable graceful degradation: what to do when a source request fails
@@ -210,7 +225,18 @@ impl<'a> Executor<'a> {
                 schema,
             } => {
                 let handle = self.federation.source(source)?;
-                let (batch, cost) = match handle.query(query) {
+                let partitions = self.scan_partitions;
+                let partitioned = partitions > 1
+                    && query.bindings.is_empty()
+                    && query.limit.is_none()
+                    && matches!(handle.wire_format(), eii_federation::WireFormat::Native)
+                    && handle.connector().supports_partitioned_scans();
+                let answer = if partitioned {
+                    handle.query_partitioned(query, partitions)
+                } else {
+                    handle.query(query)
+                };
+                let (batch, cost) = match answer {
                     Ok(ok) => ok,
                     Err(err) => self.degrade_source(source, query, schema, err)?,
                 };

@@ -13,6 +13,7 @@ pub mod cache;
 pub mod degrade;
 pub mod executor;
 pub mod profile;
+pub mod scheduler;
 
 pub use cache::{
     adapt_batch, CacheConfig, CacheLookup, CachedResult, MatViewStore, ResultCache,
@@ -20,3 +21,4 @@ pub use cache::{
 pub use degrade::{apply_source_query, DegradationPolicy, FallbackStore, SourceReport};
 pub use executor::{Executor, QueryResult};
 pub use profile::OperatorProfile;
+pub use scheduler::{AdmissionConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats};

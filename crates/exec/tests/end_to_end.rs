@@ -93,7 +93,7 @@ fn setup() -> (Catalog, Federation) {
         )
         .unwrap();
 
-    let mut fed = Federation::new();
+    let fed = Federation::new();
     fed.register(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),

@@ -95,7 +95,7 @@ fn snapshot_all(fed: &Federation, store: &FallbackStore) {
 #[test]
 fn dead_source_fails_strict_queries() {
     let clock = SimClock::new();
-    let mut fed = federation(&clock);
+    let fed = federation(&clock);
     fed.inject_faults("sales", FaultProfile::failing(1.0, 3)).unwrap();
     let exec = Executor::new(&fed);
     let err = run(&fed, &exec, JOIN_SQL).unwrap_err();
@@ -111,7 +111,7 @@ fn retries_heal_a_transient_outage_with_identical_results() {
     assert!(expect.fully_live());
 
     let clock2 = SimClock::new();
-    let mut fed2 = federation(&clock2);
+    let fed2 = federation(&clock2);
     fed2.inject_faults("sales", FaultProfile::none().with_outage(0, 30))
         .unwrap();
     fed2.harden(
@@ -135,7 +135,7 @@ fn fallback_serves_stale_snapshot_when_source_dies() {
     let expect = run(&fed_live, &exec_live, JOIN_SQL).unwrap();
 
     let clock2 = SimClock::new();
-    let mut fed = federation(&clock2);
+    let fed = federation(&clock2);
     let store = FallbackStore::new();
     snapshot_all(&fed, &store);
     clock2.advance_ms(5_000); // snapshots age before the outage
@@ -156,7 +156,7 @@ fn fallback_serves_stale_snapshot_when_source_dies() {
 #[test]
 fn partial_results_keep_surviving_branches() {
     let clock = SimClock::new();
-    let mut fed = federation(&clock);
+    let fed = federation(&clock);
     fed.inject_faults("sales", FaultProfile::failing(1.0, 3)).unwrap();
     let exec =
         Executor::new(&fed).with_degradation(DegradationPolicy::PartialResults, FallbackStore::new());
@@ -177,7 +177,7 @@ fn partial_results_keep_surviving_branches() {
 #[test]
 fn degradation_report_resets_between_queries() {
     let clock = SimClock::new();
-    let mut fed = federation(&clock);
+    let fed = federation(&clock);
     let store = FallbackStore::new();
     snapshot_all(&fed, &store);
     fed.inject_faults("sales", FaultProfile::failing(1.0, 3)).unwrap();
@@ -224,7 +224,7 @@ impl Connector for PanickingConnector {
 #[test]
 fn worker_panic_payload_reaches_the_caller() {
     let clock = SimClock::new();
-    let mut fed = federation(&clock);
+    let fed = federation(&clock);
     fed.register(
         Arc::new(PanickingConnector),
         LinkProfile::lan(),

@@ -67,7 +67,7 @@ fn setup() -> (Catalog, Federation) {
         t.insert(row![103i64, 99i64, 900.0]).unwrap();
     }
 
-    let mut fed = Federation::new();
+    let fed = Federation::new();
     fed.register(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),
@@ -197,7 +197,7 @@ fn multi_column_subquery_is_a_plan_error() {
 fn null_probe_values_follow_anti_join_semantics() {
     // A customer with NULL id-like key: use a nullable column as the probe.
     let clock = SimClock::new();
-    let mut fed = Federation::new();
+    let fed = Federation::new();
     let db = Database::new("l", clock.clone());
     let t = db
         .create_table(

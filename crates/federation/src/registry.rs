@@ -7,6 +7,7 @@ use std::sync::Arc;
 use eii_data::{Batch, EiiError, Result, SchemaRef, SimClock};
 use eii_obs::MetricsRegistry;
 use eii_storage::TableStats;
+use parking_lot::RwLock;
 
 use crate::connector::{Connector, SourceQuery, UpdateOp, UpdateResult};
 use crate::health::SourceHealth;
@@ -115,6 +116,71 @@ impl SourceHandle {
         cost
     }
 
+    /// Execute a component query as `partitions` parallel partition scans,
+    /// one worker thread per partition, reassembling the rows in partition
+    /// order (so the result is row-identical to the serial scan). Each
+    /// partition pays its own link latency and ships its own bytes; the
+    /// combined cost overlaps the partitions in simulated time
+    /// ([`QueryCost::alongside`]) while bytes, rows, and scan effort add up
+    /// exactly as the serial scan would record them.
+    ///
+    /// The connector must support partitioned scans
+    /// ([`Connector::supports_partitioned_scans`]); callers gate on that.
+    pub fn query_partitioned(
+        &self,
+        q: &SourceQuery,
+        partitions: usize,
+    ) -> Result<(Batch, QueryCost)> {
+        if partitions <= 1 {
+            return self.query(q);
+        }
+        let answers: Vec<crate::connector::SourceAnswer> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..partitions)
+                .map(|part| s.spawn(move || self.connector.execute_partition(q, part, partitions)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(EiiError::Execution(
+                        "partition scan worker panicked".into(),
+                    )),
+                })
+                .collect::<Result<Vec<_>>>()
+        })?;
+        let mut total = QueryCost::default();
+        let mut rows = Vec::new();
+        let mut schema = None;
+        for ans in answers {
+            let bytes = self.wire.bytes_of(&ans.batch);
+            let transfer = if self.link.bandwidth_bytes_per_ms.is_infinite() {
+                0.0
+            } else {
+                bytes as f64 / self.link.bandwidth_bytes_per_ms
+            };
+            let sim_ms = self.link.latency_ms * ans.calls as f64
+                + transfer
+                + ans.rows_scanned as f64 * self.scan_ms_per_row;
+            let cost = QueryCost {
+                sim_ms,
+                bytes,
+                rows_shipped: ans.batch.num_rows(),
+                rows_scanned: ans.rows_scanned,
+                requests: ans.calls,
+            };
+            self.ledger
+                .record(self.connector.name(), bytes, ans.batch.num_rows(), sim_ms);
+            self.note_traffic(bytes, ans.calls);
+            total = total.alongside(cost);
+            schema.get_or_insert_with(|| ans.batch.schema().clone());
+            rows.extend(ans.batch.into_rows());
+        }
+        let schema = schema.ok_or_else(|| {
+            EiiError::Execution("partitioned scan produced no partitions".into())
+        })?;
+        Ok((Batch::new(schema, rows), total))
+    }
+
     /// Route an update through the wrapper (one round trip).
     pub fn update(&self, op: &UpdateOp) -> Result<(UpdateResult, QueryCost)> {
         let res = self.connector.update(op)?;
@@ -131,12 +197,31 @@ impl SourceHandle {
 }
 
 /// The set of sources participating in an integration application.
-#[derive(Clone, Default)]
+///
+/// The registry is interior-mutable: registration, fault injection,
+/// hardening, and wire-format switches all take `&self` (a short write
+/// lock), so a `Federation` inside an `Arc<EiiSystem>` can be reconfigured
+/// while concurrent queries hold only read locks. Cloning snapshots the
+/// source map (the ledger, clock, and metrics stay shared), which is what
+/// the materialized-view manager relies on to pin the source topology it
+/// refreshes against.
+#[derive(Default)]
 pub struct Federation {
-    sources: BTreeMap<String, SourceHandle>,
+    sources: RwLock<BTreeMap<String, SourceHandle>>,
     ledger: TransferLedger,
     clock: SimClock,
     metrics: MetricsRegistry,
+}
+
+impl Clone for Federation {
+    fn clone(&self) -> Self {
+        Federation {
+            sources: RwLock::new(self.sources.read().clone()),
+            ledger: self.ledger.clone(),
+            clock: self.clock.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
 }
 
 impl Federation {
@@ -174,6 +259,7 @@ impl Federation {
     /// breaker state and the last observed error.
     pub fn source_health(&self) -> Vec<SourceHealth> {
         self.sources
+            .read()
             .iter()
             .map(|(name, h)| SourceHealth {
                 source: name.clone(),
@@ -187,16 +273,17 @@ impl Federation {
     /// Register a connector behind a link. The source name comes from the
     /// connector.
     pub fn register(
-        &mut self,
+        &self,
         connector: Arc<dyn Connector>,
         link: LinkProfile,
         wire: WireFormat,
     ) -> Result<()> {
         let name = connector.name().to_string();
-        if self.sources.contains_key(&name) {
+        let mut sources = self.sources.write();
+        if sources.contains_key(&name) {
             return Err(EiiError::AlreadyExists(format!("source {name}")));
         }
-        self.sources.insert(
+        sources.insert(
             name,
             SourceHandle {
                 connector,
@@ -210,84 +297,87 @@ impl Federation {
         Ok(())
     }
 
-    /// Adjust a registered source's scan speed (experiments that model slow
-    /// engines).
-    pub fn set_scan_speed(&mut self, source: &str, ms_per_row: f64) -> Result<()> {
-        let h = self
-            .sources
+    /// Run `f` on the named source's handle under the write lock.
+    fn with_source_mut(
+        &self,
+        source: &str,
+        f: impl FnOnce(&mut SourceHandle),
+    ) -> Result<()> {
+        let mut sources = self.sources.write();
+        let h = sources
             .get_mut(source)
             .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
-        h.scan_ms_per_row = ms_per_row;
+        f(h);
         Ok(())
+    }
+
+    /// Adjust a registered source's scan speed (experiments that model slow
+    /// engines).
+    pub fn set_scan_speed(&self, source: &str, ms_per_row: f64) -> Result<()> {
+        self.with_source_mut(source, |h| h.scan_ms_per_row = ms_per_row)
     }
 
     /// Subject a registered source to a [`FaultProfile`]: every subsequent
     /// `execute`/`update` rolls seeded dice and may fail, hang, or slow
     /// down. Layer [`Federation::harden`] on top to survive the faults.
-    pub fn inject_faults(&mut self, source: &str, profile: FaultProfile) -> Result<()> {
+    pub fn inject_faults(&self, source: &str, profile: FaultProfile) -> Result<()> {
         let clock = self.clock.clone();
         let ledger = self.ledger.clone();
-        let h = self
-            .sources
-            .get_mut(source)
-            .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
-        h.connector = Arc::new(FaultyConnector::new(
-            h.connector.clone(),
-            profile,
-            clock,
-            ledger,
-        ));
-        Ok(())
+        self.with_source_mut(source, |h| {
+            h.connector = Arc::new(FaultyConnector::new(
+                h.connector.clone(),
+                profile,
+                clock,
+                ledger,
+            ));
+        })
     }
 
     /// Harden a registered source with retry/backoff and a circuit breaker.
     /// Apply after [`Federation::inject_faults`] so the resilience layer
     /// wraps the faulty transport, as it would in production.
     pub fn harden(
-        &mut self,
+        &self,
         source: &str,
         policy: RetryPolicy,
         breaker: CircuitBreakerConfig,
     ) -> Result<()> {
         let clock = self.clock.clone();
         let ledger = self.ledger.clone();
-        let h = self
-            .sources
-            .get_mut(source)
-            .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
-        h.connector = Arc::new(
-            ResilientConnector::new(h.connector.clone(), policy, breaker, clock, ledger)
-                .instrumented(self.metrics.clone()),
-        );
-        Ok(())
+        let metrics = self.metrics.clone();
+        self.with_source_mut(source, |h| {
+            h.connector = Arc::new(
+                ResilientConnector::new(h.connector.clone(), policy, breaker, clock, ledger)
+                    .instrumented(metrics),
+            );
+        })
     }
 
     /// Replace a registered source's wire format (the naive-XML ablation).
-    pub fn set_wire_format(&mut self, source: &str, wire: WireFormat) -> Result<()> {
-        let h = self
-            .sources
-            .get_mut(source)
-            .ok_or_else(|| EiiError::NotFound(format!("source {source}")))?;
-        h.wire = wire;
-        Ok(())
+    pub fn set_wire_format(&self, source: &str, wire: WireFormat) -> Result<()> {
+        self.with_source_mut(source, |h| h.wire = wire)
     }
 
-    /// Fetch a source handle.
-    pub fn source(&self, name: &str) -> Result<&SourceHandle> {
+    /// Fetch a source handle. The handle is an owned, cheap clone (shared
+    /// connector, ledger, and metrics), so queries through it never hold
+    /// the registry lock.
+    pub fn source(&self, name: &str) -> Result<SourceHandle> {
         self.sources
+            .read()
             .get(name)
+            .cloned()
             .ok_or_else(|| EiiError::NotFound(format!("source {name}")))
     }
 
     /// All source names, sorted.
     pub fn source_names(&self) -> Vec<String> {
-        self.sources.keys().cloned().collect()
+        self.sources.read().keys().cloned().collect()
     }
 
     /// Resolve a `source.table` qualified name into its parts.
     ///
     /// Errors if the name has no dot or the source is unknown.
-    pub fn resolve(&self, qualified: &str) -> Result<(&SourceHandle, String)> {
+    pub fn resolve(&self, qualified: &str) -> Result<(SourceHandle, String)> {
         let (source, table) = qualified.split_once('.').ok_or_else(|| {
             EiiError::NotFound(format!(
                 "table name '{qualified}' must be qualified as source.table"
@@ -311,7 +401,7 @@ impl Federation {
     /// Every `source.table` pair in the federation.
     pub fn all_tables(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for (name, h) in &self.sources {
+        for (name, h) in self.sources.read().iter() {
             for t in h.connector.tables() {
                 out.push(format!("{name}.{t}"));
             }
@@ -339,7 +429,7 @@ mod tests {
         for i in 0..100i64 {
             t.write().insert(row![i, format!("cust{i}")]).unwrap();
         }
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(db)),
             LinkProfile::wan(),
@@ -377,7 +467,7 @@ mod tests {
 
     #[test]
     fn xml_wire_format_ships_more_bytes() {
-        let mut fed = federation();
+        let fed = federation();
         let q = SourceQuery::full_table("customers");
         let (_, native) = fed.resolve("crm.customers").unwrap().0.query(&q).unwrap();
         fed.set_wire_format("crm", WireFormat::Xml).unwrap();
@@ -393,7 +483,7 @@ mod tests {
 
     #[test]
     fn duplicate_registration_rejected() {
-        let mut fed = federation();
+        let fed = federation();
         let db = Database::new("crm", SimClock::new());
         let err = fed
             .register(
@@ -407,7 +497,7 @@ mod tests {
 
     #[test]
     fn injected_faults_fail_queries_and_are_counted() {
-        let mut fed = federation();
+        let fed = federation();
         fed.inject_faults("crm", FaultProfile::failing(1.0, 5)).unwrap();
         let (h, table) = fed.resolve("crm.customers").unwrap();
         let err = h.query(&SourceQuery::full_table(table)).unwrap_err();
@@ -418,7 +508,7 @@ mod tests {
 
     #[test]
     fn injected_timeouts_wait_out_the_deadline() {
-        let mut fed = federation();
+        let fed = federation();
         fed.inject_faults(
             "crm",
             FaultProfile::none().with_timeouts(1.0, 500),
@@ -438,7 +528,7 @@ mod tests {
 
     #[test]
     fn hardened_source_retries_through_a_transient_outage() {
-        let mut fed = federation();
+        let fed = federation();
         fed.inject_faults("crm", FaultProfile::none().with_outage(0, 25))
             .unwrap();
         fed.harden(
@@ -463,7 +553,7 @@ mod tests {
         let (h, table) = plain.resolve("crm.customers").unwrap();
         let (expect, expect_cost) = h.query(&SourceQuery::full_table(table)).unwrap();
 
-        let mut fed = federation();
+        let fed = federation();
         fed.inject_faults("crm", FaultProfile::none()).unwrap();
         fed.harden(
             "crm",
@@ -477,6 +567,37 @@ mod tests {
         assert_eq!(got_cost, expect_cost);
         assert_eq!(fed.ledger().traffic("crm").retries, 0);
         assert_eq!(fed.clock().now_ms(), 0);
+    }
+
+    #[test]
+    fn partitioned_scan_matches_serial_rows_and_bytes() {
+        let serial = federation();
+        let (h, table) = serial.resolve("crm.customers").unwrap();
+        let (sb, sc) = h.query(&SourceQuery::full_table(table)).unwrap();
+
+        let parted = federation();
+        let (h, table) = parted.resolve("crm.customers").unwrap();
+        let (pb, pc) = h
+            .query_partitioned(&SourceQuery::full_table(table), 4)
+            .unwrap();
+        assert_eq!(pb.rows(), sb.rows(), "partition order preserves rows");
+        assert_eq!(pc.bytes, sc.bytes, "bytes shipped identical to serial");
+        assert_eq!(pc.rows_scanned, sc.rows_scanned);
+        assert_eq!(
+            parted.ledger().traffic("crm").bytes,
+            serial.ledger().traffic("crm").bytes,
+            "ledger byte accounting identical"
+        );
+        assert_eq!(
+            parted.ledger().traffic("crm").rows,
+            serial.ledger().traffic("crm").rows
+        );
+        assert!(
+            pc.sim_ms < sc.sim_ms,
+            "overlapped partitions finish sooner: {} vs {}",
+            pc.sim_ms,
+            sc.sim_ms
+        );
     }
 
     #[test]

@@ -248,7 +248,7 @@ mod tests {
         for i in 0..10i64 {
             t.write().insert(row![i, format!("r{}", i % 2)]).unwrap();
         }
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(db)),
             LinkProfile::wan(),

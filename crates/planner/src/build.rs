@@ -499,7 +499,7 @@ mod tests {
             .create_table(TableDef::new("orders", oschema).with_primary_key(0))
             .unwrap();
 
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(crm)),
             LinkProfile::lan(),

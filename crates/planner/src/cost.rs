@@ -564,7 +564,7 @@ mod tests {
                 .insert(row![i, format!("region{}", i % 4)])
                 .unwrap();
         }
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(db)),
             LinkProfile::lan(),

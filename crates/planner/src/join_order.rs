@@ -242,7 +242,7 @@ mod tests {
 
     /// Three tables of very different sizes: tiny (4), mid (40), big (400).
     fn setup() -> Federation {
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         for (name, table, rows) in [
             ("tiny", "t", 4i64),
             ("mid", "m", 40),

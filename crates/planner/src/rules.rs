@@ -754,7 +754,7 @@ mod tests {
                 &[DataType::Int, DataType::Str],
             )
             .unwrap();
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(crm)),
             LinkProfile::lan(),

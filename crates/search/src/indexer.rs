@@ -82,7 +82,7 @@ mod tests {
             .unwrap();
         t.write().insert(row![1i64, "acme corporation"]).unwrap();
         t.write().insert(row![2i64, "globex"]).unwrap();
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(db)),
             LinkProfile::lan(),

@@ -255,7 +255,7 @@ mod tests {
             t.insert(row![1i64, " Alice ", "west"]).unwrap();
             t.insert(row![2i64, "BOB", "east"]).unwrap();
         }
-        let mut fed = Federation::new();
+        let fed = Federation::new();
         fed.register(
             Arc::new(RelationalConnector::new(crm)),
             LinkProfile::lan(),

@@ -101,18 +101,18 @@ fn main() -> Result<()> {
     ));
 
     // ── Assemble the system ─────────────────────────────────────────────
-    let mut system = EiiSystem::new(clock);
-    system.register_source(
+    let system = EiiSystem::new(clock);
+    system.add_source(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),
         WireFormat::Native,
     )?;
-    system.register_source(
+    system.add_source(
         Arc::new(WebServiceConnector::new("orders", orders_db).require_binding("orders", "customer_id")),
         LinkProfile::wan(),
         WireFormat::Native,
     )?;
-    system.register_source(Arc::new(support), LinkProfile::lan(), WireFormat::Native)?;
+    system.add_source(Arc::new(support), LinkProfile::lan(), WireFormat::Native)?;
 
     // Metadata: describe sources, restrict credit data to account managers.
     system.catalog().describe_source(
@@ -149,7 +149,7 @@ fn main() -> Result<()> {
     let mut index = SearchIndex::new();
     index_federation_table(&mut index, system.federation(), "crm.customers")?;
     index_docstore(&mut index, "contracts", &contracts)?;
-    system.attach_search(EnterpriseSearch::new(index, system.catalog().clone()));
+    system.attach_search_service(EnterpriseSearch::new(index, system.catalog().clone()));
 
     for role in ["intern", "account-manager"] {
         println!("== SEARCH 'acme renewal' as {role} ==");

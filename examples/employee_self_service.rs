@@ -59,9 +59,9 @@ fn main() -> Result<()> {
         .with_primary_key(0),
     )?;
 
-    let mut system = EiiSystem::new(clock.clone());
+    let system = EiiSystem::new(clock.clone());
     for db in [hr, facilities, it] {
-        system.register_source(
+        system.add_source(
             Arc::new(RelationalConnector::new(db)),
             LinkProfile::lan(),
             WireFormat::Native,

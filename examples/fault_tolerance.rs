@@ -13,7 +13,7 @@ use eii::row;
 
 fn main() -> Result<()> {
     let clock = SimClock::new();
-    let mut sys = EiiSystem::new(clock.clone());
+    let sys = EiiSystem::new(clock.clone());
 
     let crm = Database::new("crm", clock.clone());
     let customers = crm
@@ -54,12 +54,12 @@ fn main() -> Result<()> {
         }
     }
 
-    sys.register_source(
+    sys.add_source(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),
         WireFormat::Native,
     )?;
-    sys.register_source(
+    sys.add_source(
         Arc::new(RelationalConnector::new(sales)),
         LinkProfile::wan(),
         WireFormat::Native,
@@ -78,9 +78,9 @@ fn main() -> Result<()> {
 
     // A transient outage: sales is dark for the first 30 simulated ms.
     println!("\n== Transient outage on sales, hardened with retries ==");
-    sys.federation_mut()
+    sys.federation()
         .inject_faults("sales", FaultProfile::none().with_outage(0, 30))?;
-    sys.federation_mut().harden(
+    sys.federation().harden(
         "sales",
         RetryPolicy::standard().with_attempts(5),
         CircuitBreakerConfig::default(),
@@ -94,7 +94,7 @@ fn main() -> Result<()> {
     // A hard outage: every request to sales now fails. Strict mode
     // surfaces the error; fallback mode serves the stale snapshot.
     println!("\n== Hard outage on sales ==");
-    sys.federation_mut()
+    sys.federation()
         .inject_faults("sales", FaultProfile::failing(1.0, 7))?;
     clock.advance_ms(60_000);
     match sys.execute(sql) {
@@ -102,7 +102,7 @@ fn main() -> Result<()> {
         Err(e) => println!("strict policy: {e}"),
     }
 
-    sys.set_degradation(DegradationPolicy::Fallback);
+    sys.set_degradation_policy(DegradationPolicy::Fallback);
     println!("\n== Same outage, degrading to the stale snapshot ==");
     print_result(&sys, sql)?;
 

@@ -51,13 +51,13 @@ fn main() -> Result<()> {
     }
 
     // ── 2. Register them with the EII server ───────────────────────────
-    let mut system = EiiSystem::new(clock);
-    system.register_source(
+    let system = EiiSystem::new(clock);
+    system.add_source(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),
         WireFormat::Native,
     )?;
-    system.register_source(
+    system.add_source(
         Arc::new(RelationalConnector::new(sales)),
         LinkProfile::wan(),
         WireFormat::Native,

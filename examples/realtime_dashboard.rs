@@ -34,8 +34,8 @@ fn main() -> Result<()> {
             .insert(row![i, format!("r{}", i % 4), (i % 13) as f64 * 10.0])?;
     }
 
-    let mut system = EiiSystem::new(clock.clone());
-    system.register_source(
+    let system = EiiSystem::new(clock.clone());
+    system.add_source(
         Arc::new(RelationalConnector::new(ops)),
         LinkProfile::wan(),
         WireFormat::Native,

@@ -55,14 +55,14 @@ fn customers_and_orders(n_customers: i64, orders_per: i64) -> (EiiSystem, SimClo
             .insert(row![i, i % n_customers, (i % 97) as f64])
             .unwrap();
     }
-    let mut sys = EiiSystem::new(clock.clone());
-    sys.register_source(
+    let sys = EiiSystem::new(clock.clone());
+    sys.add_source(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::wan(),
         WireFormat::Native,
     )
     .unwrap();
-    sys.register_source(
+    sys.add_source(
         Arc::new(RelationalConnector::new(sales)),
         LinkProfile::wan(),
         WireFormat::Native,
@@ -80,10 +80,10 @@ fn e3_pushdown_ladder_reduces_bytes() {
                WHERE c.customer_region = 'region3' AND o.order_total > 90";
 
     let measure = |config: PlannerConfig, xml: bool| {
-        let (mut sys, _) = customers_and_orders(64, 8);
+        let (sys, _) = customers_and_orders(64, 8);
         if xml {
-            sys.federation_mut().set_wire_format("crm", WireFormat::Xml).unwrap();
-            sys.federation_mut().set_wire_format("sales", WireFormat::Xml).unwrap();
+            sys.federation().set_wire_format("crm", WireFormat::Xml).unwrap();
+            sys.federation().set_wire_format("sales", WireFormat::Xml).unwrap();
         }
         let sys = sys.with_config(config);
         sys.federation().ledger().reset();
@@ -271,9 +271,9 @@ fn e1_eii_vs_warehouse_crossover() {
         for _ in 0..24 {
             wh_cost += wh.refresh("c", RefreshMode::Full).unwrap();
         }
-        let mut wh_sys = EiiSystem::new(clock);
+        let wh_sys = EiiSystem::new(clock);
         wh_sys
-            .register_source(
+            .add_source(
                 Arc::new(RelationalConnector::new(wh.database().clone())),
                 LinkProfile::local(),
                 WireFormat::Native,

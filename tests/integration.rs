@@ -79,20 +79,20 @@ fn build_system() -> (EiiSystem, SimClock) {
     ));
     let support = DocumentConnector::new("docs", docs.clone());
 
-    let mut sys = EiiSystem::new(clock.clone());
-    sys.register_source(
+    let sys = EiiSystem::new(clock.clone());
+    sys.add_source(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),
         WireFormat::Native,
     )
     .unwrap();
-    sys.register_source(
+    sys.add_source(
         Arc::new(RelationalConnector::new(sales)),
         LinkProfile::wan(),
         WireFormat::Native,
     )
     .unwrap();
-    sys.register_source(Arc::new(support), LinkProfile::lan(), WireFormat::Native)
+    sys.add_source(Arc::new(support), LinkProfile::lan(), WireFormat::Native)
         .unwrap();
 
     // Attach search over crm + docs.
@@ -100,7 +100,7 @@ fn build_system() -> (EiiSystem, SimClock) {
     index_federation_table(&mut index, sys.federation(), "crm.customers").unwrap();
     index_docstore(&mut index, "docs", &docs).unwrap();
     sys.catalog().grant("docs", "legal");
-    sys.attach_search(EnterpriseSearch::new(index, sys.catalog().clone()));
+    sys.attach_search_service(EnterpriseSearch::new(index, sys.catalog().clone()));
 
     (sys, clock)
 }
@@ -166,8 +166,8 @@ fn warehouse_agrees_with_live_query_after_refresh() {
 
     // Register the warehouse itself as a source and query it with SQL:
     // virtualize or persist, same engine either way.
-    let mut sys2 = EiiSystem::new(clock);
-    sys2.register_source(
+    let sys2 = EiiSystem::new(clock);
+    sys2.add_source(
         Arc::new(RelationalConnector::new(wh.database().clone())),
         LinkProfile::local(),
         WireFormat::Native,
@@ -360,7 +360,7 @@ fn catalog_export_reimports_into_working_system() {
         .into_catalog()
         .unwrap();
     // Rebuild a system with the restored catalog by re-creating the view.
-    let mut sys2 = EiiSystem::new(clock);
+    let sys2 = EiiSystem::new(clock);
     let crm = Database::new("crm", sys2.clock().clone());
     let t = crm
         .create_table(
@@ -376,7 +376,7 @@ fn catalog_export_reimports_into_working_system() {
         )
         .unwrap();
     t.write().insert(row![1i64, "Acme Corp", "west"]).unwrap();
-    sys2.register_source(
+    sys2.add_source(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),
         WireFormat::Native,
@@ -390,7 +390,7 @@ fn catalog_export_reimports_into_working_system() {
 
 #[test]
 fn facade_degrades_to_stale_snapshots_when_a_source_dies() {
-    let (mut sys, clock) = build_system();
+    let (sys, clock) = build_system();
     let sql = "SELECT c.name, o.total FROM crm.customers c \
                JOIN sales.orders o ON c.id = o.customer_id \
                WHERE o.total > 150";
@@ -401,7 +401,7 @@ fn facade_degrades_to_stale_snapshots_when_a_source_dies() {
     // Snapshot sales before the outage, then kill the source outright.
     sys.snapshot_fallback("sales.orders").unwrap();
     clock.advance_ms(2_000);
-    sys.federation_mut()
+    sys.federation()
         .inject_faults("sales", FaultProfile::failing(1.0, 7))
         .unwrap();
 
@@ -409,7 +409,7 @@ fn facade_degrades_to_stale_snapshots_when_a_source_dies() {
     assert!(sys.execute(sql).is_err());
 
     // Fallback policy: same answer, flagged stale.
-    sys.set_degradation(DegradationPolicy::Fallback);
+    sys.set_degradation_policy(DegradationPolicy::Fallback);
     let out = sys.execute(sql).unwrap();
     let result = out.query_result().unwrap();
     assert_eq!(result.batch.rows(), live_rows.as_slice());
@@ -456,15 +456,15 @@ fn explain_analyze_annotates_federated_join_with_estimates_and_actuals() {
 
 #[test]
 fn explain_analyze_flags_degraded_sources() {
-    let (mut sys, clock) = build_system();
+    let (sys, clock) = build_system();
     let sql = "SELECT c.name, o.total FROM crm.customers c \
                JOIN sales.orders o ON c.id = o.customer_id WHERE o.total > 150";
     sys.snapshot_fallback("sales.orders").unwrap();
     clock.advance_ms(1_500);
-    sys.federation_mut()
+    sys.federation()
         .inject_faults("sales", FaultProfile::failing(1.0, 7))
         .unwrap();
-    sys.set_degradation(DegradationPolicy::Fallback);
+    sys.set_degradation_policy(DegradationPolicy::Fallback);
     let text = sys.explain_analyze(sql).unwrap();
     assert!(text.contains("[DEGRADED: orders stale 1500ms]"), "{text}");
     assert!(text.contains("degraded_sources=1"), "{text}");
@@ -472,11 +472,11 @@ fn explain_analyze_flags_degraded_sources() {
 
 #[test]
 fn source_health_reports_traffic_retries_and_breaker_under_faults() {
-    let (mut sys, _clock) = build_system();
-    sys.federation_mut()
+    let (sys, _clock) = build_system();
+    sys.federation()
         .inject_faults("crm", FaultProfile::none().with_outage(0, 40))
         .unwrap();
-    sys.federation_mut()
+    sys.federation()
         .harden(
             "crm",
             RetryPolicy::standard().with_attempts(6),
@@ -534,12 +534,12 @@ fn query_trace_covers_phases_and_operators() {
 
 #[test]
 fn facade_retries_ride_out_a_transient_outage() {
-    let (mut sys, _clock) = build_system();
+    let (sys, _clock) = build_system();
     let sql = "SELECT name FROM crm.customers WHERE region = 'west'";
-    sys.federation_mut()
+    sys.federation()
         .inject_faults("crm", FaultProfile::none().with_outage(0, 40))
         .unwrap();
-    sys.federation_mut()
+    sys.federation()
         .harden(
             "crm",
             RetryPolicy::standard().with_attempts(6),

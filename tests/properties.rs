@@ -54,14 +54,14 @@ fn system_with_customers(rows: &[(i64, String, i64)]) -> (EiiSystem, SimClock) {
             tt.insert(row![i as i64, *id, (*score % 50) as f64]).unwrap();
         }
     }
-    let mut sys = EiiSystem::new(clock.clone());
-    sys.register_source(
+    let sys = EiiSystem::new(clock.clone());
+    sys.add_source(
         Arc::new(RelationalConnector::new(crm)),
         LinkProfile::lan(),
         WireFormat::Native,
     )
     .unwrap();
-    sys.register_source(
+    sys.add_source(
         Arc::new(RelationalConnector::new(orders)),
         LinkProfile::wan(),
         WireFormat::Native,
@@ -255,13 +255,13 @@ proptest! {
         let (clean, _) = system_with_customers(&rows);
         let expect = run(&clean, &sql);
 
-        let (mut sys, _) = system_with_customers(&rows);
-        sys.federation_mut()
+        let (sys, _) = system_with_customers(&rows);
+        sys.federation()
             .inject_faults("sales", FaultProfile::none().with_outage(0, outage_end))
             .unwrap();
         // Backoff accumulates past 60 ms well before the attempt budget
         // runs out, so every outage in range heals.
-        sys.federation_mut()
+        sys.federation()
             .harden(
                 "sales",
                 RetryPolicy::standard().with_attempts(12),
@@ -285,10 +285,10 @@ proptest! {
         let (plain, _) = system_with_customers(&rows);
         let expect = run(&plain, &sql);
 
-        let (mut sys, _) = system_with_customers(&rows);
-        sys.create_matview("mv_all", "SELECT * FROM crm.customers", RefreshPolicy::Manual)
+        let (sys, _) = system_with_customers(&rows);
+        sys.define_matview("mv_all", "SELECT * FROM crm.customers", RefreshPolicy::Manual)
             .unwrap();
-        sys.enable_result_cache(CacheConfig::default());
+        sys.install_result_cache(CacheConfig::default());
         let first = run(&sys, &sql);
         prop_assert_eq!(sorted(&first), sorted(&expect));
         let repeat = run(&sys, &sql);
@@ -301,8 +301,8 @@ proptest! {
     #[test]
     fn cache_misses_after_base_write(rows in unique_rows(), new_id in 500i64..600) {
         let sql = "SELECT id FROM crm.customers";
-        let (mut sys, _) = system_with_customers(&rows);
-        sys.enable_result_cache(CacheConfig::default());
+        let (sys, _) = system_with_customers(&rows);
+        sys.install_result_cache(CacheConfig::default());
         let before = run(&sys, sql);
         run(&sys, sql); // repeat: served from cache
         sys.federation().source("crm").unwrap().update(&eii::federation::UpdateOp::Insert {
@@ -312,6 +312,57 @@ proptest! {
         let after = run(&sys, sql);
         prop_assert_eq!(after.num_rows(), before.num_rows() + 1);
         prop_assert!(after.rows().iter().any(|r| r.get(0) == &Value::Int(new_id)));
+    }
+
+    /// Concurrency is invisible to results: N sessions over one shared
+    /// `Arc<EiiSystem>` — racing reads against matview refreshes and cache
+    /// invalidations — each see exactly the rows a serial run returns,
+    /// whatever the data, predicate, and session count.
+    #[test]
+    fn concurrent_sessions_equal_serial(
+        rows in unique_rows(),
+        pred in predicates(),
+        sessions in 2usize..6,
+    ) {
+        let sql = format!("SELECT id, name FROM crm.customers WHERE {pred}");
+        let (serial, _) = system_with_customers(&rows);
+        serial
+            .define_matview("mv_all", "SELECT * FROM crm.customers", RefreshPolicy::Manual)
+            .unwrap();
+        serial.install_result_cache(CacheConfig::default());
+        let expect = sorted(&run(&serial, &sql));
+
+        let (sys, _) = system_with_customers(&rows);
+        sys.define_matview("mv_all", "SELECT * FROM crm.customers", RefreshPolicy::Manual)
+            .unwrap();
+        sys.install_result_cache(CacheConfig::default());
+        let sys = Arc::new(sys);
+        let got: Vec<(Vec<Row>, Vec<Row>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..sessions {
+                let sys = Arc::clone(&sys);
+                let sql = sql.clone();
+                handles.push(scope.spawn(move || {
+                    let session = sys.session().with_label(&format!("s{i}"));
+                    // Mixed workload: refreshes and invalidations race the
+                    // reads (neither changes the base data).
+                    if i % 2 == 0 {
+                        sys.refresh_matview("mv_all").unwrap();
+                    }
+                    let a = sorted(session.execute(&sql).unwrap().rows().unwrap());
+                    if i % 3 == 0 {
+                        sys.invalidate_cached("crm.customers");
+                    }
+                    let b = sorted(session.execute(&sql).unwrap().rows().unwrap());
+                    (a, b)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (a, b) in &got {
+            prop_assert_eq!(a, &expect);
+            prop_assert_eq!(b, &expect);
+        }
     }
 
     /// LIMIT never yields more rows than asked, and the prefix matches the
