@@ -1,0 +1,205 @@
+//! Deterministic chaos harness: composable fault scenarios on the
+//! simulated clock, plus the recovery trace E17 diffs across runs.
+//!
+//! A [`ChaosScenario`] bundles per-source [`FaultProfile`]s (latency
+//! spikes, flapping outage windows, crash windows, breaker storms) and an
+//! optional resilience posture. Applying the same scenario to two freshly
+//! built environments and replaying the same workload must produce
+//! bit-identical [`recovery_trace`]s — every fault roll, retry backoff,
+//! breaker transition, and degradation decision rides the seeded RNGs and
+//! the virtual clock, never the wall clock.
+
+use eii::prelude::*;
+
+/// A named, composable bundle of per-source faults.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    pub name: String,
+    /// Fault profile installed per source (merged when composed).
+    pub faults: Vec<(String, FaultProfile)>,
+    /// Sources hardened with retry/backoff and a circuit breaker.
+    pub hardened: Vec<String>,
+    /// Breaker settings for hardened sources. On a virtual clock that only
+    /// moves when something waits, a long cooldown can outlive the whole
+    /// run — chaos scenarios usually want it shorter than the default 1s.
+    pub breaker: CircuitBreakerConfig,
+}
+
+impl ChaosScenario {
+    /// An empty scenario (no faults, no hardening).
+    pub fn new(name: &str) -> Self {
+        ChaosScenario {
+            name: name.to_string(),
+            faults: Vec::new(),
+            hardened: Vec::new(),
+            breaker: CircuitBreakerConfig::default(),
+        }
+    }
+
+    /// Override how long tripped breakers stay open before probing.
+    pub fn breaker_cooldown(mut self, cooldown_ms: i64) -> Self {
+        self.breaker.cooldown_ms = cooldown_ms;
+        self
+    }
+
+    /// Add a fault profile for one source.
+    pub fn fault(mut self, source: &str, profile: FaultProfile) -> Self {
+        self.faults.push((source.to_string(), profile));
+        self
+    }
+
+    /// Harden one source with standard retries and a circuit breaker.
+    pub fn harden(mut self, source: &str) -> Self {
+        self.hardened.push(source.to_string());
+        self
+    }
+
+    /// Latency spikes: requests succeed but some stall `spike_ms`.
+    pub fn latency_spikes(source: &str, prob: f64, spike_ms: i64, seed: u64) -> Self {
+        ChaosScenario::new(&format!("spikes({source})"))
+            .fault(source, FaultProfile::none().with_spikes(prob, spike_ms).with_seed(seed))
+    }
+
+    /// A flapping source: repeated outage windows of `down_ms` every
+    /// `period_ms`, starting at `start_ms`.
+    pub fn flapping(source: &str, start_ms: i64, period_ms: i64, down_ms: i64, windows: usize) -> Self {
+        let mut profile = FaultProfile::none();
+        for w in 0..windows as i64 {
+            let s = start_ms + w * period_ms;
+            profile = profile.with_outage(s, s + down_ms);
+        }
+        ChaosScenario::new(&format!("flap({source})")).fault(source, profile)
+    }
+
+    /// A crash window: the source dies hard for `[start_ms, end_ms)` —
+    /// queries mid-stream over it fail until it comes back.
+    pub fn crash(source: &str, start_ms: i64, end_ms: i64) -> Self {
+        ChaosScenario::new(&format!("crash({source})"))
+            .fault(source, FaultProfile::none().with_outage(start_ms, end_ms))
+    }
+
+    /// A breaker storm: a high fail rate on a hardened source, so the
+    /// circuit breaker trips, fast-fails, and probes half-open.
+    pub fn breaker_storm(source: &str, fail_prob: f64, seed: u64) -> Self {
+        ChaosScenario::new(&format!("storm({source})"))
+            .fault(source, FaultProfile::failing(fail_prob, seed))
+            .harden(source)
+    }
+
+    /// Compose scenarios into one: faults hitting the same source merge
+    /// (probabilities add and saturate, outage windows union, seeds mix),
+    /// hardening unions.
+    pub fn compose(name: &str, parts: &[ChaosScenario]) -> Self {
+        let mut out = ChaosScenario::new(name);
+        for part in parts {
+            for (source, profile) in &part.faults {
+                match out.faults.iter_mut().find(|(s, _)| s == source) {
+                    Some((_, existing)) => *existing = merge(existing, profile),
+                    None => out.faults.push((source.clone(), profile.clone())),
+                }
+            }
+            for s in &part.hardened {
+                if !out.hardened.contains(s) {
+                    out.hardened.push(s.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Install the scenario's faults and hardening on a system.
+    pub fn apply(&self, system: &EiiSystem) -> Result<()> {
+        for (source, profile) in &self.faults {
+            system.federation().inject_faults(source, profile.clone())?;
+        }
+        for source in &self.hardened {
+            system
+                .federation()
+                .harden(source, RetryPolicy::standard(), self.breaker)?;
+        }
+        Ok(())
+    }
+}
+
+/// Merge two fault profiles targeting the same source.
+fn merge(a: &FaultProfile, b: &FaultProfile) -> FaultProfile {
+    let mut out = a.clone();
+    out.fail_prob = (a.fail_prob + b.fail_prob).min(1.0);
+    out.timeout_prob = (a.timeout_prob + b.timeout_prob).min(1.0);
+    out.spike_prob = (a.spike_prob + b.spike_prob).min(1.0);
+    out.spike_ms = a.spike_ms.max(b.spike_ms);
+    out.deadline_ms = a.deadline_ms.max(b.deadline_ms);
+    out.outages.extend(b.outages.iter().copied());
+    out.seed = a.seed.wrapping_mul(31).wrapping_add(b.seed);
+    out
+}
+
+/// Replay `queries` against a system under chaos, producing one
+/// deterministic trace line per query: virtual timestamp, outcome, row
+/// count, accounted latency, degradation, and retry totals. Two runs of
+/// the same seed over freshly built environments must match byte for byte.
+pub fn recovery_trace(system: &EiiSystem, queries: &[String]) -> Vec<String> {
+    let mut trace = Vec::with_capacity(queries.len());
+    for (i, sql) in queries.iter().enumerate() {
+        let t0 = system.clock().now_ms();
+        let line = match system.execute(sql) {
+            Ok(out) => match out.query_result() {
+                Ok(res) => format!(
+                    "q{i:03} t={t0} ok rows={} sim={:.3} degraded={} retries={}",
+                    res.batch.num_rows(),
+                    res.cost.sim_ms,
+                    res.degraded.len(),
+                    system.federation().ledger().total().retries,
+                ),
+                Err(e) => format!("q{i:03} t={t0} err kind={}", e.kind()),
+            },
+            Err(e) => format!("q{i:03} t={t0} err kind={}", e.kind()),
+        };
+        trace.push(line);
+    }
+    trace
+}
+
+/// FNV-1a over the trace, for compact fingerprints in reports.
+pub fn trace_fingerprint(trace: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in trace {
+        for b in line.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composing_merges_same_source_faults_and_hardening() {
+        let composed = ChaosScenario::compose(
+            "mix",
+            &[
+                ChaosScenario::latency_spikes("crm", 0.2, 50, 7),
+                ChaosScenario::crash("crm", 100, 200),
+                ChaosScenario::breaker_storm("sales", 0.8, 9),
+            ],
+        );
+        assert_eq!(composed.faults.len(), 2, "crm faults merged");
+        let crm = &composed.faults.iter().find(|(s, _)| s == "crm").unwrap().1;
+        assert_eq!(crm.spike_prob, 0.2);
+        assert_eq!(crm.outages, vec![(100, 200)]);
+        assert_eq!(composed.hardened, vec!["sales".to_string()]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["y".to_string(), "x".to_string()];
+        assert_ne!(trace_fingerprint(&a), trace_fingerprint(&b));
+        assert_eq!(trace_fingerprint(&a), trace_fingerprint(&a.clone()));
+    }
+}

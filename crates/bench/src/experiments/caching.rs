@@ -13,6 +13,7 @@ use eii::prelude::*;
 
 use crate::fedmark::FedMark;
 use crate::report::{fmt_f, Report};
+use crate::summary::BenchSummary;
 
 /// Rounds of the full FedMark query suite per configuration; rounds after
 /// the first are pure repeats, the cache's home turf.
@@ -61,6 +62,7 @@ struct Run {
     cache_hits: u64,
     matview_hits: u64,
     build_ms: f64,
+    latencies: Vec<f64>,
 }
 
 /// Build a fresh FedMark environment under `cfg` and run the repeated
@@ -92,11 +94,13 @@ fn run_config(cfg: Config) -> Result<Run> {
 
     let mut sim_total = 0.0;
     let mut sim_round1 = 0.0;
+    let mut latencies = Vec::new();
     for round in 0..ROUNDS {
         for (_, _, sql) in FedMark::queries() {
             let out = env.system.execute(sql)?;
             let cost = out.query_result()?.cost;
             sim_total += cost.sim_ms;
+            latencies.push(cost.sim_ms);
             if round == 0 {
                 sim_round1 += cost.sim_ms;
             }
@@ -113,6 +117,7 @@ fn run_config(cfg: Config) -> Result<Run> {
         cache_hits: snap.counter("cache.hits"),
         matview_hits: snap.counter("matview.hits"),
         build_ms,
+        latencies,
     })
 }
 
@@ -211,5 +216,10 @@ pub fn e15_views_and_cache() -> Result<Report> {
             cache.sim_round1, federated.sim_round1
         )));
     }
+
+    BenchSummary::from_latencies("e15", &both.latencies, both.bytes)
+        .with_extra("cache_hits", both.cache_hits as f64)
+        .with_extra("matview_hits", both.matview_hits as f64)
+        .write()?;
     Ok(report)
 }

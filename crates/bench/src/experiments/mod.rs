@@ -8,6 +8,7 @@ pub mod economics;
 pub mod engine;
 pub mod observability;
 pub mod resilience;
+pub mod robustness;
 pub mod services;
 
 use eii::data::Result;
@@ -15,9 +16,9 @@ use eii::data::Result;
 use crate::report::Report;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16",
+    "e15", "e16", "e17",
 ];
 
 /// Run one experiment by id.
@@ -39,6 +40,7 @@ pub fn run(id: &str) -> Result<Report> {
         "e14" => observability::e14_observability_overhead(),
         "e15" => caching::e15_views_and_cache(),
         "e16" => concurrency::e16_concurrent_sessions(),
+        "e17" => robustness::e17_robustness(),
         other => Err(eii::data::EiiError::NotFound(format!(
             "experiment {other}; known: {}",
             ALL.join(", ")

@@ -12,6 +12,7 @@ use eii::sql::{parse_statement, Statement};
 
 use crate::fedmark::FedMark;
 use crate::report::{fmt_f, Report};
+use crate::summary::BenchSummary;
 
 /// Interleaved timing trials per mode; each mode is scored by its fastest
 /// trial, the observation least polluted by machine noise.
@@ -114,5 +115,18 @@ pub fn e14_observability_overhead() -> Result<Report> {
              ({wall_on:.1}ms vs {wall_off:.1}ms)"
         )));
     }
+
+    // Headline summary: one clean instrumented pass over the query set.
+    sys.federation().ledger().reset();
+    let mut latencies = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        let exec =
+            Executor::new(sys.federation()).with_metrics(sys.federation().metrics().clone());
+        latencies.push(exec.execute(plan)?.cost.sim_ms);
+    }
+    let bytes = sys.federation().ledger().total().bytes;
+    BenchSummary::from_latencies("e14", &latencies, bytes)
+        .with_extra("overhead_pct", overhead_pct)
+        .write()?;
     Ok(report)
 }

@@ -9,6 +9,7 @@ use eii::prelude::*;
 
 use crate::fedmark::FedMark;
 use crate::report::{fmt_f, Report};
+use crate::summary::BenchSummary;
 
 const SEED: u64 = 101;
 const FAULT_RATES: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
@@ -61,6 +62,11 @@ pub fn e13_fault_tolerance() -> Result<Report> {
         ],
     );
 
+    // Headline summary: the retry + partial-results posture across the
+    // whole fault sweep (the posture a production hub would actually run).
+    let mut summary_latencies: Vec<f64> = Vec::new();
+    let mut summary_bytes = 0usize;
+
     for rate in FAULT_RATES {
         for (mode, retry, policy) in [
             ("live only", false, DegradationPolicy::Fail),
@@ -93,11 +99,17 @@ pub fn e13_fault_tolerance() -> Result<Report> {
             let mut rows = 0usize;
             let mut stale_sum = 0i64;
             let mut stale_n = 0usize;
+            let measured = policy == DegradationPolicy::PartialResults && retry;
             for sql in &queries {
+                let t0 = env.system.clock().now_ms();
                 if let Ok(out) = env.system.execute(sql) {
                     let res = out.query_result()?;
                     ok += 1;
                     rows += res.batch.num_rows();
+                    if measured {
+                        let waited = (env.system.clock().now_ms() - t0) as f64;
+                        summary_latencies.push(waited + res.cost.sim_ms);
+                    }
                     for r in &res.degraded {
                         if let Some(ms) = r.stale_ms {
                             stale_sum += ms;
@@ -107,6 +119,9 @@ pub fn e13_fault_tolerance() -> Result<Report> {
                 }
             }
             let ledger = env.system.federation().ledger().total();
+            if measured {
+                summary_bytes += ledger.bytes;
+            }
             report.row(vec![
                 format!("{:.0}%", rate * 100.0),
                 mode.to_string(),
@@ -131,6 +146,10 @@ pub fn e13_fault_tolerance() -> Result<Report> {
         "at 0% every mode is byte-identical to the unhardened system with \
          zero retries — resilience is free until something breaks",
     );
+
+    BenchSummary::from_latencies("e13", &summary_latencies, summary_bytes)
+        .with_extra("fault_rates", FAULT_RATES.len() as f64)
+        .write()?;
     Ok(report)
 }
 

@@ -379,6 +379,8 @@ pub fn e10_saga_resilience() -> Result<Report> {
                 }
                 SagaOutcome::Compensated { .. } => compensated += 1,
                 SagaOutcome::Stuck { .. } => stuck += 1,
+                // `run` has no cancel token; nothing can cancel here.
+                SagaOutcome::Cancelled { .. } => unreachable!("uncancellable run"),
             }
         }
         // Invariant: sources contain exactly the completed sagas' rows.

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use eii_data::{Result, SimClock};
-use eii_exec::{CacheConfig, DegradationPolicy};
+use eii_exec::{CacheConfig, DegradationPolicy, HedgePolicy};
 use eii_federation::{Connector, LinkProfile, WireFormat};
 use eii_matview::RefreshPolicy;
 use eii_planner::PlannerConfig;
@@ -46,6 +46,7 @@ pub struct EiiSystemBuilder {
     matviews: Vec<(String, String, RefreshPolicy)>,
     search: Option<EnterpriseSearch>,
     scan_partitions: usize,
+    hedge: Option<HedgePolicy>,
 }
 
 impl EiiSystemBuilder {
@@ -60,6 +61,7 @@ impl EiiSystemBuilder {
             matviews: Vec::new(),
             search: None,
             scan_partitions: 1,
+            hedge: None,
         }
     }
 
@@ -114,6 +116,15 @@ impl EiiSystemBuilder {
         self
     }
 
+    /// Hedge slow source fetches: once a source's observed mean latency
+    /// crosses the policy threshold, each fetch launches a delayed backup
+    /// request and takes whichever answer lands first on the virtual
+    /// timeline (default: no hedging).
+    pub fn hedging(mut self, policy: HedgePolicy) -> Self {
+        self.hedge = Some(policy);
+        self
+    }
+
     /// Build the system and wrap it in an `Arc` ready to share across
     /// threads and sessions.
     pub fn build(self) -> Result<Arc<EiiSystem>> {
@@ -128,6 +139,9 @@ impl EiiSystemBuilder {
             system.set_planner_config(config);
         }
         system.set_scan_partitions(self.scan_partitions);
+        if let Some(policy) = self.hedge {
+            system.set_hedge_policy(policy);
+        }
         for (connector, link, wire) in self.sources {
             system.add_source(connector, link, wire)?;
         }

@@ -43,20 +43,21 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use eii_catalog::Catalog;
-use eii_data::{Batch, EiiError, Result, SimClock};
+use eii_data::{Batch, CancelToken, Deadline, EiiError, Priority, Result, SimClock};
 use eii_eai::{MessageBroker, ProcessDef, ProcessEnv, SagaEngine, SagaOutcome};
 use eii_exec::{
     CacheConfig, CacheLookup, CachedResult, DegradationPolicy, Executor, FallbackStore,
-    OperatorProfile, QueryResult, ResultCache, SourceReport,
+    HedgePolicy, OperatorProfile, QueryResult, ResultCache, SourceReport,
 };
 use eii_federation::{
-    Connector, Federation, LinkProfile, QueryCost, SourceHealth, SourceQuery, WireFormat,
+    Connector, Federation, LinkProfile, QueryCost, RequestCtx, SourceHealth, SourceQuery,
+    WireFormat,
 };
 use eii_matview::{MatViewManager, RefreshPolicy};
 use eii_obs::{MetricsRegistry, QueryTrace, Tracer};
 use eii_planner::{
-    optimize, rewrite_matviews, CostModel, LogicalPlan, PhysicalPlan, PlanBuilder,
-    PhysicalPlanner, PlannerConfig,
+    optimize, rewrite_matviews, rewrite_matviews_with_budget, CostModel, LogicalPlan,
+    PhysicalPlan, PlanBuilder, PhysicalPlanner, PlannerConfig,
 };
 use eii_search::{EnterpriseSearch, Hit};
 use eii_sql::{parse_statement, SetQuery, Statement};
@@ -75,12 +76,16 @@ pub use session::{ExplainMode, QueryScheduler, Session};
 
 /// Everything an application typically imports.
 pub mod prelude {
-    pub use crate::{EiiSystem, EiiSystemBuilder, ExecOutcome, QueryScheduler, Session};
-    pub use eii_exec::{AdmissionConfig, QueryTicket, SchedulerStats};
+    pub use crate::{EiiSystem, EiiSystemBuilder, ExecOptions, ExecOutcome, QueryScheduler, Session};
+    pub use eii_exec::{
+        AdmissionConfig, BrownoutConfig, HedgePolicy, QueryTicket, SchedulerStats, ShedDecision,
+    };
     pub use eii_catalog::{Catalog, SourceMeta};
     pub use eii_data::{
-        Batch, DataType, EiiError, Field, Result, Row, Schema, SimClock, Value,
+        Batch, CancelToken, DataType, Deadline, EiiError, Field, Priority, Result, Row,
+        Schema, SimClock, Value,
     };
+    pub use eii_federation::RequestCtx;
     pub use eii_docstore::{DocStore, Document};
     pub use eii_exec::{CacheConfig, DegradationPolicy, FallbackStore, SourceReport};
     pub use eii_matview::RefreshPolicy;
@@ -213,6 +218,20 @@ pub struct ExecOptions {
     /// Per-query override of the semantic result cache's staleness budget,
     /// in simulated milliseconds (`None`: use the configured budget).
     pub staleness_budget_ms: Option<i64>,
+    /// Simulated-time budget for the whole query (`None`: unbounded). When
+    /// set, every fetch charges a shared [`Deadline`] and the query fails
+    /// with a `deadline` error the moment the budget runs out; the planner
+    /// also prefers materialized views that fit the remaining budget.
+    pub deadline_budget_ms: Option<i64>,
+    /// Priority tier for brownout load shedding (scheduler submissions).
+    pub priority: Priority,
+    /// Cooperative cancellation token checked at every batch boundary and
+    /// before every connector request (`None`: not cancellable).
+    pub cancel: Option<CancelToken>,
+    /// Set by the brownout controller on a `Degrade` decision: the query
+    /// runs under [`DegradationPolicy::PartialResults`] so shedding load
+    /// yields partial answers instead of queueing behind high-priority work.
+    pub brownout_degraded: bool,
 }
 
 impl ExecOptions {
@@ -221,6 +240,10 @@ impl ExecOptions {
         ExecOptions {
             role: role.to_string(),
             staleness_budget_ms: None,
+            deadline_budget_ms: None,
+            priority: Priority::Normal,
+            cancel: None,
+            brownout_degraded: false,
         }
     }
 }
@@ -254,6 +277,7 @@ pub struct EiiSystem {
     matviews: OnceLock<MatViewManager>,
     cache: OnceLock<ResultCache>,
     scan_partitions: usize,
+    hedge: RwLock<Option<HedgePolicy>>,
     last_trace: Mutex<Option<QueryTrace>>,
 }
 
@@ -275,6 +299,7 @@ impl EiiSystem {
             matviews: OnceLock::new(),
             cache: OnceLock::new(),
             scan_partitions: 1,
+            hedge: RwLock::new(None),
             last_trace: Mutex::new(None),
         }
     }
@@ -298,6 +323,18 @@ impl EiiSystem {
 
     pub(crate) fn set_scan_partitions(&mut self, n: usize) {
         self.scan_partitions = n.max(1);
+    }
+
+    /// Enable hedged requests: once a source's observed mean latency
+    /// crosses the policy threshold, fetches against it race a delayed
+    /// backup and the first (virtual-time) arrival wins.
+    pub fn set_hedge_policy(&self, policy: HedgePolicy) {
+        *self.hedge.write() = Some(policy);
+    }
+
+    /// The currently active hedging policy, if any.
+    pub fn hedge_policy(&self) -> Option<HedgePolicy> {
+        *self.hedge.read()
     }
 
     /// The simulated clock.
@@ -380,6 +417,17 @@ impl EiiSystem {
     /// The currently active degradation policy.
     pub fn degradation_policy(&self) -> DegradationPolicy {
         *self.degradation.read()
+    }
+
+    /// Count a query abort (`deadline.exceeded` / `query.cancelled`) so the
+    /// dashboards distinguish budget blowouts from caller teardowns.
+    fn count_abort(&self, err: &EiiError) {
+        let metrics = self.federation.metrics();
+        match err.kind() {
+            "deadline" => metrics.inc("deadline.exceeded"),
+            "cancelled" => metrics.inc("query.cancelled"),
+            _ => {}
+        }
     }
 
     /// The stale-snapshot store consulted under
@@ -587,6 +635,19 @@ impl EiiSystem {
     ) -> Result<QueryResult> {
         let start = Instant::now();
         let now = self.clock.now_ms();
+        let deadline = opts
+            .deadline_budget_ms
+            .map(|budget| Deadline::new(self.clock.clone(), budget));
+        let mut ctx = RequestCtx::new();
+        if let Some(d) = &deadline {
+            ctx = ctx.with_deadline(d.clone());
+        }
+        if let Some(cancel) = &opts.cancel {
+            ctx = ctx.with_cancel(cancel.clone());
+        }
+        // A pre-cancelled or pre-expired request never plans, let alone
+        // fetches.
+        ctx.check().inspect_err(|e| self.count_abort(e))?;
         let plan_span = tracer.span("plan");
         let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
         let optimized = optimize(logical, &self.federation, &self.config)?;
@@ -617,7 +678,11 @@ impl EiiSystem {
         let rewritten = match (self.matviews.get(), self.config.rewrite_matviews) {
             (Some(mgr), true) => {
                 let defs = mgr.defs(now);
-                rewrite_matviews(optimized, &defs, &self.federation)?
+                // A tight budget can rescue a matview substitution that pure
+                // cost comparison would reject: stale-but-local beats
+                // fresh-but-late.
+                let budget = deadline.as_ref().map(|d| d.remaining_ms() as f64);
+                rewrite_matviews_with_budget(optimized, &defs, &self.federation, budget)?
             }
             _ => optimized,
         };
@@ -630,14 +695,30 @@ impl EiiSystem {
             .map(|_| self.federation.ledger().snapshot());
 
         let execute = tracer.span("execute");
+        // Brownout-degraded queries serve partial answers rather than
+        // queueing behind high-priority work.
+        let policy = if opts.brownout_degraded {
+            DegradationPolicy::PartialResults
+        } else {
+            self.degradation_policy()
+        };
         let mut exec = Executor::new(&self.federation)
-            .with_degradation(self.degradation_policy(), self.fallbacks.clone())
+            .with_degradation(policy, self.fallbacks.clone())
             .with_metrics(self.federation.metrics().clone())
-            .with_scan_partitions(self.scan_partitions);
+            .with_scan_partitions(self.scan_partitions)
+            .with_request_ctx(ctx);
+        if let Some(policy) = self.hedge_policy() {
+            exec = exec.with_hedging(policy);
+        }
         if let Some(mgr) = self.matviews.get() {
             exec = exec.with_matviews(mgr.store());
         }
-        let result = exec.execute(&physical)?;
+        let result = exec.execute(&physical).inspect_err(|e| self.count_abort(e))?;
+        if let Some(d) = &deadline {
+            self.federation
+                .metrics()
+                .observe("deadline.remaining_ms", d.remaining_ms() as f64);
+        }
         execute.annotate("rows", result.batch.num_rows());
         execute.annotate("bytes", result.cost.bytes);
         if !result.degraded.is_empty() {

@@ -12,8 +12,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use eii_data::Result;
-use eii_exec::{AdmissionConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats};
+use eii_data::{CancelToken, Priority, Result};
+use eii_exec::{
+    AdmissionConfig, BrownoutConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats,
+    ShedDecision,
+};
 use eii_obs::QueryTrace;
 use eii_planner::{LogicalPlan, PlanBuilder};
 use eii_sql::{parse_statement, Statement};
@@ -71,6 +74,33 @@ impl Session {
     pub fn with_explain_mode(mut self, mode: ExplainMode) -> Self {
         self.explain = mode;
         self
+    }
+
+    /// Grant every query of this session a simulated-time deadline: the
+    /// query fails with a `deadline` error the moment its budget runs out,
+    /// and the planner prefers materialized views that fit the budget.
+    pub fn with_deadline_ms(mut self, budget_ms: i64) -> Self {
+        self.opts.deadline_budget_ms = Some(budget_ms);
+        self
+    }
+
+    /// Priority tier this session's work runs at under brownout load
+    /// shedding (default [`Priority::Normal`]).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.opts.priority = priority;
+        self
+    }
+
+    /// Attach a cooperative cancellation token: tripping it stops this
+    /// session's in-flight query at its next batch boundary.
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.opts.cancel = Some(cancel);
+        self
+    }
+
+    /// The priority tier this session runs at.
+    pub fn priority(&self) -> Priority {
+        self.opts.priority
     }
 
     /// The role this session runs as.
@@ -133,21 +163,53 @@ pub struct QueryScheduler {
 impl QueryScheduler {
     /// Submit one statement; always accepted (admission gates execution).
     pub fn submit(&self, sql: &str, role: &str) -> QueryTicket<ExecOutcome> {
-        let (sources, work) = self.job(sql, role);
+        let (sources, work) = self.job(sql, ExecOptions::for_role(role));
         self.pool.submit(sources, work)
     }
 
     /// Submit one statement only if the admission controller has capacity
     /// right now; otherwise reject with an `Execution` error.
     pub fn try_submit(&self, sql: &str, role: &str) -> Result<QueryTicket<ExecOutcome>> {
-        let (sources, work) = self.job(sql, role);
+        let (sources, work) = self.job(sql, ExecOptions::for_role(role));
         self.pool.try_submit(sources, work)
+    }
+
+    /// Submit one statement under full [`ExecOptions`] and a priority tier,
+    /// consulting the brownout controller (when this scheduler was built
+    /// with one): `Low` work may be turned away with a typed `shed` error,
+    /// `Normal` work may be downgraded to partial results, and the
+    /// returned ticket's [`QueryTicket::cancel`] stops even a *running*
+    /// query cooperatively — the ticket and the query share one
+    /// [`CancelToken`].
+    pub fn submit_prioritized(
+        &self,
+        sql: &str,
+        opts: &ExecOptions,
+    ) -> Result<(QueryTicket<ExecOutcome>, ShedDecision)> {
+        let mut opts = opts.clone();
+        let cancel = opts.cancel.get_or_insert_with(CancelToken::new).clone();
+        let priority = opts.priority;
+        let metrics = self.system.metrics();
+        let decision = self.pool.admit(priority).inspect_err(|err| {
+            if err.kind() == "shed" {
+                metrics.inc(&format!("shed.rejected.{}", priority.as_str()));
+            }
+        })?;
+        if decision == ShedDecision::Degrade {
+            opts.brownout_degraded = true;
+            metrics.inc(&format!("shed.degraded.{}", priority.as_str()));
+        }
+        let (sources, work) = self.job(sql, opts);
+        Ok((
+            self.pool.submit_admitted(sources, priority, cancel, work),
+            decision,
+        ))
     }
 
     fn job(
         &self,
         sql: &str,
-        role: &str,
+        opts: ExecOptions,
     ) -> (
         Vec<String>,
         impl FnOnce() -> Result<JobOutput<ExecOutcome>> + Send + 'static,
@@ -155,9 +217,8 @@ impl QueryScheduler {
         let sources = base_sources(&self.system, sql);
         let system = Arc::clone(&self.system);
         let sql = sql.to_string();
-        let role = role.to_string();
         let work = move || {
-            let outcome = system.execute_as(&sql, &role)?;
+            let outcome = system.execute_with(&sql, &opts)?;
             let sim_ms = outcome
                 .try_query_result()
                 .map_or(0.0, |r| r.cost.sim_ms);
@@ -205,6 +266,21 @@ impl EiiSystem {
         QueryScheduler {
             system: Arc::clone(self),
             pool: Scheduler::new(config),
+        }
+    }
+
+    /// A scheduler with brownout load shedding: under sustained overload the
+    /// admission token bucket sheds `Low`-priority work with a typed `shed`
+    /// error and downgrades `Normal` work to partial results, keeping
+    /// `High`-priority deadlines intact.
+    pub fn scheduler_with_brownout(
+        self: &Arc<Self>,
+        config: AdmissionConfig,
+        brownout: BrownoutConfig,
+    ) -> QueryScheduler {
+        QueryScheduler {
+            system: Arc::clone(self),
+            pool: Scheduler::new(config).with_brownout(brownout),
         }
     }
 }

@@ -44,12 +44,36 @@ pub enum EiiError {
         /// Requests actually attempted before giving up (0 when the breaker
         /// rejected the call without trying).
         attempts: usize,
+        /// Simulated milliseconds spent before giving up (0 when rejected
+        /// without trying).
+        elapsed_ms: i64,
     },
     /// A request to a source exceeded its deadline.
     Timeout {
         source: String,
         /// How long the caller waited, simulated milliseconds.
         deadline_ms: i64,
+        /// Requests actually attempted before the timeout surfaced.
+        attempts: usize,
+        /// Simulated milliseconds elapsed across all attempts.
+        elapsed_ms: i64,
+    },
+    /// The query's [`Deadline`](crate::deadline::Deadline) budget ran out.
+    DeadlineExceeded {
+        /// The budget the caller granted, simulated milliseconds.
+        budget_ms: i64,
+        /// Simulated milliseconds consumed when the budget check fired.
+        elapsed_ms: i64,
+    },
+    /// The query was cancelled cooperatively (caller gave up, or a sibling
+    /// branch failed and tore the rest of the plan down).
+    Cancelled(String),
+    /// Brownout load shedding dropped the query before it ran.
+    Shed {
+        /// Priority tier of the shed work.
+        priority: String,
+        /// Why the scheduler refused it.
+        reason: String,
     },
     /// Anything else.
     Internal(String),
@@ -74,6 +98,9 @@ impl EiiError {
             EiiError::Serde(_) => "serde",
             EiiError::SourceUnavailable { .. } => "source_unavailable",
             EiiError::Timeout { .. } => "timeout",
+            EiiError::DeadlineExceeded { .. } => "deadline",
+            EiiError::Cancelled(_) => "cancelled",
+            EiiError::Shed { .. } => "shed",
             EiiError::Internal(_) => "internal",
         }
     }
@@ -102,13 +129,33 @@ impl EiiError {
             | EiiError::Constraint(m)
             | EiiError::Serde(m)
             | EiiError::Internal(m) => m.clone(),
-            EiiError::SourceUnavailable { source, attempts } => {
-                format!("source {source} unavailable after {attempts} attempt(s)")
+            EiiError::SourceUnavailable {
+                source,
+                attempts,
+                elapsed_ms,
+            } => {
+                format!(
+                    "source {source} unavailable after {attempts} attempt(s) \
+                     ({elapsed_ms} ms elapsed)"
+                )
             }
             EiiError::Timeout {
                 source,
                 deadline_ms,
-            } => format!("request to {source} timed out after {deadline_ms} ms"),
+                attempts,
+                elapsed_ms,
+            } => format!(
+                "request to {source} timed out after {deadline_ms} ms \
+                 ({attempts} attempt(s), {elapsed_ms} ms elapsed)"
+            ),
+            EiiError::DeadlineExceeded {
+                budget_ms,
+                elapsed_ms,
+            } => format!("deadline of {budget_ms} ms exceeded ({elapsed_ms} ms consumed)"),
+            EiiError::Cancelled(reason) => format!("cancelled: {reason}"),
+            EiiError::Shed { priority, reason } => {
+                format!("shed {priority}-priority work: {reason}")
+            }
         }
     }
 }
@@ -138,18 +185,37 @@ mod tests {
         let e = EiiError::SourceUnavailable {
             source: "crm".into(),
             attempts: 3,
+            elapsed_ms: 70,
         };
         assert_eq!(e.kind(), "source_unavailable");
         assert_eq!(
             e.to_string(),
-            "source_unavailable error: source crm unavailable after 3 attempt(s)"
+            "source_unavailable error: source crm unavailable after 3 attempt(s) \
+             (70 ms elapsed)"
         );
         let t = EiiError::Timeout {
             source: "sales".into(),
             deadline_ms: 250,
+            attempts: 2,
+            elapsed_ms: 510,
         };
         assert_eq!(t.kind(), "timeout");
         assert!(t.message().contains("250 ms"));
+        assert!(t.message().contains("2 attempt(s)"));
+        assert!(t.message().contains("510 ms elapsed"));
+        let d = EiiError::DeadlineExceeded {
+            budget_ms: 100,
+            elapsed_ms: 120,
+        };
+        assert_eq!(d.kind(), "deadline");
+        assert!(d.message().contains("100 ms"));
+        assert!(d.message().contains("120 ms"));
+        let s = EiiError::Shed {
+            priority: "low".into(),
+            reason: "brownout".into(),
+        };
+        assert_eq!(s.kind(), "shed");
+        assert!(s.message().contains("low-priority"));
     }
 
     #[test]
@@ -179,10 +245,22 @@ mod tests {
             EiiError::SourceUnavailable {
                 source: String::new(),
                 attempts: 0,
+                elapsed_ms: 0,
             },
             EiiError::Timeout {
                 source: String::new(),
                 deadline_ms: 0,
+                attempts: 0,
+                elapsed_ms: 0,
+            },
+            EiiError::DeadlineExceeded {
+                budget_ms: 0,
+                elapsed_ms: 0,
+            },
+            EiiError::Cancelled(String::new()),
+            EiiError::Shed {
+                priority: String::new(),
+                reason: String::new(),
             },
             EiiError::Internal(String::new()),
         ];

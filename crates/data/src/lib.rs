@@ -10,6 +10,7 @@
 
 pub mod batch;
 pub mod clock;
+pub mod deadline;
 pub mod error;
 pub mod row;
 pub mod schema;
@@ -17,6 +18,7 @@ pub mod value;
 
 pub use batch::Batch;
 pub use clock::SimClock;
+pub use deadline::{CancelToken, Deadline, Priority};
 pub use error::{EiiError, Result};
 pub use row::Row;
 pub use schema::{DataType, Field, Schema, SchemaRef};

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use eii_data::{Result, SimClock};
+use eii_data::{CancelToken, Result, SimClock};
 use eii_obs::MetricsRegistry;
 use parking_lot::Mutex;
 
@@ -77,6 +77,9 @@ pub enum SagaOutcome {
         failed_step: String,
         stuck_compensation: String,
     },
+    /// The caller cancelled between steps; all previously completed steps
+    /// were compensated. `before_step` is the step that never started.
+    Cancelled { before_step: String },
 }
 
 /// Runs process definitions with saga semantics.
@@ -121,7 +124,29 @@ impl SagaEngine {
         def: &ProcessDef,
         env: &ProcessEnv<'_>,
     ) -> Result<(SagaOutcome, Vec<JournalEntry>)> {
-        let (outcome, journal) = self.run_steps(def, env)?;
+        self.run_inner(def, env, None)
+    }
+
+    /// Like [`SagaEngine::run`], but checks `cancel` between steps: a tripped
+    /// token stops the saga before the next step starts and compensates
+    /// every completed step in reverse order, exactly as a step failure
+    /// would — cancellation must not leave half-done side effects behind.
+    pub fn run_with_cancel(
+        &self,
+        def: &ProcessDef,
+        env: &ProcessEnv<'_>,
+        cancel: &CancelToken,
+    ) -> Result<(SagaOutcome, Vec<JournalEntry>)> {
+        self.run_inner(def, env, Some(cancel))
+    }
+
+    fn run_inner(
+        &self,
+        def: &ProcessDef,
+        env: &ProcessEnv<'_>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(SagaOutcome, Vec<JournalEntry>)> {
+        let (outcome, journal) = self.run_steps(def, env, cancel)?;
         if let Some(m) = &self.metrics {
             for entry in &journal {
                 let event = match entry.event {
@@ -137,6 +162,7 @@ impl SagaEngine {
                 SagaOutcome::Completed => "completed",
                 SagaOutcome::Compensated { .. } => "compensated",
                 SagaOutcome::Stuck { .. } => "stuck",
+                SagaOutcome::Cancelled { .. } => "cancelled",
             };
             m.inc(&format!("saga.outcome.{outcome_name}"));
         }
@@ -147,10 +173,23 @@ impl SagaEngine {
         &self,
         def: &ProcessDef,
         env: &ProcessEnv<'_>,
+        cancel: Option<&CancelToken>,
     ) -> Result<(SagaOutcome, Vec<JournalEntry>)> {
         let mut journal = Vec::new();
         let mut completed: Vec<usize> = Vec::new();
         for (i, step) in def.steps.iter().enumerate() {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                let outcome = match self.compensate(def, &completed, env, &mut journal) {
+                    Some(stuck_compensation) => SagaOutcome::Stuck {
+                        failed_step: step.name.clone(),
+                        stuck_compensation,
+                    },
+                    None => SagaOutcome::Cancelled {
+                        before_step: step.name.clone(),
+                    },
+                };
+                return Ok((outcome, journal));
+            }
             journal.push(JournalEntry {
                 at_ms: self.clock.now_ms(),
                 step: step.name.clone(),
@@ -181,56 +220,65 @@ impl SagaEngine {
                         step: step.name.clone(),
                         event: JournalEvent::Failed,
                     });
-                    // Compensate in reverse.
-                    for &j in completed.iter().rev() {
-                        let done = &def.steps[j];
-                        match &done.compensation {
-                            None => {
-                                // No compensation declared: by convention the
-                                // step is read-only / idempotent and needs
-                                // none.
-                                journal.push(JournalEntry {
-                                    at_ms: self.clock.now_ms(),
-                                    step: done.name.clone(),
-                                    event: JournalEvent::Compensated,
-                                });
-                            }
-                            Some(comp) => {
-                                self.clock.advance_ms(done.duration_ms / 2);
-                                match comp(env) {
-                                    Ok(()) => journal.push(JournalEntry {
-                                        at_ms: self.clock.now_ms(),
-                                        step: done.name.clone(),
-                                        event: JournalEvent::Compensated,
-                                    }),
-                                    Err(_) => {
-                                        journal.push(JournalEntry {
-                                            at_ms: self.clock.now_ms(),
-                                            step: done.name.clone(),
-                                            event: JournalEvent::CompensationFailed,
-                                        });
-                                        return Ok((
-                                            SagaOutcome::Stuck {
-                                                failed_step: step.name.clone(),
-                                                stuck_compensation: done.name.clone(),
-                                            },
-                                            journal,
-                                        ));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    return Ok((
-                        SagaOutcome::Compensated {
+                    let outcome = match self.compensate(def, &completed, env, &mut journal) {
+                        Some(stuck_compensation) => SagaOutcome::Stuck {
+                            failed_step: step.name.clone(),
+                            stuck_compensation,
+                        },
+                        None => SagaOutcome::Compensated {
                             failed_step: step.name.clone(),
                         },
-                        journal,
-                    ));
+                    };
+                    return Ok((outcome, journal));
                 }
             }
         }
         Ok((SagaOutcome::Completed, journal))
+    }
+
+    /// Compensate `completed` steps in reverse order, journaling each one.
+    /// Returns the name of the compensation that failed (saga stuck), or
+    /// `None` when every completed step was rolled back.
+    fn compensate(
+        &self,
+        def: &ProcessDef,
+        completed: &[usize],
+        env: &ProcessEnv<'_>,
+        journal: &mut Vec<JournalEntry>,
+    ) -> Option<String> {
+        for &j in completed.iter().rev() {
+            let done = &def.steps[j];
+            match &done.compensation {
+                None => {
+                    // No compensation declared: by convention the step is
+                    // read-only / idempotent and needs none.
+                    journal.push(JournalEntry {
+                        at_ms: self.clock.now_ms(),
+                        step: done.name.clone(),
+                        event: JournalEvent::Compensated,
+                    });
+                }
+                Some(comp) => {
+                    self.clock.advance_ms(done.duration_ms / 2);
+                    match comp(env) {
+                        Ok(()) => journal.push(JournalEntry {
+                            at_ms: self.clock.now_ms(),
+                            step: done.name.clone(),
+                            event: JournalEvent::Compensated,
+                        }),
+                        Err(_) => {
+                            journal.push(JournalEntry {
+                                at_ms: self.clock.now_ms(),
+                                step: done.name.clone(),
+                                event: JournalEvent::CompensationFailed,
+                            });
+                            return Some(done.name.clone());
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -347,6 +395,63 @@ mod tests {
         assert!(journal
             .iter()
             .any(|j| j.event == JournalEvent::CompensationFailed));
+    }
+
+    #[test]
+    fn cancellation_between_steps_compensates_completed_work() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let clock = SimClock::new();
+        let e = env(&fed, &broker, &clock);
+        let balance = Arc::new(AtomicI64::new(0));
+        let (b1, c1) = (balance.clone(), balance.clone());
+        let cancel = CancelToken::new();
+        let trip = cancel.clone();
+        let def = ProcessDef::new("p")
+            .step(
+                Step::new("reserve", move |_| {
+                    b1.fetch_add(5, Ordering::SeqCst);
+                    // The caller gives up while the saga is mid-flight.
+                    trip.cancel("user closed the request");
+                    Ok(())
+                })
+                .with_compensation(move |_| {
+                    c1.fetch_sub(5, Ordering::SeqCst);
+                    Ok(())
+                }),
+            )
+            .step(Step::new("charge", |_| {
+                panic!("a cancelled saga must not start its next step")
+            }));
+        let engine = SagaEngine::new(clock.clone());
+        let (outcome, journal) = engine.run_with_cancel(&def, &e, &cancel).unwrap();
+        assert_eq!(
+            outcome,
+            SagaOutcome::Cancelled {
+                before_step: "charge".into()
+            }
+        );
+        assert_eq!(balance.load(Ordering::SeqCst), 0, "reserve rolled back");
+        assert!(journal
+            .iter()
+            .any(|j| j.step == "reserve" && j.event == JournalEvent::Compensated));
+    }
+
+    #[test]
+    fn an_untripped_token_changes_nothing() {
+        let fed = Federation::new();
+        let broker = MessageBroker::new();
+        let clock = SimClock::new();
+        let e = env(&fed, &broker, &clock);
+        let def = ProcessDef::new("p")
+            .step(Step::new("a", |_| Ok(())).taking_ms(10))
+            .step(Step::new("b", |_| Ok(())).taking_ms(20));
+        let engine = SagaEngine::new(clock.clone());
+        let (outcome, _) = engine
+            .run_with_cancel(&def, &e, &CancelToken::new())
+            .unwrap();
+        assert_eq!(outcome, SagaOutcome::Completed);
+        assert_eq!(clock.now_ms(), 30);
     }
 
     #[test]

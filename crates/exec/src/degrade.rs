@@ -256,6 +256,7 @@ mod tests {
             EiiError::SourceUnavailable {
                 source: "crm".into(),
                 attempts: 3,
+                elapsed_ms: 70,
             },
         )
         .unwrap();

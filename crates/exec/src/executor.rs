@@ -4,9 +4,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use eii_data::{Batch, EiiError, Result, Row, SchemaRef, Value};
+use eii_data::{Batch, CancelToken, EiiError, Result, Row, SchemaRef, Value};
 use eii_expr::{bind, BoundExpr, Expr};
-use eii_federation::{Federation, QueryCost, SourceQuery};
+use eii_federation::{Federation, QueryCost, RequestCtx, SourceQuery};
 use eii_obs::MetricsRegistry;
 use eii_planner::{JoinSite, PhysicalPlan};
 use eii_sql::JoinKind;
@@ -19,6 +19,56 @@ use crate::profile::OperatorProfile;
 /// Simulated ms to open a local materialization (mirrors the planner's
 /// estimate for the chosen `MatViewScan` alternative).
 const MATVIEW_OPEN_MS: f64 = 0.05;
+
+/// The cancel reason the executor's internal abort token carries when one
+/// parallel branch of the plan fails and the siblings are torn down. Errors
+/// with this reason are collateral, not root causes, so error selection
+/// prefers any other error over them.
+const SIBLING_ABORT: &str = "sibling branch failed";
+
+/// When and how the executor hedges a source fetch: once a source's observed
+/// mean per-request latency crosses `threshold_ms`, plain scans against it
+/// issue a deterministic backup request `delay_ms` (simulated) after the
+/// primary and answer with whichever returns first on the virtual timeline
+/// ([`eii_federation::SourceHandle::query_hedged`]). Hedging trades bytes
+/// for tail latency: the loser's traffic is still charged in full.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Observed mean per-request latency (simulated ms) above which fetches
+    /// from a source are hedged.
+    pub threshold_ms: f64,
+    /// How long after the primary the backup fires, simulated ms.
+    pub delay_ms: f64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy {
+            threshold_ms: 50.0,
+            delay_ms: 5.0,
+        }
+    }
+}
+
+/// Errors that must abort the query rather than be absorbed by the
+/// degradation policy: the caller cancelled, the scheduler shed the query,
+/// or the deadline ran out — serving a stale snapshot then would be lying.
+fn is_abortive(err: &EiiError) -> bool {
+    matches!(err.kind(), "cancelled" | "deadline" | "shed")
+}
+
+/// Between two failed parallel branches, pick the root cause: an error that
+/// is merely the sibling-abort echo loses to the error that tripped it, so
+/// the surfaced error does not depend on which worker thread ran first.
+fn prefer_root_cause(first: EiiError, second: EiiError) -> EiiError {
+    let collateral =
+        |e: &EiiError| matches!(e, EiiError::Cancelled(reason) if reason == SIBLING_ABORT);
+    if collateral(&first) && !collateral(&second) {
+        second
+    } else {
+        first
+    }
+}
 
 /// The result of executing a plan: rows, simulated cost, and real wall time.
 #[derive(Debug, Clone)]
@@ -66,6 +116,13 @@ pub struct Executor<'a> {
     ops: Mutex<Vec<OpRecord>>,
     /// Partition-parallel scan fan-out per source scan (1 = serial).
     scan_partitions: usize,
+    /// Caller-supplied request context (deadline budget + cancel token).
+    base_ctx: RequestCtx,
+    /// The effective context of the running query: `base_ctx` plus a fresh
+    /// internal abort token, rebuilt at the top of every `execute`.
+    run_ctx: Mutex<RequestCtx>,
+    /// Tail-latency hedging policy for plain source scans, when enabled.
+    hedge: Option<HedgePolicy>,
 }
 
 impl<'a> Executor<'a> {
@@ -84,7 +141,24 @@ impl<'a> Executor<'a> {
             metrics: None,
             ops: Mutex::new(Vec::new()),
             scan_partitions: 1,
+            base_ctx: RequestCtx::new(),
+            run_ctx: Mutex::new(RequestCtx::new()),
+            hedge: None,
         }
+    }
+
+    /// Attach the request context every source interaction runs under: its
+    /// deadline shrinks as fetches are charged against it, and its cancel
+    /// token stops the plan at the next operator or batch boundary.
+    pub fn with_request_ctx(mut self, ctx: RequestCtx) -> Self {
+        self.base_ctx = ctx;
+        self
+    }
+
+    /// Enable tail-latency hedging for plain source scans.
+    pub fn with_hedging(mut self, policy: HedgePolicy) -> Self {
+        self.hedge = Some(policy);
+        self
     }
 
     /// Fan each source scan out into `n` partition-parallel workers,
@@ -135,6 +209,11 @@ impl<'a> Executor<'a> {
         let start = Instant::now();
         self.degraded.lock().expect("degraded lock").clear();
         self.ops.lock().expect("ops lock").clear();
+        // A fresh internal abort token per run: a failed branch in THIS
+        // query must not tear down the next one.
+        let ctx = self.base_ctx.clone().with_abort(CancelToken::new());
+        ctx.check()?;
+        *self.run_ctx.lock().expect("ctx lock") = ctx;
         let (batch, cost) = self.run(plan)?;
         let degraded = std::mem::take(&mut *self.degraded.lock().expect("degraded lock"));
         let profile = if self.instrument {
@@ -196,13 +275,78 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// The running query's effective request context.
+    fn ctx(&self) -> RequestCtx {
+        self.run_ctx.lock().expect("ctx lock").clone()
+    }
+
+    /// Trip the internal abort token when a parallel branch died with an
+    /// *abortive* error (deadline, shed), so sibling branches stop at their
+    /// next check instead of scanning to completion for an answer nobody
+    /// will see. Plain source failures deliberately do NOT tear siblings
+    /// down: degradation policies may still salvage the sibling answers,
+    /// and racing a cancel against a sibling's next seeded fault draw would
+    /// make the per-source fault-dice stream depend on thread timing —
+    /// breaking bit-identical replay. Sibling-abort echoes (plain
+    /// `Cancelled`) don't re-trip; the root cause already did.
+    fn trip_abort_on_err(&self, res: &Result<(Batch, QueryCost)>) {
+        if let Err(err) = res {
+            if is_abortive(err) && !matches!(err, EiiError::Cancelled(_)) {
+                if let Some(abort) = &self.ctx().abort {
+                    abort.cancel(SIBLING_ABORT);
+                }
+            }
+        }
+    }
+
+    /// Hedge a fetch from `source`? Only when a policy is set and the
+    /// source's observed mean per-request latency has crossed its threshold.
+    fn should_hedge(&self, source: &str) -> Option<HedgePolicy> {
+        let policy = self.hedge?;
+        let t = self.federation.ledger().traffic(source);
+        if t.requests > 0 && t.sim_ms / t.requests as f64 >= policy.threshold_ms {
+            Some(policy)
+        } else {
+            None
+        }
+    }
+
+    /// One component fetch, hedged when [`Executor::should_hedge`] says the
+    /// source looks slow. Used by every shipping fetch path (plain scans and
+    /// bind joins) so a hedge can also rescue a transient primary failure.
+    fn fetch_maybe_hedged(
+        &self,
+        handle: &eii_federation::SourceHandle,
+        query: &SourceQuery,
+        source: &str,
+    ) -> Result<(Batch, QueryCost)> {
+        let ctx = self.ctx();
+        match self.should_hedge(source) {
+            Some(policy) => handle
+                .query_hedged(query, &ctx, policy.delay_ms)
+                .map(|(batch, cost, outcome)| {
+                    if let Some(m) = &self.metrics {
+                        m.inc("hedge.fired");
+                        if outcome.backup_won {
+                            m.inc("hedge.backup_wins");
+                        }
+                    }
+                    (batch, cost)
+                }),
+            None => handle.query_ctx(query, &ctx),
+        }
+    }
+
     fn run(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryCost)> {
         self.run_node(plan, Vec::new())
     }
 
     /// Run one operator, recording its measurements under its path from the
-    /// plan root when instrumentation is on.
+    /// plan root when instrumentation is on. Every operator boundary is a
+    /// cancellation point: a cancelled, aborted, or out-of-budget query
+    /// stops here instead of starting more work.
     fn run_node(&self, plan: &PhysicalPlan, path: Vec<usize>) -> Result<(Batch, QueryCost)> {
+        self.ctx().check()?;
         if !self.instrument {
             return self.run_inner(plan, &path);
         }
@@ -232,12 +376,13 @@ impl<'a> Executor<'a> {
                     && matches!(handle.wire_format(), eii_federation::WireFormat::Native)
                     && handle.connector().supports_partitioned_scans();
                 let answer = if partitioned {
-                    handle.query_partitioned(query, partitions)
+                    handle.query_partitioned_ctx(query, partitions, &self.ctx())
                 } else {
-                    handle.query(query)
+                    self.fetch_maybe_hedged(&handle, query, source)
                 };
                 let (batch, cost) = match answer {
                     Ok(ok) => ok,
+                    Err(err) if is_abortive(&err) => return Err(err),
                     Err(err) => self.degrade_source(source, query, schema, err)?,
                 };
                 // Re-tag with the alias-qualified schema.
@@ -437,8 +582,9 @@ impl<'a> Executor<'a> {
                 } else {
                     let mut q = template.clone();
                     q.bindings = vec![(bind_column.clone(), values)];
-                    match handle.query(&q) {
+                    match self.fetch_maybe_hedged(&handle, &q, source) {
                         Ok(ok) => ok,
+                        Err(err) if is_abortive(&err) => return Err(err),
                         Err(err) => self.degrade_source(source, &q, right_schema, err)?,
                     }
                 };
@@ -615,20 +761,45 @@ impl<'a> Executor<'a> {
                 schema,
             } => {
                 let results: Vec<(Batch, QueryCost)> = if *parallel {
-                    std::thread::scope(|s| {
-                        let handles: Vec<_> = inputs
-                            .iter()
-                            .enumerate()
-                            .map(|(i, p)| {
-                                let cp = child_path(path, i);
-                                s.spawn(move || self.run_node(p, cp))
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().map_err(panic_err)?)
-                            .collect::<Result<Vec<_>>>()
-                    })?
+                    let branch_results: Vec<Result<(Batch, QueryCost)>> =
+                        std::thread::scope(|s| {
+                            let handles: Vec<_> = inputs
+                                .iter()
+                                .enumerate()
+                                .map(|(i, p)| {
+                                    let cp = child_path(path, i);
+                                    s.spawn(move || {
+                                        let r = self.run_node(p, cp);
+                                        self.trip_abort_on_err(&r);
+                                        r
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().map_err(panic_err))
+                                .collect::<Result<Vec<_>>>()
+                        })?;
+                    // Surface the root cause, not a sibling-abort echo: in
+                    // input order, the first real error wins regardless of
+                    // which worker thread happened to fail first.
+                    let mut first_err: Option<EiiError> = None;
+                    let mut oks = Vec::with_capacity(branch_results.len());
+                    for r in branch_results {
+                        match r {
+                            Ok(v) => oks.push(v),
+                            Err(e) => {
+                                first_err = Some(match first_err {
+                                    None => e,
+                                    Some(prev) => prefer_root_cause(prev, e),
+                                })
+                            }
+                        }
+                    }
+                    if let Some(e) = first_err {
+                        return Err(e);
+                    }
+                    oks
                 } else {
                     inputs
                         .iter()
@@ -665,11 +836,23 @@ impl<'a> Executor<'a> {
         let (lp, rp) = (child_path(path, 0), child_path(path, 1));
         if parallel {
             std::thread::scope(|s| {
-                let lh = s.spawn(move || self.run_node(left, lp));
-                let rh = s.spawn(move || self.run_node(right, rp));
-                let l = lh.join().map_err(panic_err)??;
-                let r = rh.join().map_err(panic_err)??;
-                Ok((l, r))
+                let lh = s.spawn(move || {
+                    let r = self.run_node(left, lp);
+                    self.trip_abort_on_err(&r);
+                    r
+                });
+                let rh = s.spawn(move || {
+                    let r = self.run_node(right, rp);
+                    self.trip_abort_on_err(&r);
+                    r
+                });
+                let l = lh.join().map_err(panic_err)?;
+                let r = rh.join().map_err(panic_err)?;
+                match (l, r) {
+                    (Ok(l), Ok(r)) => Ok((l, r)),
+                    (Err(le), Err(re)) => Err(prefer_root_cause(le, re)),
+                    (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
+                }
             })
         } else {
             Ok((self.run_node(left, lp)?, self.run_node(right, rp)?))
@@ -719,8 +902,9 @@ impl<'a> Executor<'a> {
                 };
                 let handle = self.federation.source(source)?;
                 let (site_batch, site_cost, site_live) =
-                    match handle.query_staying_local(query) {
+                    match handle.query_staying_local_ctx(query, &self.ctx()) {
                         Ok((b, c)) => (b, c, true),
+                        Err(err) if is_abortive(&err) => return Err(err),
                         Err(err) => {
                             let (b, c) =
                                 self.degrade_source(source, query, site_schema, err)?;

@@ -19,6 +19,9 @@ pub use cache::{
     adapt_batch, CacheConfig, CacheLookup, CachedResult, MatViewStore, ResultCache,
 };
 pub use degrade::{apply_source_query, DegradationPolicy, FallbackStore, SourceReport};
-pub use executor::{Executor, QueryResult};
+pub use executor::{Executor, HedgePolicy, QueryResult};
 pub use profile::OperatorProfile;
-pub use scheduler::{AdmissionConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats};
+pub use scheduler::{
+    AdmissionConfig, BrownoutConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats,
+    ShedDecision,
+};

@@ -5,11 +5,11 @@
 use std::sync::Arc;
 
 use eii_catalog::Catalog;
-use eii_data::{row, DataType, Field, Result, Row, Schema, SimClock};
-use eii_exec::{DegradationPolicy, Executor, FallbackStore};
+use eii_data::{row, CancelToken, DataType, Deadline, Field, Result, Row, Schema, SimClock};
+use eii_exec::{DegradationPolicy, Executor, FallbackStore, HedgePolicy};
 use eii_federation::{
     CircuitBreakerConfig, Connector, FaultProfile, Federation, LinkProfile,
-    RelationalConnector, RetryPolicy, SourceAnswer, SourceQuery, WireFormat,
+    RelationalConnector, RequestCtx, RetryPolicy, SourceAnswer, SourceQuery, WireFormat,
 };
 use eii_planner::{plan_query, PlannerConfig};
 use eii_sql::parse_query;
@@ -219,6 +219,60 @@ impl Connector for PanickingConnector {
     fn execute(&self, _query: &SourceQuery) -> Result<SourceAnswer> {
         panic!("haywire wrapper bug: lost connection state");
     }
+}
+
+#[test]
+fn a_cancelled_query_never_reaches_the_sources() {
+    let clock = SimClock::new();
+    let fed = federation(&clock);
+    let cancel = CancelToken::new();
+    cancel.cancel("caller navigated away");
+    let exec = Executor::new(&fed).with_request_ctx(RequestCtx::new().with_cancel(cancel));
+    let err = run(&fed, &exec, JOIN_SQL).unwrap_err();
+    assert_eq!(err.kind(), "cancelled");
+    assert!(err.message().contains("caller navigated away"));
+    assert_eq!(fed.ledger().total().requests, 0, "no fetch was issued");
+}
+
+#[test]
+fn a_blown_deadline_fails_the_query_instead_of_degrading() {
+    let clock = SimClock::new();
+    let fed = federation(&clock);
+    let store = FallbackStore::new();
+    snapshot_all(&fed, &store);
+    // A budget far below one WAN round trip: the first fetch's charge blows
+    // it. Degradation must NOT swallow that into a stale answer.
+    fed.set_scan_speed("crm", 10.0).unwrap();
+    let deadline = Deadline::new(clock.clone(), 1);
+    let exec = Executor::new(&fed)
+        .with_degradation(DegradationPolicy::Fallback, store)
+        .with_request_ctx(RequestCtx::new().with_deadline(deadline.clone()));
+    let err = run(&fed, &exec, JOIN_SQL).unwrap_err();
+    assert_eq!(err.kind(), "deadline");
+    assert!(deadline.expired());
+}
+
+#[test]
+fn hedging_fires_once_a_source_looks_slow_and_keeps_results_identical() {
+    let clock = SimClock::new();
+    let fed = federation(&clock);
+    let sql = "SELECT name FROM crm.customers WHERE id < 5";
+
+    let plain = Executor::new(&fed);
+    let expect = run(&fed, &plain, sql).unwrap();
+
+    let hedged = Executor::new(&fed).with_hedging(HedgePolicy {
+        threshold_ms: 0.01,
+        delay_ms: 0.5,
+    });
+    // The first run recorded crm's observed latency, so this one hedges.
+    let got = run(&fed, &hedged, sql).unwrap();
+    assert_eq!(got.batch.rows(), expect.batch.rows(), "identical answers");
+    assert_eq!(fed.ledger().traffic("crm").hedges, 1);
+    assert!(
+        got.cost.bytes > expect.cost.bytes,
+        "the losing request's bytes are charged"
+    );
 }
 
 #[test]

@@ -75,6 +75,7 @@ mod tests {
                 failures: 2,
                 retries: 1,
                 bytes_saved: 0,
+                hedges: 0,
             },
             breaker,
             last_error: Some("injected fault: crm refused the request".into()),

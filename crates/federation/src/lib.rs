@@ -26,6 +26,7 @@
 pub mod adapters;
 pub mod capability;
 pub mod connector;
+pub mod ctx;
 pub mod dialect;
 pub mod health;
 pub mod net;
@@ -38,13 +39,14 @@ pub use adapters::relational::RelationalConnector;
 pub use adapters::webservice::WebServiceConnector;
 pub use capability::{BindingPattern, SourceCapabilities};
 pub use connector::{Connector, SourceAnswer, SourceQuery, UpdateOp, UpdateResult};
+pub use ctx::{current_ctx, with_request_ctx, RequestCtx};
 pub use dialect::Dialect;
 pub use net::{
     FaultDecision, FaultInjector, FaultProfile, FaultyConnector, LinkProfile, QueryCost,
     SourceTraffic, TransferLedger, WireFormat,
 };
 pub use health::SourceHealth;
-pub use registry::{Federation, SourceHandle};
+pub use registry::{Federation, HedgeOutcome, SourceHandle};
 pub use resilience::{
     BreakerState, BreakerStatus, CircuitBreaker, CircuitBreakerConfig, ResilientConnector,
     RetryPolicy,

@@ -134,6 +134,10 @@ pub struct SourceTraffic {
     /// not, because a materialized view or the semantic result cache
     /// answered instead.
     pub bytes_saved: usize,
+    /// Backup (hedged) requests launched against this source. The losing
+    /// fetch's bytes and requests are in the plain counters — hedging pays
+    /// real traffic for latency — this counts how often it fired.
+    pub hedges: usize,
 }
 
 /// A shared ledger recording all traffic by source name. Cloning shares the
@@ -169,6 +173,11 @@ impl TransferLedger {
         self.inner.lock().entry(source.to_string()).or_default().retries += 1;
     }
 
+    /// Record one hedged (backup) request launched against `source`.
+    pub fn record_hedge(&self, source: &str) {
+        self.inner.lock().entry(source.to_string()).or_default().hedges += 1;
+    }
+
     /// Record bytes a query avoided shipping from `source` (served from a
     /// materialized view or the result cache instead of the live source).
     /// These bytes do NOT count toward [`SourceTraffic::bytes`].
@@ -197,6 +206,7 @@ impl TransferLedger {
                 failures: a.failures + b.failures,
                 retries: a.retries + b.retries,
                 bytes_saved: a.bytes_saved + b.bytes_saved,
+                hedges: a.hedges + b.hedges,
             }
         })
     }
@@ -220,8 +230,10 @@ impl TransferLedger {
 //
 // Sources in a real enterprise go away: machines reboot, WANs partition,
 // engines hang. The fault layer makes that observable and *deterministic* —
-// a seeded RNG decides each request's fate, and transient outages are
-// windows on the simulated clock, so every experiment replays exactly.
+// content-addressed dice (a pure function of profile seed, request
+// fingerprint, and attempt number) decide each request's fate, and
+// transient outages are windows on the simulated clock, so every
+// experiment replays exactly, even with branches racing in parallel.
 
 use eii_data::{EiiError, Result, SimClock};
 use rand::rngs::StdRng;
@@ -296,6 +308,12 @@ impl FaultProfile {
         self
     }
 
+    /// Reseed the fault dice (same profile + seed → same fault sequence).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// True if `now_ms` falls inside an outage window.
     pub fn in_outage(&self, now_ms: i64) -> bool {
         self.outages.iter().any(|&(s, e)| now_ms >= s && now_ms < e)
@@ -313,18 +331,38 @@ pub enum FaultDecision {
     Timeout,
 }
 
+/// Mix (seed, fingerprint, attempt) into one word — a splitmix64-style
+/// finalizer, so nearby inputs land far apart in roll space.
+fn mix3(seed: u64, fingerprint: u64, attempt: u64) -> u64 {
+    let mut x = seed ^ fingerprint.rotate_left(25) ^ attempt.rotate_left(47);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Rolls the dice for each request against a [`FaultProfile`].
+///
+/// Rolls are **content-addressed**, not drawn from one sequential stream:
+/// a request's fate is a pure function of `(profile seed, request
+/// fingerprint, per-fingerprint attempt number)`. Concurrent requests —
+/// parallel plan branches, racing partition fetches — therefore get the
+/// same fates regardless of which thread asks first, which is what keeps
+/// chaos traces bit-identical under real parallelism. Retries of the same
+/// request advance its private attempt counter, so backoff still heals.
 #[derive(Debug)]
 pub struct FaultInjector {
     profile: FaultProfile,
-    rng: Mutex<StdRng>,
+    attempts: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl FaultInjector {
     /// Injector for the given profile.
     pub fn new(profile: FaultProfile) -> Self {
-        let rng = Mutex::new(StdRng::seed_from_u64(profile.seed));
-        FaultInjector { profile, rng }
+        FaultInjector {
+            profile,
+            attempts: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// The profile this injector rolls against.
@@ -332,11 +370,14 @@ impl FaultInjector {
         &self.profile
     }
 
-    /// Decide the fate of one request issued at simulated time `now_ms`.
+    /// Decide the fate of one request issued at simulated time `now_ms`,
+    /// where `fingerprint` identifies the request's content (same query,
+    /// same fingerprint; retries share it and are sequenced by an attempt
+    /// counter).
     ///
     /// Outage windows override the dice (and do not consume a roll), so
     /// retry behavior around an outage is independent of its timing.
-    pub fn decide(&self, now_ms: i64) -> FaultDecision {
+    pub fn decide(&self, now_ms: i64, fingerprint: u64) -> FaultDecision {
         if self.profile.in_outage(now_ms) {
             return FaultDecision::Fail;
         }
@@ -344,7 +385,15 @@ impl FaultInjector {
         if p.fail_prob <= 0.0 && p.timeout_prob <= 0.0 && p.spike_prob <= 0.0 {
             return FaultDecision::Deliver { extra_ms: 0 };
         }
-        let roll: f64 = self.rng.lock().gen_range(0.0..1.0);
+        let attempt = {
+            let mut attempts = self.attempts.lock();
+            let n = attempts.entry(fingerprint).or_insert(0);
+            let a = *n;
+            *n += 1;
+            a
+        };
+        let roll: f64 = StdRng::seed_from_u64(mix3(p.seed, fingerprint, attempt))
+            .gen_range(0.0..1.0);
         if roll < p.fail_prob {
             FaultDecision::Fail
         } else if roll < p.fail_prob + p.timeout_prob {
@@ -357,6 +406,20 @@ impl FaultInjector {
             FaultDecision::Deliver { extra_ms: 0 }
         }
     }
+}
+
+/// Stable fingerprint of a request's content: FNV-1a over its `Debug`
+/// rendering. Identical requests (e.g. a retry of the same pushed-down
+/// query) share a fingerprint; any difference in table, filters, bindings,
+/// or limit separates them, so each distinct request rolls independent
+/// fault dice no matter what order threads issue them in.
+fn request_fingerprint(request: &impl std::fmt::Debug) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in format!("{request:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// A connector wrapper that subjects every `execute`/`update` to a
@@ -391,8 +454,15 @@ impl FaultyConnector {
         &self.inner
     }
 
-    fn gate(&self) -> Result<i64> {
-        match self.injector.decide(self.clock.now_ms()) {
+    fn gate(&self, fingerprint: u64) -> Result<i64> {
+        // A cancelled or out-of-budget query never reaches the source; that
+        // is a caller decision, not a source failure, so nothing is rolled
+        // and nothing is recorded against the source.
+        let ctx = crate::ctx::current_ctx();
+        if let Some(ctx) = &ctx {
+            ctx.check()?;
+        }
+        match self.injector.decide(self.clock.now_ms(), fingerprint) {
             FaultDecision::Deliver { extra_ms } => Ok(extra_ms),
             FaultDecision::Fail => {
                 self.ledger.record_failure(self.inner.name());
@@ -403,12 +473,21 @@ impl FaultyConnector {
             }
             FaultDecision::Timeout => {
                 let deadline = self.injector.profile().deadline_ms;
-                // The caller waits out its full deadline before giving up.
-                self.clock.advance_ms(deadline);
+                // The caller waits out its full per-request deadline — or
+                // only its remaining query budget, whichever runs out first
+                // (a shrinking sub-budget: no point waiting on a hung
+                // request past the point the whole query is already late).
+                let wait = match ctx.as_ref().and_then(|c| c.remaining_ms()) {
+                    Some(remaining) => deadline.min(remaining),
+                    None => deadline,
+                };
+                self.clock.advance_ms(wait);
                 self.ledger.record_failure(self.inner.name());
                 Err(EiiError::Timeout {
                     source: self.inner.name().to_string(),
                     deadline_ms: deadline,
+                    attempts: 1,
+                    elapsed_ms: wait,
                 })
             }
         }
@@ -441,7 +520,7 @@ impl Connector for FaultyConnector {
     }
 
     fn execute(&self, query: &SourceQuery) -> Result<SourceAnswer> {
-        let extra_ms = self.gate()?;
+        let extra_ms = self.gate(request_fingerprint(&query))?;
         if extra_ms > 0 {
             self.clock.advance_ms(extra_ms);
         }
@@ -449,7 +528,7 @@ impl Connector for FaultyConnector {
     }
 
     fn update(&self, op: &UpdateOp) -> Result<UpdateResult> {
-        let extra_ms = self.gate()?;
+        let extra_ms = self.gate(request_fingerprint(&op))?;
         if extra_ms > 0 {
             self.clock.advance_ms(extra_ms);
         }
@@ -461,7 +540,7 @@ impl Connector for FaultyConnector {
         table: &str,
         after_seq: u64,
     ) -> Result<(Vec<eii_storage::Change>, u64)> {
-        let extra_ms = self.gate()?;
+        let extra_ms = self.gate(request_fingerprint(&(table, after_seq)))?;
         if extra_ms > 0 {
             self.clock.advance_ms(extra_ms);
         }
@@ -561,6 +640,16 @@ mod tests {
     }
 
     #[test]
+    fn ledger_counts_hedges() {
+        let ledger = TransferLedger::new();
+        ledger.record_hedge("crm");
+        ledger.record_hedge("crm");
+        assert_eq!(ledger.traffic("crm").hedges, 2);
+        assert_eq!(ledger.total().hedges, 2);
+        assert_eq!(ledger.traffic("crm").requests, 0, "hedge count is separate");
+    }
+
+    #[test]
     fn ledger_tracks_saved_bytes_separately() {
         let ledger = TransferLedger::new();
         ledger.record("crm", 100, 2, 5.0);
@@ -577,7 +666,7 @@ mod tests {
             let inj = FaultInjector::new(
                 FaultProfile::failing(0.3, seed).with_timeouts(0.2, 100),
             );
-            (0..50).map(|_| inj.decide(0)).collect()
+            (0..50).map(|fp| inj.decide(0, fp)).collect()
         };
         assert_eq!(run(9), run(9), "same seed, same fault sequence");
         assert_ne!(run(9), run(10), "different seeds diverge");
@@ -589,11 +678,36 @@ mod tests {
     }
 
     #[test]
+    fn fault_rolls_are_independent_of_draw_order() {
+        // Concurrent branches may ask in any order; each request's fate
+        // must not depend on who rolled first.
+        let make = || FaultInjector::new(FaultProfile::failing(0.5, 42));
+        let forward = make();
+        let a1 = forward.decide(0, 7);
+        let b1 = forward.decide(0, 8);
+        let reversed = make();
+        let b2 = reversed.decide(0, 8);
+        let a2 = reversed.decide(0, 7);
+        assert_eq!(a1, a2, "request 7's fate is order-independent");
+        assert_eq!(b1, b2, "request 8's fate is order-independent");
+        // Retries of the SAME request advance its private attempt counter.
+        let retry = make();
+        let rolls: Vec<_> = (0..20).map(|_| retry.decide(0, 7)).collect();
+        assert!(
+            rolls.contains(&FaultDecision::Fail)
+                && rolls
+                    .iter()
+                    .any(|d| matches!(d, FaultDecision::Deliver { .. })),
+            "repeated attempts at p=0.5 must mix outcomes: {rolls:?}"
+        );
+    }
+
+    #[test]
     fn outage_windows_override_the_dice() {
         let inj = FaultInjector::new(FaultProfile::none().with_outage(100, 200));
-        assert_eq!(inj.decide(99), FaultDecision::Deliver { extra_ms: 0 });
-        assert_eq!(inj.decide(100), FaultDecision::Fail);
-        assert_eq!(inj.decide(199), FaultDecision::Fail);
-        assert_eq!(inj.decide(200), FaultDecision::Deliver { extra_ms: 0 });
+        assert_eq!(inj.decide(99, 0), FaultDecision::Deliver { extra_ms: 0 });
+        assert_eq!(inj.decide(100, 0), FaultDecision::Fail);
+        assert_eq!(inj.decide(199, 0), FaultDecision::Fail);
+        assert_eq!(inj.decide(200, 0), FaultDecision::Deliver { extra_ms: 0 });
     }
 }

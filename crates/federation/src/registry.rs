@@ -10,9 +10,19 @@ use eii_storage::TableStats;
 use parking_lot::RwLock;
 
 use crate::connector::{Connector, SourceQuery, UpdateOp, UpdateResult};
+use crate::ctx::{with_request_ctx, RequestCtx};
 use crate::health::SourceHealth;
 use crate::net::{FaultProfile, FaultyConnector, LinkProfile, QueryCost, TransferLedger, WireFormat};
 use crate::resilience::{CircuitBreakerConfig, ResilientConnector, RetryPolicy};
+
+/// What a hedged fetch ([`SourceHandle::query_hedged`]) actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HedgeOutcome {
+    /// A backup request was launched.
+    pub fired: bool,
+    /// The backup's answer won the race (arrived before the primary's).
+    pub backup_won: bool,
+}
 
 /// A registered source: connector + link + wire format.
 #[derive(Clone)]
@@ -68,6 +78,82 @@ impl SourceHandle {
         Ok((ans.batch, cost))
     }
 
+    /// [`SourceHandle::query`] under a request context: the fetch is skipped
+    /// when the query is already cancelled or out of budget, the context is
+    /// visible to the fault/resilience wrappers (so a hung request waits
+    /// only the remaining budget and a retry loop stops when cancelled), and
+    /// the fetch's simulated cost is charged against the deadline.
+    pub fn query_ctx(&self, q: &SourceQuery, ctx: &RequestCtx) -> Result<(Batch, QueryCost)> {
+        if ctx.is_empty() {
+            return self.query(q);
+        }
+        ctx.check()?;
+        let (batch, cost) = with_request_ctx(ctx, || self.query(q))?;
+        if let Some(deadline) = &ctx.deadline {
+            deadline.charge(cost.sim_ms);
+            deadline.check()?;
+        }
+        Ok((batch, cost))
+    }
+
+    /// A hedged fetch: issue the primary request and a deterministic backup
+    /// `delay_ms` (simulated) later, and answer with whichever returns
+    /// first on the virtual timeline. Both requests really run — the
+    /// loser's bytes, rows, and round trips are charged to the ledger
+    /// exactly as any other fetch (hedging buys latency with traffic) and
+    /// the hedge itself is counted via [`TransferLedger::record_hedge`].
+    /// The race is resolved on simulated time, so the winner — and the
+    /// combined cost — replays identically across runs.
+    ///
+    /// A hedge also papers over a transient fault: if one of the two
+    /// requests fails, the surviving answer is used.
+    pub fn query_hedged(
+        &self,
+        q: &SourceQuery,
+        ctx: &RequestCtx,
+        delay_ms: f64,
+    ) -> Result<(Batch, QueryCost, HedgeOutcome)> {
+        ctx.check()?;
+        let primary = with_request_ctx(ctx, || self.query(q));
+        self.ledger.record_hedge(self.connector.name());
+        let backup = with_request_ctx(ctx, || self.query(q));
+        let outcome = |backup_won| HedgeOutcome {
+            fired: true,
+            backup_won,
+        };
+        let (batch, cost, out) = match (primary, backup) {
+            (Ok((pb, pc)), Ok((bb, bc))) => {
+                // Both answered: the race is decided on virtual time. The
+                // loser's volumes still count — those bytes really moved.
+                let backup_arrival = delay_ms + bc.sim_ms;
+                let backup_won = backup_arrival < pc.sim_ms;
+                let combined = QueryCost {
+                    sim_ms: pc.sim_ms.min(backup_arrival),
+                    bytes: pc.bytes + bc.bytes,
+                    rows_shipped: pc.rows_shipped + bc.rows_shipped,
+                    rows_scanned: pc.rows_scanned + bc.rows_scanned,
+                    requests: pc.requests + bc.requests,
+                };
+                let batch = if backup_won { bb } else { pb };
+                (batch, combined, outcome(backup_won))
+            }
+            (Err(_), Ok((bb, bc))) => {
+                let cost = QueryCost {
+                    sim_ms: delay_ms + bc.sim_ms,
+                    ..bc
+                };
+                (bb, cost, outcome(true))
+            }
+            (Ok((pb, pc)), Err(_)) => (pb, pc, outcome(false)),
+            (Err(pe), Err(_)) => return Err(pe),
+        };
+        if let Some(deadline) = &ctx.deadline {
+            deadline.charge(cost.sim_ms);
+            deadline.check()?;
+        }
+        Ok((batch, cost, out))
+    }
+
     /// Record shipped bytes and round trips as per-source counters.
     fn note_traffic(&self, bytes: usize, requests: usize) {
         let name = self.connector.name();
@@ -95,6 +181,25 @@ impl SourceHandle {
             .record(self.connector.name(), 0, 0, sim_ms);
         self.note_traffic(0, ans.calls);
         Ok((ans.batch, cost))
+    }
+
+    /// [`SourceHandle::query_staying_local`] under a request context: same
+    /// skip/visibility/charging semantics as [`SourceHandle::query_ctx`].
+    pub fn query_staying_local_ctx(
+        &self,
+        q: &SourceQuery,
+        ctx: &RequestCtx,
+    ) -> Result<(Batch, QueryCost)> {
+        if ctx.is_empty() {
+            return self.query_staying_local(q);
+        }
+        ctx.check()?;
+        let (batch, cost) = with_request_ctx(ctx, || self.query_staying_local(q))?;
+        if let Some(deadline) = &ctx.deadline {
+            deadline.charge(cost.sim_ms);
+            deadline.check()?;
+        }
+        Ok((batch, cost))
     }
 
     /// Charge a shipment of `batch` across this source's link (used when an
@@ -131,12 +236,34 @@ impl SourceHandle {
         q: &SourceQuery,
         partitions: usize,
     ) -> Result<(Batch, QueryCost)> {
+        self.query_partitioned_ctx(q, partitions, &RequestCtx::new())
+    }
+
+    /// [`SourceHandle::query_partitioned`] under a request context. The
+    /// context is installed inside every partition worker, so each sibling
+    /// scan checks for cancellation before it issues its request — the
+    /// moment the query is cancelled or a parallel branch fails, the
+    /// remaining partitions stop instead of scanning to completion.
+    pub fn query_partitioned_ctx(
+        &self,
+        q: &SourceQuery,
+        partitions: usize,
+        ctx: &RequestCtx,
+    ) -> Result<(Batch, QueryCost)> {
         if partitions <= 1 {
-            return self.query(q);
+            return self.query_ctx(q, ctx);
         }
+        ctx.check()?;
         let answers: Vec<crate::connector::SourceAnswer> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..partitions)
-                .map(|part| s.spawn(move || self.connector.execute_partition(q, part, partitions)))
+                .map(|part| {
+                    s.spawn(move || {
+                        with_request_ctx(ctx, || {
+                            ctx.check()?;
+                            self.connector.execute_partition(q, part, partitions)
+                        })
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -178,6 +305,10 @@ impl SourceHandle {
         let schema = schema.ok_or_else(|| {
             EiiError::Execution("partitioned scan produced no partitions".into())
         })?;
+        if let Some(deadline) = &ctx.deadline {
+            deadline.charge(total.sim_ms);
+            deadline.check()?;
+        }
         Ok((Batch::new(schema, rows), total))
     }
 
@@ -521,9 +652,131 @@ mod tests {
             eii_data::EiiError::Timeout {
                 source: "crm".into(),
                 deadline_ms: 500,
+                attempts: 1,
+                elapsed_ms: 500,
             }
         );
         assert_eq!(fed.clock().now_ms(), 500);
+    }
+
+    #[test]
+    fn a_deadline_caps_the_wait_on_a_hung_request() {
+        let fed = federation();
+        fed.inject_faults("crm", FaultProfile::none().with_timeouts(1.0, 500))
+            .unwrap();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        // 120 ms of budget: the hung request is abandoned there, not at the
+        // full 500 ms per-request deadline.
+        let deadline = eii_data::Deadline::new(fed.clock().clone(), 120);
+        let ctx = RequestCtx::new().with_deadline(deadline);
+        let err = h.query_ctx(&SourceQuery::full_table(table), &ctx).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+        if let eii_data::EiiError::Timeout { elapsed_ms, .. } = err {
+            assert_eq!(elapsed_ms, 120, "waited only the remaining budget");
+        }
+        assert_eq!(fed.clock().now_ms(), 120);
+    }
+
+    #[test]
+    fn cancelled_queries_skip_the_fetch_entirely() {
+        let fed = federation();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let cancel = eii_data::CancelToken::new();
+        cancel.cancel("test teardown");
+        let ctx = RequestCtx::new().with_cancel(cancel);
+        let err = h.query_ctx(&SourceQuery::full_table(table), &ctx).unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        assert_eq!(fed.ledger().traffic("crm").requests, 0, "nothing shipped");
+    }
+
+    #[test]
+    fn query_ctx_charges_the_deadline_for_accounted_work() {
+        let fed = federation();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let deadline = eii_data::Deadline::new(fed.clock().clone(), 10_000);
+        let ctx = RequestCtx::new().with_deadline(deadline.clone());
+        let (_, cost) = h.query_ctx(&SourceQuery::full_table(table), &ctx).unwrap();
+        assert!(cost.sim_ms > 0.0);
+        assert_eq!(deadline.elapsed_ms(), cost.sim_ms.round() as i64);
+    }
+
+    #[test]
+    fn cancellation_tears_down_sibling_partition_scans() {
+        let fed = federation();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let cancel = eii_data::CancelToken::new();
+        cancel.cancel("sibling branch failed");
+        let ctx = RequestCtx::new().with_cancel(cancel);
+        let err = h
+            .query_partitioned_ctx(&SourceQuery::full_table(table), 4, &ctx)
+            .unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        assert_eq!(
+            fed.ledger().traffic("crm").bytes,
+            0,
+            "no partition shipped anything after the cancel"
+        );
+    }
+
+    #[test]
+    fn hedged_fetch_is_deterministic_and_charges_both_requests() {
+        let serial = federation();
+        let (h, table) = serial.resolve("crm.customers").unwrap();
+        let (sb, sc) = h.query(&SourceQuery::full_table(table)).unwrap();
+
+        let fed = federation();
+        let (h, table) = fed.resolve("crm.customers").unwrap();
+        let ctx = RequestCtx::new();
+        let (batch, cost, out) = h
+            .query_hedged(&SourceQuery::full_table(&table), &ctx, 5.0)
+            .unwrap();
+        assert_eq!(batch.rows(), sb.rows(), "hedged answer is bit-identical");
+        assert!(out.fired);
+        assert!(
+            !out.backup_won,
+            "identical latencies: the primary wins (backup starts later)"
+        );
+        assert_eq!(cost.bytes, 2 * sc.bytes, "the losing fetch still shipped");
+        assert_eq!(cost.requests, 2 * sc.requests);
+        assert!((cost.sim_ms - sc.sim_ms).abs() < 1e-9, "latency is the winner's");
+        assert_eq!(fed.ledger().traffic("crm").hedges, 1);
+        assert_eq!(fed.ledger().traffic("crm").bytes, 2 * sc.bytes);
+
+        // Same seed, same race: replay and compare exactly.
+        let fed2 = federation();
+        let (h2, table2) = fed2.resolve("crm.customers").unwrap();
+        let (b2, c2, o2) = h2
+            .query_hedged(&SourceQuery::full_table(&table2), &ctx, 5.0)
+            .unwrap();
+        assert_eq!(b2.rows(), batch.rows());
+        assert_eq!(c2, cost);
+        assert_eq!(o2, out);
+    }
+
+    #[test]
+    fn hedged_fetch_survives_a_failing_primary() {
+        // Find a seed whose dice kill the primary but deliver the backup
+        // (the backup is attempt #2 of the same content-addressed request,
+        // so the probe below replays exactly what the hedge will roll).
+        let (fed, batch, cost, out) = (0..200u64)
+            .find_map(|s| {
+                let fed = federation();
+                fed.inject_faults("crm", FaultProfile::failing(0.5, s))
+                    .unwrap();
+                let (h, table) = fed.resolve("crm.customers").unwrap();
+                let ctx = RequestCtx::new();
+                let (batch, cost, out) = h
+                    .query_hedged(&SourceQuery::full_table(&table), &ctx, 5.0)
+                    .ok()?;
+                (fed.ledger().traffic("crm").failures == 1)
+                    .then_some((fed, batch, cost, out))
+            })
+            .expect("some seed rolls fail-then-deliver");
+        assert_eq!(batch.num_rows(), 100, "the backup's answer saved the query");
+        assert!(out.fired && out.backup_won);
+        assert!(cost.sim_ms >= 5.0, "the backup's latency includes its delay");
+        assert_eq!(fed.ledger().traffic("crm").failures, 1);
+        assert_eq!(fed.ledger().traffic("crm").hedges, 1);
     }
 
     #[test]

@@ -111,6 +111,10 @@ struct BreakerInner {
     state: BreakerState,
     consecutive_failures: usize,
     probe_successes: usize,
+    /// Probes admitted (via [`CircuitBreaker::acquire`]) and not yet
+    /// resolved. Half-open admits at most `success_threshold` at a time, so
+    /// racing sessions cannot stampede a recovering source.
+    probes_in_flight: usize,
     opened_at_ms: i64,
     to_open: u64,
     to_half_open: u64,
@@ -160,6 +164,7 @@ impl CircuitBreaker {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
                 probe_successes: 0,
+                probes_in_flight: 0,
                 opened_at_ms: 0,
                 to_open: 0,
                 to_half_open: 0,
@@ -197,6 +202,7 @@ impl CircuitBreaker {
         {
             inner.state = BreakerState::HalfOpen;
             inner.probe_successes = 0;
+            inner.probes_in_flight = 0;
             self.note_transition(&mut inner, BreakerState::HalfOpen);
         }
         inner.state
@@ -205,6 +211,46 @@ impl CircuitBreaker {
     /// May a request proceed right now?
     pub fn allow(&self) -> bool {
         self.state() != BreakerState::Open
+    }
+
+    /// Admit one request, taking a probe permit when half-open. Closed
+    /// admits freely; open rejects; half-open admits at most
+    /// `success_threshold` concurrent probes — the rest fail fast exactly as
+    /// if the breaker were still open, so racing sessions cannot stampede a
+    /// source that is barely back on its feet. The permit is returned by
+    /// [`on_success`](Self::on_success) / [`on_failure`](Self::on_failure)
+    /// (or [`release_probe`](Self::release_probe) when the request was
+    /// abandoned without an outcome).
+    pub fn acquire(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.state == BreakerState::Open
+            && self.clock.now_ms() - inner.opened_at_ms >= self.config.cooldown_ms
+        {
+            inner.state = BreakerState::HalfOpen;
+            inner.probe_successes = 0;
+            inner.probes_in_flight = 0;
+            self.note_transition(&mut inner, BreakerState::HalfOpen);
+        }
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                let cap = self.config.success_threshold.max(1);
+                if inner.probes_in_flight < cap {
+                    inner.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Return a probe permit without recording an outcome (the request was
+    /// cancelled before the source answered).
+    pub fn release_probe(&self) {
+        let mut inner = self.inner.lock();
+        inner.probes_in_flight = inner.probes_in_flight.saturating_sub(1);
     }
 
     /// Owned snapshot for health reports (cooldown transitions applied
@@ -228,10 +274,12 @@ impl CircuitBreaker {
         match inner.state {
             BreakerState::Closed => inner.consecutive_failures = 0,
             BreakerState::HalfOpen => {
+                inner.probes_in_flight = inner.probes_in_flight.saturating_sub(1);
                 inner.probe_successes += 1;
                 if inner.probe_successes >= self.config.success_threshold {
                     inner.state = BreakerState::Closed;
                     inner.consecutive_failures = 0;
+                    inner.probes_in_flight = 0;
                     self.note_transition(&mut inner, BreakerState::Closed);
                 }
             }
@@ -257,6 +305,7 @@ impl CircuitBreaker {
             BreakerState::HalfOpen => {
                 inner.state = BreakerState::Open;
                 inner.opened_at_ms = self.clock.now_ms();
+                inner.probes_in_flight = 0;
                 self.note_transition(&mut inner, BreakerState::Open);
             }
             BreakerState::Open => {}
@@ -341,10 +390,18 @@ impl ResilientConnector {
         &self,
         mut attempt: impl FnMut() -> Result<T>,
     ) -> Result<(T, usize)> {
-        if !self.breaker.allow() {
+        let start_ms = self.clock.now_ms();
+        let ctx = crate::ctx::current_ctx();
+        if let Some(ctx) = &ctx {
+            // A cancelled or out-of-budget query is a caller decision, not
+            // a source failure: no breaker bookkeeping, no attempt.
+            ctx.check()?;
+        }
+        if !self.breaker.acquire() {
             let err = EiiError::SourceUnavailable {
                 source: self.inner.name().to_string(),
                 attempts: 0,
+                elapsed_ms: 0,
             };
             self.note_failure(&err, true);
             return Err(err);
@@ -356,10 +413,18 @@ impl ResilientConnector {
                     self.breaker.on_success();
                     return Ok((v, retries));
                 }
+                Err(err) if matches!(err.kind(), "cancelled" | "deadline") => {
+                    // Surfaced from a ctx check inside the attempt: the
+                    // source did not fail, the query gave up. Return the
+                    // probe permit (if any) untallied.
+                    self.breaker.release_probe();
+                    return Err(err);
+                }
                 Err(err) => {
                     self.breaker.on_failure();
                     self.note_failure(&err, false);
                     let attempts = retries + 1;
+                    let elapsed_ms = self.clock.now_ms() - start_ms;
                     if attempts >= self.policy.max_attempts {
                         // Exhausted: collapse into the structured error
                         // unless the inner error is already structural
@@ -368,6 +433,7 @@ impl ResilientConnector {
                             EiiError::SourceUnavailable {
                                 source: self.inner.name().to_string(),
                                 attempts,
+                                elapsed_ms,
                             }
                         } else {
                             err
@@ -382,14 +448,26 @@ impl ResilientConnector {
                         return Err(EiiError::SourceUnavailable {
                             source: self.inner.name().to_string(),
                             attempts,
+                            elapsed_ms,
                         });
+                    }
+                    let backoff = self.jittered_backoff_ms(attempts);
+                    if let Some(deadline) = ctx.as_ref().and_then(|c| c.deadline.as_ref()) {
+                        // Not enough budget to back off and try again:
+                        // surface the deadline instead of a doomed retry.
+                        if deadline.remaining_ms() <= backoff {
+                            return Err(EiiError::DeadlineExceeded {
+                                budget_ms: deadline.budget_ms(),
+                                elapsed_ms: deadline.elapsed_ms(),
+                            });
+                        }
                     }
                     retries += 1;
                     self.ledger.record_retry(self.inner.name());
                     if let Some(metrics) = &self.metrics {
                         metrics.inc(&format!("source.{}.retries", self.inner.name()));
                     }
-                    self.clock.advance_ms(self.jittered_backoff_ms(retries));
+                    self.clock.advance_ms(backoff);
                 }
             }
         }
@@ -544,16 +622,22 @@ mod tests {
 
     #[test]
     fn exhausted_retries_surface_source_unavailable() {
-        let (conn, _clock) = hardened(100, RetryPolicy::standard());
+        let (conn, clock) = hardened(100, RetryPolicy::standard());
         let err = conn.execute(&SourceQuery::full_table("t")).unwrap_err();
         assert_eq!(err.kind(), "source_unavailable");
-        assert_eq!(
-            err,
-            EiiError::SourceUnavailable {
-                source: "flaky".into(),
-                attempts: 3,
-            }
-        );
+        let EiiError::SourceUnavailable {
+            source,
+            attempts,
+            elapsed_ms,
+        } = err
+        else {
+            panic!("wrong variant: {err}");
+        };
+        assert_eq!(source, "flaky");
+        assert_eq!(attempts, 3);
+        // The two backoffs (10 + 20 ms, ±10% jitter) are the elapsed time.
+        assert_eq!(elapsed_ms, clock.now_ms());
+        assert!((27..=33).contains(&elapsed_ms), "elapsed={elapsed_ms}");
     }
 
     #[test]
@@ -719,8 +803,155 @@ mod tests {
             EiiError::SourceUnavailable {
                 source: "flaky".into(),
                 attempts: 0,
+                elapsed_ms: 0,
             }
         );
         assert_eq!(inner.served.load(Ordering::SeqCst), before);
+    }
+
+    /// A connector whose first request fails and whose later requests block
+    /// until released — so half-open probes from racing threads overlap.
+    struct GatedConnector {
+        served: AtomicUsize,
+        entered: AtomicUsize,
+        release: std::sync::atomic::AtomicBool,
+    }
+
+    impl GatedConnector {
+        fn new() -> Self {
+            GatedConnector {
+                served: AtomicUsize::new(0),
+                entered: AtomicUsize::new(0),
+                release: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl Connector for GatedConnector {
+        fn name(&self) -> &str {
+            "gated"
+        }
+        fn tables(&self) -> Vec<String> {
+            vec!["t".into()]
+        }
+        fn table_schema(&self, _t: &str) -> Result<eii_data::SchemaRef> {
+            Ok(std::sync::Arc::new(eii_data::Schema::new(vec![
+                eii_data::Field::new("x", eii_data::DataType::Int),
+            ])))
+        }
+        fn capabilities(&self) -> crate::capability::SourceCapabilities {
+            crate::capability::SourceCapabilities::relational()
+        }
+        fn dialect(&self) -> crate::dialect::Dialect {
+            crate::dialect::Dialect::ansi_full()
+        }
+        fn execute(&self, _q: &SourceQuery) -> Result<SourceAnswer> {
+            if self.served.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(EiiError::Source("gated: down".into()));
+            }
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            while !self.release.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let schema = self.table_schema("t")?;
+            Ok(SourceAnswer::one_shot(
+                eii_data::Batch::new(schema, vec![eii_data::row![1i64]]),
+                1,
+            ))
+        }
+    }
+
+    #[test]
+    fn halfopen_admits_exactly_the_configured_probe_count_under_races() {
+        const PROBES: usize = 2;
+        const RACERS: usize = 6;
+        let clock = SimClock::new();
+        let inner = Arc::new(GatedConnector::new());
+        let conn = Arc::new(ResilientConnector::new(
+            inner.clone(),
+            RetryPolicy::none(),
+            CircuitBreakerConfig {
+                failure_threshold: 1,
+                cooldown_ms: 50,
+                success_threshold: PROBES,
+            },
+            clock.clone(),
+            TransferLedger::new(),
+        ));
+        // Trip the breaker, then let the cooldown elapse.
+        assert!(conn.execute(&SourceQuery::full_table("t")).is_err());
+        assert_eq!(conn.breaker().state(), BreakerState::Open);
+        clock.advance_ms(50);
+
+        // Race the recovering source from many sessions at once. The
+        // admitted probes block inside the connector until released, so the
+        // rest of the pack decides while the permits are genuinely held.
+        let results: Vec<Result<SourceAnswer>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..RACERS)
+                .map(|_| {
+                    let conn = conn.clone();
+                    s.spawn(move || conn.execute(&SourceQuery::full_table("t")))
+                })
+                .collect();
+            // Wait until both probes are inside the source, then make sure
+            // nobody else sneaks in before releasing them.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while inner.entered.load(Ordering::SeqCst) < PROBES {
+                assert!(std::time::Instant::now() < deadline, "probes never arrived");
+                std::thread::yield_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(
+                inner.entered.load(Ordering::SeqCst),
+                PROBES,
+                "only the configured probe count may reach the source"
+            );
+            inner.release.store(true, Ordering::SeqCst);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, PROBES, "exactly the admitted probes succeed");
+        for err in results.iter().filter_map(|r| r.as_ref().err()) {
+            assert_eq!(
+                *err,
+                EiiError::SourceUnavailable {
+                    source: "gated".into(),
+                    attempts: 0,
+                    elapsed_ms: 0,
+                },
+                "losers fail fast without touching the source"
+            );
+        }
+        // Both probes succeeded, so the breaker closed again.
+        assert_eq!(conn.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn retries_stop_when_the_deadline_cannot_afford_the_backoff() {
+        let (conn, clock) = hardened(100, RetryPolicy::standard());
+        // Budget covers the first backoff (~10 ms) but not the second
+        // (~20 ms): the loop surfaces the deadline instead of retry #2.
+        let deadline = eii_data::Deadline::new(clock.clone(), 25);
+        let ctx = crate::ctx::RequestCtx::new().with_deadline(deadline);
+        let err = crate::ctx::with_request_ctx(&ctx, || {
+            conn.execute(&SourceQuery::full_table("t"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), "deadline");
+        assert!(clock.now_ms() < 25, "the doomed backoff was never taken");
+    }
+
+    #[test]
+    fn cancelled_queries_never_touch_the_source() {
+        let (conn, _clock) = hardened(0, RetryPolicy::standard());
+        let cancel = eii_data::CancelToken::new();
+        cancel.cancel("caller hung up");
+        let ctx = crate::ctx::RequestCtx::new().with_cancel(cancel);
+        let err = crate::ctx::with_request_ctx(&ctx, || {
+            conn.execute(&SourceQuery::full_table("t"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
     }
 }

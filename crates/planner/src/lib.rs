@@ -30,7 +30,7 @@ pub use config::PlannerConfig;
 pub use cost::{CostModel, PlanEstimate};
 pub use logical::{AggItem, LogicalPlan};
 pub use physical::{JoinSite, PhysicalPlan, PhysicalPlanner};
-pub use rewrite::{rewrite_matviews, MatViewDef};
+pub use rewrite::{rewrite_matviews, rewrite_matviews_with_budget, MatViewDef};
 pub use rules::optimize;
 
 use eii_catalog::Catalog;

@@ -62,11 +62,26 @@ pub fn rewrite_matviews(
     views: &[MatViewDef],
     federation: &Federation,
 ) -> Result<LogicalPlan> {
+    rewrite_matviews_with_budget(plan, views, federation, None)
+}
+
+/// Deadline-aware [`rewrite_matviews`]: `budget_ms` is the query's remaining
+/// virtual-time budget. The cost gate relaxes — a view that would lose the
+/// plain cost race is still substituted when the federated alternative is
+/// estimated to blow the budget while the local read fits inside it. A stale
+/// (but servable) local answer inside the deadline beats a fresh one that
+/// arrives too late to be seen.
+pub fn rewrite_matviews_with_budget(
+    plan: LogicalPlan,
+    views: &[MatViewDef],
+    federation: &Federation,
+    budget_ms: Option<f64>,
+) -> Result<LogicalPlan> {
     if views.is_empty() {
         return Ok(plan);
     }
     let model = CostModel::new(federation);
-    rewrite_node(plan, views, &model)
+    rewrite_node(plan, views, &model, budget_ms)
 }
 
 /// Top-down traversal: try to answer this subtree from a view; otherwise
@@ -75,17 +90,18 @@ fn rewrite_node(
     plan: LogicalPlan,
     views: &[MatViewDef],
     model: &CostModel<'_>,
+    budget_ms: Option<f64>,
 ) -> Result<LogicalPlan> {
-    if let Some(replacement) = try_substitute(&plan, views, model)? {
+    if let Some(replacement) = try_substitute(&plan, views, model, budget_ms)? {
         return Ok(replacement);
     }
     Ok(match plan {
         LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(rewrite_node(*input, views, model)?),
+            input: Box::new(rewrite_node(*input, views, model, budget_ms)?),
             predicate,
         },
         LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
-            input: Box::new(rewrite_node(*input, views, model)?),
+            input: Box::new(rewrite_node(*input, views, model, budget_ms)?),
             exprs,
         },
         LogicalPlan::Join {
@@ -94,8 +110,8 @@ fn rewrite_node(
             kind,
             on,
         } => LogicalPlan::Join {
-            left: Box::new(rewrite_node(*left, views, model)?),
-            right: Box::new(rewrite_node(*right, views, model)?),
+            left: Box::new(rewrite_node(*left, views, model, budget_ms)?),
+            right: Box::new(rewrite_node(*right, views, model, budget_ms)?),
             kind,
             on,
         },
@@ -104,29 +120,29 @@ fn rewrite_node(
             group_by,
             aggs,
         } => LogicalPlan::Aggregate {
-            input: Box::new(rewrite_node(*input, views, model)?),
+            input: Box::new(rewrite_node(*input, views, model, budget_ms)?),
             group_by,
             aggs,
         },
         LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
-            input: Box::new(rewrite_node(*input, views, model)?),
+            input: Box::new(rewrite_node(*input, views, model, budget_ms)?),
         },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
-            input: Box::new(rewrite_node(*input, views, model)?),
+            input: Box::new(rewrite_node(*input, views, model, budget_ms)?),
             keys,
         },
         LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
-            input: Box::new(rewrite_node(*input, views, model)?),
+            input: Box::new(rewrite_node(*input, views, model, budget_ms)?),
             n,
         },
         LogicalPlan::Alias { input, alias } => LogicalPlan::Alias {
-            input: Box::new(rewrite_node(*input, views, model)?),
+            input: Box::new(rewrite_node(*input, views, model, budget_ms)?),
             alias,
         },
         LogicalPlan::UnionAll { inputs } => LogicalPlan::UnionAll {
             inputs: inputs
                 .into_iter()
-                .map(|i| rewrite_node(i, views, model))
+                .map(|i| rewrite_node(i, views, model, budget_ms))
                 .collect::<Result<Vec<_>>>()?,
         },
         leaf @ (LogicalPlan::SourceScan { .. }
@@ -141,6 +157,7 @@ fn try_substitute(
     plan: &LogicalPlan,
     views: &[MatViewDef],
     model: &CostModel<'_>,
+    budget_ms: Option<f64>,
 ) -> Result<Option<LogicalPlan>> {
     // Nothing federated to save on these.
     if matches!(
@@ -152,13 +169,15 @@ fn try_substitute(
     for def in views {
         // Strategy 1: structural equivalence with the view's definition.
         if *plan == def.plan {
-            if let Some(scan) = gated_scan(plan, def, plan.schema()?, Vec::new(), None, model)? {
+            if let Some(scan) =
+                gated_scan(plan, def, plan.schema()?, Vec::new(), None, model, budget_ms)?
+            {
                 return Ok(Some(scan));
             }
             continue;
         }
         // Strategy 2: single-scan containment with compensation.
-        if let Some(rewritten) = try_scan_containment(plan, def, model)? {
+        if let Some(rewritten) = try_scan_containment(plan, def, model, budget_ms)? {
             return Ok(Some(rewritten));
         }
     }
@@ -167,6 +186,7 @@ fn try_substitute(
 
 /// Build the `MatViewScan` for `def` replacing `subtree`, but only when the
 /// cost model predicts the local read beats federated execution.
+#[allow(clippy::too_many_arguments)]
 fn gated_scan(
     subtree: &LogicalPlan,
     def: &MatViewDef,
@@ -174,6 +194,7 @@ fn gated_scan(
     filters: Vec<Expr>,
     limit: Option<usize>,
     model: &CostModel<'_>,
+    budget_ms: Option<f64>,
 ) -> Result<Option<LogicalPlan>> {
     let federated = model.estimate(subtree)?;
     let rows = def.rows as f64;
@@ -182,7 +203,13 @@ fn gated_scan(
         bytes: 0.0,
         sim_ms: MATVIEW_OPEN_MS + rows * model.hub_ms_per_row,
     };
-    if local.sim_ms >= federated.sim_ms {
+    // The plain cost race — or, under a deadline, the budget rescue: a
+    // federated fetch predicted to outlast the remaining budget loses to a
+    // local read that fits inside it, whatever the raw costs say.
+    let beats_federated = local.sim_ms < federated.sim_ms;
+    let rescued_by_budget =
+        budget_ms.is_some_and(|b| federated.sim_ms > b && local.sim_ms <= b);
+    if !beats_federated && !rescued_by_budget {
         return Ok(None);
     }
     Ok(Some(LogicalPlan::MatViewScan {
@@ -225,6 +252,7 @@ fn try_scan_containment(
     plan: &LogicalPlan,
     def: &MatViewDef,
     model: &CostModel<'_>,
+    budget_ms: Option<f64>,
 ) -> Result<Option<LogicalPlan>> {
     let LogicalPlan::SourceScan {
         source: q_source,
@@ -310,6 +338,7 @@ fn try_scan_containment(
         extra,
         *q_limit,
         model,
+        budget_ms,
     )
 }
 

@@ -3,6 +3,7 @@
 //! pushdown must never change results, the warehouse must converge to the
 //! source, and SQL rendering must round-trip.
 
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -11,8 +12,8 @@ use eii::prelude::*;
 use eii::row;
 use eii::warehouse::{EtlJob, RefreshMode, Warehouse};
 
-/// Build a system whose crm.customers table holds the given rows.
-fn system_with_customers(rows: &[(i64, String, i64)]) -> (EiiSystem, SimClock) {
+/// Build the crm/sales databases every property runs against.
+fn customer_dbs(rows: &[(i64, String, i64)]) -> (Database, Database, SimClock) {
     let clock = SimClock::new();
     let crm = Database::new("crm", clock.clone());
     let t = crm
@@ -54,6 +55,12 @@ fn system_with_customers(rows: &[(i64, String, i64)]) -> (EiiSystem, SimClock) {
             tt.insert(row![i as i64, *id, (*score % 50) as f64]).unwrap();
         }
     }
+    (crm, orders, clock)
+}
+
+/// Build a system whose crm.customers table holds the given rows.
+fn system_with_customers(rows: &[(i64, String, i64)]) -> (EiiSystem, SimClock) {
+    let (crm, orders, clock) = customer_dbs(rows);
     let sys = EiiSystem::new(clock.clone());
     sys.add_source(
         Arc::new(RelationalConnector::new(crm)),
@@ -68,6 +75,98 @@ fn system_with_customers(rows: &[(i64, String, i64)]) -> (EiiSystem, SimClock) {
     )
     .unwrap();
     (sys, clock)
+}
+
+/// A connector wrapper that trips a shared [`CancelToken`] after a fixed
+/// number of connector calls across the whole federation — a deterministic
+/// cancel point that the property sweep can place anywhere inside a plan
+/// (mid bind-join, between partition scans, after the last fetch, ...).
+struct CancelAfter {
+    inner: RelationalConnector,
+    token: CancelToken,
+    remaining: Arc<AtomicI64>,
+}
+
+impl CancelAfter {
+    fn tick(&self) {
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.token.cancel("proptest cancel point reached");
+        }
+    }
+}
+
+impl Connector for CancelAfter {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn tables(&self) -> Vec<String> {
+        self.inner.tables()
+    }
+    fn table_schema(&self, table: &str) -> eii::data::Result<eii::data::SchemaRef> {
+        self.inner.table_schema(table)
+    }
+    fn capabilities(&self) -> eii::federation::SourceCapabilities {
+        self.inner.capabilities()
+    }
+    fn dialect(&self) -> eii::federation::Dialect {
+        self.inner.dialect()
+    }
+    fn statistics(&self, table: &str) -> eii::data::Result<eii::storage::TableStats> {
+        self.inner.statistics(table)
+    }
+    fn execute(
+        &self,
+        query: &eii::federation::SourceQuery,
+    ) -> eii::data::Result<eii::federation::SourceAnswer> {
+        self.tick();
+        self.inner.execute(query)
+    }
+    fn supports_partitioned_scans(&self) -> bool {
+        self.inner.supports_partitioned_scans()
+    }
+    fn execute_partition(
+        &self,
+        query: &eii::federation::SourceQuery,
+        part: usize,
+        of: usize,
+    ) -> eii::data::Result<eii::federation::SourceAnswer> {
+        self.tick();
+        self.inner.execute_partition(query, part, of)
+    }
+}
+
+/// Same data as [`system_with_customers`], but both sources count connector
+/// calls and trip the returned token once `cancel_after` calls have landed
+/// (`0` = cancelled before any work).
+fn cancellable_system(rows: &[(i64, String, i64)], cancel_after: i64) -> (Arc<EiiSystem>, CancelToken) {
+    let (crm, orders, clock) = customer_dbs(rows);
+    let token = CancelToken::new();
+    if cancel_after == 0 {
+        token.cancel("cancelled before execution");
+    }
+    let remaining = Arc::new(AtomicI64::new(cancel_after));
+    let sys = EiiSystem::new(clock);
+    sys.add_source(
+        Arc::new(CancelAfter {
+            inner: RelationalConnector::new(crm),
+            token: token.clone(),
+            remaining: Arc::clone(&remaining),
+        }),
+        LinkProfile::lan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    sys.add_source(
+        Arc::new(CancelAfter {
+            inner: RelationalConnector::new(orders),
+            token: token.clone(),
+            remaining,
+        }),
+        LinkProfile::wan(),
+        WireFormat::Native,
+    )
+    .unwrap();
+    (Arc::new(sys), token)
 }
 
 fn unique_rows() -> impl Strategy<Value = Vec<(i64, String, i64)>> {
@@ -363,6 +462,125 @@ proptest! {
             prop_assert_eq!(a, &expect);
             prop_assert_eq!(b, &expect);
         }
+    }
+
+    /// Cancellation is clean at *every* point: wherever the cancel lands in
+    /// a plan's connector-call sequence, the query either finishes with the
+    /// exact uncancelled answer or fails with the typed `cancelled` error;
+    /// the cancelled run never ships more bytes than the uncancelled run;
+    /// and the system stays healthy — a fresh session immediately gets the
+    /// full answer again.
+    #[test]
+    fn cancellation_is_clean_at_every_point(
+        rows in unique_rows(),
+        pred in predicates(),
+        cancel_after in 0i64..12,
+    ) {
+        let sql = format!(
+            "SELECT c.name, o.total FROM crm.customers c \
+             JOIN sales.orders o ON c.id = o.customer_id WHERE {pred}"
+        );
+        // Oracle: the uncancelled run's answer and traffic.
+        let (clean, _) = system_with_customers(&rows);
+        let expect = run(&clean, &sql);
+        let clean_bytes = clean.federation().ledger().total().bytes;
+
+        let (sys, token) = cancellable_system(&rows, cancel_after);
+        let session = sys.session().with_cancel_token(token.clone());
+        match session.execute(&sql) {
+            Ok(out) => {
+                // The cancel point fell past the last fetch (or was never
+                // reached): the answer must be the uncancelled one, exactly.
+                let got = out.rows().unwrap().clone();
+                prop_assert_eq!(sorted(&got), sorted(&expect));
+            }
+            Err(e) => prop_assert_eq!(e.kind(), "cancelled"),
+        }
+        let bytes = sys.federation().ledger().total().bytes;
+        prop_assert!(
+            bytes <= clean_bytes,
+            "cancelled run shipped {bytes} bytes, uncancelled only {clean_bytes}"
+        );
+        // No poisoned state: a session without the tripped token gets the
+        // complete answer from the same system.
+        let retry = sys.session().execute(&sql);
+        prop_assert!(retry.is_ok(), "system unusable after cancel: {:?}", retry.err());
+        let again = retry.unwrap().rows().unwrap().clone();
+        prop_assert_eq!(sorted(&again), sorted(&expect));
+    }
+
+    /// Cancelled jobs release their admission permits: with one worker slot
+    /// per source, any mix of queued/running cancellations must leave the
+    /// scheduler able to run a probe query to completion afterwards.
+    #[test]
+    fn cancelled_jobs_release_scheduler_permits(
+        rows in unique_rows(),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..7),
+    ) {
+        let sql = "SELECT c.name, o.total FROM crm.customers c \
+                   JOIN sales.orders o ON c.id = o.customer_id";
+        let (sys, _) = system_with_customers(&rows);
+        let sys = Arc::new(sys);
+        let scheduler =
+            sys.scheduler(AdmissionConfig::with_workers(2).with_source_permits(1));
+        let mut tickets = Vec::new();
+        for &kill in &cancel_mask {
+            let (ticket, _) = scheduler
+                .submit_prioritized(sql, &ExecOptions::default())
+                .expect("no brownout configured: admission always accepts");
+            if kill {
+                // Races the worker on purpose: removed from the queue if
+                // still pending, cooperative teardown if already running.
+                ticket.cancel("proptest abort");
+            }
+            tickets.push(ticket);
+        }
+        for ticket in tickets {
+            match ticket.join() {
+                Ok(_) => {}
+                Err(e) => prop_assert_eq!(e.kind(), "cancelled"),
+            }
+        }
+        // Every permit must be back: the probe would hang (or reject) on a
+        // leaked worker slot or source permit.
+        let probe = scheduler.submit(sql, "public").join();
+        prop_assert!(probe.is_ok(), "probe after cancellations: {:?}", probe.err());
+        let stats = scheduler.finish();
+        prop_assert!(stats.completed >= 1);
+    }
+
+    /// Cancelling a partitioned scan strands nothing: sibling partitions
+    /// stop at their next check, total traffic never exceeds the
+    /// uncancelled scan's, and no orphaned worker keeps shipping bytes
+    /// after the call returns.
+    #[test]
+    fn cancelled_partition_scans_leak_nothing(
+        rows in unique_rows(),
+        cancel_after in 1i64..5,
+    ) {
+        let q = eii::federation::SourceQuery::full_table("customers");
+        let (clean, _) = system_with_customers(&rows);
+        let clean_handle = clean.federation().source("crm").unwrap();
+        let (clean_batch, _) = clean_handle.query_partitioned(&q, 4).unwrap();
+        let clean_bytes = clean.federation().ledger().total().bytes;
+
+        let (sys, token) = cancellable_system(&rows, cancel_after);
+        let handle = sys.federation().source("crm").unwrap();
+        let ctx = RequestCtx::new().with_cancel(token.clone());
+        match handle.query_partitioned_ctx(&q, 4, &ctx) {
+            Ok((batch, _)) => prop_assert_eq!(batch.rows(), clean_batch.rows()),
+            Err(e) => prop_assert_eq!(e.kind(), "cancelled"),
+        }
+        let bytes = sys.federation().ledger().total().bytes;
+        prop_assert!(
+            bytes <= clean_bytes,
+            "cancelled partitioned scan shipped {bytes} bytes vs {clean_bytes}"
+        );
+        // All partition workers are joined on return; traffic is frozen.
+        for _ in 0..4 {
+            std::thread::yield_now();
+        }
+        prop_assert_eq!(sys.federation().ledger().total().bytes, bytes);
     }
 
     /// LIMIT never yields more rows than asked, and the prefix matches the
