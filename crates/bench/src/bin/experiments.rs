@@ -5,6 +5,10 @@
 //!   cargo run -p eii-bench --release --bin experiments -- all
 //!   cargo run -p eii-bench --release --bin experiments -- e3 e9
 //!   cargo run -p eii-bench --release --bin experiments -- --json e1
+//!   cargo run -p eii-bench --release --bin experiments -- trajectory
+//!
+//! `trajectory` prints the compact cross-experiment summary table from
+//! the `BENCH_E*.json` files the gate experiments (E13–E18) wrote.
 
 use std::time::Instant;
 
@@ -25,6 +29,10 @@ fn main() {
 
     let mut failures = 0;
     for id in &ids {
+        if id == "trajectory" {
+            println!("{}", eii_bench::summary::trajectory());
+            continue;
+        }
         let t0 = Instant::now();
         match experiments::run(id) {
             Ok(report) => {

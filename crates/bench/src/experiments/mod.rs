@@ -10,15 +10,16 @@ pub mod observability;
 pub mod resilience;
 pub mod robustness;
 pub mod services;
+pub mod telemetry;
 
 use eii::data::Result;
 
 use crate::report::Report;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17",
+    "e15", "e16", "e17", "e18",
 ];
 
 /// Run one experiment by id.
@@ -41,6 +42,7 @@ pub fn run(id: &str) -> Result<Report> {
         "e15" => caching::e15_views_and_cache(),
         "e16" => concurrency::e16_concurrent_sessions(),
         "e17" => robustness::e17_robustness(),
+        "e18" => telemetry::e18_workload_telemetry(),
         other => Err(eii::data::EiiError::NotFound(format!(
             "experiment {other}; known: {}",
             ALL.join(", ")

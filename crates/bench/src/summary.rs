@@ -1,8 +1,9 @@
 //! Machine-readable benchmark summaries: each headline experiment
-//! (E13–E17) distills its run into one `BENCH_E<N>.json` file at the repo
+//! (E13–E18) distills its run into one `BENCH_E<N>.json` file at the repo
 //! root — throughput, latency percentiles on the virtual timeline, and
 //! bytes shipped — so CI can archive the numbers as artifacts and diff
-//! them across commits without parsing rendered tables.
+//! them across commits without parsing rendered tables. [`trajectory`]
+//! folds every summary back into one compact table for the CI log.
 
 use std::path::PathBuf;
 
@@ -82,6 +83,71 @@ impl BenchSummary {
     }
 }
 
+/// The headline gate experiments, in order, whose `BENCH_E<N>.json`
+/// summaries make up the bench trajectory.
+pub const TRAJECTORY_IDS: [&str; 6] = ["e13", "e14", "e15", "e16", "e17", "e18"];
+
+/// Render the cross-experiment bench trajectory: one row per
+/// [`TRAJECTORY_IDS`] summary present at the repo root, so CI (and a
+/// reviewer skimming its log) can scan every headline number in one
+/// compact table instead of opening six JSON artifacts. Experiments whose
+/// summary file is missing render as dashes rather than failing the step.
+pub fn trajectory() -> String {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut report = crate::report::Report::new(
+        "trajectory",
+        "bench trajectory",
+        "the gate experiments' headline numbers, one row each, from BENCH_E*.json",
+        &["exp", "queries", "qps", "p50 ms", "p99 ms", "bytes", "extras"],
+    );
+    for id in TRAJECTORY_IDS {
+        let path = root.join(format!("BENCH_{}.json", id.to_uppercase()));
+        let parsed = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok());
+        let Some(serde_json::Value::Obj(entries)) = parsed else {
+            report.row(vec![
+                id.to_uppercase(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "missing".into(),
+            ]);
+            continue;
+        };
+        let num = |key: &str| -> Option<String> {
+            entries.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+                serde_json::Value::Int(i) => Some(i.to_string()),
+                serde_json::Value::Float(f) => Some(crate::report::fmt_f(*f)),
+                _ => None,
+            })
+        };
+        let cell = |key: &str| num(key).unwrap_or_else(|| "-".into());
+        let headline = ["id", "queries", "throughput_qps", "p50_ms", "p99_ms", "bytes_shipped"];
+        let extras: Vec<String> = entries
+            .iter()
+            .filter(|(k, _)| !headline.contains(&k.as_str()))
+            .filter_map(|(k, _)| num(k).map(|v| format!("{k}={v}")))
+            .collect();
+        report.row(vec![
+            id.to_uppercase(),
+            cell("queries"),
+            cell("throughput_qps"),
+            cell("p50_ms"),
+            cell("p99_ms"),
+            cell("bytes_shipped"),
+            if extras.is_empty() {
+                "-".into()
+            } else {
+                extras.join(" ")
+            },
+        ]);
+    }
+    report.render()
+}
+
 /// Nearest-rank percentile over an unsorted sample (0 for an empty one).
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     if values.is_empty() {
@@ -108,6 +174,15 @@ mod tests {
         assert_eq!(percentile(&v, 99.0), 99.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn trajectory_renders_one_row_per_gate_experiment() {
+        let text = trajectory();
+        assert!(text.contains("TRAJECTORY"));
+        for id in TRAJECTORY_IDS {
+            assert!(text.contains(&id.to_uppercase()), "missing row for {id}");
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -54,7 +55,11 @@ use eii_federation::{
     WireFormat,
 };
 use eii_matview::{MatViewManager, RefreshPolicy};
-use eii_obs::{MetricsRegistry, QueryTrace, Tracer};
+use eii_obs::{
+    fingerprint64, MetricsRegistry, OperatorStat, QueryLog, QueryLogRecord, QueryTrace,
+    SloMonitor, SloObjective, SloStatus, StatementFlags, StoredTrace, TelemetryEvent,
+    TraceStore, Tracer,
+};
 use eii_planner::{
     optimize, rewrite_matviews, rewrite_matviews_with_budget, CostModel, LogicalPlan,
     PhysicalPlan, PlanBuilder, PhysicalPlanner, PlannerConfig,
@@ -109,6 +114,7 @@ pub use eii_exec as exec;
 pub use eii_expr as expr;
 pub use eii_federation as federation;
 pub use eii_matview as matview;
+pub use eii_obs as obs;
 pub use eii_planner as planner;
 pub use eii_search as search;
 pub use eii_semantics as semantics;
@@ -232,6 +238,10 @@ pub struct ExecOptions {
     /// runs under [`DegradationPolicy::PartialResults`] so shedding load
     /// yields partial answers instead of queueing behind high-priority work.
     pub brownout_degraded: bool,
+    /// Session label stamped into query-log records and stored traces, so
+    /// workload telemetry can be sliced per session ([`Session::with_label`]
+    /// sets it automatically).
+    pub session: Option<String>,
 }
 
 impl ExecOptions {
@@ -244,6 +254,7 @@ impl ExecOptions {
             priority: Priority::Normal,
             cancel: None,
             brownout_degraded: false,
+            session: None,
         }
     }
 }
@@ -252,6 +263,27 @@ impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions::for_role("public")
     }
+}
+
+/// Per-statement telemetry scratchpad the execute path fills in as facts
+/// become known (fingerprint after planning, flags and actuals after
+/// execution), consumed by [`EiiSystem::record_statement`].
+#[derive(Debug, Default)]
+struct StatementTelemetry {
+    fingerprint: u64,
+    plan: String,
+    flags: StatementFlags,
+    per_source_bytes: Vec<(String, u64)>,
+    operators: Vec<OperatorStat>,
+    deadline_budget_ms: Option<f64>,
+    deadline_spent_ms: Option<f64>,
+    trace_id: Option<u64>,
+    /// Trace-store retention decision, made on the success path as soon as
+    /// the outcome's flags are known so the expensive per-operator
+    /// cost-model walk only runs for statements whose trace is kept.
+    /// `None` on paths that never decided (errors, cache hits, DDL);
+    /// [`EiiSystem::record_statement`] then asks the store itself.
+    kept: Option<bool>,
 }
 
 /// The EII server: a federation of wrapped sources, a metadata catalog, a
@@ -278,7 +310,13 @@ pub struct EiiSystem {
     cache: OnceLock<ResultCache>,
     scan_partitions: usize,
     hedge: RwLock<Option<HedgePolicy>>,
-    last_trace: Mutex<Option<QueryTrace>>,
+    last_trace: Mutex<Option<Arc<QueryTrace>>>,
+    query_log: QueryLog,
+    traces: TraceStore,
+    slo: SloMonitor,
+    /// Gate for the whole telemetry pipeline (query log, trace store, SLO
+    /// samples). E18 measures the enabled-vs-disabled overhead under 5%.
+    telemetry: AtomicBool,
 }
 
 impl EiiSystem {
@@ -301,6 +339,10 @@ impl EiiSystem {
             scan_partitions: 1,
             hedge: RwLock::new(None),
             last_trace: Mutex::new(None),
+            query_log: QueryLog::default(),
+            traces: TraceStore::default(),
+            slo: SloMonitor::new(),
+            telemetry: AtomicBool::new(true),
         }
     }
 
@@ -525,10 +567,7 @@ impl EiiSystem {
     /// [`EiiSystem::last_trace`] and is also returned to the caller via
     /// `opts` consumers; sessions keep their own copy.
     pub fn execute_with(&self, sql: &str, opts: &ExecOptions) -> Result<ExecOutcome> {
-        let tracer = Tracer::new(self.clock.clone());
-        let outcome = self.execute_traced(sql, opts, &tracer);
-        *self.last_trace.lock() = Some(tracer.finish());
-        outcome
+        self.execute_with_trace_shared(sql, opts).0
     }
 
     /// As [`EiiSystem::execute_with`], but hands the finished trace back to
@@ -538,10 +577,27 @@ impl EiiSystem {
         sql: &str,
         opts: &ExecOptions,
     ) -> (Result<ExecOutcome>, QueryTrace) {
+        let (outcome, trace) = self.execute_with_trace_shared(sql, opts);
+        (outcome, (*trace).clone())
+    }
+
+    /// The execution core behind [`EiiSystem::execute_with`] and
+    /// [`EiiSystem::execute_with_trace`]: the finished trace is shared via
+    /// `Arc` between the trace store, the `last_trace` slot, and the
+    /// caller, so the hot path never deep-clones the span tree.
+    pub(crate) fn execute_with_trace_shared(
+        &self,
+        sql: &str,
+        opts: &ExecOptions,
+    ) -> (Result<ExecOutcome>, Arc<QueryTrace>) {
         let tracer = Tracer::new(self.clock.clone());
-        let outcome = self.execute_traced(sql, opts, &tracer);
-        let trace = tracer.finish();
-        *self.last_trace.lock() = Some(trace.clone());
+        let start_wall = Instant::now();
+        let start_sim = self.clock.now_ms();
+        let mut telemetry = StatementTelemetry::default();
+        let outcome = self.execute_traced(sql, opts, &tracer, &mut telemetry);
+        let trace = Arc::new(tracer.finish());
+        self.record_statement(sql, opts, &outcome, &trace, telemetry, start_sim, start_wall);
+        *self.last_trace.lock() = Some(Arc::clone(&trace));
         (outcome, trace)
     }
 
@@ -550,6 +606,7 @@ impl EiiSystem {
         sql: &str,
         opts: &ExecOptions,
         tracer: &Tracer,
+        telemetry: &mut StatementTelemetry,
     ) -> Result<ExecOutcome> {
         let role = opts.role.as_str();
         let _statement = tracer.span("statement");
@@ -558,9 +615,9 @@ impl EiiSystem {
             parse_statement(sql)?
         };
         match stmt {
-            Statement::Query(q) => {
-                Ok(ExecOutcome::Rows(Box::new(self.run_query(&q, opts, tracer)?)))
-            }
+            Statement::Query(q) => Ok(ExecOutcome::Rows(Box::new(
+                self.run_query(&q, opts, tracer, telemetry)?,
+            ))),
             Statement::Explain { analyze: false, query } => {
                 let (optimized, physical) = self.plan_explain(&query, tracer)?;
                 Ok(ExecOutcome::Explained(format!(
@@ -569,9 +626,9 @@ impl EiiSystem {
                     physical.display()
                 )))
             }
-            Statement::Explain { analyze: true, query } => {
-                Ok(ExecOutcome::Explained(self.run_explain_analyze(&query, tracer)?))
-            }
+            Statement::Explain { analyze: true, query } => Ok(ExecOutcome::Explained(
+                self.run_explain_analyze(&query, tracer, telemetry)?,
+            )),
             Statement::CreateView { name, query } => {
                 // Validate the body plans before accepting the definition.
                 self.catalog.create_view(&name, sql, query.clone())?;
@@ -632,18 +689,29 @@ impl EiiSystem {
         q: &SetQuery,
         opts: &ExecOptions,
         tracer: &Tracer,
+        telemetry: &mut StatementTelemetry,
     ) -> Result<QueryResult> {
         let start = Instant::now();
         let now = self.clock.now_ms();
+        let telemetry_on = self.telemetry_enabled();
         let deadline = opts
             .deadline_budget_ms
             .map(|budget| Deadline::new(self.clock.clone(), budget));
+        telemetry.deadline_budget_ms = opts.deadline_budget_ms.map(|b| b as f64);
         let mut ctx = RequestCtx::new();
         if let Some(d) = &deadline {
             ctx = ctx.with_deadline(d.clone());
         }
         if let Some(cancel) = &opts.cancel {
             ctx = ctx.with_cancel(cancel.clone());
+        }
+        if telemetry_on {
+            // Allocate the trace ID up front so resilience events fired
+            // mid-statement (hedge, breaker, shed) can reference it; the
+            // retention decision happens after the outcome is known.
+            let trace_id = self.traces.next_trace_id();
+            telemetry.trace_id = Some(trace_id);
+            ctx = ctx.with_trace_id(trace_id);
         }
         // A pre-cancelled or pre-expired request never plans, let alone
         // fetches.
@@ -655,6 +723,8 @@ impl EiiSystem {
         // The cache key is the normalized (optimized) plan, so equivalent
         // SQL shares an entry; base tables drive version validation.
         let key = optimized.display();
+        telemetry.fingerprint = fingerprint64(&key);
+        telemetry.plan = key.clone();
         let tables = base_tables(&optimized);
         if let Some(cache) = self.cache.get() {
             match cache.lookup_with_budget(
@@ -665,10 +735,12 @@ impl EiiSystem {
             ) {
                 CacheLookup::Hit(hit) => {
                     drop(plan_span);
+                    telemetry.flags.cached = true;
                     return Ok(self.serve_cached(hit, Vec::new(), start, tracer));
                 }
                 CacheLookup::Stale(hit, reports) => {
                     drop(plan_span);
+                    telemetry.flags.cached = true;
                     return Ok(self.serve_cached(hit, reports, start, tracer));
                 }
                 CacheLookup::Miss => {}
@@ -687,12 +759,13 @@ impl EiiSystem {
             _ => optimized,
         };
         let physical = PhysicalPlanner::new(&self.federation, &self.config).create(rewritten)?;
+        telemetry.flags.matview = plan_uses_matview(&physical);
         drop(plan_span);
 
-        let traffic_before = self
-            .cache
-            .get()
-            .map(|_| self.federation.ledger().snapshot());
+        // The cache needs the per-source delta to credit later hits; the
+        // query log needs it to attribute bytes shipped per source.
+        let traffic_before = (self.cache.get().is_some() || telemetry_on)
+            .then(|| self.federation.ledger().snapshot());
 
         let execute = tracer.span("execute");
         // Brownout-degraded queries serve partial answers rather than
@@ -713,11 +786,50 @@ impl EiiSystem {
         if let Some(mgr) = self.matviews.get() {
             exec = exec.with_matviews(mgr.store());
         }
-        let result = exec.execute(&physical).inspect_err(|e| self.count_abort(e))?;
+        let result = exec.execute(&physical).inspect_err(|e| self.count_abort(e));
         if let Some(d) = &deadline {
+            let remaining = d.remaining_ms();
             self.federation
                 .metrics()
-                .observe("deadline.remaining_ms", d.remaining_ms() as f64);
+                .observe("deadline.remaining_ms", remaining as f64);
+            if let Some(budget) = opts.deadline_budget_ms {
+                telemetry.deadline_spent_ms = Some((budget - remaining).max(0) as f64);
+            }
+        }
+        let result = result?;
+        telemetry.flags.hedged = result.hedged;
+        telemetry.flags.degraded = !result.degraded.is_empty();
+        if telemetry_on {
+            if let Some(before) = &traffic_before {
+                telemetry.per_source_bytes =
+                    traffic_delta(before, &self.federation.ledger().snapshot())
+                        .into_iter()
+                        .map(|(source, bytes)| (source, bytes as u64))
+                        .collect();
+            }
+            // Decide trace retention now that the outcome's flags are
+            // known: the per-operator cost-model walk (statistics lookups
+            // per scan) is the priciest piece of recording, so it only
+            // runs for statements tail-sampling keeps — which still covers
+            // the first execution of every fingerprint plus everything
+            // noteworthy. E18's overhead gate is what holds this honest.
+            let keep = self
+                .traces
+                .should_keep(telemetry.fingerprint, telemetry.flags, false);
+            telemetry.kept = Some(keep);
+            if keep {
+                if let Some(profile) = &result.profile {
+                    let model = CostModel::new(&self.federation);
+                    let mut path = vec![0];
+                    collect_operator_stats(
+                        &physical,
+                        profile,
+                        &model,
+                        &mut path,
+                        &mut telemetry.operators,
+                    );
+                }
+            }
         }
         execute.annotate("rows", result.batch.num_rows());
         execute.annotate("bytes", result.cost.bytes);
@@ -773,6 +885,7 @@ impl EiiSystem {
             wall: start.elapsed(),
             degraded: reports,
             profile: None,
+            hedged: false,
         }
     }
 
@@ -813,23 +926,39 @@ impl EiiSystem {
     /// semantic cache holds the answer there is no operator tree to render:
     /// the output is a `[CACHED]` header (with staleness flags mirroring
     /// `[DEGRADED: ...]`) plus the total line.
-    fn run_explain_analyze(&self, q: &SetQuery, tracer: &Tracer) -> Result<String> {
+    fn run_explain_analyze(
+        &self,
+        q: &SetQuery,
+        tracer: &Tracer,
+        telemetry: &mut StatementTelemetry,
+    ) -> Result<String> {
         if let Some(cache) = self.cache.get() {
             let logical = PlanBuilder::new(&self.catalog, &self.federation).build(q)?;
             let optimized = optimize(logical, &self.federation, &self.config)?;
             let probe = cache.lookup(&optimized.display(), self.clock.now_ms(), &self.federation);
             match probe {
-                CacheLookup::Hit(hit) => return Ok(render_cached(&hit, &[])),
-                CacheLookup::Stale(hit, reports) => return Ok(render_cached(&hit, &reports)),
+                CacheLookup::Hit(hit) => {
+                    telemetry.flags.cached = true;
+                    return Ok(render_cached(&hit, &[]));
+                }
+                CacheLookup::Stale(hit, reports) => {
+                    telemetry.flags.cached = true;
+                    return Ok(render_cached(&hit, &reports));
+                }
                 CacheLookup::Miss => {}
             }
         }
-        let (_, physical) = self.plan_explain(q, tracer)?;
+        let (optimized, physical) = self.plan_explain(q, tracer)?;
+        telemetry.plan = optimized.display();
+        telemetry.fingerprint = fingerprint64(&telemetry.plan);
         let execute = tracer.span("execute");
         let mut exec = Executor::new(&self.federation)
             .with_degradation(self.degradation_policy(), self.fallbacks.clone())
             .with_metrics(self.federation.metrics().clone())
             .with_scan_partitions(self.scan_partitions);
+        if let Some(policy) = self.hedge_policy() {
+            exec = exec.with_hedging(policy);
+        }
         if let Some(mgr) = self.matviews.get() {
             exec = exec.with_matviews(mgr.store());
         }
@@ -841,12 +970,16 @@ impl EiiSystem {
         let profile = result.profile.as_ref().ok_or_else(|| {
             EiiError::Execution("EXPLAIN ANALYZE needs executor instrumentation".into())
         })?;
+        telemetry.flags.hedged = result.hedged;
+        telemetry.flags.degraded = !result.degraded.is_empty();
+        telemetry.flags.matview = plan_uses_matview(&physical);
         let model = CostModel::new(&self.federation);
         let mut out = String::new();
         render_analyze(&physical, profile, &model, &result.degraded, 0, &mut out);
+        let rendered_flags = telemetry.flags.render();
         let _ = write!(
             out,
-            "Total: rows={} bytes={} sim={:.1}ms wall={:.1?}{}",
+            "Total: rows={} bytes={} sim={:.1}ms wall={:.1?}{}{}",
             result.batch.num_rows(),
             result.cost.bytes,
             result.cost.sim_ms,
@@ -855,6 +988,11 @@ impl EiiSystem {
                 String::new()
             } else {
                 format!(" degraded_sources={}", result.degraded.len())
+            },
+            if rendered_flags.is_empty() {
+                String::new()
+            } else {
+                format!(" flags={rendered_flags}")
             }
         );
         out.push('\n');
@@ -869,15 +1007,240 @@ impl EiiSystem {
             _ => return Err(EiiError::Plan("EXPLAIN ANALYZE expects a query".into())),
         };
         let tracer = Tracer::new(self.clock.clone());
-        let text = self.run_explain_analyze(&q, &tracer);
-        *self.last_trace.lock() = Some(tracer.finish());
+        let start_wall = Instant::now();
+        let start_sim = self.clock.now_ms();
+        let mut telemetry = StatementTelemetry::default();
+        let opts = ExecOptions::default();
+        let text = self.run_explain_analyze(&q, &tracer, &mut telemetry);
+        let trace = Arc::new(tracer.finish());
+        let outcome = text.clone().map(ExecOutcome::Explained);
+        self.record_statement(sql, &opts, &outcome, &trace, telemetry, start_sim, start_wall);
+        *self.last_trace.lock() = Some(trace);
         text
     }
 
     /// The trace of the most recently executed statement (spans for parse,
     /// plan, execute, and one `op:<label>` span per physical operator).
+    ///
+    /// Under concurrent sessions this slot is clobbered by whichever
+    /// statement finished last; use [`Session::last_trace`] for a
+    /// per-session trace or [`EiiSystem::trace_store`] for sampled
+    /// retention with per-session and by-ID lookup.
+    #[deprecated(
+        since = "0.1.0",
+        note = "shared slot races across sessions; use Session::last_trace \
+                or EiiSystem::trace_store"
+    )]
     pub fn last_trace(&self) -> Option<QueryTrace> {
-        self.last_trace.lock().clone()
+        self.last_trace.lock().as_deref().cloned()
+    }
+
+    /// The durable workload query log: per-statement records (sampled into
+    /// a bounded ring) plus exact per-fingerprint aggregates and top-k
+    /// workload rankings.
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
+    }
+
+    /// The sampled trace store: last-N retention with tail-sampling (every
+    /// error/hedged/shed/degraded/cancelled statement keeps its trace) and
+    /// Chrome trace-event export via [`eii_obs::chrome_trace_json`].
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// The SLO burn-rate monitor (register objectives with
+    /// [`EiiSystem::set_slo_objective`], read with [`EiiSystem::slo_status`]).
+    pub fn slo_monitor(&self) -> &SloMonitor {
+        &self.slo
+    }
+
+    /// Register (or replace) a latency/availability objective for a
+    /// priority tier.
+    pub fn set_slo_objective(&self, objective: SloObjective) {
+        self.slo.set_objective(objective);
+    }
+
+    /// Evaluate every registered SLO objective at the current virtual time,
+    /// publish `slo.<priority>.*` metrics, and return the typed statuses.
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        let statuses = self.slo.evaluate(self.clock.now_ms() as f64);
+        let metrics = self.metrics();
+        for status in &statuses {
+            let p = &status.priority;
+            let worst = |burns: &[eii_obs::WindowBurn]| {
+                burns.iter().map(|b| b.burn_rate).fold(0.0f64, f64::max)
+            };
+            metrics.observe(&format!("slo.{p}.latency_burn"), worst(&status.latency_burn));
+            metrics.observe(
+                &format!("slo.{p}.availability_burn"),
+                worst(&status.availability_burn),
+            );
+            metrics.observe(
+                &format!("slo.{p}.state"),
+                match status.state() {
+                    eii_obs::SloState::Healthy => 0.0,
+                    eii_obs::SloState::AtRisk => 1.0,
+                    eii_obs::SloState::Breached => 2.0,
+                },
+            );
+        }
+        statuses
+    }
+
+    /// Turn the telemetry pipeline (query log, trace store, SLO samples)
+    /// on or off. On by default; E18 holds its overhead under 5%.
+    pub fn set_telemetry_enabled(&self, enabled: bool) {
+        self.telemetry.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the telemetry pipeline is currently recording.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.load(Ordering::Relaxed)
+    }
+
+    /// Record one finished statement into the telemetry pipeline: decide
+    /// trace retention (tail-sampling), feed the SLO monitor, and append
+    /// the query-log record. No-op when telemetry is disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn record_statement(
+        &self,
+        sql: &str,
+        opts: &ExecOptions,
+        outcome: &Result<ExecOutcome>,
+        trace: &Arc<QueryTrace>,
+        mut t: StatementTelemetry,
+        start_sim_ms: i64,
+        start_wall: Instant,
+    ) {
+        if !self.telemetry_enabled() {
+            return;
+        }
+        let end_sim = self.clock.now_ms();
+        let (rows, bytes_shipped, sim_ms, degraded) = match outcome {
+            Ok(ExecOutcome::Rows(r)) => (
+                r.batch.num_rows() as u64,
+                r.cost.bytes as u64,
+                r.cost.sim_ms,
+                !r.degraded.is_empty(),
+            ),
+            _ => (0, 0, (end_sim - start_sim_ms) as f64, false),
+        };
+        if let Ok(ExecOutcome::Rows(r)) = outcome {
+            t.flags.hedged |= r.hedged;
+        }
+        t.flags.degraded |= degraded;
+        let error = outcome.as_ref().err().map(|e| e.kind().to_string());
+        match error.as_deref() {
+            Some("cancelled") | Some("deadline") => t.flags.cancelled = true,
+            Some("shed") => t.flags.shed = true,
+            _ => {}
+        }
+        if t.fingerprint == 0 {
+            // Statements that never reached planning (parse errors, DDL,
+            // search) fingerprint on their normalized SQL text.
+            t.plan = sql.trim().to_string();
+            t.fingerprint = fingerprint64(&t.plan);
+        }
+        let errored = error.is_some();
+        let keep = t
+            .kept
+            .unwrap_or_else(|| self.traces.should_keep(t.fingerprint, t.flags, errored));
+        let trace_id = if keep {
+            let id = t.trace_id.unwrap_or_else(|| self.traces.next_trace_id());
+            self.traces.store(StoredTrace {
+                trace_id: id,
+                fingerprint: t.fingerprint,
+                session: opts.session.clone(),
+                start_sim_ms: start_sim_ms as f64,
+                flags: t.flags,
+                error: error.clone(),
+                trace: Arc::clone(trace),
+            });
+            Some(id)
+        } else {
+            None
+        };
+        self.slo
+            .record(opts.priority.as_str(), end_sim as f64, sim_ms, !errored);
+        self.query_log.record(QueryLogRecord {
+            fingerprint: t.fingerprint,
+            plan: t.plan,
+            session: opts.session.clone(),
+            role: opts.role.clone(),
+            priority: opts.priority.as_str().to_string(),
+            start_sim_ms: start_sim_ms as f64,
+            sim_ms,
+            wall_us: start_wall.elapsed().as_micros() as u64,
+            rows,
+            bytes_shipped,
+            per_source_bytes: t.per_source_bytes,
+            operators: t.operators,
+            deadline_budget_ms: t.deadline_budget_ms,
+            deadline_spent_ms: t.deadline_spent_ms,
+            flags: t.flags,
+            error,
+            trace_id,
+        });
+    }
+
+    /// Record a statement the admission controller turned away: a synthetic
+    /// single-span trace (always retained — shed is noteworthy), a `shed`
+    /// telemetry event stamped with the trace ID, and a query-log record.
+    pub(crate) fn record_shed(&self, sql: &str, opts: &ExecOptions) {
+        if !self.telemetry_enabled() {
+            return;
+        }
+        let now = self.clock.now_ms();
+        let plan = sql.trim().to_string();
+        let fingerprint = fingerprint64(&plan);
+        let flags = StatementFlags {
+            shed: true,
+            ..StatementFlags::default()
+        };
+        let trace_id = self.traces.next_trace_id();
+        let tracer = Tracer::new(self.clock.clone());
+        {
+            let span = tracer.span("shed");
+            span.annotate("priority", opts.priority.as_str());
+        }
+        self.traces.store(StoredTrace {
+            trace_id,
+            fingerprint,
+            session: opts.session.clone(),
+            start_sim_ms: now as f64,
+            flags,
+            error: Some("shed".to_string()),
+            trace: Arc::new(tracer.finish()),
+        });
+        self.metrics().record_event(TelemetryEvent {
+            sim_ms: now as f64,
+            kind: "shed".to_string(),
+            source: "admission".to_string(),
+            trace_id: Some(trace_id),
+            detail: format!("priority={}", opts.priority.as_str()),
+        });
+        self.slo
+            .record(opts.priority.as_str(), now as f64, 0.0, false);
+        self.query_log.record(QueryLogRecord {
+            fingerprint,
+            plan,
+            session: opts.session.clone(),
+            role: opts.role.clone(),
+            priority: opts.priority.as_str().to_string(),
+            start_sim_ms: now as f64,
+            sim_ms: 0.0,
+            wall_us: 0,
+            rows: 0,
+            bytes_shipped: 0,
+            per_source_bytes: Vec::new(),
+            operators: Vec::new(),
+            deadline_budget_ms: opts.deadline_budget_ms.map(|b| b as f64),
+            deadline_spent_ms: None,
+            flags,
+            error: Some("shed".to_string()),
+            trace_id: Some(trace_id),
+        });
     }
 
     /// The metrics registry every query, source, breaker, and saga records
@@ -969,6 +1332,53 @@ fn traffic_delta(
             (delta > 0).then(|| (source.clone(), delta))
         })
         .collect()
+}
+
+/// Does the physical plan scan any materialized view?
+fn plan_uses_matview(plan: &PhysicalPlan) -> bool {
+    matches!(plan, PhysicalPlan::MatViewScan { .. })
+        || plan.children().iter().any(|c| plan_uses_matview(c))
+}
+
+/// Flatten the plan/profile trees into per-operator estimated-vs-actual
+/// stats for the query log, keyed by dotted path (`0`, `0.1`, ...).
+///
+/// Children are estimated first and the parent's estimate is derived from
+/// theirs ([`CostModel::estimate_from_children`]), so the whole tree costs
+/// one source-statistics lookup per scan — calling
+/// [`CostModel::estimate_physical`] at every node would re-estimate each
+/// subtree and put a measurable tax on every query (E18's overhead gate).
+/// Returns this subtree's estimate for the caller's own derivation.
+fn collect_operator_stats(
+    plan: &PhysicalPlan,
+    profile: &OperatorProfile,
+    model: &CostModel,
+    path: &mut Vec<usize>,
+    out: &mut Vec<OperatorStat>,
+) -> eii_planner::PlanEstimate {
+    let slot = out.len();
+    out.push(OperatorStat {
+        path: path
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("."),
+        label: profile.label.to_string(),
+        est_rows: 0,
+        actual_rows: profile.rows as u64,
+        bytes: profile.cost.bytes as u64,
+        sim_ms: profile.cost.sim_ms,
+    });
+    let children = plan.children();
+    let mut kids = Vec::with_capacity(children.len());
+    for (i, (child, child_profile)) in children.iter().zip(&profile.children).enumerate() {
+        path.push(i);
+        kids.push(collect_operator_stats(child, child_profile, model, path, out));
+        path.pop();
+    }
+    let est = model.estimate_from_children(plan, &kids);
+    out[slot].est_rows = est.rows.round() as u64;
+    est
 }
 
 /// Accumulate the per-source saved-bytes estimates of every `MatViewScan`

@@ -45,7 +45,7 @@ pub struct Session {
     opts: ExecOptions,
     label: Option<String>,
     explain: ExplainMode,
-    last_trace: Mutex<Option<QueryTrace>>,
+    last_trace: Mutex<Option<Arc<QueryTrace>>>,
 }
 
 impl Session {
@@ -58,8 +58,12 @@ impl Session {
 
     /// Label this session's metrics: each execute bumps
     /// `session.<label>.queries` and observes `session.<label>.sim_ms`.
+    /// The label is also stamped into query-log records and stored traces,
+    /// so [`Session::last_stored_trace`] can find this session's traces in
+    /// the shared store.
     pub fn with_label(mut self, label: &str) -> Self {
         self.label = Some(label.to_string());
+        self.opts.session = Some(label.to_string());
         self
     }
 
@@ -126,7 +130,7 @@ impl Session {
             };
             text.map(ExecOutcome::Explained)
         } else {
-            let (outcome, trace) = self.system.execute_with_trace(sql, &self.opts);
+            let (outcome, trace) = self.system.execute_with_trace_shared(sql, &self.opts);
             *self.last_trace.lock() = Some(trace);
             outcome
         };
@@ -145,7 +149,17 @@ impl Session {
     /// The trace of this session's most recent executed statement (not
     /// shared with other sessions).
     pub fn last_trace(&self) -> Option<QueryTrace> {
-        self.last_trace.lock().clone()
+        self.last_trace.lock().as_deref().cloned()
+    }
+
+    /// This session's most recent trace *retained by the shared trace
+    /// store* (sampling may skip unremarkable statements). Requires a
+    /// label ([`Session::with_label`]); unlabeled sessions always get
+    /// `None` — use [`Session::last_trace`] for the unconditional copy.
+    pub fn last_stored_trace(&self) -> Option<eii_obs::StoredTrace> {
+        self.label
+            .as_deref()
+            .and_then(|label| self.system.trace_store().latest_for_session(label))
     }
 }
 
@@ -193,6 +207,7 @@ impl QueryScheduler {
         let decision = self.pool.admit(priority).inspect_err(|err| {
             if err.kind() == "shed" {
                 metrics.inc(&format!("shed.rejected.{}", priority.as_str()));
+                self.system.record_shed(sql, &opts);
             }
         })?;
         if decision == ShedDecision::Degrade {

@@ -1,12 +1,12 @@
 //! The physical-plan interpreter.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use eii_data::{Batch, CancelToken, EiiError, Result, Row, SchemaRef, Value};
 use eii_expr::{bind, BoundExpr, Expr};
-use eii_federation::{Federation, QueryCost, RequestCtx, SourceQuery};
+use eii_federation::{Federation, HedgeOutcome, QueryCost, RequestCtx, SourceQuery};
 use eii_obs::MetricsRegistry;
 use eii_planner::{JoinSite, PhysicalPlan};
 use eii_sql::JoinKind;
@@ -84,6 +84,9 @@ pub struct QueryResult {
     /// Per-operator actuals mirroring the plan tree; `None` when the
     /// executor ran with instrumentation disabled.
     pub profile: Option<OperatorProfile>,
+    /// True when at least one source fetch fired a hedged backup request
+    /// during this execution (see [`Executor::with_hedging`]).
+    pub hedged: bool,
 }
 
 impl QueryResult {
@@ -114,6 +117,9 @@ pub struct Executor<'a> {
     instrument: bool,
     metrics: Option<MetricsRegistry>,
     ops: Mutex<Vec<OpRecord>>,
+    /// Hedge outcomes of this run's fetches, keyed by the operator path
+    /// that issued them, so profiles can flag the exact operator hedged.
+    hedges: Mutex<BTreeMap<Vec<usize>, HedgeOutcome>>,
     /// Partition-parallel scan fan-out per source scan (1 = serial).
     scan_partitions: usize,
     /// Caller-supplied request context (deadline budget + cancel token).
@@ -140,6 +146,7 @@ impl<'a> Executor<'a> {
             instrument: true,
             metrics: None,
             ops: Mutex::new(Vec::new()),
+            hedges: Mutex::new(BTreeMap::new()),
             scan_partitions: 1,
             base_ctx: RequestCtx::new(),
             run_ctx: Mutex::new(RequestCtx::new()),
@@ -209,6 +216,7 @@ impl<'a> Executor<'a> {
         let start = Instant::now();
         self.degraded.lock().expect("degraded lock").clear();
         self.ops.lock().expect("ops lock").clear();
+        self.hedges.lock().expect("hedges lock").clear();
         // A fresh internal abort token per run: a failed branch in THIS
         // query must not tear down the next one.
         let ctx = self.base_ctx.clone().with_abort(CancelToken::new());
@@ -216,9 +224,11 @@ impl<'a> Executor<'a> {
         *self.run_ctx.lock().expect("ctx lock") = ctx;
         let (batch, cost) = self.run(plan)?;
         let degraded = std::mem::take(&mut *self.degraded.lock().expect("degraded lock"));
+        let hedges = std::mem::take(&mut *self.hedges.lock().expect("hedges lock"));
+        let hedged = hedges.values().any(|h| h.fired);
         let profile = if self.instrument {
             let records = std::mem::take(&mut *self.ops.lock().expect("ops lock"));
-            Some(assemble_profile(plan, &records, &mut Vec::new()))
+            Some(assemble_profile(plan, &records, &hedges, &mut Vec::new()))
         } else {
             None
         };
@@ -240,6 +250,7 @@ impl<'a> Executor<'a> {
             wall,
             degraded,
             profile,
+            hedged,
         })
     }
 
@@ -319,16 +330,32 @@ impl<'a> Executor<'a> {
         handle: &eii_federation::SourceHandle,
         query: &SourceQuery,
         source: &str,
+        path: &[usize],
     ) -> Result<(Batch, QueryCost)> {
         let ctx = self.ctx();
         match self.should_hedge(source) {
             Some(policy) => handle
                 .query_hedged(query, &ctx, policy.delay_ms)
                 .map(|(batch, cost, outcome)| {
+                    if outcome.fired {
+                        self.hedges
+                            .lock()
+                            .expect("hedges lock")
+                            .insert(path.to_vec(), outcome);
+                    }
                     if let Some(m) = &self.metrics {
                         m.inc("hedge.fired");
                         if outcome.backup_won {
                             m.inc("hedge.backup_wins");
+                        }
+                        if outcome.fired {
+                            m.record_event(eii_obs::TelemetryEvent {
+                                sim_ms: self.federation.clock().now_ms() as f64,
+                                kind: "hedge.fired".to_string(),
+                                source: source.to_string(),
+                                trace_id: ctx.trace_id,
+                                detail: format!("backup_won={}", outcome.backup_won),
+                            });
                         }
                     }
                     (batch, cost)
@@ -378,7 +405,7 @@ impl<'a> Executor<'a> {
                 let answer = if partitioned {
                     handle.query_partitioned_ctx(query, partitions, &self.ctx())
                 } else {
-                    self.fetch_maybe_hedged(&handle, query, source)
+                    self.fetch_maybe_hedged(&handle, query, source, path)
                 };
                 let (batch, cost) = match answer {
                     Ok(ok) => ok,
@@ -582,7 +609,7 @@ impl<'a> Executor<'a> {
                 } else {
                     let mut q = template.clone();
                     q.bindings = vec![(bind_column.clone(), values)];
-                    match self.fetch_maybe_hedged(&handle, &q, source) {
+                    match self.fetch_maybe_hedged(&handle, &q, source, path) {
                         Ok(ok) => ok,
                         Err(err) if is_abortive(&err) => return Err(err),
                         Err(err) => self.degrade_source(source, &q, right_schema, err)?,
@@ -1076,9 +1103,11 @@ fn child_path(path: &[usize], i: usize) -> Vec<usize> {
 fn assemble_profile(
     plan: &PhysicalPlan,
     records: &[OpRecord],
+    hedges: &BTreeMap<Vec<usize>, HedgeOutcome>,
     path: &mut Vec<usize>,
 ) -> OperatorProfile {
     let rec = records.iter().find(|r| r.path == *path);
+    let hedge = hedges.get(path.as_slice()).copied().unwrap_or_default();
     let source = match plan {
         PhysicalPlan::Source { source, .. } | PhysicalPlan::BindJoin { source, .. } => {
             Some(source.clone())
@@ -1091,7 +1120,7 @@ fn assemble_profile(
         .enumerate()
         .map(|(i, child)| {
             path.push(i);
-            let p = assemble_profile(child, records, path);
+            let p = assemble_profile(child, records, hedges, path);
             path.pop();
             p
         })
@@ -1102,6 +1131,8 @@ fn assemble_profile(
         rows: rec.map_or(0, |r| r.rows),
         cost: rec.map_or_else(QueryCost::default, |r| r.cost),
         wall: rec.map_or(Duration::ZERO, |r| r.wall),
+        hedged: hedge.fired,
+        backup_won: hedge.backup_won,
         children,
     }
 }

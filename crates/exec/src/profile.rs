@@ -27,6 +27,10 @@ pub struct OperatorProfile {
     pub cost: QueryCost,
     /// Real elapsed time of this operator's subtree.
     pub wall: Duration,
+    /// True when this operator's source fetch fired a hedged backup.
+    pub hedged: bool,
+    /// True when the hedged backup answered first (implies `hedged`).
+    pub backup_won: bool,
     /// Child operator profiles, mirroring the plan's children.
     pub children: Vec<OperatorProfile>,
 }
@@ -46,7 +50,9 @@ impl OperatorProfile {
     }
 
     /// Convert into a span subtree (`op:<label>` spans annotated with rows
-    /// and bytes) for grafting into a query trace.
+    /// and bytes) for grafting into a query trace. An operator whose fetch
+    /// fired a hedged backup grows an extra `hedge:backup` child span, so
+    /// the hedge shows up in trace renders and Chrome-trace exports.
     pub fn to_span(&self) -> SpanRecord {
         let mut annotations = vec![
             ("rows".to_string(), self.rows.to_string()),
@@ -55,13 +61,25 @@ impl OperatorProfile {
         if let Some(s) = &self.source {
             annotations.push(("source".to_string(), s.clone()));
         }
+        let mut children: Vec<SpanRecord> =
+            self.children.iter().map(OperatorProfile::to_span).collect();
+        if self.hedged {
+            children.push(SpanRecord {
+                name: "hedge:backup".to_string(),
+                start_sim_ms: 0,
+                end_sim_ms: self.cost.sim_ms.round() as i64,
+                wall: Duration::ZERO,
+                annotations: vec![("backup_won".to_string(), self.backup_won.to_string())],
+                children: Vec::new(),
+            });
+        }
         SpanRecord {
             name: format!("op:{}", self.label),
             start_sim_ms: 0,
             end_sim_ms: self.cost.sim_ms.round() as i64,
             wall: self.wall,
             annotations,
-            children: self.children.iter().map(OperatorProfile::to_span).collect(),
+            children,
         }
     }
 }

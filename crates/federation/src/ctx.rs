@@ -28,6 +28,10 @@ pub struct RequestCtx {
     /// Executor-internal teardown: tripped when a sibling branch of the
     /// plan fails, so the rest of the plan stops doing useless work.
     pub abort: Option<CancelToken>,
+    /// The statement's trace ID, when its trace was retained: resilience
+    /// events (hedge fired, breaker transitions, shed) stamp this into the
+    /// telemetry event log so an event references its owning trace.
+    pub trace_id: Option<u64>,
 }
 
 impl RequestCtx {
@@ -54,9 +58,20 @@ impl RequestCtx {
         self
     }
 
-    /// Is there anything to enforce at all?
+    /// Attach the owning statement's trace ID.
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = Some(trace_id);
+        self
+    }
+
+    /// Is there anything to enforce or propagate at all? A trace ID counts:
+    /// a trace-only context still needs installing so resilience events can
+    /// be stamped with their owning trace.
     pub fn is_empty(&self) -> bool {
-        self.deadline.is_none() && self.cancel.is_none() && self.abort.is_none()
+        self.deadline.is_none()
+            && self.cancel.is_none()
+            && self.abort.is_none()
+            && self.trace_id.is_none()
     }
 
     /// Fail fast if the query was cancelled, aborted, or ran out of budget
@@ -154,5 +169,15 @@ mod tests {
         assert!(ctx.is_empty());
         assert!(ctx.check().is_ok());
         assert_eq!(ctx.remaining_ms(), None);
+    }
+
+    #[test]
+    fn trace_id_rides_the_ambient_context() {
+        let ctx = RequestCtx::new().with_trace_id(42);
+        assert!(!ctx.is_empty(), "a trace-only ctx must still install");
+        assert!(ctx.check().is_ok(), "trace id enforces nothing");
+        with_request_ctx(&ctx, || {
+            assert_eq!(current_ctx().unwrap().trace_id, Some(42));
+        });
     }
 }

@@ -74,7 +74,7 @@ impl SourceHandle {
         };
         self.ledger
             .record(self.connector.name(), bytes, ans.batch.num_rows(), sim_ms);
-        self.note_traffic(bytes, ans.calls);
+        self.note_traffic(bytes, ans.calls, sim_ms);
         Ok((ans.batch, cost))
     }
 
@@ -154,13 +154,18 @@ impl SourceHandle {
         Ok((batch, cost, out))
     }
 
-    /// Record shipped bytes and round trips as per-source counters.
-    fn note_traffic(&self, bytes: usize, requests: usize) {
+    /// Record shipped bytes and round trips as per-source counters, and
+    /// the interaction's simulated latency into the per-source quantile
+    /// sketch (`source.<name>.latency_ms`). Latencies are simulated, so
+    /// the sketch's percentiles are deterministic across same-seed runs.
+    fn note_traffic(&self, bytes: usize, requests: usize, sim_ms: f64) {
         let name = self.connector.name();
         self.metrics
             .add(&format!("source.{name}.bytes_shipped"), bytes as u64);
         self.metrics
             .add(&format!("source.{name}.requests"), requests as u64);
+        self.metrics
+            .record_quantile(&format!("source.{name}.latency_ms"), sim_ms);
     }
 
     /// Execute a component query whose results STAY at the source site
@@ -179,7 +184,7 @@ impl SourceHandle {
         };
         self.ledger
             .record(self.connector.name(), 0, 0, sim_ms);
-        self.note_traffic(0, ans.calls);
+        self.note_traffic(0, ans.calls, sim_ms);
         Ok((ans.batch, cost))
     }
 
@@ -217,7 +222,7 @@ impl SourceHandle {
         };
         self.ledger
             .record(self.connector.name(), bytes, batch.num_rows(), sim_ms);
-        self.note_traffic(bytes, 1);
+        self.note_traffic(bytes, 1, sim_ms);
         cost
     }
 
@@ -297,7 +302,7 @@ impl SourceHandle {
             };
             self.ledger
                 .record(self.connector.name(), bytes, ans.batch.num_rows(), sim_ms);
-            self.note_traffic(bytes, ans.calls);
+            self.note_traffic(bytes, ans.calls, sim_ms);
             total = total.alongside(cost);
             schema.get_or_insert_with(|| ans.batch.schema().clone());
             rows.extend(ans.batch.into_rows());

@@ -190,6 +190,15 @@ impl CircuitBreaker {
         *count += 1;
         if let Some((metrics, source)) = &self.metrics {
             metrics.inc(&format!("breaker.{source}.{suffix}"));
+            // Stamp the transition into the event log, referencing the
+            // owning trace when the ambient request context carries one.
+            metrics.record_event(eii_obs::TelemetryEvent {
+                sim_ms: self.clock.now_ms() as f64,
+                kind: format!("breaker.{suffix}"),
+                source: source.clone(),
+                trace_id: crate::ctx::current_ctx().and_then(|c| c.trace_id),
+                detail: format!("failures={}", inner.consecutive_failures),
+            });
         }
     }
 

@@ -17,6 +17,9 @@ use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
+use crate::sketch::{QuantileSketch, SketchSnapshot};
+use crate::tracestore::{EventLog, TelemetryEvent};
+
 /// Histogram bucket upper bounds (inclusive) used when a histogram is
 /// created through [`MetricsRegistry::observe`]: tuned for millisecond
 /// latencies from sub-millisecond hub work to multi-second outages.
@@ -118,6 +121,8 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    sketches: Mutex<BTreeMap<String, Arc<Mutex<QuantileSketch>>>>,
+    events: EventLog,
 }
 
 /// A shared registry of named metrics. Cloning shares the registry.
@@ -202,6 +207,40 @@ impl MetricsRegistry {
         self.histogram(name, &DEFAULT_MS_BUCKETS).observe(v);
     }
 
+    /// Get-or-create the named quantile sketch.
+    pub fn sketch(&self, name: &str) -> Arc<Mutex<QuantileSketch>> {
+        let mut map = self.inner.sketches.lock().expect("metrics lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(QuantileSketch::new())))
+            .clone()
+    }
+
+    /// Record one observation into the named quantile sketch (exact
+    /// percentiles, unlike the fixed-bucket histograms).
+    pub fn record_quantile(&self, name: &str, v: f64) {
+        let sketch = self.sketch(name);
+        sketch.lock().expect("sketch lock").insert(v);
+    }
+
+    /// Owned snapshot of the named sketch (empty snapshot when absent).
+    pub fn sketch_snapshot(&self, name: &str) -> SketchSnapshot {
+        let map = self.inner.sketches.lock().expect("metrics lock");
+        map.get(name)
+            .map(|s| s.lock().expect("sketch lock").snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The embedded telemetry event log (hedge fires, breaker
+    /// transitions, shed decisions — stamped with trace IDs).
+    pub fn events(&self) -> &EventLog {
+        &self.inner.events
+    }
+
+    /// Append one telemetry event to the embedded event log.
+    pub fn record_event(&self, event: TelemetryEvent) {
+        self.inner.events.record(event);
+    }
+
     /// Owned snapshot of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -229,6 +268,14 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            sketches: self
+                .inner
+                .sketches
+                .lock()
+                .expect("metrics lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.lock().expect("sketch lock").snapshot()))
+                .collect(),
         }
     }
 
@@ -237,6 +284,8 @@ impl MetricsRegistry {
         self.inner.counters.lock().expect("metrics lock").clear();
         self.inner.gauges.lock().expect("metrics lock").clear();
         self.inner.histograms.lock().expect("metrics lock").clear();
+        self.inner.sketches.lock().expect("metrics lock").clear();
+        self.inner.events.clear();
     }
 }
 
@@ -249,6 +298,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch snapshots by name.
+    pub sketches: BTreeMap<String, SketchSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -327,6 +378,29 @@ mod tests {
         m.add("exec.rows_emitted.hash_join", 5);
         m.add("other", 99);
         assert_eq!(m.snapshot().counter_sum("exec.rows_emitted."), 15);
+    }
+
+    #[test]
+    fn sketches_and_events_ride_the_registry() {
+        let m = MetricsRegistry::new();
+        m.record_quantile("source.crm.latency_ms", 10.0);
+        m.record_quantile("source.crm.latency_ms", 30.0);
+        let snap = m.sketch_snapshot("source.crm.latency_ms");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.p50, 10.0);
+        assert_eq!(snap.max, 30.0);
+        assert_eq!(m.snapshot().sketches["source.crm.latency_ms"].count, 2);
+        m.record_event(TelemetryEvent {
+            sim_ms: 1.0,
+            kind: "hedge.fired".into(),
+            source: "crm".into(),
+            trace_id: Some(7),
+            detail: String::new(),
+        });
+        assert_eq!(m.events().events_of_kind("hedge.fired").len(), 1);
+        m.reset();
+        assert_eq!(m.sketch_snapshot("source.crm.latency_ms").count, 0);
+        assert!(m.events().events().is_empty());
     }
 
     #[test]

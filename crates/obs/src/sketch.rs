@@ -1,0 +1,411 @@
+//! Mergeable quantile sketches (GK/CKMS-style) for latency percentiles.
+//!
+//! Fixed-bucket histograms answer "how many observations fell under 50 ms"
+//! but cannot answer "what is p99" with better resolution than the bucket
+//! grid. A [`QuantileSketch`] keeps a compressed list of weighted samples
+//! `(value, g, delta)` in the Greenwald–Khanna style: while the stream is
+//! small every observation is retained exactly (`g = 1`, `delta = 0`), and
+//! past [`QuantileSketch::compress_threshold`] samples the list is
+//! deterministically compacted so any quantile query stays within
+//! `2 * epsilon * n` ranks of exact.
+//!
+//! Because the engine's latencies are *simulated* milliseconds on the
+//! shared virtual clock, the observed multiset is identical across
+//! same-seed runs — and below the compression threshold a quantile query
+//! depends only on that multiset (the samples are kept sorted), so sketch
+//! readouts are bit-identical regardless of thread interleaving. Sketches
+//! [`merge`](QuantileSketch::merge) losslessly in the exact regime, which
+//! is what lets per-session or per-trial sketches roll up into one
+//! workload-wide percentile view.
+
+use serde::Serialize;
+
+/// Default rank-error bound: p99 of 10k observations is within ±10 ranks.
+pub const DEFAULT_SKETCH_EPSILON: f64 = 0.001;
+
+/// Default number of retained samples before GK compression kicks in.
+/// Below this the sketch is exact (every observation kept, sorted).
+pub const DEFAULT_COMPRESS_THRESHOLD: usize = 4096;
+
+/// One weighted GK tuple: `value` stands for `g` observations whose exact
+/// ranks are only known to within `delta` (0 while the sketch is exact).
+/// The invariant `g + delta <= 2 * epsilon * n` bounds every query's rank
+/// error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SketchSample {
+    /// The observed value (simulated ms by convention).
+    pub value: f64,
+    /// Number of observations this tuple stands for.
+    pub g: u64,
+    /// Rank uncertainty (GK's Δ).
+    pub delta: u64,
+}
+
+/// A deterministic, mergeable quantile sketch over `f64` observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantileSketch {
+    samples: Vec<SketchSample>,
+    count: u64,
+    sum: f64,
+    epsilon: f64,
+    compress_threshold: usize,
+    /// True once any sample carries rank uncertainty — quantile queries
+    /// then apply the GK margin; until then they are exact nearest-rank.
+    compressed: bool,
+}
+
+impl QuantileSketch {
+    /// A new sketch with the default error bound.
+    pub fn new() -> Self {
+        QuantileSketch::with_epsilon(DEFAULT_SKETCH_EPSILON)
+    }
+
+    /// A new sketch with an explicit rank-error bound `epsilon`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        QuantileSketch {
+            samples: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            epsilon: epsilon.max(1e-6),
+            compress_threshold: DEFAULT_COMPRESS_THRESHOLD,
+            compressed: false,
+        }
+    }
+
+    /// Override the exact-regime size (tests exercise compression with a
+    /// small threshold).
+    pub fn with_compress_threshold(mut self, threshold: usize) -> Self {
+        self.compress_threshold = threshold.max(8);
+        self
+    }
+
+    /// The sample count before compression engages.
+    pub fn compress_threshold(&self) -> usize {
+        self.compress_threshold
+    }
+
+    /// Total observations recorded (not retained samples).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Retained weighted samples (sorted by value).
+    pub fn samples(&self) -> &[SketchSample] {
+        &self.samples
+    }
+
+    /// Whether the sketch is still in the exact regime — no compression
+    /// has happened, so [`Self::quantile`] is exact nearest-rank and
+    /// bit-identical across insertion orders of the same multiset.
+    pub fn is_exact(&self) -> bool {
+        !self.compressed
+    }
+
+    /// Record one observation. NaN is ignored (it has no rank).
+    pub fn insert(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        // Stable insertion point: after any equal values, so ties keep
+        // first-observed order and the list stays sorted. The new tuple's
+        // delta is its successor's rank uncertainty (CKMS): a fresh
+        // observation's true rank is only known to within the span of the
+        // run it lands next to. While the sketch is exact every successor
+        // has g = 1, delta = 0, so fresh tuples stay exact too.
+        let pos = self.samples.partition_point(|s| s.value <= value);
+        let delta = if pos == 0 || pos == self.samples.len() {
+            0 // new minimum or maximum: rank exactly known
+        } else {
+            let succ = &self.samples[pos];
+            (succ.g + succ.delta).saturating_sub(1)
+        };
+        self.samples.insert(pos, SketchSample { value, g: 1, delta });
+        if self.samples.len() > self.compress_threshold {
+            self.compress();
+        }
+    }
+
+    /// GK/CKMS compaction: fold a tuple into its right neighbour when the
+    /// combined rank span `g_i + g_{i+1} + delta_{i+1}` fits the
+    /// `2 * epsilon * n` error budget. The survivor keeps the right
+    /// neighbour's value and delta, so every surviving boundary's rank
+    /// claim is unchanged — this is what keeps errors from compounding
+    /// across repeated compressions. Deterministic given the current
+    /// sample list; the minimum and maximum tuples are never merged away.
+    fn compress(&mut self) {
+        if self.samples.len() < 3 {
+            return;
+        }
+        let budget = ((2.0 * self.epsilon * self.count as f64).floor() as u64).max(2);
+        // Walk right-to-left so a run can absorb several left neighbours.
+        let mut rev: Vec<SketchSample> = Vec::with_capacity(self.samples.len());
+        rev.push(self.samples[self.samples.len() - 1]);
+        for s in self.samples[1..self.samples.len() - 1].iter().rev() {
+            let succ = rev.last_mut().expect("non-empty");
+            if s.g + succ.g + succ.delta <= budget {
+                succ.g += s.g;
+            } else {
+                rev.push(*s);
+            }
+        }
+        rev.push(self.samples[0]);
+        rev.reverse();
+        if rev.len() < self.samples.len() {
+            self.compressed = true;
+        }
+        self.samples = rev;
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, or `None` when empty.
+    /// Exact (nearest-rank) while uncompressed; within `2 * epsilon * n`
+    /// ranks afterwards (every tuple's rank is known to within
+    /// `g + delta <= 2 * epsilon * n`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.samples.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let margin = if self.compressed {
+            (self.epsilon * self.count as f64).floor() as u64
+        } else {
+            0
+        };
+        let mut cum = 0u64;
+        let mut prev = self.samples[0].value;
+        for s in &self.samples {
+            if cum + s.g + s.delta > rank + margin {
+                return Some(prev);
+            }
+            cum += s.g;
+            prev = s.value;
+        }
+        Some(prev)
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.first().map(|s| s.value)
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.value)
+    }
+
+    /// Fold `other` into `self`. In the exact regime this is a lossless
+    /// sorted-multiset union; compressed inputs keep their per-sample
+    /// uncertainty and the result is recompressed against the combined
+    /// count.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.compressed |= other.compressed;
+        let mut merged = Vec::with_capacity(self.samples.len() + other.samples.len());
+        let (mut a, mut b) = (self.samples.iter().peekable(), other.samples.iter().peekable());
+        while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+            if x.value <= y.value {
+                merged.push(**x);
+                a.next();
+            } else {
+                merged.push(**y);
+                b.next();
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.samples = merged;
+        if self.samples.len() > self.compress_threshold {
+            self.compress();
+        }
+    }
+
+    /// Owned, serializable summary (count, sum, and canonical percentiles).
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            retained: self.samples.len() as u64,
+        }
+    }
+}
+
+/// Owned view of a sketch at one instant: canonical percentiles for
+/// dashboards and the bench harness.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct SketchSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Weighted samples currently retained.
+    pub retained: u64,
+}
+
+impl SketchSnapshot {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_percentile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn exact_regime_matches_nearest_rank() {
+        let mut sk = QuantileSketch::new();
+        let mut values: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        for v in &values {
+            sk.insert(*v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                sk.quantile(q).unwrap(),
+                exact_percentile(&values, q),
+                "q={q}"
+            );
+        }
+        assert_eq!(sk.count(), 1000);
+        assert_eq!(sk.min(), Some(0.0));
+        assert_eq!(sk.max(), Some(999.0));
+    }
+
+    #[test]
+    fn quantiles_are_insertion_order_independent() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let values: Vec<f64> = (0..500).map(|i| ((i * 37) % 250) as f64 / 2.0).collect();
+        for v in &values {
+            a.insert(*v);
+        }
+        for v in values.iter().rev() {
+            b.insert(*v);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(a.quantile(q), b.quantile(q), "q={q}");
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn merge_is_lossless_in_the_exact_regime() {
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        let mut whole = QuantileSketch::new();
+        for i in 0..400 {
+            let v = ((i * 13) % 97) as f64;
+            whole.insert(v);
+            if i % 2 == 0 {
+                left.insert(v);
+            } else {
+                right.insert(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn compression_bounds_memory_and_stays_close() {
+        // Memory steady-state is ~2n / (2 * eps * n) = 1/eps runs; pick
+        // eps so that sits well under the compress threshold.
+        let eps = 0.05;
+        let mut sk = QuantileSketch::with_epsilon(eps).with_compress_threshold(64);
+        let n = 10_000;
+        for i in 0..n {
+            sk.insert(((i * 7919) % n) as f64);
+        }
+        assert!(
+            sk.samples().len() <= 65,
+            "compression must bound retained samples, got {}",
+            sk.samples().len()
+        );
+        assert!(!sk.is_exact());
+        assert_eq!(sk.count(), n as u64);
+        let total_g: u64 = sk.samples().iter().map(|s| s.g).sum();
+        assert_eq!(total_g, n as u64, "weights must cover every observation");
+        // Rank error is bounded by 2 * eps * n.
+        let p50 = sk.quantile(0.5).unwrap();
+        assert!(
+            (p50 - n as f64 / 2.0).abs() <= 2.0 * eps * n as f64,
+            "p50={p50}"
+        );
+        let p99 = sk.quantile(0.99).unwrap();
+        assert!(p99 >= (0.99 - 2.0 * eps) * n as f64, "p99={p99}");
+        assert_eq!(sk.min(), Some(0.0));
+        assert_eq!(sk.max(), Some((n - 1) as f64));
+    }
+
+    #[test]
+    fn empty_and_degenerate_sketches() {
+        let sk = QuantileSketch::new();
+        assert_eq!(sk.quantile(0.5), None);
+        assert_eq!(sk.count(), 0);
+        assert_eq!(sk.snapshot().p99, 0.0);
+        let mut one = QuantileSketch::new();
+        one.insert(42.0);
+        one.insert(f64::NAN); // ignored
+        assert_eq!(one.count(), 1);
+        assert_eq!(one.quantile(0.0), Some(42.0));
+        assert_eq!(one.quantile(1.0), Some(42.0));
+        assert!((one.mean() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let mut sk = QuantileSketch::new();
+        sk.insert(1.0);
+        sk.insert(2.0);
+        let json = serde::Serialize::to_json(&sk.snapshot()).to_string();
+        assert!(json.contains("\"count\":2"), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+    }
+}

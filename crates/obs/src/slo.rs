@@ -1,0 +1,414 @@
+//! SLO burn-rate monitoring on the virtual clock.
+//!
+//! An [`SloObjective`] states, per priority tier, a latency target ("99%
+//! of `high` statements finish within 50 simulated ms") and an
+//! availability target ("99.9% succeed"). The [`SloMonitor`] ingests one
+//! sample per statement and evaluates **multi-window burn rates** the way
+//! production alerting does (Google SRE workbook style): for each
+//! configured window, the observed bad-event rate is divided by the error
+//! budget (`1 - objective`); a burn rate of 1.0 means the budget is being
+//! consumed exactly at the sustainable pace, and a short-window burn above
+//! its threshold *and* a long-window burn above its threshold together
+//! mean the budget is burning fast enough to page. Everything runs on
+//! simulated time, so same-seed runs produce bit-identical SLO readouts.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+/// One evaluation window with its paging threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SloWindow {
+    /// Window length in simulated milliseconds.
+    pub window_ms: f64,
+    /// Burn-rate threshold above which this window is "hot".
+    pub burn_threshold: f64,
+}
+
+/// Per-priority latency and availability objectives.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloObjective {
+    /// Priority tier this objective applies to (`low`/`normal`/`high`).
+    pub priority: String,
+    /// A statement is latency-good when it finishes within this budget.
+    pub latency_target_ms: f64,
+    /// Fraction of statements that must be latency-good (e.g. 0.99).
+    pub latency_objective: f64,
+    /// Fraction of statements that must succeed (e.g. 0.999).
+    pub availability_objective: f64,
+    /// Evaluation windows, fast to slow.
+    pub windows: Vec<SloWindow>,
+}
+
+impl SloObjective {
+    /// A sensible default: fast window (5 s sim) pages at burn 14.4, slow
+    /// window (60 s sim) pages at burn 6 — the classic 2-window pairing
+    /// scaled down to experiment timelines.
+    pub fn new(priority: impl Into<String>, latency_target_ms: f64) -> Self {
+        SloObjective {
+            priority: priority.into(),
+            latency_target_ms,
+            latency_objective: 0.99,
+            availability_objective: 0.999,
+            windows: vec![
+                SloWindow {
+                    window_ms: 5_000.0,
+                    burn_threshold: 14.4,
+                },
+                SloWindow {
+                    window_ms: 60_000.0,
+                    burn_threshold: 6.0,
+                },
+            ],
+        }
+    }
+
+    /// Override the latency objective fraction.
+    pub fn with_latency_objective(mut self, objective: f64) -> Self {
+        self.latency_objective = objective.clamp(0.0, 1.0 - 1e-9);
+        self
+    }
+
+    /// Override the availability objective fraction.
+    pub fn with_availability_objective(mut self, objective: f64) -> Self {
+        self.availability_objective = objective.clamp(0.0, 1.0 - 1e-9);
+        self
+    }
+
+    /// Replace the evaluation windows.
+    pub fn with_windows(mut self, windows: Vec<SloWindow>) -> Self {
+        if !windows.is_empty() {
+            self.windows = windows;
+        }
+        self
+    }
+}
+
+/// One statement's contribution to the SLO streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SloSample {
+    end_sim_ms: f64,
+    latency_ms: f64,
+    ok: bool,
+}
+
+/// Burn-rate readout for one window of one objective stream.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WindowBurn {
+    /// Window length in simulated milliseconds.
+    pub window_ms: f64,
+    /// Samples that fell inside the window.
+    pub samples: u64,
+    /// Observed bad-event fraction inside the window.
+    pub bad_fraction: f64,
+    /// Bad fraction divided by the error budget (1 = sustainable pace).
+    pub burn_rate: f64,
+    /// Whether the burn rate exceeds this window's threshold.
+    pub hot: bool,
+}
+
+/// Health verdict for one priority tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SloState {
+    /// No window is burning above threshold.
+    Healthy,
+    /// Some but not all windows are hot (budget burning, not paging yet).
+    AtRisk,
+    /// Every configured window is hot — the multi-window page condition.
+    Breached,
+}
+
+impl SloState {
+    /// Lowercase label for metrics and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SloState::Healthy => "healthy",
+            SloState::AtRisk => "at_risk",
+            SloState::Breached => "breached",
+        }
+    }
+}
+
+/// Full readout for one priority tier at one evaluation instant.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloStatus {
+    /// Priority tier.
+    pub priority: String,
+    /// Statements observed on this tier overall.
+    pub total: u64,
+    /// Latency burn per window, fast to slow.
+    pub latency_burn: Vec<WindowBurn>,
+    /// Availability burn per window, fast to slow.
+    pub availability_burn: Vec<WindowBurn>,
+    /// Verdict over the latency stream.
+    pub latency_state: SloState,
+    /// Verdict over the availability stream.
+    pub availability_state: SloState,
+}
+
+impl SloStatus {
+    /// Worst of the two stream verdicts.
+    pub fn state(&self) -> SloState {
+        match (self.latency_state, self.availability_state) {
+            (SloState::Breached, _) | (_, SloState::Breached) => SloState::Breached,
+            (SloState::AtRisk, _) | (_, SloState::AtRisk) => SloState::AtRisk,
+            _ => SloState::Healthy,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MonitorInner {
+    objectives: BTreeMap<String, SloObjective>,
+    samples: BTreeMap<String, VecDeque<SloSample>>,
+}
+
+/// Ingests per-statement samples and evaluates burn rates on demand.
+/// Cloning shares the monitor.
+#[derive(Debug, Clone, Default)]
+pub struct SloMonitor {
+    inner: Arc<Mutex<MonitorInner>>,
+}
+
+impl SloMonitor {
+    /// An empty monitor (no objectives registered).
+    pub fn new() -> Self {
+        SloMonitor::default()
+    }
+
+    /// Register (or replace) the objective for a priority tier.
+    pub fn set_objective(&self, objective: SloObjective) {
+        let mut inner = self.inner.lock().expect("slo monitor poisoned");
+        inner.objectives.insert(objective.priority.clone(), objective);
+    }
+
+    /// Registered objectives, sorted by priority label.
+    pub fn objectives(&self) -> Vec<SloObjective> {
+        let inner = self.inner.lock().expect("slo monitor poisoned");
+        inner.objectives.values().cloned().collect()
+    }
+
+    /// Record one statement's outcome for its priority tier. Samples for
+    /// tiers without an objective are dropped.
+    pub fn record(&self, priority: &str, end_sim_ms: f64, latency_ms: f64, ok: bool) {
+        let mut inner = self.inner.lock().expect("slo monitor poisoned");
+        let Some(obj) = inner.objectives.get(priority) else {
+            return;
+        };
+        let horizon = obj
+            .windows
+            .iter()
+            .map(|w| w.window_ms)
+            .fold(0.0f64, f64::max);
+        let queue = inner.samples.entry(priority.to_string()).or_default();
+        queue.push_back(SloSample {
+            end_sim_ms,
+            latency_ms,
+            ok,
+        });
+        // Evict samples that have aged out of every window.
+        while let Some(front) = queue.front() {
+            if front.end_sim_ms < end_sim_ms - horizon {
+                queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn burn(
+        windows: &[SloWindow],
+        samples: &VecDeque<SloSample>,
+        now_ms: f64,
+        objective: f64,
+        is_bad: impl Fn(&SloSample) -> bool,
+    ) -> Vec<WindowBurn> {
+        let budget = (1.0 - objective).max(1e-12);
+        windows
+            .iter()
+            .map(|w| {
+                let (mut total, mut bad) = (0u64, 0u64);
+                for s in samples.iter().rev() {
+                    if s.end_sim_ms < now_ms - w.window_ms {
+                        break;
+                    }
+                    total += 1;
+                    if is_bad(s) {
+                        bad += 1;
+                    }
+                }
+                let bad_fraction = if total == 0 {
+                    0.0
+                } else {
+                    bad as f64 / total as f64
+                };
+                let burn_rate = bad_fraction / budget;
+                WindowBurn {
+                    window_ms: w.window_ms,
+                    samples: total,
+                    bad_fraction,
+                    burn_rate,
+                    hot: burn_rate > w.burn_threshold,
+                }
+            })
+            .collect()
+    }
+
+    fn verdict(burns: &[WindowBurn]) -> SloState {
+        let hot = burns.iter().filter(|b| b.hot).count();
+        if hot == 0 {
+            SloState::Healthy
+        } else if hot == burns.len() {
+            SloState::Breached
+        } else {
+            SloState::AtRisk
+        }
+    }
+
+    /// Evaluate every registered objective at virtual time `now_ms`,
+    /// sorted by priority label.
+    pub fn evaluate(&self, now_ms: f64) -> Vec<SloStatus> {
+        let inner = self.inner.lock().expect("slo monitor poisoned");
+        static EMPTY: VecDeque<SloSample> = VecDeque::new();
+        inner
+            .objectives
+            .values()
+            .map(|obj| {
+                let samples = inner.samples.get(&obj.priority).unwrap_or(&EMPTY);
+                let latency_burn = SloMonitor::burn(
+                    &obj.windows,
+                    samples,
+                    now_ms,
+                    obj.latency_objective,
+                    |s| s.latency_ms > obj.latency_target_ms,
+                );
+                let availability_burn = SloMonitor::burn(
+                    &obj.windows,
+                    samples,
+                    now_ms,
+                    obj.availability_objective,
+                    |s| !s.ok,
+                );
+                SloStatus {
+                    priority: obj.priority.clone(),
+                    total: samples.len() as u64,
+                    latency_state: SloMonitor::verdict(&latency_burn),
+                    availability_state: SloMonitor::verdict(&availability_burn),
+                    latency_burn,
+                    availability_burn,
+                }
+            })
+            .collect()
+    }
+
+    /// Drop all samples (objectives stay registered).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("slo monitor poisoned");
+        inner.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> SloMonitor {
+        let m = SloMonitor::new();
+        m.set_objective(
+            SloObjective::new("high", 50.0)
+                .with_latency_objective(0.9)
+                .with_availability_objective(0.9)
+                .with_windows(vec![
+                    SloWindow {
+                        window_ms: 100.0,
+                        burn_threshold: 2.0,
+                    },
+                    SloWindow {
+                        window_ms: 1000.0,
+                        burn_threshold: 1.5,
+                    },
+                ]),
+        );
+        m
+    }
+
+    #[test]
+    fn healthy_when_all_good() {
+        let m = monitor();
+        for i in 0..20 {
+            m.record("high", i as f64 * 10.0, 5.0, true);
+        }
+        let status = &m.evaluate(200.0)[0];
+        assert_eq!(status.state(), SloState::Healthy);
+        assert_eq!(status.latency_burn.len(), 2);
+        assert_eq!(status.latency_burn[0].burn_rate, 0.0);
+    }
+
+    #[test]
+    fn breached_when_every_window_burns() {
+        let m = monitor();
+        // All statements slow: bad fraction 1.0, budget 0.1 -> burn 10.
+        for i in 0..20 {
+            m.record("high", i as f64 * 10.0, 500.0, true);
+        }
+        let status = &m.evaluate(200.0)[0];
+        assert_eq!(status.latency_state, SloState::Breached);
+        assert_eq!(status.availability_state, SloState::Healthy);
+        assert_eq!(status.state(), SloState::Breached);
+        assert!(status.latency_burn.iter().all(|b| b.hot));
+        assert!((status.latency_burn[0].burn_rate - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_risk_when_only_short_window_burns() {
+        let m = monitor();
+        // 100 good samples spread over the long window...
+        for i in 0..100 {
+            m.record("high", i as f64 * 9.0, 5.0, true);
+        }
+        // ...then a burst of failures inside the last 100ms only.
+        for i in 0..5 {
+            m.record("high", 900.0 + i as f64 * 10.0, 5.0, false);
+        }
+        let status = &m.evaluate(950.0)[0];
+        assert!(status.availability_burn[0].hot, "short window hot");
+        assert!(!status.availability_burn[1].hot, "long window absorbs burst");
+        assert_eq!(status.availability_state, SloState::AtRisk);
+    }
+
+    #[test]
+    fn windows_expire_old_samples() {
+        let m = monitor();
+        for i in 0..10 {
+            m.record("high", i as f64, 500.0, false); // terrible start
+        }
+        for i in 0..50 {
+            m.record("high", 2000.0 + i as f64 * 10.0, 5.0, true);
+        }
+        let status = &m.evaluate(2500.0)[0];
+        assert_eq!(status.state(), SloState::Healthy, "old badness aged out");
+    }
+
+    #[test]
+    fn unregistered_priority_is_ignored() {
+        let m = monitor();
+        m.record("low", 0.0, 1000.0, false);
+        let statuses = m.evaluate(100.0);
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].priority, "high");
+        assert_eq!(statuses[0].total, 0);
+    }
+
+    #[test]
+    fn deterministic_readout_same_samples() {
+        let run = || {
+            let m = monitor();
+            for i in 0..30 {
+                m.record("high", i as f64 * 7.0, if i % 3 == 0 { 80.0 } else { 10.0 }, i % 7 != 0);
+            }
+            serde_json::to_string(&m.evaluate(210.0)).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -388,7 +388,26 @@ impl<'a> CostModel<'a> {
     /// [`CostModel::estimate`] it follows the *physical* shape the planner
     /// chose (bind joins, pushed component queries, parallel unions).
     pub fn estimate_physical(&self, plan: &PhysicalPlan) -> Result<PlanEstimate> {
-        Ok(match plan {
+        let children = plan.children();
+        let mut kids = Vec::with_capacity(children.len());
+        for child in children {
+            kids.push(self.estimate_physical(child)?);
+        }
+        Ok(self.estimate_from_children(plan, &kids))
+    }
+
+    /// One operator's estimate derived from its children's already-computed
+    /// estimates (in [`PhysicalPlan::children`] order) — the per-node core
+    /// of [`CostModel::estimate_physical`]. Exposed so tree walkers (the
+    /// query log's est-vs-actual collector) can estimate every node of a
+    /// plan in one bottom-up pass instead of re-estimating each subtree,
+    /// which re-clones source table statistics O(depth) times per scan.
+    pub fn estimate_from_children(
+        &self,
+        plan: &PhysicalPlan,
+        kids: &[PlanEstimate],
+    ) -> PlanEstimate {
+        match plan {
             PhysicalPlan::Source { source, query, .. } => self.estimate_component(source, query),
             PhysicalPlan::Values { rows, .. } => PlanEstimate {
                 rows: rows.len() as f64,
@@ -398,8 +417,8 @@ impl<'a> CostModel<'a> {
             // Frozen by the rewrite pass when it chose the view over the
             // federated alternative.
             PhysicalPlan::MatViewScan { local, .. } => *local,
-            PhysicalPlan::Filter { input, predicate } => {
-                let e = self.estimate_physical(input)?;
+            PhysicalPlan::Filter { predicate, .. } => {
+                let e = kids[0];
                 let sel = self.selectivity(predicate, &TableStats::default(), &|_| None);
                 PlanEstimate {
                     rows: e.rows * sel,
@@ -407,38 +426,33 @@ impl<'a> CostModel<'a> {
                     sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
                 }
             }
-            PhysicalPlan::Project { input, .. }
-            | PhysicalPlan::Sort { input, .. }
-            | PhysicalPlan::Rename { input, .. } => {
-                let e = self.estimate_physical(input)?;
+            PhysicalPlan::Project { .. }
+            | PhysicalPlan::Sort { .. }
+            | PhysicalPlan::Rename { .. } => {
+                let e = kids[0];
                 PlanEstimate {
                     sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
                     ..e
                 }
             }
-            PhysicalPlan::Limit { input, n } => {
-                let e = self.estimate_physical(input)?;
+            PhysicalPlan::Limit { n, .. } => {
+                let e = kids[0];
                 PlanEstimate {
                     rows: e.rows.min(*n as f64),
                     ..e
                 }
             }
-            PhysicalPlan::Distinct { input } => {
-                let e = self.estimate_physical(input)?;
+            PhysicalPlan::Distinct { .. } => {
+                let e = kids[0];
                 PlanEstimate {
                     rows: e.rows * 0.9,
                     bytes: e.bytes,
                     sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
                 }
             }
-            PhysicalPlan::HashJoin {
-                left, right, kind, parallel, ..
-            }
-            | PhysicalPlan::NestedLoopJoin {
-                left, right, kind, parallel, ..
-            } => {
-                let l = self.estimate_physical(left)?;
-                let r = self.estimate_physical(right)?;
+            PhysicalPlan::HashJoin { kind, parallel, .. }
+            | PhysicalPlan::NestedLoopJoin { kind, parallel, .. } => {
+                let (l, r) = (kids[0], kids[1]);
                 let rows = join_rows(l.rows, r.rows, *kind, plan.join_condition_present());
                 let input_sim = if *parallel {
                     l.sim_ms.max(r.sim_ms)
@@ -452,12 +466,9 @@ impl<'a> CostModel<'a> {
                 }
             }
             PhysicalPlan::BindJoin {
-                left,
-                source,
-                template,
-                ..
+                source, template, ..
             } => {
-                let l = self.estimate_physical(left)?;
+                let l = kids[0];
                 let right = self.estimate_component(source, template);
                 // One round trip per distinct probe key; only matching rows
                 // ship back.
@@ -482,10 +493,8 @@ impl<'a> CostModel<'a> {
                         + (l.rows + rows) * self.hub_ms_per_row,
                 }
             }
-            PhysicalPlan::Aggregate {
-                input, group_by, ..
-            } => {
-                let e = self.estimate_physical(input)?;
+            PhysicalPlan::Aggregate { group_by, .. } => {
+                let e = kids[0];
                 let rows = if group_by.is_empty() {
                     1.0
                 } else {
@@ -497,10 +506,9 @@ impl<'a> CostModel<'a> {
                     sim_ms: e.sim_ms + e.rows * self.hub_ms_per_row,
                 }
             }
-            PhysicalPlan::UnionAll { inputs, parallel, .. } => {
+            PhysicalPlan::UnionAll { parallel, .. } => {
                 let mut est = PlanEstimate::default();
-                for i in inputs {
-                    let e = self.estimate_physical(i)?;
+                for e in kids {
                     est.rows += e.rows;
                     est.bytes += e.bytes;
                     est.sim_ms = if *parallel {
@@ -511,7 +519,7 @@ impl<'a> CostModel<'a> {
                 }
                 est
             }
-        })
+        }
     }
 }
 

@@ -505,6 +505,7 @@ fn source_health_reports_traffic_retries_and_breaker_under_faults() {
 }
 
 #[test]
+#[allow(deprecated)] // deliberately exercises the last_trace() shim
 fn query_trace_covers_phases_and_operators() {
     let (sys, _) = build_system();
     let sys = sys.with_config(PlannerConfig {
@@ -549,4 +550,134 @@ fn facade_retries_ride_out_a_transient_outage() {
     let out = sys.execute(sql).unwrap();
     assert_eq!(out.rows().unwrap().num_rows(), 2);
     assert!(sys.federation().ledger().traffic("crm").retries >= 1);
+}
+
+#[test]
+fn query_log_fingerprints_collapse_equivalent_statements() {
+    let (sys, _) = build_system();
+    let sql = "SELECT name FROM crm.customers WHERE region = 'west'";
+    sys.execute(sql).unwrap();
+    sys.execute(sql).unwrap();
+    sys.execute("SELECT order_id FROM sales.orders WHERE total > 150")
+        .unwrap();
+
+    let log = sys.query_log();
+    assert_eq!(log.seen(), 3);
+    let digest = log.fingerprints();
+    assert_eq!(digest.len(), 2, "two distinct plans: {digest:?}");
+    let last = log.last().expect("records retained");
+    assert!(last.plan.contains("orders"), "normalized plan text: {}", last.plan);
+    assert!(last.bytes_shipped > 0, "bytes attributed");
+    assert!(
+        last.per_source_bytes.iter().map(|(_, b)| b).sum::<u64>() > 0,
+        "per-source attribution: {:?}",
+        last.per_source_bytes
+    );
+    assert!(
+        last.operators.iter().any(|o| o.actual_rows > 0),
+        "est-vs-actual operator stats: {:?}",
+        last.operators
+    );
+    let top = log.top_k(1, eii::obs::WorkloadKey::Count);
+    assert_eq!(top[0].count, 2, "repeated statement dominates by count");
+}
+
+#[test]
+fn trace_store_keeps_sessions_apart_and_exports_chrome_json() {
+    let (sys, _) = build_system();
+    let sys = Arc::new(sys);
+    let alice = sys.session().with_label("alice");
+    let bob = sys.session().with_label("bob");
+    alice
+        .execute("SELECT name FROM crm.customers WHERE region = 'west'")
+        .unwrap();
+    bob.execute("SELECT order_id FROM sales.orders WHERE total > 150")
+        .unwrap();
+
+    let a = alice.last_stored_trace().expect("alice's trace retained");
+    let b = bob.last_stored_trace().expect("bob's trace retained");
+    assert_ne!(a.trace_id, b.trace_id);
+    assert_ne!(a.fingerprint, b.fingerprint, "different statements");
+    assert!(a.trace.find("op:SourceScan").is_some() || a.trace.find("execute").is_some());
+
+    let json = eii::obs::chrome_trace_json(&a);
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"ph\""), "{json}");
+    // The query-log record points back at the stored trace.
+    let with_trace = sys
+        .query_log()
+        .records()
+        .into_iter()
+        .filter(|r| r.trace_id.is_some())
+        .count();
+    assert_eq!(with_trace, 2, "both statements link log record to trace");
+}
+
+#[test]
+fn telemetry_toggle_stops_recording() {
+    let (sys, _) = build_system();
+    sys.set_telemetry_enabled(false);
+    sys.execute("SELECT name FROM crm.customers").unwrap();
+    assert_eq!(sys.query_log().seen(), 0);
+    assert!(sys.trace_store().is_empty());
+    sys.set_telemetry_enabled(true);
+    sys.execute("SELECT name FROM crm.customers").unwrap();
+    assert_eq!(sys.query_log().seen(), 1);
+    assert_eq!(sys.trace_store().len(), 1);
+}
+
+#[test]
+fn deadline_statements_record_budget_and_spend() {
+    let (sys, _) = build_system();
+    let opts = ExecOptions {
+        deadline_budget_ms: Some(10_000),
+        ..ExecOptions::default()
+    };
+    sys.execute_with("SELECT name FROM crm.customers", &opts).unwrap();
+    let rec = sys.query_log().last().expect("deadline statements always kept");
+    assert_eq!(rec.deadline_budget_ms, Some(10_000.0));
+    let spent = rec.deadline_spent_ms.expect("spend recorded");
+    assert!((0.0..10_000.0).contains(&spent), "spent={spent}");
+}
+
+#[test]
+fn degraded_statements_tail_sample_and_flag_explain_analyze() {
+    let (sys, clock) = build_system();
+    let sql = "SELECT c.name, o.total FROM crm.customers c \
+               JOIN sales.orders o ON c.id = o.customer_id WHERE o.total > 150";
+    sys.snapshot_fallback("sales.orders").unwrap();
+    clock.advance_ms(1_000);
+    sys.federation()
+        .inject_faults("sales", FaultProfile::failing(1.0, 7))
+        .unwrap();
+    sys.set_degradation_policy(DegradationPolicy::Fallback);
+
+    let text = sys.explain_analyze(sql).unwrap();
+    assert!(text.contains("flags=degraded"), "header flags: {text}");
+
+    sys.execute(sql).unwrap();
+    let rec = sys.query_log().last().unwrap();
+    assert!(rec.flags.degraded, "degraded flag on the log record");
+    let stored = sys.trace_store().latest().expect("degraded trace tail-sampled");
+    assert!(stored.flags.degraded);
+}
+
+#[test]
+fn slo_burn_rates_read_out_per_priority() {
+    let (sys, _) = build_system();
+    sys.set_slo_objective(eii::obs::SloObjective::new("normal", 50.0));
+    for _ in 0..5 {
+        sys.execute("SELECT name FROM crm.customers").unwrap();
+    }
+    let statuses = sys.slo_status();
+    assert_eq!(statuses.len(), 1);
+    assert_eq!(statuses[0].priority, "normal");
+    assert_eq!(statuses[0].total, 5);
+    assert_eq!(statuses[0].state(), eii::obs::SloState::Healthy);
+    let snap = sys.metrics().snapshot();
+    assert!(
+        snap.histograms.contains_key("slo.normal.latency_burn"),
+        "slo metrics published: {:?}",
+        snap.histograms.keys().collect::<Vec<_>>()
+    );
 }

@@ -597,3 +597,113 @@ proptest! {
         );
     }
 }
+
+/// Operator-tree skeleton shared by physical plans and span trees.
+#[derive(Debug, Clone, PartialEq)]
+struct OpTree {
+    label: String,
+    children: Vec<OpTree>,
+}
+
+fn plan_optree(plan: &eii::planner::PhysicalPlan) -> OpTree {
+    OpTree {
+        label: plan.label().to_string(),
+        children: plan.children().into_iter().map(plan_optree).collect(),
+    }
+}
+
+/// Project a span subtree onto operator spans only: `op:<label>` spans
+/// keep their label, synthetic spans (`hedge:backup`) are dropped — they
+/// annotate a fetch, they are not plan operators.
+fn span_optree(span: &eii::obs::SpanRecord) -> Option<OpTree> {
+    let label = span.name.strip_prefix("op:")?;
+    Some(OpTree {
+        label: label.to_string(),
+        children: span.children.iter().filter_map(span_optree).collect(),
+    })
+}
+
+fn find_span<'a>(
+    spans: &'a [eii::obs::SpanRecord],
+    name: &str,
+) -> Option<&'a eii::obs::SpanRecord> {
+    for span in spans {
+        if span.name == name {
+            return Some(span);
+        }
+        if let Some(found) = find_span(&span.children, name) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// The physical plan the engine would pick for `sql`, built through the
+/// same public pipeline the facade uses (parse → build → optimize →
+/// physical), independent of any execution.
+fn physical_plan_for(sys: &EiiSystem, sql: &str) -> eii::planner::PhysicalPlan {
+    let Ok(eii::sql::Statement::Query(q)) = eii::sql::parse_statement(sql) else {
+        panic!("not a query: {sql}");
+    };
+    let logical = eii::planner::PlanBuilder::new(sys.catalog(), sys.federation())
+        .build(&q)
+        .unwrap();
+    let optimized = eii::planner::optimize(logical, sys.federation(), sys.config()).unwrap();
+    eii::planner::PhysicalPlanner::new(sys.federation(), sys.config())
+        .create(optimized)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tracer's `op:` span tree under `execute` is isomorphic (same
+    /// shape, same operator labels) to the physical plan's operator tree,
+    /// across query shapes — with and without hedged backup fetches, whose
+    /// extra `hedge:backup` child spans must not disturb the skeleton.
+    #[test]
+    fn span_tree_is_isomorphic_to_physical_plan(
+        rows in unique_rows(),
+        pred in predicates(),
+        shape in 0usize..6,
+        hedge in 0usize..2,
+    ) {
+        let sql = match shape {
+            0 => format!("SELECT id, name FROM crm.customers WHERE {pred}"),
+            1 => format!(
+                "SELECT c.name, o.total FROM crm.customers c \
+                 JOIN sales.orders o ON c.id = o.customer_id WHERE {pred}"
+            ),
+            2 => format!(
+                "SELECT name, score FROM crm.customers WHERE {pred} \
+                 ORDER BY score DESC LIMIT 5"
+            ),
+            3 => "SELECT name, COUNT(*) AS n FROM crm.customers GROUP BY name".to_string(),
+            4 => format!("SELECT DISTINCT name FROM crm.customers WHERE {pred}"),
+            _ => format!(
+                "SELECT id FROM crm.customers WHERE {pred} \
+                 UNION ALL SELECT order_id FROM sales.orders"
+            ),
+        };
+        let hedged = hedge == 1;
+        let (sys, _) = system_with_customers(&rows);
+        let sys = Arc::new(sys);
+        if hedged {
+            sys.set_hedge_policy(HedgePolicy {
+                threshold_ms: 0.0,
+                delay_ms: 0.5,
+            });
+            // Prime per-source latency history: the first fetch per source
+            // is never hedged.
+            sys.execute("SELECT id FROM crm.customers").unwrap();
+            sys.execute("SELECT order_id FROM sales.orders").unwrap();
+        }
+        let expected = plan_optree(&physical_plan_for(&sys, &sql));
+        let session = sys.session();
+        session.execute(&sql).unwrap();
+        let trace = session.last_trace().expect("executed statements leave a trace");
+        let exec_span = find_span(&trace.spans, "execute").expect("execute span present");
+        let roots: Vec<OpTree> = exec_span.children.iter().filter_map(span_optree).collect();
+        prop_assert_eq!(roots, vec![expected]);
+    }
+}
