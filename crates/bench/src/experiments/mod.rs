@@ -6,6 +6,7 @@ pub mod caching;
 pub mod concurrency;
 pub mod economics;
 pub mod engine;
+pub mod ivm;
 pub mod observability;
 pub mod resilience;
 pub mod robustness;
@@ -17,9 +18,9 @@ use eii::data::Result;
 use crate::report::Report;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18",
+    "e15", "e16", "e17", "e18", "e19",
 ];
 
 /// Run one experiment by id.
@@ -43,6 +44,7 @@ pub fn run(id: &str) -> Result<Report> {
         "e16" => concurrency::e16_concurrent_sessions(),
         "e17" => robustness::e17_robustness(),
         "e18" => telemetry::e18_workload_telemetry(),
+        "e19" => ivm::e19_incremental_maintenance(),
         other => Err(eii::data::EiiError::NotFound(format!(
             "experiment {other}; known: {}",
             ALL.join(", ")

@@ -121,6 +121,35 @@ fn scenario_core() -> MetricsSnapshot {
     system.execute(hot).unwrap();
     system.invalidate_cached("crm.customers");
 
+    // Incremental view maintenance: one delta-maintained view (bootstrap,
+    // delta refresh with staleness tracking, in-place result-cache
+    // refresh) and one definition that falls back to recompute.
+    let ivm_sql = "SELECT order_id, total FROM sales.orders WHERE total > 990";
+    let fallback = system
+        .define_incremental_matview("mv_ivm", ivm_sql, RefreshPolicy::Manual)
+        .unwrap();
+    assert!(fallback.is_none(), "a filter view must incrementalize");
+    system.execute(ivm_sql).unwrap(); // fills the cache under the view's plan key
+    system
+        .federation()
+        .source("sales")
+        .unwrap()
+        .update(&UpdateOp::Insert {
+            table: "orders".into(),
+            row: row![9_000_001i64, 0i64, 999.75f64, "new", Value::Timestamp(0)],
+        })
+        .unwrap();
+    system.refresh_matview("mv_ivm").unwrap();
+    let reason = system
+        .define_incremental_matview(
+            "mv_ivm_fallback",
+            "SELECT order_id FROM sales.orders ORDER BY total LIMIT 5",
+            RefreshPolicy::Manual,
+        )
+        .unwrap();
+    assert!(reason.is_some(), "ORDER BY ... LIMIT must fall back");
+    system.refresh_matview("mv_ivm_fallback").unwrap();
+
     // Deadline accounting: one statement finishes inside a generous
     // budget, one federated join cannot fit a 1 ms budget.
     system

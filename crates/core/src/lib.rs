@@ -55,6 +55,7 @@ use eii_federation::{
     WireFormat,
 };
 use eii_matview::{MatViewManager, RefreshPolicy};
+use eii_planner::FallbackReason;
 use eii_obs::{
     fingerprint64, MetricsRegistry, OperatorStat, QueryLog, QueryLogRecord, QueryTrace,
     SloMonitor, SloObjective, SloStatus, StatementFlags, StoredTrace, TelemetryEvent,
@@ -93,7 +94,8 @@ pub mod prelude {
     pub use eii_federation::RequestCtx;
     pub use eii_docstore::{DocStore, Document};
     pub use eii_exec::{CacheConfig, DegradationPolicy, FallbackStore, SourceReport};
-    pub use eii_matview::RefreshPolicy;
+    pub use eii_matview::{IvmStatus, RefreshPolicy};
+    pub use eii_planner::FallbackReason;
     pub use eii_federation::{
         adapters::document::VirtualTable, CircuitBreakerConfig, Connector, CsvConnector,
         DocumentConnector, FaultProfile, Federation, LinkProfile, RelationalConnector,
@@ -138,6 +140,14 @@ pub enum ExecOutcome {
     SearchHits(Vec<Hit>),
     /// `EXPLAIN [ANALYZE]` text.
     Explained(String),
+    /// A scheduled materialized-view refresh completed; the view name and
+    /// the refresh's simulated cost.
+    Refreshed {
+        /// The refreshed view.
+        view: String,
+        /// Simulated refresh cost, ms.
+        sim_ms: f64,
+    },
 }
 
 impl ExecOutcome {
@@ -510,13 +520,59 @@ impl EiiSystem {
         self.define_matview(name, sql, policy)
     }
 
-    /// Recompute a materialized view now; returns the refresh's simulated
-    /// cost.
+    /// Like [`EiiSystem::define_matview`], but the view refreshes by
+    /// **delta propagation** over the base tables' change logs — O(delta),
+    /// not O(data) — when its plan is incrementalizable (see
+    /// `docs/ivm.md`). Non-incrementalizable views are still created and
+    /// refresh by full recompute; the returned [`FallbackReason`] says
+    /// why. The initial materialization replays the change logs through
+    /// the same delta path.
+    pub fn define_incremental_matview(
+        &self,
+        name: &str,
+        sql: &str,
+        policy: RefreshPolicy,
+    ) -> Result<Option<FallbackReason>> {
+        let mgr = self.matviews.get_or_init(|| {
+            MatViewManager::new(self.federation.clone(), self.clock.clone())
+        });
+        let fallback = mgr.define_incremental(name, sql, &self.catalog, policy)?;
+        mgr.refresh(name)?;
+        self.refresh_cached_for(name);
+        Ok(fallback)
+    }
+
+    /// Recompute a materialized view now (incrementally for
+    /// delta-maintained views); returns the refresh's simulated cost. Any
+    /// result-cache entry keyed by the view's plan is refreshed in place
+    /// rather than left to go stale.
     pub fn refresh_matview(&self, name: &str) -> Result<f64> {
-        self.matviews
+        let cost = self
+            .matviews
             .get()
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?
-            .refresh(name)
+            .refresh(name)?;
+        self.refresh_cached_for(name);
+        Ok(cost)
+    }
+
+    /// Push a view's fresh materialization into the result-cache entry
+    /// stored under the same normalized plan key (an ad-hoc query textually
+    /// matching the view's definition), with re-probed base-table versions.
+    /// A cache miss or absent cache is a no-op.
+    fn refresh_cached_for(&self, name: &str) {
+        let (Some(mgr), Some(cache)) = (self.matviews.get(), self.cache.get()) else {
+            return;
+        };
+        let (Ok(key), Ok(Some(batch)), Ok(tables)) = (
+            mgr.plan_key(name),
+            mgr.cached(name),
+            mgr.base_tables(name),
+        ) else {
+            return;
+        };
+        let versions = ResultCache::probe_versions(&self.federation, &tables);
+        cache.refresh_entry(&key, batch, versions, self.clock.now_ms());
     }
 
     /// The materialized-view manager, once any view has been created.
@@ -1617,6 +1673,86 @@ mod tests {
             before,
             "containment rewrite must not touch the source"
         );
+    }
+
+    #[test]
+    fn incremental_matview_refreshes_cache_entry_in_place() {
+        let clock = SimClock::new();
+        let crm = Database::new("crm", clock.clone());
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+        ]));
+        let t = crm
+            .create_table(TableDef::new("customers", schema).with_primary_key(0))
+            .unwrap();
+        t.write().insert(row![1i64, "alice"]).unwrap();
+        let sys = EiiSystem::new(clock);
+        sys.add_source(
+            Arc::new(RelationalConnector::new(crm)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        sys.install_result_cache(CacheConfig::default());
+        let q = "SELECT name FROM crm.customers";
+        // The view's definition matches the query, so both share a plan
+        // key in the result cache.
+        assert!(sys
+            .define_incremental_matview("names", q, RefreshPolicy::Manual)
+            .unwrap()
+            .is_none());
+        sys.execute(q).unwrap(); // fills the cache
+        t.write().insert(row![2i64, "bob"]).unwrap();
+        // An incremental refresh pushes the delta into the view AND the
+        // cached entry: the next read hits fresh data without rerunning.
+        sys.refresh_matview("names").unwrap();
+        let shipped = sys.federation().ledger().total().bytes;
+        let out = sys.execute(q).unwrap();
+        assert_eq!(out.rows().unwrap().num_rows(), 2, "hit serves fresh rows");
+        assert_eq!(
+            sys.federation().ledger().total().bytes,
+            shipped,
+            "served from the refreshed cache entry, nothing shipped"
+        );
+        let snap = sys.metrics().snapshot();
+        assert_eq!(snap.counter("cache.refreshed"), 1);
+        assert_eq!(snap.counter("cache.invalidations"), 0);
+        // Bootstrap + explicit refresh, one delta row consumed.
+        assert_eq!(snap.counter("ivm.refreshes"), 2);
+        assert_eq!(snap.counter("ivm.delta_rows"), 2);
+        let status = sys.matviews().unwrap().ivm_status("names").unwrap();
+        assert!(status.incremental);
+        assert_eq!(status.stats.refreshes, 2);
+    }
+
+    #[test]
+    fn scheduled_refresh_honors_pool_and_cancellation() {
+        let sys = Arc::new(system());
+        sys.define_incremental_matview(
+            "v",
+            "SELECT id FROM crm.customers",
+            RefreshPolicy::Manual,
+        )
+        .unwrap();
+        let sched = sys.scheduler(AdmissionConfig::default());
+        let (ticket, decision) = sched
+            .submit_refresh("v", &ExecOptions::default())
+            .unwrap();
+        assert_eq!(decision, ShedDecision::Admit);
+        let out = ticket.join().unwrap();
+        assert!(matches!(out, ExecOutcome::Refreshed { ref view, .. } if view == "v"));
+        // A pre-tripped cancel token stops the refresh before any
+        // maintenance stage runs.
+        let cancel = CancelToken::new();
+        cancel.cancel("client gone");
+        let opts = ExecOptions {
+            cancel: Some(cancel),
+            ..ExecOptions::default()
+        };
+        let (ticket, _) = sched.submit_refresh("v", &opts).unwrap();
+        assert_eq!(ticket.join().unwrap_err().kind(), "cancelled");
+        sched.finish();
     }
 
     #[test]

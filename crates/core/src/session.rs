@@ -12,11 +12,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use eii_data::{CancelToken, Priority, Result};
+use eii_data::{CancelToken, Deadline, EiiError, Priority, Result};
 use eii_exec::{
     AdmissionConfig, BrownoutConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats,
     ShedDecision,
 };
+use eii_federation::RequestCtx;
 use eii_obs::QueryTrace;
 use eii_planner::{LogicalPlan, PlanBuilder};
 use eii_sql::{parse_statement, Statement};
@@ -215,6 +216,64 @@ impl QueryScheduler {
             metrics.inc(&format!("shed.degraded.{}", priority.as_str()));
         }
         let (sources, work) = self.job(sql, opts);
+        Ok((
+            self.pool.submit_admitted(sources, priority, cancel, work),
+            decision,
+        ))
+    }
+
+    /// Submit a materialized-view refresh through the same
+    /// admission-controlled pool as queries. The view's base sources claim
+    /// per-source permits (a refresh competes fairly with reads against
+    /// the same backends), the priority tier consults the brownout
+    /// controller, and the options' deadline budget and cancel token are
+    /// checked between per-table maintenance stages — an overloaded
+    /// system sheds or cuts short refreshes instead of queueing them
+    /// forever. Delta-maintained views refresh in O(delta); others fully
+    /// recompute.
+    pub fn submit_refresh(
+        &self,
+        view: &str,
+        opts: &ExecOptions,
+    ) -> Result<(QueryTicket<ExecOutcome>, ShedDecision)> {
+        let mgr = self
+            .system
+            .matviews()
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {view}")))?;
+        let mut sources: Vec<String> = mgr
+            .base_tables(view)?
+            .iter()
+            .filter_map(|t| t.split_once('.').map(|(s, _)| s.to_string()))
+            .collect();
+        sources.sort();
+        sources.dedup();
+        let mut opts = opts.clone();
+        let cancel = opts.cancel.get_or_insert_with(CancelToken::new).clone();
+        let priority = opts.priority;
+        let metrics = self.system.metrics();
+        let decision = self.pool.admit(priority).inspect_err(|err| {
+            if err.kind() == "shed" {
+                metrics.inc(&format!("shed.rejected.{}", priority.as_str()));
+            }
+        })?;
+        let system = Arc::clone(&self.system);
+        let view = view.to_string();
+        let ctx_cancel = cancel.clone();
+        let work = move || {
+            let mut ctx = RequestCtx::new().with_cancel(ctx_cancel);
+            if let Some(budget) = opts.deadline_budget_ms {
+                ctx = ctx.with_deadline(Deadline::new(system.clock().clone(), budget));
+            }
+            let mgr = system
+                .matviews()
+                .ok_or_else(|| EiiError::NotFound(format!("materialized view {view}")))?;
+            let sim_ms = mgr.refresh_with_ctx(&view, &ctx)?;
+            system.refresh_cached_for(&view);
+            Ok(JobOutput {
+                value: ExecOutcome::Refreshed { view, sim_ms },
+                sim_ms,
+            })
+        };
         Ok((
             self.pool.submit_admitted(sources, priority, cancel, work),
             decision,

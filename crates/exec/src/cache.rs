@@ -332,6 +332,30 @@ impl ResultCache {
         }
     }
 
+    /// Refresh an existing entry in place: replace its batch and base-table
+    /// versions and reset its fill time, without touching LRU order or
+    /// capacity. Incremental view maintenance uses this to push a freshly
+    /// maintained result into the cache instead of invalidating it —
+    /// readers keep hitting instead of rerunning. Returns false (and does
+    /// nothing) when `key` is not cached.
+    pub fn refresh_entry(
+        &self,
+        key: &str,
+        batch: Batch,
+        versions: Vec<(String, Option<u64>)>,
+        now_ms: i64,
+    ) -> bool {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        let Some(entry) = inner.entries.get_mut(key) else {
+            return false;
+        };
+        entry.batch = batch;
+        entry.versions = versions;
+        entry.filled_at_ms = now_ms;
+        self.metric("cache.refreshed", 1);
+        true
+    }
+
     /// Drop every entry that depends on `source.table` (a write landed
     /// there); returns how many were invalidated.
     pub fn invalidate_table(&self, qualified: &str) -> usize {
@@ -425,6 +449,31 @@ mod tests {
     fn adapt_batch_rejects_missing_columns() {
         let target = StdArc::new(Schema::new(vec![Field::new("ghost", DataType::Str)]));
         assert!(adapt_batch(&batch(), &target).is_err());
+    }
+
+    #[test]
+    fn refresh_entry_replaces_in_place_without_eviction() {
+        let fed = Federation::new();
+        let cache = ResultCache::new(CacheConfig {
+            capacity: 2,
+            staleness_budget_ms: 0,
+        });
+        assert!(
+            !cache.refresh_entry("ghost", batch(), vec![], 0),
+            "absent keys are not created"
+        );
+        cache.fill("q1", batch(), QueryCost::default(), vec![], vec![], 0);
+        let fresh = Batch::new(batch().schema().clone(), vec![row![9i64, "zoe"]]);
+        assert!(cache.refresh_entry("q1", fresh, vec![], 50));
+        match cache.lookup("q1", 50, &fed) {
+            CacheLookup::Hit(r) => {
+                assert_eq!(r.batch.rows()[0], row![9i64, "zoe"]);
+                assert_eq!(r.age_ms, 0, "fill time was reset");
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 #![deny(missing_docs)]
 
 pub mod correlation;
+pub mod ivm;
 pub mod matview;
 
 pub use correlation::{similarity, CorrelationIndex};
-pub use matview::{FetchOutcome, MatViewManager, RefreshPolicy};
+pub use ivm::{changes_to_delta, IvmState, IvmStats, TableDeltas, IVM_PROBE_MS, IVM_ROW_MS};
+pub use matview::{FetchOutcome, IvmStatus, MatViewManager, RefreshPolicy};

@@ -7,11 +7,14 @@ use parking_lot::Mutex;
 use eii_catalog::Catalog;
 use eii_data::{Batch, EiiError, Result, SchemaRef, SimClock};
 use eii_exec::{Executor, MatViewStore};
-use eii_federation::Federation;
+use eii_federation::{Federation, RequestCtx};
 use eii_planner::{
-    optimize, LogicalPlan, MatViewDef, PhysicalPlan, PhysicalPlanner, PlanBuilder, PlannerConfig,
+    derive_maintenance_plan, optimize, FallbackReason, LogicalPlan, MaintenanceDecision,
+    MatViewDef, PhysicalPlan, PhysicalPlanner, PlanBuilder, PlannerConfig,
 };
 use eii_sql::parse_query;
+
+use crate::ivm::{changes_to_delta, IvmState, IvmStats, TableDeltas};
 
 /// When a view's cached result is recomputed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +41,18 @@ pub struct FetchOutcome {
     pub recomputed: bool,
 }
 
+/// Maintenance status of one view, for experiments and dashboards.
+#[derive(Debug)]
+pub struct IvmStatus {
+    /// Whether refreshes apply change-log deltas instead of recomputing.
+    pub incremental: bool,
+    /// Why an incrementally-defined view fell back to full recompute.
+    pub fallback: Option<FallbackReason>,
+    /// Cumulative maintenance statistics (zeroed for non-incremental
+    /// views).
+    pub stats: IvmStats,
+}
+
 struct ViewState {
     plan: PhysicalPlan,
     /// The optimized logical definition, exported to the planner's
@@ -49,6 +64,10 @@ struct ViewState {
     cached_at_ms: i64,
     refresh_count: usize,
     total_refresh_ms: f64,
+    /// Delta-maintenance state when the view is incrementally maintained.
+    ivm: Option<IvmState>,
+    /// Set when [`MatViewManager::define_incremental`] had to fall back.
+    fallback: Option<FallbackReason>,
 }
 
 impl ViewState {
@@ -120,6 +139,35 @@ impl MatViewManager {
         catalog: &Catalog,
         policy: RefreshPolicy,
     ) -> Result<()> {
+        self.define_inner(name, sql, catalog, policy, false)
+            .map(|_| ())
+    }
+
+    /// Define a materialized view that refreshes by **delta propagation**:
+    /// each refresh reads the base tables' change logs past the view's
+    /// watermarks and pushes the deltas through the maintenance tree
+    /// (O(delta), not O(data)). Views whose plans are not
+    /// incrementalizable (see [`eii_planner::derive_maintenance_plan`])
+    /// are still defined but refresh by full recompute; the returned
+    /// [`FallbackReason`] says why.
+    pub fn define_incremental(
+        &self,
+        name: &str,
+        sql: &str,
+        catalog: &Catalog,
+        policy: RefreshPolicy,
+    ) -> Result<Option<FallbackReason>> {
+        self.define_inner(name, sql, catalog, policy, true)
+    }
+
+    fn define_inner(
+        &self,
+        name: &str,
+        sql: &str,
+        catalog: &Catalog,
+        policy: RefreshPolicy,
+        incremental: bool,
+    ) -> Result<Option<FallbackReason>> {
         let mut views = self.views.lock();
         if views.contains_key(name) {
             return Err(EiiError::AlreadyExists(format!("materialized view {name}")));
@@ -130,6 +178,22 @@ impl MatViewManager {
         let logical = optimize(logical, &self.federation, &config)?;
         let schema = logical.schema()?;
         let plan = PhysicalPlanner::new(&self.federation, &config).create(logical.clone())?;
+        let (ivm, fallback) = if incremental {
+            let metrics = self.federation.metrics();
+            match derive_maintenance_plan(&logical) {
+                MaintenanceDecision::Incremental(mplan) => {
+                    metrics.inc("ivm.views");
+                    (Some(IvmState::build(&logical, &mplan.base_tables)?), None)
+                }
+                MaintenanceDecision::FullRecompute(reason) => {
+                    metrics.inc("ivm.fallbacks");
+                    (None, Some(reason))
+                }
+            }
+        } else {
+            (None, None)
+        };
+        let out = fallback.clone();
         views.insert(
             name.to_string(),
             ViewState {
@@ -141,12 +205,32 @@ impl MatViewManager {
                 cached_at_ms: 0,
                 refresh_count: 0,
                 total_refresh_ms: 0.0,
+                ivm,
+                fallback,
             },
         );
-        Ok(())
+        Ok(out)
     }
 
     fn compute(&self, name: &str, state: &mut ViewState) -> Result<(Batch, f64)> {
+        self.compute_ctx(name, state, None)
+    }
+
+    fn compute_ctx(
+        &self,
+        name: &str,
+        state: &mut ViewState,
+        ctx: Option<&RequestCtx>,
+    ) -> Result<(Batch, f64)> {
+        if state.ivm.is_some() {
+            return self.apply_deltas(name, state, ctx);
+        }
+        if let Some(ctx) = ctx {
+            ctx.check()?;
+        }
+        if state.fallback.is_some() {
+            self.federation.metrics().inc("ivm.full_recomputes");
+        }
         let exec = Executor::new(&self.federation);
         let res = exec.execute(&state.plan)?;
         state.refresh_count += 1;
@@ -154,6 +238,51 @@ impl MatViewManager {
         self.store
             .put(name, res.batch.clone(), self.clock.now_ms());
         Ok((res.batch, res.cost.sim_ms))
+    }
+
+    /// Incremental refresh: read each base table's change log past the
+    /// view's watermark, push the weighted deltas through the maintenance
+    /// tree, and materialize from the maintained multiset. Cost scales
+    /// with the delta, not the base data. `ctx` (when given) is checked
+    /// between per-table stages so deadlines and cancellation cut
+    /// maintenance short.
+    fn apply_deltas(
+        &self,
+        name: &str,
+        state: &mut ViewState,
+        ctx: Option<&RequestCtx>,
+    ) -> Result<(Batch, f64)> {
+        let metrics = self.federation.metrics();
+        let now = self.clock.now_ms();
+        if state.cache.is_some() {
+            metrics.observe("ivm.staleness_ms", (now - state.cached_at_ms) as f64);
+        }
+        let ivm = state.ivm.as_mut().expect("delta path requires ivm state");
+        let mut deltas = TableDeltas::new();
+        let mut watermarks = Vec::new();
+        for qualified in ivm.base_tables() {
+            if let Some(ctx) = ctx {
+                ctx.check()?;
+            }
+            let (handle, table) = self.federation.resolve(&qualified)?;
+            let (changes, high) = handle
+                .connector()
+                .changes_since(&table, ivm.watermark(&qualified))?;
+            watermarks.push((qualified.clone(), high));
+            if !changes.is_empty() {
+                deltas.insert(qualified, changes_to_delta(&changes));
+            }
+        }
+        let delta_rows: usize = deltas.values().map(Vec::len).sum();
+        let sim_ms = ivm.apply(&deltas, &watermarks)?;
+        let batch = ivm.materialize()?;
+        metrics.inc("ivm.refreshes");
+        metrics.add("ivm.delta_rows", delta_rows as u64);
+        metrics.observe("ivm.refresh_ms", sim_ms);
+        state.refresh_count += 1;
+        state.total_refresh_ms += sim_ms;
+        self.store.put(name, batch.clone(), now);
+        Ok((batch, sim_ms))
     }
 
     /// Fetch the view's rows under its policy.
@@ -188,16 +317,78 @@ impl MatViewManager {
         ))
     }
 
-    /// Explicitly recompute the view now.
+    /// Explicitly recompute the view now (incrementally when the view is
+    /// delta-maintained).
     pub fn refresh(&self, name: &str) -> Result<f64> {
+        self.refresh_inner(name, None)
+    }
+
+    /// Like [`MatViewManager::refresh`], but checks the request context's
+    /// deadline and cancellation token between per-table maintenance
+    /// stages, so a scheduled refresh sheds cleanly under pressure.
+    pub fn refresh_with_ctx(&self, name: &str, ctx: &RequestCtx) -> Result<f64> {
+        self.refresh_inner(name, Some(ctx))
+    }
+
+    fn refresh_inner(&self, name: &str, ctx: Option<&RequestCtx>) -> Result<f64> {
         let mut views = self.views.lock();
         let state = views
             .get_mut(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
-        let (batch, sim_ms) = self.compute(name, state)?;
+        let (batch, sim_ms) = self.compute_ctx(name, state, ctx)?;
         state.cache = Some(batch);
         state.cached_at_ms = self.clock.now_ms();
         Ok(sim_ms)
+    }
+
+    /// Maintenance status for one view.
+    pub fn ivm_status(&self, name: &str) -> Result<IvmStatus> {
+        let views = self.views.lock();
+        let state = views
+            .get(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        Ok(IvmStatus {
+            incremental: state.ivm.is_some(),
+            fallback: state.fallback.clone(),
+            stats: state.ivm.as_ref().map(IvmState::stats).unwrap_or_default(),
+        })
+    }
+
+    /// The rendering of the view's optimized logical plan. The result
+    /// cache keys entries by the same rendering, so a cached ad-hoc query
+    /// matching the view's definition can be refreshed in place after an
+    /// incremental maintenance round.
+    pub fn plan_key(&self, name: &str) -> Result<String> {
+        let views = self.views.lock();
+        let state = views
+            .get(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        Ok(state.logical.display())
+    }
+
+    /// The qualified `source.table` names the view reads.
+    pub fn base_tables(&self, name: &str) -> Result<Vec<String>> {
+        let views = self.views.lock();
+        let state = views
+            .get(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        if let Some(ivm) = &state.ivm {
+            return Ok(ivm.base_tables());
+        }
+        let mut tables = Vec::new();
+        collect_base_tables(&state.logical, &mut tables);
+        tables.sort();
+        tables.dedup();
+        Ok(tables)
+    }
+
+    /// The view's current materialization, if one exists.
+    pub fn cached(&self, name: &str) -> Result<Option<Batch>> {
+        let views = self.views.lock();
+        let state = views
+            .get(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        Ok(state.cache.clone())
     }
 
     /// Change a view's policy ("the administrator was able to choose").
@@ -224,6 +415,15 @@ impl MatViewManager {
             .lock()
             .get(name)
             .map_or(0.0, |s| s.total_refresh_ms)
+    }
+}
+
+fn collect_base_tables(plan: &LogicalPlan, out: &mut Vec<String>) {
+    if let LogicalPlan::SourceScan { source, table, .. } = plan {
+        out.push(format!("{source}.{table}"));
+    }
+    for child in plan.children() {
+        collect_base_tables(child, out);
     }
 }
 
@@ -377,6 +577,97 @@ mod tests {
         src.write().insert(row![100i64, "r9"]).unwrap();
         mgr.refresh("v").unwrap();
         assert_eq!(store.get("v").unwrap().0.num_rows(), 11);
+    }
+
+    #[test]
+    fn incremental_view_bootstraps_then_tracks_deltas() {
+        let (cat, fed, clock, src) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        let fallback = mgr
+            .define_incremental(
+                "v",
+                "SELECT id FROM crm.customers WHERE region = 'r1'",
+                &cat,
+                RefreshPolicy::Manual,
+            )
+            .unwrap();
+        assert!(fallback.is_none());
+        // Bootstrap replays the full change log (10 inserts).
+        mgr.refresh("v").unwrap();
+        assert_eq!(mgr.cached("v").unwrap().unwrap().num_rows(), 5);
+        let s = mgr.ivm_status("v").unwrap();
+        assert!(s.incremental && s.fallback.is_none());
+        assert_eq!((s.stats.refreshes, s.stats.input_rows), (1, 10));
+        // Steady state: one insert, one update out of the view, one delete.
+        src.write().insert(row![100i64, "r1"]).unwrap();
+        src.write()
+            .update_by_pk(&Value::Int(1), &[(1, Value::from("r9"))])
+            .unwrap();
+        src.write().delete_by_pk(&Value::Int(3));
+        mgr.refresh("v").unwrap();
+        let batch = mgr.cached("v").unwrap().unwrap();
+        // Started with odd ids {1,3,5,7,9}; 1 left the region, 3 deleted,
+        // 100 arrived.
+        assert_eq!(
+            batch.rows().to_vec(),
+            vec![row![5i64], row![7i64], row![9i64], row![100i64]]
+        );
+        let s = mgr.ivm_status("v").unwrap();
+        // The second refresh consumed 4 delta rows (insert + update's
+        // retract/insert pair + delete), not the whole table.
+        assert_eq!((s.stats.refreshes, s.stats.input_rows), (2, 14));
+        assert_eq!(mgr.base_tables("v").unwrap(), vec!["crm.customers"]);
+    }
+
+    #[test]
+    fn non_incrementalizable_view_falls_back_to_recompute() {
+        let (cat, fed, clock, src) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        let fallback = mgr
+            .define_incremental(
+                "v",
+                "SELECT id FROM crm.customers ORDER BY id LIMIT 3",
+                &cat,
+                RefreshPolicy::Manual,
+            )
+            .unwrap();
+        assert!(fallback.is_some(), "ORDER BY/LIMIT must fall back");
+        let s = mgr.ivm_status("v").unwrap();
+        assert!(!s.incremental && s.fallback.is_some());
+        // The view still refreshes correctly, just by full recompute.
+        mgr.refresh("v").unwrap();
+        assert_eq!(mgr.cached("v").unwrap().unwrap().num_rows(), 3);
+        src.write().delete_by_pk(&Value::Int(0));
+        mgr.refresh("v").unwrap();
+        assert_eq!(
+            mgr.cached("v").unwrap().unwrap().rows()[0],
+            row![1i64]
+        );
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_after_churn() {
+        let (cat, fed, clock, src) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        let sql = "SELECT region, COUNT(*) AS n, SUM(id) AS total \
+                   FROM crm.customers GROUP BY region";
+        mgr.define_incremental("inc", sql, &cat, RefreshPolicy::Manual)
+            .unwrap();
+        mgr.define("full", sql, &cat, RefreshPolicy::Manual).unwrap();
+        for i in 10..30i64 {
+            src.write().insert(row![i, format!("r{}", i % 3)]).unwrap();
+            if i % 4 == 0 {
+                src.write().delete_by_pk(&Value::Int(i - 5));
+            }
+            mgr.refresh("inc").unwrap();
+        }
+        mgr.refresh("full").unwrap();
+        let mut inc = mgr.cached("inc").unwrap().unwrap().rows().to_vec();
+        let mut full = mgr.cached("full").unwrap().unwrap().rows().to_vec();
+        inc.sort();
+        full.sort();
+        assert_eq!(inc, full);
+        assert!(mgr.ivm_status("inc").unwrap().incremental);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod config;
 pub mod cost;
 pub mod join_order;
 pub mod logical;
+pub mod maintain;
 pub mod physical;
 pub mod rewrite;
 pub mod rules;
@@ -29,6 +30,9 @@ pub use build::PlanBuilder;
 pub use config::PlannerConfig;
 pub use cost::{CostModel, PlanEstimate};
 pub use logical::{AggItem, LogicalPlan};
+pub use maintain::{
+    derive_maintenance_plan, FallbackReason, MaintenanceDecision, MaintenancePlan,
+};
 pub use physical::{JoinSite, PhysicalPlan, PhysicalPlanner};
 pub use rewrite::{rewrite_matviews, rewrite_matviews_with_budget, MatViewDef};
 pub use rules::optimize;

@@ -1,0 +1,339 @@
+//! Derive a **maintenance plan** for incremental view maintenance.
+//!
+//! Given a view's optimized [`LogicalPlan`], decide whether the view can be
+//! maintained incrementally by pushing insert/delete deltas from the base
+//! tables' change logs through its operators (`eii-matview`'s `ivm` module
+//! executes that propagation), or must fall back to full recompute — and if
+//! so, *why*, as a typed [`FallbackReason`] that surfaces in metrics, tests,
+//! and `docs/ivm.md`'s fallback matrix.
+//!
+//! The delta algebra is weighted (z-set) bag semantics: every delta row
+//! carries an integer weight (+1 insert, −1 delete; an update is a retract
+//! plus an insert). An operator is incrementalizable when it commutes with
+//! that weighted union — filter, project, alias, union-all, inner join, and
+//! the mergeable aggregates. Everything order- or set-sensitive (sort,
+//! limit, distinct), null-introducing (outer joins), or lossy under
+//! retraction (float SUM/AVG, DISTINCT aggregates) falls back.
+
+use eii_expr::{infer_type, AggFunc};
+use eii_sql::JoinKind;
+
+use eii_data::DataType;
+
+use crate::logical::LogicalPlan;
+
+/// Why a view cannot be maintained incrementally and must fall back to
+/// full recompute on every refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// `DISTINCT` requires per-row multiplicity bookkeeping over the whole
+    /// output; not implemented incrementally.
+    Distinct,
+    /// Sorted output is order-sensitive; deltas carry no order.
+    Sort,
+    /// `LIMIT` is non-monotone: a retraction below the cutoff changes which
+    /// rows are visible.
+    Limit,
+    /// The scan pushes a `LIMIT` down to the source, so the scanned rows
+    /// are not a deterministic function of the table's contents.
+    ScanLimit,
+    /// Only inner joins distribute over weighted union; outer/semi/anti
+    /// joins introduce or suppress rows based on global match state.
+    UnsupportedJoin(JoinKind),
+    /// `DISTINCT` aggregates need the full value multiset per group.
+    DistinctAggregate(String),
+    /// SUM/AVG over floats: retraction by subtraction is lossy under
+    /// floating-point rounding, so byte-identity with recompute cannot be
+    /// guaranteed.
+    FloatAggregate(String),
+    /// Constant `VALUES` inputs have no change log to propagate from.
+    Values,
+    /// The plan reads another materialized view; view-over-view maintenance
+    /// is not chained.
+    ViewOverView,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::Distinct => write!(f, "DISTINCT requires full-output multiplicity"),
+            FallbackReason::Sort => write!(f, "ORDER BY is order-sensitive"),
+            FallbackReason::Limit => write!(f, "LIMIT is non-monotone under retraction"),
+            FallbackReason::ScanLimit => write!(f, "scan-level LIMIT pushdown is nondeterministic"),
+            FallbackReason::UnsupportedJoin(kind) => {
+                write!(f, "{kind} does not distribute over deltas")
+            }
+            FallbackReason::DistinctAggregate(name) => {
+                write!(f, "DISTINCT aggregate {name} needs the full value multiset")
+            }
+            FallbackReason::FloatAggregate(name) => {
+                write!(f, "float {name} is lossy under retraction")
+            }
+            FallbackReason::Values => write!(f, "constant VALUES input has no change log"),
+            FallbackReason::ViewOverView => {
+                write!(f, "view-over-view maintenance is not chained")
+            }
+        }
+    }
+}
+
+/// A validated maintenance plan: the view's operators all distribute over
+/// deltas, and these are the base tables whose change logs feed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenancePlan {
+    /// Qualified `source.table` names the view reads, deduplicated and
+    /// sorted — one change-log watermark is tracked per entry.
+    pub base_tables: Vec<String>,
+}
+
+/// The planner's verdict on how a view is kept fresh.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenanceDecision {
+    /// Every operator is incrementalizable: maintain by delta propagation.
+    Incremental(MaintenancePlan),
+    /// At least one operator is not: refresh by full recompute.
+    FullRecompute(FallbackReason),
+}
+
+impl MaintenanceDecision {
+    /// The fallback reason, when the decision is full recompute.
+    pub fn fallback_reason(&self) -> Option<&FallbackReason> {
+        match self {
+            MaintenanceDecision::Incremental(_) => None,
+            MaintenanceDecision::FullRecompute(reason) => Some(reason),
+        }
+    }
+}
+
+/// Walk a view's optimized logical plan and decide whether it can be
+/// maintained incrementally; see the module docs for the algebra.
+pub fn derive_maintenance_plan(plan: &LogicalPlan) -> MaintenanceDecision {
+    let mut tables = Vec::new();
+    match validate(plan, &mut tables) {
+        Ok(()) => {
+            tables.sort();
+            tables.dedup();
+            MaintenanceDecision::Incremental(MaintenancePlan {
+                base_tables: tables,
+            })
+        }
+        Err(reason) => MaintenanceDecision::FullRecompute(reason),
+    }
+}
+
+fn validate(plan: &LogicalPlan, tables: &mut Vec<String>) -> Result<(), FallbackReason> {
+    match plan {
+        LogicalPlan::SourceScan {
+            source,
+            table,
+            limit,
+            ..
+        } => {
+            if limit.is_some() {
+                return Err(FallbackReason::ScanLimit);
+            }
+            tables.push(format!("{source}.{table}"));
+            Ok(())
+        }
+        LogicalPlan::Values { .. } => Err(FallbackReason::Values),
+        LogicalPlan::MatViewScan { .. } => Err(FallbackReason::ViewOverView),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Alias { input, .. } => validate(input, tables),
+        LogicalPlan::Join {
+            left, right, kind, ..
+        } => {
+            if *kind != JoinKind::Inner {
+                return Err(FallbackReason::UnsupportedJoin(*kind));
+            }
+            validate(left, tables)?;
+            validate(right, tables)
+        }
+        LogicalPlan::Aggregate { input, aggs, .. } => {
+            let in_schema = input.schema().ok();
+            for item in aggs {
+                if item.distinct {
+                    return Err(FallbackReason::DistinctAggregate(item.name.clone()));
+                }
+                if matches!(item.func, AggFunc::Sum | AggFunc::Avg) {
+                    let arg_ty = match (&item.arg, &in_schema) {
+                        (Some(arg), Some(schema)) => infer_type(arg, schema).ok().flatten(),
+                        _ => None,
+                    };
+                    if arg_ty == Some(DataType::Float) {
+                        return Err(FallbackReason::FloatAggregate(item.name.clone()));
+                    }
+                }
+            }
+            validate(input, tables)
+        }
+        LogicalPlan::Distinct { .. } => Err(FallbackReason::Distinct),
+        LogicalPlan::Sort { .. } => Err(FallbackReason::Sort),
+        LogicalPlan::Limit { .. } => Err(FallbackReason::Limit),
+        LogicalPlan::UnionAll { inputs } => {
+            for input in inputs {
+                validate(input, tables)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::AggItem;
+    use eii_data::{DataType, Field, Schema};
+    use eii_expr::Expr;
+    use std::sync::Arc;
+
+    fn scan(source: &str, table: &str) -> LogicalPlan {
+        LogicalPlan::SourceScan {
+            source: source.into(),
+            table: table.into(),
+            alias: table.into(),
+            base_schema: Arc::new(Schema::new(vec![
+                Field::new("id", DataType::Int).not_null(),
+                Field::new("qty", DataType::Int),
+                Field::new("price", DataType::Float),
+            ])),
+            pushed_filters: vec![],
+            projection: None,
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn filter_project_join_over_scans_is_incremental() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Filter {
+                    input: Box::new(scan("crm", "customers")),
+                    predicate: Expr::qcol("customers", "id").gt(Expr::lit(5i64)),
+                }),
+                right: Box::new(scan("sales", "orders")),
+                kind: JoinKind::Inner,
+                on: Some(
+                    Expr::qcol("customers", "id").eq(Expr::qcol("orders", "id")),
+                ),
+            }),
+            exprs: vec![(Expr::qcol("customers", "id"), "id".into())],
+        };
+        match derive_maintenance_plan(&plan) {
+            MaintenanceDecision::Incremental(mp) => {
+                assert_eq!(
+                    mp.base_tables,
+                    vec!["crm.customers".to_string(), "sales.orders".to_string()]
+                );
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn base_tables_deduplicate_self_joins() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan("crm", "customers")),
+            right: Box::new(scan("crm", "customers")),
+            kind: JoinKind::Inner,
+            on: Some(Expr::qcol("customers", "id").eq(Expr::qcol("customers", "id"))),
+        };
+        match derive_maintenance_plan(&plan) {
+            MaintenanceDecision::Incremental(mp) => {
+                assert_eq!(mp.base_tables, vec!["crm.customers".to_string()]);
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_sensitive_operators_fall_back() {
+        let sorted = LogicalPlan::Sort {
+            input: Box::new(scan("crm", "customers")),
+            keys: vec![(Expr::qcol("customers", "id"), true)],
+        };
+        assert_eq!(
+            derive_maintenance_plan(&sorted).fallback_reason(),
+            Some(&FallbackReason::Sort)
+        );
+        let limited = LogicalPlan::Limit {
+            input: Box::new(scan("crm", "customers")),
+            n: 3,
+        };
+        assert_eq!(
+            derive_maintenance_plan(&limited).fallback_reason(),
+            Some(&FallbackReason::Limit)
+        );
+        let distinct = LogicalPlan::Distinct {
+            input: Box::new(scan("crm", "customers")),
+        };
+        assert_eq!(
+            derive_maintenance_plan(&distinct).fallback_reason(),
+            Some(&FallbackReason::Distinct)
+        );
+    }
+
+    #[test]
+    fn outer_join_falls_back_inner_does_not() {
+        let mk = |kind| LogicalPlan::Join {
+            left: Box::new(scan("crm", "customers")),
+            right: Box::new(scan("sales", "orders")),
+            kind,
+            on: Some(Expr::qcol("customers", "id").eq(Expr::qcol("orders", "id"))),
+        };
+        assert_eq!(
+            derive_maintenance_plan(&mk(JoinKind::Left)).fallback_reason(),
+            Some(&FallbackReason::UnsupportedJoin(JoinKind::Left))
+        );
+        assert!(derive_maintenance_plan(&mk(JoinKind::Inner))
+            .fallback_reason()
+            .is_none());
+    }
+
+    #[test]
+    fn float_sum_falls_back_int_sum_does_not() {
+        let mk = |col: &str| LogicalPlan::Aggregate {
+            input: Box::new(scan("sales", "orders")),
+            group_by: vec![],
+            aggs: vec![AggItem {
+                func: AggFunc::Sum,
+                arg: Some(Expr::qcol("orders", col)),
+                distinct: false,
+                name: format!("sum_{col}"),
+            }],
+        };
+        assert_eq!(
+            derive_maintenance_plan(&mk("price")).fallback_reason(),
+            Some(&FallbackReason::FloatAggregate("sum_price".into()))
+        );
+        assert!(derive_maintenance_plan(&mk("qty"))
+            .fallback_reason()
+            .is_none());
+    }
+
+    #[test]
+    fn distinct_aggregate_and_scan_limit_fall_back() {
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan("sales", "orders")),
+            group_by: vec![],
+            aggs: vec![AggItem {
+                func: AggFunc::Count,
+                arg: Some(Expr::qcol("orders", "id")),
+                distinct: true,
+                name: "n".into(),
+            }],
+        };
+        assert_eq!(
+            derive_maintenance_plan(&agg).fallback_reason(),
+            Some(&FallbackReason::DistinctAggregate("n".into()))
+        );
+        let mut limited = scan("sales", "orders");
+        if let LogicalPlan::SourceScan { limit, .. } = &mut limited {
+            *limit = Some(10);
+        }
+        assert_eq!(
+            derive_maintenance_plan(&limited).fallback_reason(),
+            Some(&FallbackReason::ScanLimit)
+        );
+    }
+}
