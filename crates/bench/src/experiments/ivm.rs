@@ -169,7 +169,7 @@ fn run_config(incremental: bool) -> Result<Run> {
 
 /// E19 — O(delta) matview refresh under sustained churn. Errors (failing
 /// the harness and CI) unless incremental maintenance beats full recompute
-/// by [`MIN_SPEEDUP`], produces identical view contents, and replays
+/// by `MIN_SPEEDUP`, produces identical view contents, and replays
 /// bit-identically under the same seed.
 pub fn e19_incremental_maintenance() -> Result<Report> {
     let inc = run_config(true)?;

@@ -537,7 +537,12 @@ impl EiiSystem {
             MatViewManager::new(self.federation.clone(), self.clock.clone())
         });
         let fallback = mgr.define_incremental(name, sql, &self.catalog, policy)?;
-        mgr.refresh(name)?;
+        if let Err(e) = mgr.refresh(name) {
+            // A failed bootstrap must not leave behind a registered view
+            // whose every future refresh would fail the same way.
+            let _ = mgr.drop_view(name);
+            return Err(e);
+        }
         self.refresh_cached_for(name);
         Ok(fallback)
     }

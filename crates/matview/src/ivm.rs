@@ -15,9 +15,12 @@
 //!   over weighted union row by row.
 //! - **Join** (inner, semi-naive): keeps both input relations as
 //!   equi-key-indexed multisets and computes
-//!   `ΔL ⋈ R_old  ∪  (L_old ∪ ΔL) ⋈ ΔR`, multiplying weights. Non-equi
-//!   conjuncts evaluate as residual predicates on the concatenated row;
-//!   a join with no equi keys degenerates to nested loops.
+//!   `ΔL ⋈ R_old  ∪  (L_old ∪ ΔL) ⋈ ΔR`, multiplying weights. Rows whose
+//!   evaluated key contains a NULL are skipped on both the probe and the
+//!   state side — NULL keys never join, exactly like the executor's hash
+//!   join. Non-equi conjuncts evaluate as residual predicates on the
+//!   concatenated row; a join with no equi keys degenerates to nested
+//!   loops.
 //! - **Aggregate** keeps mergeable per-group partials (COUNT/SUM/AVG add
 //!   and subtract exactly; the int-only restriction is enforced at plan
 //!   time by [`eii_planner::maintain`]) and maintains MIN/MAX by
@@ -311,9 +314,13 @@ fn build(plan: &LogicalPlan) -> Result<OpState> {
                 split_conjuncts(on, &mut conjuncts);
             }
             for c in conjuncts {
-                // `a = b` where one side binds on the left input and the
-                // other on the right becomes an equi key; everything else
-                // evaluates as a residual predicate on the joined row.
+                // `a = b` becomes an equi key only when each operand binds
+                // **exclusively** against one input. An operand that also
+                // binds on the opposite schema (a literal, or an
+                // unqualified name present in both inputs) is ambiguous
+                // about which side it keys, so it stays a residual
+                // predicate over the joined row — exactly how the executor
+                // evaluates the ON clause.
                 let mut keyed = false;
                 if let Expr::Binary {
                     left: l,
@@ -321,14 +328,20 @@ fn build(plan: &LogicalPlan) -> Result<OpState> {
                     right: r,
                 } = &c
                 {
-                    if let (Ok(lk), Ok(rk)) = (bind(l, &lschema), bind(r, &rschema)) {
-                        left_keys.push(lk);
-                        right_keys.push(rk);
-                        keyed = true;
-                    } else if let (Ok(lk), Ok(rk)) = (bind(r, &lschema), bind(l, &rschema)) {
-                        left_keys.push(lk);
-                        right_keys.push(rk);
-                        keyed = true;
+                    let (l_on_l, l_on_r) = (bind(l, &lschema), bind(l, &rschema));
+                    let (r_on_l, r_on_r) = (bind(r, &lschema), bind(r, &rschema));
+                    match (l_on_l, l_on_r, r_on_l, r_on_r) {
+                        (Ok(lk), Err(_), Err(_), Ok(rk)) => {
+                            left_keys.push(lk);
+                            right_keys.push(rk);
+                            keyed = true;
+                        }
+                        (Err(_), Ok(rk), Ok(lk), Err(_)) => {
+                            left_keys.push(lk);
+                            right_keys.push(rk);
+                            keyed = true;
+                        }
+                        _ => {}
                     }
                 }
                 if !keyed {
@@ -391,6 +404,23 @@ fn build(plan: &LogicalPlan) -> Result<OpState> {
 
 fn eval_keys(keys: &[BoundExpr], row: &Row) -> Result<Vec<Value>> {
     keys.iter().map(|k| k.eval(row)).collect()
+}
+
+/// Evaluate a join-key vector; `None` when any component is NULL. NULL
+/// keys never join (mirroring the executor's hash join), so NULL-keyed
+/// rows are neither probed nor retained in the join state — a later
+/// retraction of such a row evaluates to `None` again and is skipped
+/// symmetrically.
+fn eval_join_key(keys: &[BoundExpr], row: &Row) -> Result<Option<Vec<Value>>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = k.eval(row)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        out.push(v);
+    }
+    Ok(Some(out))
 }
 
 impl OpState {
@@ -475,7 +505,9 @@ impl OpState {
                 };
                 // ΔL ⋈ R_old
                 for (lrow, lw) in &dl {
-                    let key = eval_keys(left_keys, lrow)?;
+                    let Some(key) = eval_join_key(left_keys, lrow)? else {
+                        continue; // NULL keys never join.
+                    };
                     if let Some(matches) = right_rows.get(&key) {
                         for (rrow, rw) in matches {
                             emit(lrow, *lw, rrow, *rw, &mut out)?;
@@ -483,14 +515,24 @@ impl OpState {
                     }
                 }
                 // L becomes L_old ∪ ΔL before the right delta joins, so
-                // ΔL ⋈ ΔR is counted exactly once (semi-naive).
+                // ΔL ⋈ ΔR is counted exactly once (semi-naive). Buckets
+                // whose multiset empties are removed on the spot — only
+                // keys this delta touched, never a full state sweep.
                 for (lrow, lw) in dl {
-                    let key = eval_keys(left_keys, &lrow)?;
-                    merge_weight(left_rows.entry(key).or_default(), lrow, lw);
+                    let Some(key) = eval_join_key(left_keys, &lrow)? else {
+                        continue;
+                    };
+                    let bucket = left_rows.entry(key.clone()).or_default();
+                    merge_weight(bucket, lrow, lw);
+                    if bucket.is_empty() {
+                        left_rows.remove(&key);
+                    }
                 }
                 // L_new ⋈ ΔR
                 for (rrow, rw) in &dr {
-                    let key = eval_keys(right_keys, rrow)?;
+                    let Some(key) = eval_join_key(right_keys, rrow)? else {
+                        continue;
+                    };
                     if let Some(matches) = left_rows.get(&key) {
                         for (lrow, lw) in matches {
                             emit(lrow, *lw, rrow, *rw, &mut out)?;
@@ -498,13 +540,15 @@ impl OpState {
                     }
                 }
                 for (rrow, rw) in dr {
-                    let key = eval_keys(right_keys, &rrow)?;
-                    merge_weight(right_rows.entry(key).or_default(), rrow, rw);
+                    let Some(key) = eval_join_key(right_keys, &rrow)? else {
+                        continue;
+                    };
+                    let bucket = right_rows.entry(key.clone()).or_default();
+                    merge_weight(bucket, rrow, rw);
+                    if bucket.is_empty() {
+                        right_rows.remove(&key);
+                    }
                 }
-                // Prune emptied key buckets so state stays proportional to
-                // the live data.
-                left_rows.retain(|_, rows| !rows.is_empty());
-                right_rows.retain(|_, rows| !rows.is_empty());
                 Ok(out)
             }
             OpState::Aggregate {
@@ -863,6 +907,77 @@ mod tests {
             )
             .unwrap();
         assert!(state.materialize().unwrap().is_empty());
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(customers_scan()),
+            right: Box::new(orders_scan()),
+            kind: eii_sql::JoinKind::Inner,
+            on: Some(Expr::qcol("c", "id").eq(Expr::qcol("o", "customer_id"))),
+        };
+        let mut state =
+            IvmState::build(&plan, &["crm.customers".into(), "sales.orders".into()]).unwrap();
+        let mut d = TableDeltas::new();
+        d.insert("crm.customers".into(), vec![(row![7i64, "r1"], 1)]);
+        d.insert(
+            "sales.orders".into(),
+            vec![
+                (row![1i64, Value::Null, 5i64], 1),
+                (row![2i64, 7i64, 3i64], 1),
+            ],
+        );
+        state.apply(&d, &[]).unwrap();
+        let batch = state.materialize().unwrap();
+        assert_eq!(batch.rows(), &[row![7i64, "r1", 2i64, 7i64, 3i64]]);
+        // A NULL-keyed left row arrives while the NULL-keyed order would
+        // still be in a naive join state: NULL must not join NULL (the
+        // executor's hash join drops both).
+        state
+            .apply(
+                &deltas("crm.customers", vec![(row![Value::Null, "rX"], 1)]),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(state.materialize().unwrap().num_rows(), 1);
+        // Retracting the NULL-keyed rows is symmetric: no output change,
+        // no negative multiplicities.
+        let mut d = TableDeltas::new();
+        d.insert("crm.customers".into(), vec![(row![Value::Null, "rX"], -1)]);
+        d.insert(
+            "sales.orders".into(),
+            vec![(row![1i64, Value::Null, 5i64], -1)],
+        );
+        state.apply(&d, &[]).unwrap();
+        assert_eq!(state.materialize().unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn ambiguous_and_literal_conjuncts_stay_residual() {
+        // `o.qty = 5`: the literal binds on both schemas, so the conjunct
+        // must not be promoted to an equi key — it evaluates as a residual
+        // predicate and still filters pairs correctly.
+        let on = Expr::qcol("c", "id")
+            .eq(Expr::qcol("o", "customer_id"))
+            .and(Expr::qcol("o", "qty").eq(Expr::lit(5i64)));
+        let plan = LogicalPlan::Join {
+            left: Box::new(customers_scan()),
+            right: Box::new(orders_scan()),
+            kind: eii_sql::JoinKind::Inner,
+            on: Some(on),
+        };
+        let mut state =
+            IvmState::build(&plan, &["crm.customers".into(), "sales.orders".into()]).unwrap();
+        let mut d = TableDeltas::new();
+        d.insert("crm.customers".into(), vec![(row![7i64, "r1"], 1)]);
+        d.insert(
+            "sales.orders".into(),
+            vec![(row![1i64, 7i64, 5i64], 1), (row![2i64, 7i64, 9i64], 1)],
+        );
+        state.apply(&d, &[]).unwrap();
+        let batch = state.materialize().unwrap();
+        assert_eq!(batch.rows(), &[row![7i64, "r1", 1i64, 7i64, 5i64]]);
     }
 
     #[test]

@@ -181,10 +181,25 @@ impl MatViewManager {
         let (ivm, fallback) = if incremental {
             let metrics = self.federation.metrics();
             match derive_maintenance_plan(&logical) {
-                MaintenanceDecision::Incremental(mplan) => {
-                    metrics.inc("ivm.views");
-                    (Some(IvmState::build(&logical, &mplan.base_tables)?), None)
-                }
+                // The plan walk cannot see connector capabilities: a source
+                // without change-data capture (CSV files, document stores)
+                // would pass validation and then fail every refresh. Probe
+                // each base table's change log now and degrade to full
+                // recompute instead.
+                MaintenanceDecision::Incremental(mplan) => match mplan
+                    .base_tables
+                    .iter()
+                    .find(|q| !self.has_change_log(q))
+                {
+                    Some(q) => {
+                        metrics.inc("ivm.fallbacks");
+                        (None, Some(FallbackReason::NoChangeLog(q.clone())))
+                    }
+                    None => {
+                        metrics.inc("ivm.views");
+                        (Some(IvmState::build(&logical, &mplan.base_tables)?), None)
+                    }
+                },
                 MaintenanceDecision::FullRecompute(reason) => {
                     metrics.inc("ivm.fallbacks");
                     (None, Some(reason))
@@ -210,6 +225,28 @@ impl MatViewManager {
             },
         );
         Ok(out)
+    }
+
+    /// Whether `qualified`'s connector exposes a change log, probed with
+    /// an empty read past the maximum sequence number (the same probe the
+    /// result cache's version check uses).
+    fn has_change_log(&self, qualified: &str) -> bool {
+        self.federation
+            .resolve(qualified)
+            .and_then(|(h, table)| h.connector().changes_since(&table, u64::MAX))
+            .is_ok()
+    }
+
+    /// Remove a view entirely (definition, maintenance state, and its
+    /// materialization in the shared store). Used to roll back a
+    /// definition whose bootstrap refresh failed.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        let mut views = self.views.lock();
+        views
+            .remove(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        self.store.remove(name);
+        Ok(())
     }
 
     fn compute(&self, name: &str, state: &mut ViewState) -> Result<(Batch, f64)> {
@@ -617,6 +654,59 @@ mod tests {
         // retract/insert pair + delete), not the whole table.
         assert_eq!((s.stats.refreshes, s.stats.input_rows), (2, 14));
         assert_eq!(mgr.base_tables("v").unwrap(), vec!["crm.customers"]);
+    }
+
+    #[test]
+    fn source_without_change_log_falls_back_to_recompute() {
+        use eii_federation::CsvConnector;
+        let (cat, fed, clock, _) = setup();
+        let csv = CsvConnector::new("files")
+            .add_file(
+                "extras",
+                "id|label\n1|a\n2|b\n",
+                '|',
+                &[DataType::Int, DataType::Str],
+            )
+            .unwrap();
+        fed.register(Arc::new(csv), LinkProfile::wan(), WireFormat::Native)
+            .unwrap();
+        let mgr = MatViewManager::new(fed, clock);
+        // The plan is perfectly incrementalizable, but CSV files expose no
+        // change log: the view must degrade to full recompute instead of
+        // erroring on every refresh.
+        let fallback = mgr
+            .define_incremental(
+                "v",
+                "SELECT id, label FROM files.extras",
+                &cat,
+                RefreshPolicy::Manual,
+            )
+            .unwrap();
+        assert_eq!(
+            fallback,
+            Some(FallbackReason::NoChangeLog("files.extras".into()))
+        );
+        mgr.refresh("v").unwrap();
+        assert_eq!(mgr.cached("v").unwrap().unwrap().num_rows(), 2);
+        let s = mgr.ivm_status("v").unwrap();
+        assert!(!s.incremental && s.fallback.is_some());
+    }
+
+    #[test]
+    fn drop_view_rolls_back_a_definition() {
+        let (cat, fed, clock, _) = setup();
+        let mgr = MatViewManager::new(fed, clock);
+        mgr.define("v", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Manual)
+            .unwrap();
+        mgr.refresh("v").unwrap();
+        assert!(mgr.store().get("v").is_some());
+        mgr.drop_view("v").unwrap();
+        assert!(mgr.store().get("v").is_none());
+        assert_eq!(mgr.fetch("v").unwrap_err().kind(), "not_found");
+        assert_eq!(mgr.drop_view("v").unwrap_err().kind(), "not_found");
+        // The name is free for redefinition.
+        mgr.define("v", "SELECT id FROM crm.customers", &cat, RefreshPolicy::Manual)
+            .unwrap();
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub enum FallbackReason {
     /// The plan reads another materialized view; view-over-view maintenance
     /// is not chained.
     ViewOverView,
+    /// A base table's connector exposes no change log to propagate deltas
+    /// from. The plan walk cannot see connector capabilities, so this
+    /// reason is produced by the matview manager's definition-time CDC
+    /// probe, not by [`derive_maintenance_plan`]; the payload is the
+    /// qualified `source.table` name.
+    NoChangeLog(String),
 }
 
 impl std::fmt::Display for FallbackReason {
@@ -72,6 +78,9 @@ impl std::fmt::Display for FallbackReason {
             FallbackReason::Values => write!(f, "constant VALUES input has no change log"),
             FallbackReason::ViewOverView => {
                 write!(f, "view-over-view maintenance is not chained")
+            }
+            FallbackReason::NoChangeLog(table) => {
+                write!(f, "source table {table} exposes no change log")
             }
         }
     }

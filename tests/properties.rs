@@ -415,25 +415,34 @@ proptest! {
 
     /// Incremental view maintenance ≡ full recompute at every watermark:
     /// whatever random stream of inserts, updates, and deletes lands on
-    /// the base table, each delta-maintained view (stateless pipeline,
-    /// cross-source join, grouped aggregate with retraction-sensitive
-    /// MIN/MAX) holds exactly the rows a fresh federated execution of its
-    /// defining query returns after every refresh.
+    /// the base tables — including orders whose nullable join key is NULL,
+    /// which must never match (the executor's hash join drops NULL keys) —
+    /// each delta-maintained view (stateless pipeline, cross-source join,
+    /// grouped aggregate with retraction-sensitive MIN/MAX) holds exactly
+    /// the rows a fresh federated execution of its defining query returns
+    /// after every refresh.
     #[test]
     fn ivm_equals_recompute_at_every_watermark(
         rows in unique_rows(),
         ops in proptest::collection::vec(
-            ((0usize..3, 0i64..200), "[a-d]{1,4}", -50i64..50),
+            ((0usize..5, 0i64..200), "[a-d]{1,4}", -50i64..50),
             1..24,
         ),
         refresh_every in 1usize..4,
     ) {
-        const VIEWS: [(&str, &str); 3] = [
+        const VIEWS: [(&str, &str); 4] = [
             ("pv_filter", "SELECT id, name FROM crm.customers WHERE score >= 0"),
             (
                 "pv_join",
                 "SELECT c.name, o.order_id FROM crm.customers c \
                  JOIN sales.orders o ON c.id = o.customer_id",
+            ),
+            // Self-join on the nullable column: both key sides can be NULL,
+            // and NULL must never join NULL.
+            (
+                "pv_selfjoin",
+                "SELECT a.order_id, b.order_id AS other_id FROM sales.orders a \
+                 JOIN sales.orders b ON a.customer_id = b.customer_id",
             ),
             (
                 "pv_agg",
@@ -456,6 +465,7 @@ proptest! {
             prop_assert!(fallback.is_none(), "{name} fell back: {fallback:?}");
         }
         let crm = sys.federation().source("crm").unwrap();
+        let sales = sys.federation().source("sales").unwrap();
         let last = ops.len() - 1;
         for (i, ((kind, id), name, score)) in ops.iter().enumerate() {
             // Updates and deletes on absent keys are no-ops; inserts use a
@@ -473,8 +483,22 @@ proptest! {
                         ("score".into(), Value::Int(*score)),
                     ],
                 }),
-                _ => crm.update(&eii::federation::UpdateOp::DeleteByKey {
+                2 => crm.update(&eii::federation::UpdateOp::DeleteByKey {
                     table: "customers".into(),
+                    key: Value::Int(*id),
+                }),
+                // Negative scores insert an order whose join key is NULL:
+                // it must never appear in pv_join, maintained or recomputed.
+                3 => sales.update(&eii::federation::UpdateOp::Insert {
+                    table: "orders".into(),
+                    row: row![
+                        2_000 + i as i64,
+                        if *score < 0 { Value::Null } else { Value::Int(*id) },
+                        *score as f64
+                    ],
+                }),
+                _ => sales.update(&eii::federation::UpdateOp::DeleteByKey {
+                    table: "orders".into(),
                     key: Value::Int(*id),
                 }),
             }
