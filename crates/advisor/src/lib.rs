@@ -1,0 +1,588 @@
+//! Workload-driven self-tuning: the materialized-view advisor.
+//!
+//! The advisor closes the loop between workload telemetry and physical
+//! design. It mines the query log's heaviest fingerprints (by bytes
+//! shipped), scores each as a materialization candidate, and keeps the
+//! best-scoring set installed under a configurable storage budget —
+//! evicting views whose observed usefulness decays as the workload
+//! shifts. Every decision is a pure function of the (deterministic,
+//! order-independent) query-log aggregates and the advisor's own state,
+//! so same-seed runs replay the exact recommendation sequence — which is
+//! what E20's bit-identical-replay gate checks.
+//!
+//! The crate is deliberately **decision-only**: it never touches the
+//! federation or the view manager itself. The embedding system (the
+//! `eii` facade) feeds it [`Candidate`]s, executes the [`Proposal`]s it
+//! returns (`define_incremental_matview` / `drop_view`), and reports
+//! back what actually happened (`record_materialized` / `record_rejected`
+//! / `record_evicted`). That keeps the action log an exact journal of
+//! executed actions, not intentions, and keeps this crate free of any
+//! dependency on the planner or executor.
+//!
+//! Scoring (documented in `docs/advisor.md`): a candidate's benefit is
+//! the bytes the workload shipped for its fingerprint; its upkeep is the
+//! estimated refresh cost. IVM-eligible views refresh by delta
+//! propagation — O(delta), priced at a small fraction of the view's
+//! rows — while fallback-only views pay a full recompute per refresh, so
+//! they are priced at full row weight and (policy) never auto-installed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Fraction of a view's rows an IVM refresh is expected to touch per
+/// maintenance round — the delta-pricing knob in the score denominator.
+const IVM_DELTA_FRACTION: f64 = 1.0 / 64.0;
+
+/// Deterministic name for an advisor-installed view over a fingerprint.
+pub fn view_name(fingerprint: u64) -> String {
+    format!("adv_{fingerprint:016x}")
+}
+
+/// Tuning knobs for the advisor loop. Defaults are conservative; the
+/// drift-test and E20 scenarios override them to force activity.
+#[derive(Debug, Clone)]
+pub struct AdvisorConfig {
+    /// How many top-by-bytes fingerprints to consider per cycle.
+    pub top_k: usize,
+    /// Total rows the installed advisor views may hold, summed.
+    pub storage_budget_rows: u64,
+    /// Cap on concurrently installed advisor views.
+    pub max_views: usize,
+    /// Run an advisory cycle every N observed statements.
+    pub advise_every: u64,
+    /// A fingerprint needs at least this many executions to be a
+    /// candidate (one-off queries never pay for materialization).
+    pub min_count: u64,
+    /// A fingerprint needs at least this many total bytes shipped.
+    pub min_bytes: u64,
+    /// Evict an installed view once its observed hit rate (hits per
+    /// statement since install) falls below this...
+    pub min_hit_rate: f64,
+    /// ...but only after this many statements have elapsed since install
+    /// (a grace window, so a fresh view is not evicted before the
+    /// workload gets a chance to hit it).
+    pub grace_statements: u64,
+    /// Divergence factor handed to the executor's adaptive re-planning
+    /// hook when the advisor is enabled.
+    pub replan_factor: f64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            top_k: 8,
+            storage_budget_rows: 10_000,
+            max_views: 4,
+            advise_every: 16,
+            min_count: 3,
+            min_bytes: 1,
+            min_hit_rate: 0.05,
+            grace_statements: 32,
+            replan_factor: 4.0,
+        }
+    }
+}
+
+/// One workload fingerprint offered to the advisor as a materialization
+/// candidate — a projection of the query log's [`FingerprintStats`]
+/// (plus the storage estimate the embedder derives from observed rows).
+///
+/// [`FingerprintStats`]: eii_obs::FingerprintStats
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Normalized-plan fingerprint.
+    pub fingerprint: u64,
+    /// Representative SQL — what the embedder defines the view from.
+    pub sql: String,
+    /// Executions observed.
+    pub count: u64,
+    /// Total bytes shipped from sources for this fingerprint.
+    pub total_bytes: u64,
+    /// Estimated rows the materialized view would hold (mean observed
+    /// result rows).
+    pub rows: u64,
+}
+
+impl Candidate {
+    /// Bytes-saved-per-refresh-cost score under delta pricing. Higher is
+    /// better. `ivm` selects the refresh pricing: delta-fraction rows
+    /// for incrementally maintainable views, full rows otherwise.
+    pub fn score(&self, ivm: bool) -> f64 {
+        let weight = if ivm { IVM_DELTA_FRACTION } else { 1.0 };
+        self.total_bytes as f64 / (1.0 + self.rows as f64 * weight)
+    }
+}
+
+/// What the advisor wants the embedding system to do this cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proposal {
+    /// Define `name` as an incrementally maintained live view over `sql`.
+    Materialize {
+        /// Deterministic view name ([`view_name`]).
+        name: String,
+        /// The candidate's fingerprint.
+        fingerprint: u64,
+        /// The SQL to define the view from.
+        sql: String,
+        /// The candidate's score at proposal time.
+        score: f64,
+        /// Storage this view is budgeted at, rows.
+        rows: u64,
+    },
+    /// Drop `name`: its observed hit rate decayed below the floor.
+    Evict {
+        /// The installed view's name.
+        name: String,
+        /// The fingerprint it was installed for.
+        fingerprint: u64,
+        /// The hit rate that triggered the eviction.
+        hit_rate: f64,
+    },
+}
+
+/// One executed (not merely proposed) advisor action — the replayable
+/// journal entry E20 compares across same-seed runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvisorAction {
+    /// A view was defined and materialized.
+    Materialized {
+        /// View name.
+        name: String,
+        /// Fingerprint it answers.
+        fingerprint: u64,
+        /// Score at install time.
+        score: f64,
+    },
+    /// A proposed candidate was rejected at install time (e.g. its plan
+    /// is not incrementally maintainable, so upkeep would be full
+    /// recomputes). Rejected fingerprints are never re-proposed.
+    Rejected {
+        /// Fingerprint of the rejected candidate.
+        fingerprint: u64,
+        /// Why the embedder rejected it.
+        reason: String,
+    },
+    /// An installed view was dropped for decayed usefulness.
+    Evicted {
+        /// View name.
+        name: String,
+        /// Fingerprint it answered.
+        fingerprint: u64,
+        /// Hit rate at eviction time.
+        hit_rate: f64,
+    },
+}
+
+impl AdvisorAction {
+    /// One-line render used by reports and the replay digest.
+    pub fn render(&self) -> String {
+        match self {
+            AdvisorAction::Materialized {
+                name,
+                fingerprint,
+                score,
+            } => format!("materialize {name} fp={fingerprint:016x} score={score:.1}"),
+            AdvisorAction::Rejected {
+                fingerprint,
+                reason,
+            } => format!("reject fp={fingerprint:016x} reason={reason}"),
+            AdvisorAction::Evicted {
+                name,
+                fingerprint,
+                hit_rate,
+            } => format!("evict {name} fp={fingerprint:016x} hit_rate={hit_rate:.3}"),
+        }
+    }
+}
+
+/// Bookkeeping for one installed advisor view.
+#[derive(Debug, Clone)]
+pub struct InstalledView {
+    /// View name ([`view_name`] of the fingerprint).
+    pub name: String,
+    /// Fingerprint the view answers.
+    pub fingerprint: u64,
+    /// Storage budgeted, rows.
+    pub rows: u64,
+    /// Statements observed since install.
+    pub statements_since: u64,
+    /// Statements since install that hit the view (matview rewrite or a
+    /// cache entry it filled).
+    pub hits: u64,
+}
+
+impl InstalledView {
+    /// Hits per statement since install.
+    pub fn hit_rate(&self) -> f64 {
+        if self.statements_since == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.statements_since as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Installed views keyed by fingerprint (BTreeMap: deterministic
+    /// iteration for proposals and reports).
+    installed: BTreeMap<u64, InstalledView>,
+    /// Fingerprints never to propose again (install-time rejections and
+    /// evicted views — re-installing an evicted view would thrash).
+    blocked: BTreeMap<u64, String>,
+    /// Journal of executed actions, in order.
+    actions: Vec<AdvisorAction>,
+    /// Statements observed (drives cycle cadence and grace windows).
+    statements: u64,
+    /// Statement count at the last cycle, to fire once per boundary.
+    last_cycle_at: u64,
+    /// Advisory cycles run.
+    cycles: u64,
+}
+
+/// The matview advisor: deterministic decision state behind one mutex.
+///
+/// Thread-safe; the embedding system typically holds it in a `OnceLock`
+/// and consults it from the statement-recording path.
+#[derive(Debug)]
+pub struct Advisor {
+    config: AdvisorConfig,
+    state: Mutex<State>,
+}
+
+impl Advisor {
+    /// An advisor with the given knobs and empty state.
+    pub fn new(config: AdvisorConfig) -> Self {
+        Advisor {
+            config,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("advisor state poisoned")
+    }
+
+    /// Record one finished statement: `fingerprint` is its workload
+    /// fingerprint, `hit` whether it was answered without shipping (a
+    /// matview rewrite or a cache hit). Returns `true` when a cycle
+    /// boundary was crossed and the embedder should run
+    /// [`Advisor::propose`].
+    pub fn observe_statement(&self, fingerprint: u64, hit: bool) -> bool {
+        let mut s = self.state();
+        s.statements += 1;
+        for view in s.installed.values_mut() {
+            view.statements_since += 1;
+            if hit && view.fingerprint == fingerprint {
+                view.hits += 1;
+            }
+        }
+        s.statements.is_multiple_of(self.config.advise_every.max(1))
+            && s.statements > s.last_cycle_at
+    }
+
+    /// Plan one advisory cycle over the log's current top candidates:
+    /// evictions for decayed views first (freeing budget), then the
+    /// best-scoring uninstalled candidates that fit the remaining
+    /// storage budget and view cap. Pure decision — nothing is installed
+    /// or dropped until the embedder executes the proposals and reports
+    /// back.
+    pub fn propose(&self, candidates: &[Candidate]) -> Vec<Proposal> {
+        let mut s = self.state();
+        s.cycles += 1;
+        let statements = s.statements;
+        s.last_cycle_at = statements;
+        let mut proposals = Vec::new();
+
+        // Evictions: past the grace window, below the hit-rate floor.
+        let mut freed_rows = 0u64;
+        let mut evicting = 0usize;
+        for view in s.installed.values() {
+            if view.statements_since >= self.config.grace_statements
+                && view.hit_rate() < self.config.min_hit_rate
+            {
+                freed_rows += view.rows;
+                evicting += 1;
+                proposals.push(Proposal::Evict {
+                    name: view.name.clone(),
+                    fingerprint: view.fingerprint,
+                    hit_rate: view.hit_rate(),
+                });
+            }
+        }
+
+        // Budget remaining after pending evictions land.
+        let used_rows: u64 = s.installed.values().map(|v| v.rows).sum();
+        let mut budget = self
+            .config
+            .storage_budget_rows
+            .saturating_sub(used_rows.saturating_sub(freed_rows));
+        let mut slots = self
+            .config
+            .max_views
+            .saturating_sub(s.installed.len() - evicting);
+
+        // Best-scoring fresh candidates, assuming IVM pricing; the
+        // embedder rejects any that turn out fallback-only at install.
+        let mut ranked: Vec<&Candidate> = candidates
+            .iter()
+            .filter(|c| {
+                c.count >= self.config.min_count
+                    && c.total_bytes >= self.config.min_bytes
+                    && !s.installed.contains_key(&c.fingerprint)
+                    && !s.blocked.contains_key(&c.fingerprint)
+                    && !c.sql.is_empty()
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score(true)
+                .partial_cmp(&a.score(true))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        for c in ranked.into_iter().take(self.config.top_k) {
+            if slots == 0 || c.rows > budget {
+                continue;
+            }
+            slots -= 1;
+            budget -= c.rows;
+            proposals.push(Proposal::Materialize {
+                name: view_name(c.fingerprint),
+                fingerprint: c.fingerprint,
+                sql: c.sql.clone(),
+                score: c.score(true),
+                rows: c.rows,
+            });
+        }
+        proposals
+    }
+
+    /// The embedder installed a proposed view.
+    pub fn record_materialized(&self, fingerprint: u64, name: &str, rows: u64, score: f64) {
+        let mut s = self.state();
+        s.installed.insert(
+            fingerprint,
+            InstalledView {
+                name: name.to_string(),
+                fingerprint,
+                rows,
+                statements_since: 0,
+                hits: 0,
+            },
+        );
+        s.actions.push(AdvisorAction::Materialized {
+            name: name.to_string(),
+            fingerprint,
+            score,
+        });
+    }
+
+    /// The embedder rejected a proposed view at install time; the
+    /// fingerprint is never proposed again.
+    pub fn record_rejected(&self, fingerprint: u64, reason: &str) {
+        let mut s = self.state();
+        s.blocked.insert(fingerprint, reason.to_string());
+        s.actions.push(AdvisorAction::Rejected {
+            fingerprint,
+            reason: reason.to_string(),
+        });
+    }
+
+    /// The embedder dropped a proposed eviction; the fingerprint is
+    /// blocked from re-installation (re-materializing a view the
+    /// workload abandoned would thrash the budget).
+    pub fn record_evicted(&self, fingerprint: u64) {
+        let mut s = self.state();
+        let Some(view) = s.installed.remove(&fingerprint) else {
+            return;
+        };
+        let hit_rate = view.hit_rate();
+        s.blocked.insert(fingerprint, "evicted".to_string());
+        s.actions.push(AdvisorAction::Evicted {
+            name: view.name,
+            fingerprint,
+            hit_rate,
+        });
+    }
+
+    /// Is `name` a view this advisor installed (and still holds)?
+    pub fn owns_view(&self, name: &str) -> bool {
+        self.state().installed.values().any(|v| v.name == name)
+    }
+
+    /// Currently installed views, fingerprint order.
+    pub fn installed(&self) -> Vec<InstalledView> {
+        self.state().installed.values().cloned().collect()
+    }
+
+    /// The executed-action journal, in order.
+    pub fn actions(&self) -> Vec<AdvisorAction> {
+        self.state().actions.clone()
+    }
+
+    /// Advisory cycles run so far.
+    pub fn cycles(&self) -> u64 {
+        self.state().cycles
+    }
+
+    /// Statements observed so far.
+    pub fn statements(&self) -> u64 {
+        self.state().statements
+    }
+
+    /// One-line-per-action replay digest — bit-identical across same-seed
+    /// runs (E20's determinism gate).
+    pub fn replay_digest(&self) -> String {
+        self.state()
+            .actions
+            .iter()
+            .map(AdvisorAction::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Human-readable report: knobs, installed set, and the action
+    /// journal.
+    pub fn report(&self) -> String {
+        let s = self.state();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "advisor: statements={} cycles={} installed={} blocked={}",
+            s.statements,
+            s.cycles,
+            s.installed.len(),
+            s.blocked.len()
+        );
+        for v in s.installed.values() {
+            let _ = writeln!(
+                out,
+                "  view {} fp={:016x} rows={} hit_rate={:.3} ({} hits / {} statements)",
+                v.name,
+                v.fingerprint,
+                v.rows,
+                v.hit_rate(),
+                v.hits,
+                v.statements_since
+            );
+        }
+        for a in &s.actions {
+            let _ = writeln!(out, "  action {}", a.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(fp: u64, bytes: u64, rows: u64) -> Candidate {
+        Candidate {
+            fingerprint: fp,
+            sql: format!("SELECT {fp}"),
+            count: 10,
+            total_bytes: bytes,
+            rows,
+        }
+    }
+
+    #[test]
+    fn proposes_best_scoring_candidates_under_budget() {
+        let advisor = Advisor::new(AdvisorConfig {
+            storage_budget_rows: 100,
+            max_views: 2,
+            ..AdvisorConfig::default()
+        });
+        let proposals = advisor.propose(&[
+            candidate(1, 10_000, 40),
+            candidate(2, 90_000, 60), // best score, fits
+            candidate(3, 500, 10),
+            candidate(4, 80_000, 900), // great bytes, blows the budget
+        ]);
+        let names: Vec<_> = proposals
+            .iter()
+            .map(|p| match p {
+                Proposal::Materialize { fingerprint, .. } => *fingerprint,
+                Proposal::Evict { .. } => panic!("nothing installed yet"),
+            })
+            .collect();
+        assert_eq!(names, vec![2, 1], "ranked by score, budget-constrained");
+    }
+
+    #[test]
+    fn rejected_and_evicted_fingerprints_never_return() {
+        let advisor = Advisor::new(AdvisorConfig {
+            grace_statements: 2,
+            min_hit_rate: 0.9,
+            advise_every: 1,
+            ..AdvisorConfig::default()
+        });
+        advisor.record_rejected(7, "fallback-only");
+        let proposals = advisor.propose(&[candidate(7, 1_000_000, 1)]);
+        assert!(proposals.is_empty(), "rejected fingerprint re-proposed");
+
+        advisor.record_materialized(9, &view_name(9), 10, 1.0);
+        advisor.observe_statement(1, false);
+        advisor.observe_statement(1, false);
+        let proposals = advisor.propose(&[]);
+        assert!(
+            matches!(&proposals[..], [Proposal::Evict { fingerprint: 9, .. }]),
+            "{proposals:?}"
+        );
+        advisor.record_evicted(9);
+        let proposals = advisor.propose(&[candidate(9, 1_000_000, 1)]);
+        assert!(proposals.is_empty(), "evicted fingerprint re-proposed");
+    }
+
+    #[test]
+    fn hit_rate_tracks_statements_since_install() {
+        let advisor = Advisor::new(AdvisorConfig::default());
+        advisor.record_materialized(5, &view_name(5), 10, 1.0);
+        advisor.observe_statement(5, true);
+        advisor.observe_statement(6, false);
+        advisor.observe_statement(5, true);
+        let installed = advisor.installed();
+        assert_eq!(installed.len(), 1);
+        assert_eq!(installed[0].hits, 2);
+        assert_eq!(installed[0].statements_since, 3);
+        assert!((installed[0].hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_fires_on_cadence_once_per_boundary() {
+        let advisor = Advisor::new(AdvisorConfig {
+            advise_every: 3,
+            ..AdvisorConfig::default()
+        });
+        assert!(!advisor.observe_statement(1, false));
+        assert!(!advisor.observe_statement(1, false));
+        assert!(advisor.observe_statement(1, false), "boundary at 3");
+        advisor.propose(&[]);
+        assert!(!advisor.observe_statement(1, false));
+    }
+
+    #[test]
+    fn replay_digest_is_the_action_journal() {
+        let advisor = Advisor::new(AdvisorConfig::default());
+        advisor.record_materialized(0xab, &view_name(0xab), 10, 2.5);
+        advisor.record_evicted(0xab);
+        let digest = advisor.replay_digest();
+        assert!(digest.contains("materialize adv_00000000000000ab"), "{digest}");
+        assert!(digest.contains("evict adv_00000000000000ab"), "{digest}");
+        let report = advisor.report();
+        assert!(report.contains("cycles=0"), "{report}");
+    }
+
+    #[test]
+    fn ivm_pricing_beats_full_recompute_pricing() {
+        let c = candidate(1, 10_000, 640);
+        assert!(c.score(true) > c.score(false));
+    }
+}

@@ -2,6 +2,7 @@
 //! experiment mapping). Each function regenerates one table; the
 //! `experiments` binary prints them.
 
+pub mod advisor;
 pub mod caching;
 pub mod concurrency;
 pub mod economics;
@@ -18,9 +19,9 @@ use eii::data::Result;
 use crate::report::Report;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19",
+    "e15", "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Run one experiment by id.
@@ -45,6 +46,7 @@ pub fn run(id: &str) -> Result<Report> {
         "e17" => robustness::e17_robustness(),
         "e18" => telemetry::e18_workload_telemetry(),
         "e19" => ivm::e19_incremental_maintenance(),
+        "e20" => advisor::e20_self_tuning(),
         other => Err(eii::data::EiiError::NotFound(format!(
             "experiment {other}; known: {}",
             ALL.join(", ")

@@ -295,6 +295,62 @@ fn scenario_shed() -> MetricsSnapshot {
     env.system.metrics().snapshot()
 }
 
+/// The self-tuning loop: an advisory cycle materializes a hot
+/// fingerprint, a later cycle evicts it once its observed hit rate
+/// decays, and a divergence factor of 1.0 forces the executor to
+/// adaptively re-plan an eligible hub join.
+fn scenario_advisor() -> MetricsSnapshot {
+    // Hub hash joins only, so the adaptive re-planning hook is eligible.
+    let env = FedMark::build_with_config(
+        1,
+        16,
+        PlannerConfig {
+            use_bind_joins: false,
+            choose_assembly_site: false,
+            ..PlannerConfig::optimized()
+        },
+    )
+    .unwrap();
+    let system = &env.system;
+    system.enable_advisor(AdvisorConfig {
+        advise_every: 4,
+        min_count: 2,
+        grace_statements: 4,
+        min_hit_rate: 0.99,
+        replan_factor: 1.0,
+        ..AdvisorConfig::default()
+    });
+    // Before any view rewrites exist: every eligible hub join counts as
+    // diverged at factor 1.0, so the build side is re-issued bound.
+    system
+        .execute(
+            "SELECT c.name, o.total FROM crm.customers c \
+             JOIN sales.orders o ON c.customer_id = o.customer_id \
+             WHERE o.total > 990",
+        )
+        .unwrap();
+    // Statements 2-5: the hot fingerprint crosses the cycle boundary at
+    // 4 with count >= min_count and is materialized as a live IVM view.
+    let hot = "SELECT order_id, total FROM sales.orders WHERE status = 'open'";
+    for _ in 0..4 {
+        system.execute(hot).unwrap();
+    }
+    // Off-fingerprint tail past the grace window: the installed view's
+    // hit rate decays to 0 < 0.99 and a later cycle evicts it.
+    for i in 0..8 {
+        system
+            .execute(&format!(
+                "SELECT name FROM crm.customers WHERE customer_id = {i}"
+            ))
+            .unwrap();
+    }
+    let snap = system.metrics().snapshot();
+    assert!(snap.counter("advisor.materialized") >= 1, "no view installed");
+    assert!(snap.counter("advisor.evicted") >= 1, "no view evicted");
+    assert!(snap.counter("advisor.replans") >= 1, "no join re-planned");
+    snap
+}
+
 #[test]
 fn metrics_catalog_matches_emitted_names() {
     let documented = documented_catalog();
@@ -305,6 +361,7 @@ fn metrics_catalog_matches_emitted_names() {
         scenario_hedge(),
         scenario_degraded(),
         scenario_shed(),
+        scenario_advisor(),
     ] {
         collect(&mut emitted, &snap);
     }

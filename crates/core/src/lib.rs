@@ -43,12 +43,13 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
+use eii_advisor::{Advisor, AdvisorAction, AdvisorConfig, Candidate, Proposal};
 use eii_catalog::Catalog;
 use eii_data::{Batch, CancelToken, Deadline, EiiError, Priority, Result, SimClock};
 use eii_eai::{MessageBroker, ProcessDef, ProcessEnv, SagaEngine, SagaOutcome};
 use eii_exec::{
     CacheConfig, CacheLookup, CachedResult, DegradationPolicy, Executor, FallbackStore,
-    HedgePolicy, OperatorProfile, QueryResult, ResultCache, SourceReport,
+    HedgePolicy, OperatorProfile, QueryResult, ReplanPolicy, ResultCache, SourceReport,
 };
 use eii_federation::{
     Connector, Federation, LinkProfile, QueryCost, RequestCtx, SourceHealth, SourceQuery,
@@ -62,8 +63,8 @@ use eii_obs::{
     TraceStore, Tracer,
 };
 use eii_planner::{
-    optimize, rewrite_matviews, rewrite_matviews_with_budget, CostModel, LogicalPlan,
-    PhysicalPlan, PlanBuilder, PhysicalPlanner, PlannerConfig,
+    optimize, rewrite_matviews, rewrite_matviews_with_budget, CardinalityFeedback, CostModel,
+    LogicalPlan, PhysicalPlan, PlanBuilder, PhysicalPlanner, PlannerConfig,
 };
 use eii_search::{EnterpriseSearch, Hit};
 use eii_sql::{parse_statement, SetQuery, Statement};
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use eii_federation::RequestCtx;
     pub use eii_docstore::{DocStore, Document};
     pub use eii_exec::{CacheConfig, DegradationPolicy, FallbackStore, SourceReport};
+    pub use eii_advisor::AdvisorConfig;
     pub use eii_matview::{IvmStatus, RefreshPolicy};
     pub use eii_planner::FallbackReason;
     pub use eii_federation::{
@@ -107,6 +109,7 @@ pub mod prelude {
 
 // Re-export the subsystem crates under stable names so downstream users
 // depend on `eii` alone.
+pub use eii_advisor as advisor;
 pub use eii_catalog as catalog;
 pub use eii_data as data;
 pub use eii_data::row as row_macro;
@@ -327,6 +330,17 @@ pub struct EiiSystem {
     /// Gate for the whole telemetry pipeline (query log, trace store, SLO
     /// samples). E18 measures the enabled-vs-disabled overhead under 5%.
     telemetry: AtomicBool,
+    /// Workload-driven self-tuning, once enabled ([`EiiSystem::enable_advisor`]).
+    advisor: OnceLock<AdvisorState>,
+}
+
+/// The advisor runtime: the decision engine plus the cardinality-feedback
+/// store shared between statement recording (which writes observed
+/// est-vs-actual ratios) and the executor's adaptive re-planning hook
+/// (which reads feedback-corrected estimates mid-query).
+struct AdvisorState {
+    advisor: Advisor,
+    feedback: Arc<CardinalityFeedback>,
 }
 
 impl EiiSystem {
@@ -353,6 +367,7 @@ impl EiiSystem {
             traces: TraceStore::default(),
             slo: SloMonitor::new(),
             telemetry: AtomicBool::new(true),
+            advisor: OnceLock::new(),
         }
     }
 
@@ -616,6 +631,136 @@ impl EiiSystem {
             .map_or(0, |c| c.invalidate_table(qualified))
     }
 
+    /// Turn on workload-driven self-tuning: the matview advisor (mines the
+    /// query log for materialization candidates and manages the installed
+    /// set under the configured storage budget), the cardinality-feedback
+    /// store (per-operator est-vs-actual ratios folded in after every
+    /// query), and the executor's adaptive re-planning hook (hub joins
+    /// whose observed cardinality diverges from the feedback-corrected
+    /// estimate re-issue their build side as a binding-filtered fetch).
+    ///
+    /// Rides the telemetry pipeline: with telemetry disabled
+    /// ([`EiiSystem::set_telemetry_enabled`]) the advisor observes nothing
+    /// and the loop stalls. Returns `false` (leaving the existing advisor
+    /// in place) if one is already enabled.
+    pub fn enable_advisor(&self, config: AdvisorConfig) -> bool {
+        self.advisor
+            .set(AdvisorState {
+                advisor: Advisor::new(config),
+                feedback: Arc::new(CardinalityFeedback::new()),
+            })
+            .is_ok()
+    }
+
+    /// The advisor's decision engine, when enabled.
+    pub fn advisor(&self) -> Option<&Advisor> {
+        self.advisor.get().map(|s| &s.advisor)
+    }
+
+    /// Human-readable advisor report: installed views with observed hit
+    /// rates, plus the executed-action journal.
+    pub fn advisor_report(&self) -> String {
+        match self.advisor.get() {
+            Some(s) => s.advisor.report(),
+            None => "advisor: disabled\n".to_string(),
+        }
+    }
+
+    /// Run one advisory cycle now: mine the query log's heaviest
+    /// fingerprints by bytes shipped, install the best-scoring candidates
+    /// under the storage budget as incrementally maintained always-fresh
+    /// (`Live`) views, and evict installed views whose observed hit rate
+    /// decayed below the floor. Candidates whose plan is not incrementally
+    /// maintainable are rejected — their upkeep would be a full recompute
+    /// per refresh — and never re-proposed.
+    ///
+    /// Fires automatically every `advise_every` observed statements;
+    /// public so benchmarks and tests can force a cycle. Returns the
+    /// actions actually executed this cycle.
+    pub fn run_advisor_cycle(&self) -> Vec<AdvisorAction> {
+        let Some(state) = self.advisor.get() else {
+            return Vec::new();
+        };
+        let metrics = self.metrics();
+        metrics.inc("advisor.cycles");
+        let candidates: Vec<Candidate> = self
+            .query_log
+            .top_k(
+                state.advisor.config().top_k,
+                eii_obs::WorkloadKey::BytesShipped,
+            )
+            .into_iter()
+            .map(|s| Candidate {
+                fingerprint: s.fingerprint,
+                rows: s.total_rows.checked_div(s.count).unwrap_or(0),
+                sql: s.sql,
+                count: s.count,
+                total_bytes: s.total_bytes,
+            })
+            .collect();
+        let journal_before = state.advisor.actions().len();
+        for proposal in state.advisor.propose(&candidates) {
+            match proposal {
+                Proposal::Materialize {
+                    name,
+                    fingerprint,
+                    sql,
+                    score,
+                    rows,
+                } => match self.define_incremental_matview(&name, &sql, RefreshPolicy::Live) {
+                    Ok(None) => {
+                        state
+                            .advisor
+                            .record_materialized(fingerprint, &name, rows, score);
+                        metrics.inc("advisor.materialized");
+                    }
+                    // Policy: only O(delta)-maintainable views are worth
+                    // automatic installation; fallback-only views would
+                    // pay a full recompute on every base write.
+                    Ok(Some(reason)) => {
+                        let _ = self.drop_advisor_view(&name);
+                        state
+                            .advisor
+                            .record_rejected(fingerprint, &format!("{reason:?}"));
+                    }
+                    Err(e) => state.advisor.record_rejected(fingerprint, e.kind()),
+                },
+                Proposal::Evict {
+                    name, fingerprint, ..
+                } => {
+                    let _ = self.drop_advisor_view(&name);
+                    state.advisor.record_evicted(fingerprint);
+                    metrics.inc("advisor.evicted");
+                }
+            }
+        }
+        state.advisor.actions().split_off(journal_before)
+    }
+
+    /// Drop an advisor-installed view; absent manager or view is a no-op
+    /// (the definition may have been rolled back by a failed bootstrap).
+    fn drop_advisor_view(&self, name: &str) -> Result<()> {
+        match self.matviews.get() {
+            Some(mgr) => mgr.drop_view(name),
+            None => Ok(()),
+        }
+    }
+
+    /// Mark scans of advisor-installed views in rendered plan text: an
+    /// `[ADVISED]` header says the rows are served by a view the advisor
+    /// — not an administrator — materialized.
+    fn annotate_advised(&self, mut text: String) -> String {
+        let Some(state) = self.advisor.get() else {
+            return text;
+        };
+        for view in state.advisor.installed() {
+            let from = format!("MatViewScan {} ", view.name);
+            let to = format!("MatViewScan {} [ADVISED] ", view.name);
+            text = text.replace(&from, &to);
+        }
+        text
+    }
+
     /// Execute one SQL statement as the given role. The statement's trace
     /// (parse/plan/execute spans plus per-operator actuals) is retained and
     /// readable through [`EiiSystem::last_trace`].
@@ -681,11 +826,11 @@ impl EiiSystem {
             ))),
             Statement::Explain { analyze: false, query } => {
                 let (optimized, physical) = self.plan_explain(&query, tracer)?;
-                Ok(ExecOutcome::Explained(format!(
+                Ok(ExecOutcome::Explained(self.annotate_advised(format!(
                     "== Logical plan ==\n{}== Physical plan ==\n{}",
                     optimized.display(),
                     physical.display()
-                )))
+                ))))
             }
             Statement::Explain { analyze: true, query } => Ok(ExecOutcome::Explained(
                 self.run_explain_analyze(&query, tracer, telemetry)?,
@@ -847,6 +992,12 @@ impl EiiSystem {
         if let Some(mgr) = self.matviews.get() {
             exec = exec.with_matviews(mgr.store());
         }
+        if let Some(state) = self.advisor.get() {
+            exec = exec.with_replan(ReplanPolicy {
+                feedback: Arc::clone(&state.feedback),
+                factor: state.advisor.config().replan_factor,
+            });
+        }
         let result = exec.execute(&physical).inspect_err(|e| self.count_abort(e));
         if let Some(d) = &deadline {
             let remaining = d.remaining_ms();
@@ -860,6 +1011,10 @@ impl EiiSystem {
         let result = result?;
         telemetry.flags.hedged = result.hedged;
         telemetry.flags.degraded = !result.degraded.is_empty();
+        if let (Some(state), Some(profile)) = (self.advisor.get(), &result.profile) {
+            let model = CostModel::new(&self.federation);
+            observe_feedback(&physical, profile, &model, &state.feedback);
+        }
         if telemetry_on {
             if let Some(before) = &traffic_before {
                 telemetry.per_source_bytes =
@@ -1023,6 +1178,12 @@ impl EiiSystem {
         if let Some(mgr) = self.matviews.get() {
             exec = exec.with_matviews(mgr.store());
         }
+        if let Some(state) = self.advisor.get() {
+            exec = exec.with_replan(ReplanPolicy {
+                feedback: Arc::clone(&state.feedback),
+                factor: state.advisor.config().replan_factor,
+            });
+        }
         let result = exec.execute(&physical)?;
         if let Some(profile) = &result.profile {
             tracer.attach(profile.to_span());
@@ -1031,6 +1192,10 @@ impl EiiSystem {
         let profile = result.profile.as_ref().ok_or_else(|| {
             EiiError::Execution("EXPLAIN ANALYZE needs executor instrumentation".into())
         })?;
+        if let Some(state) = self.advisor.get() {
+            let model = CostModel::new(&self.federation);
+            observe_feedback(&physical, profile, &model, &state.feedback);
+        }
         telemetry.flags.hedged = result.hedged;
         telemetry.flags.degraded = !result.degraded.is_empty();
         telemetry.flags.matview = plan_uses_matview(&physical);
@@ -1057,7 +1222,7 @@ impl EiiSystem {
             }
         );
         out.push('\n');
-        Ok(out)
+        Ok(self.annotate_advised(out))
     }
 
     /// `EXPLAIN ANALYZE` as a direct call: execute `sql` (a query) and
@@ -1224,9 +1389,12 @@ impl EiiSystem {
         };
         self.slo
             .record(opts.priority.as_str(), end_sim as f64, sim_ms, !errored);
+        let fingerprint = t.fingerprint;
+        let advisor_hit = t.flags.matview || t.flags.cached;
         self.query_log.record(QueryLogRecord {
             fingerprint: t.fingerprint,
             plan: t.plan,
+            sql: sql.trim().to_string(),
             session: opts.session.clone(),
             role: opts.role.clone(),
             priority: opts.priority.as_str().to_string(),
@@ -1243,6 +1411,16 @@ impl EiiSystem {
             error,
             trace_id,
         });
+        // The advisor loop piggybacks on statement recording: observe the
+        // outcome (did an installed view or the cache answer it?) and run
+        // an advisory cycle at the configured cadence. Cycles execute view
+        // definitions directly against the matview manager — no statements
+        // run, so this cannot recurse.
+        if let Some(state) = self.advisor.get() {
+            if state.advisor.observe_statement(fingerprint, advisor_hit) {
+                self.run_advisor_cycle();
+            }
+        }
     }
 
     /// Record a statement the admission controller turned away: a synthetic
@@ -1285,6 +1463,7 @@ impl EiiSystem {
             .record(opts.priority.as_str(), now as f64, 0.0, false);
         self.query_log.record(QueryLogRecord {
             fingerprint,
+            sql: plan.clone(),
             plan,
             session: opts.session.clone(),
             role: opts.role.clone(),
@@ -1326,11 +1505,11 @@ impl EiiSystem {
         let optimized = self.optimize_with_views(&q)?;
         let physical =
             PhysicalPlanner::new(&self.federation, &self.config).create(optimized.clone())?;
-        Ok(format!(
+        Ok(self.annotate_advised(format!(
             "== Logical plan ==\n{}== Physical plan ==\n{}",
             optimized.display(),
             physical.display()
-        ))
+        )))
     }
 
     /// Predict a query's cost without executing it (experiment E12's
@@ -1442,6 +1621,32 @@ fn collect_operator_stats(
     est
 }
 
+/// Fold one execution's per-operator actuals into the advisor's
+/// cardinality-feedback store, keyed by plan-node fingerprint. Estimates
+/// are derived bottom-up with the *uncorrected* cost model (one
+/// statistics lookup per scan, like [`collect_operator_stats`]) so the
+/// stored ratio stays actual-over-raw-estimate instead of chasing its own
+/// corrections. Returns this subtree's estimate for the caller.
+fn observe_feedback(
+    plan: &PhysicalPlan,
+    profile: &OperatorProfile,
+    model: &CostModel,
+    feedback: &CardinalityFeedback,
+) -> eii_planner::PlanEstimate {
+    let children = plan.children();
+    let mut kids = Vec::with_capacity(children.len());
+    for (child, child_profile) in children.iter().zip(&profile.children) {
+        kids.push(observe_feedback(child, child_profile, model, feedback));
+    }
+    let est = model.estimate_from_children(plan, &kids);
+    feedback.observe(
+        CardinalityFeedback::node_key(plan),
+        est.rows,
+        profile.rows as f64,
+    );
+    est
+}
+
 /// Accumulate the per-source saved-bytes estimates of every `MatViewScan`
 /// in the plan, counting the scans.
 fn collect_matview_savings(plan: &PhysicalPlan, saved: &mut Vec<(String, f64)>, scans: &mut usize) {
@@ -1525,6 +1730,9 @@ fn render_analyze(
         " | act rows={} bytes={} sim={:.1}ms wall={:.1?})",
         profile.rows, profile.cost.bytes, profile.cost.sim_ms, profile.wall
     );
+    if profile.replanned {
+        out.push_str(" [REPLANNED]");
+    }
     if let Some(src) = &profile.source {
         for report in degraded.iter().filter(|r| &r.source == src) {
             match report.stale_ms {
@@ -1822,6 +2030,110 @@ mod tests {
             .unwrap();
         assert!(!text.contains("[CACHED]"), "{text}");
         assert!(text.contains("act rows="), "{text}");
+    }
+
+    #[test]
+    fn advisor_materializes_hot_fingerprints_and_annotates_plans() {
+        let sys = system();
+        assert!(sys.enable_advisor(AdvisorConfig {
+            advise_every: 4,
+            min_count: 2,
+            ..AdvisorConfig::default()
+        }));
+        assert!(
+            !sys.enable_advisor(AdvisorConfig::default()),
+            "second enable must be rejected"
+        );
+        let q = "SELECT name FROM crm.customers";
+        let baseline: Vec<Row> = sys.execute(q).unwrap().rows().unwrap().rows().to_vec();
+        for _ in 0..3 {
+            sys.execute(q).unwrap();
+        }
+        // The 4th statement crossed the cycle boundary: the hot
+        // fingerprint is now materialized as a live IVM view.
+        let installed = sys.advisor().unwrap().installed();
+        assert_eq!(installed.len(), 1, "{}", sys.advisor_report());
+        assert!(installed[0].name.starts_with("adv_"));
+        let text = sys.explain(q).unwrap();
+        assert!(text.contains("[ADVISED]"), "{text}");
+        // Answers are unchanged, and the repeat ships nothing.
+        let shipped = sys.federation().ledger().total().bytes;
+        let out = sys.execute(q).unwrap();
+        assert_eq!(out.rows().unwrap().rows(), &baseline[..]);
+        assert_eq!(sys.federation().ledger().total().bytes, shipped);
+        let snap = sys.metrics().snapshot();
+        assert!(snap.counter("advisor.cycles") >= 1);
+        assert_eq!(snap.counter("advisor.materialized"), 1);
+        assert!(sys.advisor_report().contains("materialize adv_"));
+    }
+
+    #[test]
+    fn advisor_replans_diverging_hub_joins_and_flags_them() {
+        let clock = SimClock::new();
+        let crm = Database::new("crm", clock.clone());
+        let cschema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("name", DataType::Str),
+        ]));
+        let ct = crm
+            .create_table(TableDef::new("customers", cschema).with_primary_key(0))
+            .unwrap();
+        let sales = Database::new("sales", clock.clone());
+        let oschema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int).not_null(),
+            Field::new("customer_id", DataType::Int),
+        ]));
+        let ot = sales
+            .create_table(TableDef::new("orders", oschema).with_primary_key(0))
+            .unwrap();
+        {
+            let mut t = ct.write();
+            t.insert(row![1i64, "alice"]).unwrap();
+            t.insert(row![2i64, "bob"]).unwrap();
+        }
+        {
+            let mut t = ot.write();
+            for i in 0..10i64 {
+                t.insert(row![i, i % 2 + 1]).unwrap();
+            }
+        }
+        // Hub hash joins only: no bind joins, no assembly-site pushout.
+        let sys = EiiSystem::new(clock).with_config(PlannerConfig {
+            use_bind_joins: false,
+            choose_assembly_site: false,
+            ..PlannerConfig::optimized()
+        });
+        sys.add_source(
+            Arc::new(RelationalConnector::new(crm)),
+            LinkProfile::lan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        sys.add_source(
+            Arc::new(RelationalConnector::new(sales)),
+            LinkProfile::wan(),
+            WireFormat::Native,
+        )
+        .unwrap();
+        let q = "SELECT c.name FROM crm.customers c \
+                 JOIN sales.orders o ON c.id = o.customer_id ORDER BY c.name";
+        let baseline: Vec<Row> = sys.execute(q).unwrap().rows().unwrap().rows().to_vec();
+        // Factor 1.0: every eligible join counts as diverged, so the
+        // build side is re-issued as a binding-filtered fetch.
+        sys.enable_advisor(AdvisorConfig {
+            replan_factor: 1.0,
+            advise_every: 1_000_000,
+            ..AdvisorConfig::default()
+        });
+        let out = sys.execute(q).unwrap();
+        assert_eq!(
+            out.rows().unwrap().rows(),
+            &baseline[..],
+            "adaptation must preserve answers"
+        );
+        let text = sys.explain_analyze(q).unwrap();
+        assert!(text.contains("[REPLANNED]"), "{text}");
+        assert!(sys.metrics().snapshot().counter("advisor.replans") >= 1);
     }
 
     /// The pre-builder mutator API must keep compiling (with deprecation

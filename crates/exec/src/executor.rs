@@ -1,14 +1,14 @@
 //! The physical-plan interpreter.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use eii_data::{Batch, CancelToken, EiiError, Result, Row, SchemaRef, Value};
 use eii_expr::{bind, BoundExpr, Expr};
 use eii_federation::{Federation, HedgeOutcome, QueryCost, RequestCtx, SourceQuery};
 use eii_obs::MetricsRegistry;
-use eii_planner::{JoinSite, PhysicalPlan};
+use eii_planner::{CardinalityFeedback, CostModel, JoinSite, PhysicalPlan};
 use eii_sql::JoinKind;
 
 use crate::agg::Accumulator;
@@ -46,6 +46,36 @@ impl Default for HedgePolicy {
         HedgePolicy {
             threshold_ms: 50.0,
             delay_ms: 5.0,
+        }
+    }
+}
+
+/// Adaptive re-planning policy: at a hub hash join boundary, the executor
+/// runs the probe (left) side first, compares its observed cardinality to
+/// the feedback-corrected estimate, and when they diverge by more than
+/// `factor` re-enters the plan for the remaining subtree — the build-side
+/// scan is re-issued as a binding-filtered fetch (only rows matching an
+/// observed probe key ship), which is answer-preserving for inner
+/// equi-joins: build rows whose key matches no probe key can never reach
+/// the output, and the filter keeps the survivors in scan order.
+///
+/// With a policy attached, eligible joins fetch their sides serially (the
+/// probe side must finish before the decision); expect different simulated
+/// timings — but byte-identical answers — versus the parallel default.
+#[derive(Clone)]
+pub struct ReplanPolicy {
+    /// Cross-query cardinality corrections consulted for the estimate.
+    pub feedback: Arc<CardinalityFeedback>,
+    /// Divergence factor (in either direction) that triggers adaptation.
+    pub factor: f64,
+}
+
+impl ReplanPolicy {
+    /// Policy over a feedback store with the default 4x divergence factor.
+    pub fn new(feedback: Arc<CardinalityFeedback>) -> Self {
+        ReplanPolicy {
+            feedback,
+            factor: 4.0,
         }
     }
 }
@@ -129,6 +159,10 @@ pub struct Executor<'a> {
     run_ctx: Mutex<RequestCtx>,
     /// Tail-latency hedging policy for plain source scans, when enabled.
     hedge: Option<HedgePolicy>,
+    /// Adaptive re-planning policy, when enabled (see [`ReplanPolicy`]).
+    replan: Option<ReplanPolicy>,
+    /// Paths of operators this run adapted, for `[REPLANNED]` provenance.
+    replans: Mutex<BTreeSet<Vec<usize>>>,
 }
 
 impl<'a> Executor<'a> {
@@ -151,6 +185,8 @@ impl<'a> Executor<'a> {
             base_ctx: RequestCtx::new(),
             run_ctx: Mutex::new(RequestCtx::new()),
             hedge: None,
+            replan: None,
+            replans: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -165,6 +201,14 @@ impl<'a> Executor<'a> {
     /// Enable tail-latency hedging for plain source scans.
     pub fn with_hedging(mut self, policy: HedgePolicy) -> Self {
         self.hedge = Some(policy);
+        self
+    }
+
+    /// Enable adaptive re-planning at hub hash-join boundaries (see
+    /// [`ReplanPolicy`]). Adapted operators are flagged in the profile
+    /// (`replanned`) and counted as `advisor.replans` when metrics are on.
+    pub fn with_replan(mut self, policy: ReplanPolicy) -> Self {
+        self.replan = Some(policy);
         self
     }
 
@@ -217,6 +261,7 @@ impl<'a> Executor<'a> {
         self.degraded.lock().expect("degraded lock").clear();
         self.ops.lock().expect("ops lock").clear();
         self.hedges.lock().expect("hedges lock").clear();
+        self.replans.lock().expect("replans lock").clear();
         // A fresh internal abort token per run: a failed branch in THIS
         // query must not tear down the next one.
         let ctx = self.base_ctx.clone().with_abort(CancelToken::new());
@@ -225,10 +270,11 @@ impl<'a> Executor<'a> {
         let (batch, cost) = self.run(plan)?;
         let degraded = std::mem::take(&mut *self.degraded.lock().expect("degraded lock"));
         let hedges = std::mem::take(&mut *self.hedges.lock().expect("hedges lock"));
+        let replans = std::mem::take(&mut *self.replans.lock().expect("replans lock"));
         let hedged = hedges.values().any(|h| h.fired);
         let profile = if self.instrument {
             let records = std::mem::take(&mut *self.ops.lock().expect("ops lock"));
-            Some(assemble_profile(plan, &records, &hedges, &mut Vec::new()))
+            Some(assemble_profile(plan, &records, &hedges, &replans, &mut Vec::new()))
         } else {
             None
         };
@@ -886,6 +932,120 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Adaptive re-planning hook for hub hash joins (see [`ReplanPolicy`]).
+    ///
+    /// Returns `Ok(None)` when the join is ineligible (no policy attached,
+    /// not an inner single-key equi-join, build side not a bare source scan,
+    /// or the source cannot evaluate bindings) — the caller then takes the
+    /// normal parallel path. When eligible, the probe (left) side runs
+    /// first; if its observed cardinality diverges from the
+    /// feedback-corrected estimate by the policy's factor, the build-side
+    /// scan is re-issued as a binding-filtered fetch restricted to the
+    /// distinct probe keys actually observed. Either way the sides ran
+    /// serially, so the serial costs come back for the caller to combine.
+    fn try_adaptive_join(
+        &self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        kind: JoinKind,
+        path: &[usize],
+    ) -> Result<Option<(Batch, QueryCost, Batch, QueryCost)>> {
+        let Some(policy) = &self.replan else {
+            return Ok(None);
+        };
+        // Only inner equi-joins on a single key pair are answer-preserving
+        // under a build-side binding filter: removed build rows match no
+        // probe key, so they could never reach the output.
+        if !matches!(kind, JoinKind::Inner) || left_keys.len() != 1 || right_keys.len() != 1 {
+            return Ok(None);
+        }
+        // The build side must be a bare scan we can re-issue: no existing
+        // bindings (a bind join already filtered it) and no limit (a limit
+        // under a new filter would keep a different set of rows).
+        let PhysicalPlan::Source {
+            source,
+            query,
+            schema,
+        } = right
+        else {
+            return Ok(None);
+        };
+        if !query.bindings.is_empty() || query.limit.is_some() {
+            return Ok(None);
+        }
+        let Expr::Column { name: bind_col, .. } = &right_keys[0] else {
+            return Ok(None);
+        };
+        let handle = self.federation.source(source)?;
+        if !handle.connector().capabilities().bindings {
+            return Ok(None);
+        }
+
+        // Probe side first, serially: the adaptation decision needs its
+        // actual cardinality.
+        let (lb, lc) = self.run_node(left, child_path(path, 0))?;
+        let diverged = match CostModel::new(self.federation)
+            .with_feedback(policy.feedback.clone())
+            .estimate_physical(left)
+        {
+            Ok(est) => {
+                let est_rows = est.rows.max(1e-9);
+                let actual = (lb.num_rows() as f64).max(1.0);
+                actual / est_rows >= policy.factor || est_rows / actual >= policy.factor
+            }
+            // No estimate, no divergence signal: keep the planned scan.
+            Err(_) => false,
+        };
+        if !diverged {
+            let (rb, rc) = self.run_node(right, child_path(path, 1))?;
+            return Ok(Some((lb, lc, rb, rc)));
+        }
+
+        // Re-plan the build side: ship only rows whose key matches a probe
+        // key actually observed, in first-seen probe order.
+        let lkey = bind(&left_keys[0], lb.schema())?;
+        let mut seen: HashSet<Value> = HashSet::new();
+        let mut keys: Vec<Value> = Vec::new();
+        for row in lb.rows() {
+            let v = lkey.eval(row)?;
+            if !v.is_null() && seen.insert(v.clone()) {
+                keys.push(v);
+            }
+        }
+        let mut filtered = query.clone();
+        filtered.bindings = vec![(bind_col.clone(), keys)];
+        self.ctx().check()?;
+        let rp = child_path(path, 1);
+        let start_wall = Instant::now();
+        let (rb, rc) = match self.fetch_maybe_hedged(&handle, &filtered, source, &rp) {
+            Ok(ok) => ok,
+            Err(err) if is_abortive(&err) => return Err(err),
+            // Degrade against the *original* query so a dead source yields
+            // the same substitute snapshot the un-adapted plan would get.
+            Err(err) => self.degrade_source(source, query, schema, err)?,
+        };
+        let rb = Batch::new(schema.clone(), rb.into_rows());
+        if self.instrument {
+            // The adapted fetch bypasses `run_node`, so record it here.
+            self.ops.lock().expect("ops lock").push(OpRecord {
+                path: rp,
+                rows: rb.num_rows(),
+                cost: rc,
+                wall: start_wall.elapsed(),
+            });
+        }
+        self.replans
+            .lock()
+            .expect("replans lock")
+            .insert(path.to_vec());
+        if let Some(m) = &self.metrics {
+            m.inc("advisor.replans");
+        }
+        Ok(Some((lb, lc, rb, rc)))
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_hash_join(
         &self,
@@ -903,9 +1063,14 @@ impl<'a> Executor<'a> {
         // Fetch inputs, honoring the assembly site's cost model.
         let (lb, rb, mut cost, result_site) = match site {
             JoinSite::Hub => {
-                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, parallel, path)?;
-                let c = if parallel { lc.alongside(rc) } else { lc.then(rc) };
-                (lb, rb, c, None)
+                match self.try_adaptive_join(left, right, left_keys, right_keys, kind, path)? {
+                    Some((lb, lc, rb, rc)) => (lb, rb, lc.then(rc), None),
+                    None => {
+                        let ((lb, lc), (rb, rc)) = self.run_pair(left, right, parallel, path)?;
+                        let c = if parallel { lc.alongside(rc) } else { lc.then(rc) };
+                        (lb, rb, c, None)
+                    }
+                }
             }
             JoinSite::AtSource(site_name) => {
                 // The child at the site scans locally and ships nothing; the
@@ -1104,6 +1269,7 @@ fn assemble_profile(
     plan: &PhysicalPlan,
     records: &[OpRecord],
     hedges: &BTreeMap<Vec<usize>, HedgeOutcome>,
+    replans: &BTreeSet<Vec<usize>>,
     path: &mut Vec<usize>,
 ) -> OperatorProfile {
     let rec = records.iter().find(|r| r.path == *path);
@@ -1120,7 +1286,7 @@ fn assemble_profile(
         .enumerate()
         .map(|(i, child)| {
             path.push(i);
-            let p = assemble_profile(child, records, hedges, path);
+            let p = assemble_profile(child, records, hedges, replans, path);
             path.pop();
             p
         })
@@ -1133,6 +1299,7 @@ fn assemble_profile(
         wall: rec.map_or(Duration::ZERO, |r| r.wall),
         hedged: hedge.fired,
         backup_won: hedge.backup_won,
+        replanned: replans.contains(path.as_slice()),
         children,
     }
 }

@@ -19,7 +19,7 @@ pub use cache::{
     adapt_batch, CacheConfig, CacheLookup, CachedResult, MatViewStore, ResultCache,
 };
 pub use degrade::{apply_source_query, DegradationPolicy, FallbackStore, SourceReport};
-pub use executor::{Executor, HedgePolicy, QueryResult};
+pub use executor::{Executor, HedgePolicy, QueryResult, ReplanPolicy};
 pub use profile::OperatorProfile;
 pub use scheduler::{
     AdmissionConfig, BrownoutConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats,

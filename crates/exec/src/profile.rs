@@ -31,6 +31,11 @@ pub struct OperatorProfile {
     pub hedged: bool,
     /// True when the hedged backup answered first (implies `hedged`).
     pub backup_won: bool,
+    /// True when the executor adapted this operator mid-flight (adaptive
+    /// re-planning: observed cardinality diverged from the estimate, so
+    /// the remaining subtree was re-entered — e.g. a hub hash join's
+    /// shipped build side became a binding-filtered fetch).
+    pub replanned: bool,
     /// Child operator profiles, mirroring the plan's children.
     pub children: Vec<OperatorProfile>,
 }
@@ -60,6 +65,12 @@ impl OperatorProfile {
         ];
         if let Some(s) = &self.source {
             annotations.push(("source".to_string(), s.clone()));
+        }
+        if self.replanned {
+            // An annotation, not a child span: the span tree must stay
+            // isomorphic to the physical plan whether or not the executor
+            // adapted the operator.
+            annotations.push(("replanned".to_string(), "true".to_string()));
         }
         let mut children: Vec<SpanRecord> =
             self.children.iter().map(OperatorProfile::to_span).collect();

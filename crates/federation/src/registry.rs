@@ -24,6 +24,13 @@ pub struct HedgeOutcome {
     pub backup_won: bool,
 }
 
+/// Callback fired after a successful write routed through a
+/// [`SourceHandle`], with the source and table names. Listeners run on the
+/// writer's thread with no federation lock held; they must not issue
+/// further writes through the federation (re-entrant maintenance would
+/// recurse).
+pub type WriteListener = Arc<dyn Fn(&str, &str) + Send + Sync>;
+
 /// A registered source: connector + link + wire format.
 #[derive(Clone)]
 pub struct SourceHandle {
@@ -34,6 +41,9 @@ pub struct SourceHandle {
     metrics: MetricsRegistry,
     /// Source-engine scan speed, simulated ms per row examined.
     scan_ms_per_row: f64,
+    /// Shared with the owning [`Federation`]: listeners registered after
+    /// this handle was cloned out still fire.
+    write_listeners: Arc<RwLock<Vec<WriteListener>>>,
 }
 
 impl SourceHandle {
@@ -317,7 +327,9 @@ impl SourceHandle {
         Ok((Batch::new(schema, rows), total))
     }
 
-    /// Route an update through the wrapper (one round trip).
+    /// Route an update through the wrapper (one round trip). Successful
+    /// writes notify the federation's [`WriteListener`]s — the hook eager
+    /// (`RefreshPolicy::Live`-style) view maintenance rides.
     pub fn update(&self, op: &UpdateOp) -> Result<(UpdateResult, QueryCost)> {
         let res = self.connector.update(op)?;
         let cost = QueryCost {
@@ -328,6 +340,10 @@ impl SourceHandle {
             requests: 1,
         };
         self.ledger.record(self.connector.name(), 64, 0, cost.sim_ms);
+        let listeners: Vec<WriteListener> = self.write_listeners.read().clone();
+        for listener in listeners {
+            listener(self.connector.name(), op.table());
+        }
         Ok((res, cost))
     }
 }
@@ -347,6 +363,9 @@ pub struct Federation {
     ledger: TransferLedger,
     clock: SimClock,
     metrics: MetricsRegistry,
+    /// Fired after every successful write through any handle; shared (like
+    /// the ledger) across clones and cloned-out handles.
+    write_listeners: Arc<RwLock<Vec<WriteListener>>>,
 }
 
 impl Clone for Federation {
@@ -356,6 +375,7 @@ impl Clone for Federation {
             ledger: self.ledger.clone(),
             clock: self.clock.clone(),
             metrics: self.metrics.clone(),
+            write_listeners: self.write_listeners.clone(),
         }
     }
 }
@@ -428,9 +448,17 @@ impl Federation {
                 ledger: self.ledger.clone(),
                 metrics: self.metrics.clone(),
                 scan_ms_per_row: 0.001,
+                write_listeners: self.write_listeners.clone(),
             },
         );
         Ok(())
+    }
+
+    /// Register a callback fired after every successful write through any
+    /// of this federation's sources (including handles cloned out before
+    /// the registration). Eager view maintenance subscribes here.
+    pub fn add_write_listener(&self, listener: WriteListener) {
+        self.write_listeners.write().push(listener);
     }
 
     /// Run `f` on the named source's handle under the write lock.
@@ -856,6 +884,36 @@ mod tests {
             pc.sim_ms,
             sc.sim_ms
         );
+    }
+
+    #[test]
+    fn write_listeners_fire_on_successful_updates_only() {
+        use std::sync::Mutex;
+        let fed = federation();
+        let seen: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        fed.add_write_listener(Arc::new(move |source, table| {
+            sink.lock().unwrap().push((source.to_string(), table.to_string()));
+        }));
+        // The handle was cloned out BEFORE more listeners could exist; a
+        // second listener registered now must still fire through it.
+        let (h, _) = fed.resolve("crm.customers").unwrap();
+        h.update(&UpdateOp::Insert {
+            table: "customers".into(),
+            row: row![2000i64, "listener"],
+        })
+        .unwrap();
+        assert_eq!(
+            seen.lock().unwrap().as_slice(),
+            &[("crm".to_string(), "customers".to_string())]
+        );
+        // Failed writes do not notify.
+        h.update(&UpdateOp::Insert {
+            table: "ghost".into(),
+            row: row![1i64],
+        })
+        .unwrap_err();
+        assert_eq!(seen.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Materialized views over the federation.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -72,12 +73,16 @@ struct ViewState {
 
 impl ViewState {
     /// Is the cached materialization servable at `now_ms` without a
-    /// recompute? Live views never are (every fetch recomputes); periodic
-    /// views are within their interval; manual views whenever materialized.
+    /// recompute? Periodic views are within their interval; manual views
+    /// whenever materialized. Live views are servable only while
+    /// incrementally maintained: eager on-write maintenance
+    /// ([`Inner::on_base_write`]) keeps their cache exactly equal to a
+    /// fresh recompute, so serving it *is* serving live data. A live view
+    /// without IVM state recomputes on every fetch, as before.
     fn servable(&self, now_ms: i64) -> bool {
         self.cache.is_some()
             && match self.policy {
-                RefreshPolicy::Live => false,
+                RefreshPolicy::Live => self.ivm.is_some(),
                 RefreshPolicy::Periodic { interval_ms } => {
                     now_ms - self.cached_at_ms < interval_ms
                 }
@@ -87,7 +92,17 @@ impl ViewState {
 }
 
 /// Manages a set of materialized views.
+///
+/// The state lives behind an `Arc` so the federation's write listener —
+/// the hook that eagerly maintains [`RefreshPolicy::Live`] views — can
+/// hold a *weak* handle back into the manager without a reference cycle
+/// (the federation owns the listener, the listener upgrades per write, a
+/// dropped manager silently unsubscribes).
 pub struct MatViewManager {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
     federation: Federation,
     clock: SimClock,
     views: Mutex<BTreeMap<String, ViewState>>,
@@ -95,21 +110,35 @@ pub struct MatViewManager {
 }
 
 impl MatViewManager {
-    /// New manager over a federation.
+    /// New manager over a federation. Subscribes to the federation's write
+    /// stream: every successful write routed through a source handle
+    /// eagerly maintains the [`RefreshPolicy::Live`] incrementally-
+    /// maintained views that read the written table (writes applied
+    /// directly to backing storage are picked up at the next maintenance
+    /// round instead, like any other out-of-band change).
     pub fn new(federation: Federation, clock: SimClock) -> Self {
-        MatViewManager {
+        let inner = Arc::new(Inner {
             federation,
             clock,
             views: Mutex::new(BTreeMap::new()),
             store: MatViewStore::new(),
-        }
+        });
+        let weak = Arc::downgrade(&inner);
+        inner
+            .federation
+            .add_write_listener(Arc::new(move |source, table| {
+                if let Some(inner) = weak.upgrade() {
+                    inner.on_base_write(source, table);
+                }
+            }));
+        MatViewManager { inner }
     }
 
     /// The shared row store every materialization is synced into. Hand a
     /// clone to [`Executor::with_matviews`] so rewritten plans can scan
     /// the views locally.
     pub fn store(&self) -> MatViewStore {
-        self.store.clone()
+        self.inner.store.clone()
     }
 
     /// Definitions of every view whose materialization is servable at
@@ -117,7 +146,8 @@ impl MatViewManager {
     /// [`eii_planner::rewrite_matviews`]. Live views (which must always
     /// recompute) and expired or never-materialized caches are excluded.
     pub fn defs(&self, now_ms: i64) -> Vec<MatViewDef> {
-        self.views
+        self.inner
+            .views
             .lock()
             .iter()
             .filter(|(_, s)| s.servable(now_ms))
@@ -168,18 +198,19 @@ impl MatViewManager {
         policy: RefreshPolicy,
         incremental: bool,
     ) -> Result<Option<FallbackReason>> {
-        let mut views = self.views.lock();
+        let mut views = self.inner.views.lock();
         if views.contains_key(name) {
             return Err(EiiError::AlreadyExists(format!("materialized view {name}")));
         }
         let query = parse_query(sql)?;
         let config = PlannerConfig::optimized();
-        let logical = PlanBuilder::new(catalog, &self.federation).build(&query)?;
-        let logical = optimize(logical, &self.federation, &config)?;
+        let federation = &self.inner.federation;
+        let logical = PlanBuilder::new(catalog, federation).build(&query)?;
+        let logical = optimize(logical, federation, &config)?;
         let schema = logical.schema()?;
-        let plan = PhysicalPlanner::new(&self.federation, &config).create(logical.clone())?;
+        let plan = PhysicalPlanner::new(federation, &config).create(logical.clone())?;
         let (ivm, fallback) = if incremental {
-            let metrics = self.federation.metrics();
+            let metrics = federation.metrics();
             match derive_maintenance_plan(&logical) {
                 // The plan walk cannot see connector capabilities: a source
                 // without change-data capture (CSV files, document stores)
@@ -189,7 +220,7 @@ impl MatViewManager {
                 MaintenanceDecision::Incremental(mplan) => match mplan
                     .base_tables
                     .iter()
-                    .find(|q| !self.has_change_log(q))
+                    .find(|q| !self.inner.has_change_log(q))
                 {
                     Some(q) => {
                         metrics.inc("ivm.fallbacks");
@@ -227,6 +258,20 @@ impl MatViewManager {
         Ok(out)
     }
 
+    /// Remove a view entirely (definition, maintenance state, and its
+    /// materialization in the shared store). Used to roll back a
+    /// definition whose bootstrap refresh failed.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        let mut views = self.inner.views.lock();
+        views
+            .remove(name)
+            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
+        self.inner.store.remove(name);
+        Ok(())
+    }
+}
+
+impl Inner {
     /// Whether `qualified`'s connector exposes a change log, probed with
     /// an empty read past the maximum sequence number (the same probe the
     /// result cache's version check uses).
@@ -235,18 +280,6 @@ impl MatViewManager {
             .resolve(qualified)
             .and_then(|(h, table)| h.connector().changes_since(&table, u64::MAX))
             .is_ok()
-    }
-
-    /// Remove a view entirely (definition, maintenance state, and its
-    /// materialization in the shared store). Used to roll back a
-    /// definition whose bootstrap refresh failed.
-    pub fn drop_view(&self, name: &str) -> Result<()> {
-        let mut views = self.views.lock();
-        views
-            .remove(name)
-            .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
-        self.store.remove(name);
-        Ok(())
     }
 
     fn compute(&self, name: &str, state: &mut ViewState) -> Result<(Batch, f64)> {
@@ -322,16 +355,57 @@ impl MatViewManager {
         Ok((batch, sim_ms))
     }
 
+    /// Eager-maintenance hook, fired (on the writer's thread, no
+    /// federation lock held) after every successful write routed through
+    /// the federation. Applies the change-log delta to each materialized
+    /// [`RefreshPolicy::Live`] incrementally-maintained view that reads
+    /// the written table, so those views stay exactly as fresh as a
+    /// recompute. A maintenance failure *invalidates* the view's
+    /// materialization instead of leaving stale rows servable — the next
+    /// fetch recomputes.
+    ///
+    /// Lock order: views mutex, then the federation's source-registry
+    /// read lock (inside `apply_deltas`) — the same order every refresh
+    /// path uses.
+    fn on_base_write(&self, source: &str, table: &str) {
+        let qualified = format!("{source}.{table}");
+        let mut views = self.views.lock();
+        for (name, state) in views.iter_mut() {
+            if !matches!(state.policy, RefreshPolicy::Live) || state.cache.is_none() {
+                continue;
+            }
+            let reads_table = state
+                .ivm
+                .as_ref()
+                .is_some_and(|ivm| ivm.base_tables().contains(&qualified));
+            if !reads_table {
+                continue;
+            }
+            match self.apply_deltas(name, state, None) {
+                Ok((batch, _)) => {
+                    state.cache = Some(batch);
+                    state.cached_at_ms = self.clock.now_ms();
+                }
+                Err(_) => {
+                    state.cache = None;
+                    self.store.remove(name);
+                }
+            }
+        }
+    }
+}
+
+impl MatViewManager {
     /// Fetch the view's rows under its policy.
     pub fn fetch(&self, name: &str) -> Result<(Batch, FetchOutcome)> {
-        let mut views = self.views.lock();
+        let mut views = self.inner.views.lock();
         let state = views
             .get_mut(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
-        let now = self.clock.now_ms();
+        let now = self.inner.clock.now_ms();
         let recompute = !state.servable(now);
         if recompute {
-            let (batch, sim_ms) = self.compute(name, state)?;
+            let (batch, sim_ms) = self.inner.compute(name, state)?;
             state.cache = Some(batch.clone());
             state.cached_at_ms = now;
             return Ok((
@@ -368,19 +442,19 @@ impl MatViewManager {
     }
 
     fn refresh_inner(&self, name: &str, ctx: Option<&RequestCtx>) -> Result<f64> {
-        let mut views = self.views.lock();
+        let mut views = self.inner.views.lock();
         let state = views
             .get_mut(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
-        let (batch, sim_ms) = self.compute_ctx(name, state, ctx)?;
+        let (batch, sim_ms) = self.inner.compute_ctx(name, state, ctx)?;
         state.cache = Some(batch);
-        state.cached_at_ms = self.clock.now_ms();
+        state.cached_at_ms = self.inner.clock.now_ms();
         Ok(sim_ms)
     }
 
     /// Maintenance status for one view.
     pub fn ivm_status(&self, name: &str) -> Result<IvmStatus> {
-        let views = self.views.lock();
+        let views = self.inner.views.lock();
         let state = views
             .get(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
@@ -396,7 +470,7 @@ impl MatViewManager {
     /// matching the view's definition can be refreshed in place after an
     /// incremental maintenance round.
     pub fn plan_key(&self, name: &str) -> Result<String> {
-        let views = self.views.lock();
+        let views = self.inner.views.lock();
         let state = views
             .get(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
@@ -405,7 +479,7 @@ impl MatViewManager {
 
     /// The qualified `source.table` names the view reads.
     pub fn base_tables(&self, name: &str) -> Result<Vec<String>> {
-        let views = self.views.lock();
+        let views = self.inner.views.lock();
         let state = views
             .get(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
@@ -421,7 +495,7 @@ impl MatViewManager {
 
     /// The view's current materialization, if one exists.
     pub fn cached(&self, name: &str) -> Result<Option<Batch>> {
-        let views = self.views.lock();
+        let views = self.inner.views.lock();
         let state = views
             .get(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
@@ -430,7 +504,7 @@ impl MatViewManager {
 
     /// Change a view's policy ("the administrator was able to choose").
     pub fn set_policy(&self, name: &str, policy: RefreshPolicy) -> Result<()> {
-        let mut views = self.views.lock();
+        let mut views = self.inner.views.lock();
         let state = views
             .get_mut(name)
             .ok_or_else(|| EiiError::NotFound(format!("materialized view {name}")))?;
@@ -440,7 +514,8 @@ impl MatViewManager {
 
     /// How many times the view was recomputed.
     pub fn refresh_count(&self, name: &str) -> usize {
-        self.views
+        self.inner
+            .views
             .lock()
             .get(name)
             .map_or(0, |s| s.refresh_count)
@@ -448,7 +523,8 @@ impl MatViewManager {
 
     /// Total simulated recomputation cost.
     pub fn total_refresh_ms(&self, name: &str) -> f64 {
-        self.views
+        self.inner
+            .views
             .lock()
             .get(name)
             .map_or(0.0, |s| s.total_refresh_ms)
@@ -654,6 +730,53 @@ mod tests {
         // retract/insert pair + delete), not the whole table.
         assert_eq!((s.stats.refreshes, s.stats.input_rows), (2, 14));
         assert_eq!(mgr.base_tables("v").unwrap(), vec!["crm.customers"]);
+    }
+
+    #[test]
+    fn live_ivm_view_is_maintained_eagerly_on_write() {
+        use eii_federation::UpdateOp;
+        let (cat, fed, clock, _) = setup();
+        let mgr = MatViewManager::new(fed.clone(), clock.clone());
+        let fallback = mgr
+            .define_incremental(
+                "v",
+                "SELECT id FROM crm.customers WHERE region = 'r1'",
+                &cat,
+                RefreshPolicy::Live,
+            )
+            .unwrap();
+        assert!(fallback.is_none());
+        mgr.refresh("v").unwrap(); // bootstrap
+        assert_eq!(mgr.cached("v").unwrap().unwrap().num_rows(), 5);
+        let before = mgr.ivm_status("v").unwrap().stats.refreshes;
+        // A write routed through the federation maintains the view
+        // eagerly, before anyone fetches it.
+        let h = fed.source("crm").unwrap();
+        h.update(&UpdateOp::Insert {
+            table: "customers".into(),
+            row: row![100i64, "r1"],
+        })
+        .unwrap();
+        assert_eq!(mgr.cached("v").unwrap().unwrap().num_rows(), 6);
+        assert_eq!(mgr.ivm_status("v").unwrap().stats.refreshes, before + 1);
+        // Eagerly maintained live views are servable: fetches hit the
+        // cache and the view exports to the rewrite pass.
+        let (batch, o) = mgr.fetch("v").unwrap();
+        assert!(!o.recomputed, "live IVM serves the maintained cache");
+        assert_eq!(batch.num_rows(), 6);
+        let names: Vec<String> = mgr
+            .defs(clock.now_ms())
+            .into_iter()
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(names, vec!["v".to_string()]);
+        // Writes to unrelated tables leave the maintenance count alone.
+        h.update(&UpdateOp::Insert {
+            table: "ghost".into(),
+            row: row![1i64],
+        })
+        .unwrap_err();
+        assert_eq!(mgr.ivm_status("v").unwrap().stats.refreshes, before + 1);
     }
 
     #[test]

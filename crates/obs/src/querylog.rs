@@ -112,6 +112,10 @@ pub struct QueryLogRecord {
     pub fingerprint: u64,
     /// Normalized plan text the fingerprint was computed from.
     pub plan: String,
+    /// The statement's SQL text as submitted — the advisor re-plans
+    /// candidate views from this, so top-k workload entries stay
+    /// actionable without grepping traces.
+    pub sql: String,
     /// Session label, when the statement ran through a labelled session.
     pub session: Option<String>,
     /// Access-control role the statement ran under.
@@ -151,6 +155,9 @@ pub struct FingerprintStats {
     pub fingerprint: u64,
     /// Normalized plan text (first seen).
     pub plan: String,
+    /// Representative SQL text (first seen) — what the advisor feeds back
+    /// into the planner to define a candidate view for this fingerprint.
+    pub sql: String,
     /// Statements observed.
     pub count: u64,
     /// Statements that returned an error.
@@ -246,6 +253,7 @@ impl QueryLog {
             .or_insert_with(|| FingerprintStats {
                 fingerprint: record.fingerprint,
                 plan: record.plan.clone(),
+                sql: record.sql.clone(),
                 ..FingerprintStats::default()
             });
         stats.count += 1;
@@ -346,6 +354,28 @@ impl QueryLog {
         all
     }
 
+    /// Render the top-`k` by `key` with the fingerprint, the counters the
+    /// ranking used, *and* the normalized plan text each fingerprint
+    /// hashes — so a workload ranking (or an advisor recommendation built
+    /// from one) is debuggable on its own, without grepping traces for
+    /// the plan a fingerprint stands for.
+    pub fn top_k_report(&self, k: usize, key: WorkloadKey) -> String {
+        let mut out = String::new();
+        for stats in self.top_k(k, key) {
+            out.push_str(&format!(
+                "fp={:016x} count={} bytes={} sim_ms={:.1} errors={}\n  sql: {}\n  plan: {}\n",
+                stats.fingerprint,
+                stats.count,
+                stats.total_bytes,
+                stats.total_sim_ms,
+                stats.errors,
+                if stats.sql.is_empty() { "<unknown>" } else { &stats.sql },
+                stats.plan.trim_end().replace('\n', "\n        "),
+            ));
+        }
+        out
+    }
+
     /// Drop all records and aggregates.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("query log poisoned");
@@ -361,6 +391,7 @@ mod tests {
         QueryLogRecord {
             fingerprint: fingerprint64(fp),
             plan: fp.to_string(),
+            sql: format!("SELECT {fp}"),
             session: None,
             role: "analyst".into(),
             priority: "normal".into(),
@@ -429,6 +460,10 @@ mod tests {
         assert_eq!(by_bytes[0].plan, "heavy");
         let by_sim = log.top_k(1, WorkloadKey::SimMs);
         assert_eq!(by_sim[0].plan, "heavy");
+        let report = log.top_k_report(2, WorkloadKey::BytesShipped);
+        assert!(report.contains("sql: SELECT heavy"), "{report}");
+        assert!(report.contains("plan: heavy"), "{report}");
+        assert!(report.contains("bytes=9000"), "{report}");
     }
 
     #[test]

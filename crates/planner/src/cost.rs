@@ -11,6 +11,9 @@ use eii_federation::{Federation, SourceQuery};
 use eii_sql::JoinKind;
 use eii_storage::TableStats;
 
+use std::sync::Arc;
+
+use crate::feedback::CardinalityFeedback;
 use crate::logical::LogicalPlan;
 use crate::physical::PhysicalPlan;
 
@@ -37,6 +40,9 @@ pub struct CostModel<'a> {
     federation: &'a Federation,
     /// Hub-side per-row processing cost (join/aggregate work), sim ms.
     pub hub_ms_per_row: f64,
+    /// Cross-query cardinality corrections ([`CardinalityFeedback`]); when
+    /// absent the model estimates from statistics alone.
+    feedback: Option<Arc<CardinalityFeedback>>,
 }
 
 impl<'a> CostModel<'a> {
@@ -45,7 +51,16 @@ impl<'a> CostModel<'a> {
         CostModel {
             federation,
             hub_ms_per_row: 0.0005,
+            feedback: None,
         }
+    }
+
+    /// Attach a cardinality-feedback store: physical estimates for subtrees
+    /// the store has observed are scaled by the learned actual/estimated
+    /// ratio. An empty store leaves every estimate unchanged.
+    pub fn with_feedback(mut self, feedback: Arc<CardinalityFeedback>) -> Self {
+        self.feedback = Some(feedback);
+        self
     }
 
     fn stats(&self, source: &str, table: &str) -> TableStats {
@@ -407,7 +422,7 @@ impl<'a> CostModel<'a> {
         plan: &PhysicalPlan,
         kids: &[PlanEstimate],
     ) -> PlanEstimate {
-        match plan {
+        let est = match plan {
             PhysicalPlan::Source { source, query, .. } => self.estimate_component(source, query),
             PhysicalPlan::Values { rows, .. } => PlanEstimate {
                 rows: rows.len() as f64,
@@ -519,6 +534,16 @@ impl<'a> CostModel<'a> {
                 }
                 est
             }
+        };
+        // Fold in learned cardinality corrections last so feedback composes
+        // with (rather than replaces) the statistics-based estimate; an
+        // absent or empty store leaves `est` untouched.
+        match &self.feedback {
+            Some(fb) if !fb.is_empty() => PlanEstimate {
+                rows: fb.corrected_rows(CardinalityFeedback::node_key(plan), est.rows),
+                ..est
+            },
+            _ => est,
         }
     }
 }
@@ -636,6 +661,30 @@ mod tests {
         let filtered = scan(&fed, vec![Expr::col("id").lt(Expr::lit(50i64))]);
         let rows = model.rows(&filtered).unwrap();
         assert!((40.0..=60.0).contains(&rows), "rows={rows}");
+    }
+
+    #[test]
+    fn feedback_corrects_physical_estimates() {
+        use crate::feedback::CardinalityFeedback;
+
+        let fed = fed_with_customers(100);
+        let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int)]));
+        let plan = PhysicalPlan::Values {
+            schema,
+            rows: vec![row![1i64], row![2i64]],
+        };
+        // Without feedback (and with an empty store) the estimate is the
+        // literal row count.
+        let base = CostModel::new(&fed).estimate_physical(&plan).unwrap();
+        assert!((base.rows - 2.0).abs() < 1e-9);
+        let fb = Arc::new(CardinalityFeedback::new());
+        let model = CostModel::new(&fed).with_feedback(fb.clone());
+        assert!((model.estimate_physical(&plan).unwrap().rows - 2.0).abs() < 1e-9);
+        // After observing that this exact subtree actually produced 8 rows,
+        // the corrected estimate follows the learned ratio.
+        fb.observe(CardinalityFeedback::node_key(&plan), base.rows, 8.0);
+        let corrected = model.estimate_physical(&plan).unwrap();
+        assert!((corrected.rows - 8.0).abs() < 1e-9, "rows={}", corrected.rows);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Cross-query cardinality feedback.
+//!
+//! The observability layer measures estimated-vs-actual rows for every
+//! executed operator (PR 2's `EXPLAIN ANALYZE` instrumentation). This module
+//! folds those deltas into a store keyed by *plan-node fingerprint* — the
+//! FNV-1a hash of the operator subtree's normalized display text — so the
+//! cost model learns corrected cardinalities across queries: the next query
+//! containing the same subtree is estimated with the observed ratio applied.
+//!
+//! The feedback loop is deliberately conservative:
+//!
+//! - corrections are exponentially smoothed (`ALPHA`) so one outlier
+//!   execution does not whipsaw the planner;
+//! - ratios are clamped to `[MIN_RATIO, MAX_RATIO]` so a degenerate
+//!   observation (estimate ~0, huge actual) cannot produce unbounded
+//!   corrections;
+//! - a node with no recorded feedback is returned unchanged, so an empty
+//!   store makes the model behave exactly as before (existing cost tests
+//!   and plans are unaffected until something calls
+//!   [`CardinalityFeedback::observe`]).
+//!
+//! Corrections compound naturally: [`crate::CostModel`] estimates bottom-up,
+//! so a corrected child cardinality flows into every ancestor's estimate
+//! even when the ancestors themselves have no feedback entry.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::physical::PhysicalPlan;
+
+/// Exponential-smoothing weight for new observations.
+const ALPHA: f64 = 0.5;
+/// Clamp bounds for the actual/estimated ratio of a single observation.
+const MIN_RATIO: f64 = 1.0 / 128.0;
+const MAX_RATIO: f64 = 128.0;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a plan node's display text. Same constants as the query
+/// log's statement fingerprint (`eii-obs`), duplicated here because the
+/// planner sits below the observability crate in the dependency order.
+pub fn plan_fingerprint(text: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FeedbackEntry {
+    /// Smoothed actual/estimated row ratio.
+    ratio: f64,
+    /// Number of folded observations.
+    observations: u64,
+}
+
+/// Smoothed per-plan-node cardinality corrections, shared between the
+/// telemetry collector (writer) and the cost model (reader).
+#[derive(Debug, Default)]
+pub struct CardinalityFeedback {
+    entries: Mutex<HashMap<u64, FeedbackEntry>>,
+}
+
+impl CardinalityFeedback {
+    /// Empty store: every correction is 1.0 until something observes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stable feedback key for a physical operator: the fingerprint of its
+    /// subtree display, so structurally identical subtrees share corrections
+    /// across queries.
+    pub fn node_key(plan: &PhysicalPlan) -> u64 {
+        plan_fingerprint(&plan.display())
+    }
+
+    /// Fold one est-vs-actual measurement into the store. Estimates at or
+    /// below zero carry no usable ratio and are skipped.
+    pub fn observe(&self, key: u64, est_rows: f64, actual_rows: f64) {
+        if est_rows.is_nan() || est_rows <= 0.0 || !actual_rows.is_finite() {
+            return;
+        }
+        let ratio = (actual_rows.max(0.0) / est_rows).clamp(MIN_RATIO, MAX_RATIO);
+        let mut entries = self.entries.lock().expect("feedback lock poisoned");
+        entries
+            .entry(key)
+            .and_modify(|e| {
+                e.ratio = (1.0 - ALPHA) * e.ratio + ALPHA * ratio;
+                e.observations += 1;
+            })
+            .or_insert(FeedbackEntry {
+                ratio,
+                observations: 1,
+            });
+    }
+
+    /// The smoothed correction ratio for a node, if any execution of the
+    /// same subtree has been observed.
+    pub fn correction(&self, key: u64) -> Option<f64> {
+        self.entries
+            .lock()
+            .expect("feedback lock poisoned")
+            .get(&key)
+            .map(|e| e.ratio)
+    }
+
+    /// Apply the stored correction to an estimated row count; identity when
+    /// the node has never been observed.
+    pub fn corrected_rows(&self, key: u64, est_rows: f64) -> f64 {
+        match self.correction(key) {
+            Some(ratio) => (est_rows * ratio).max(0.0),
+            None => est_rows,
+        }
+    }
+
+    /// Number of distinct plan-node fingerprints with feedback.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("feedback lock poisoned").len()
+    }
+
+    /// True when no observation has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total folded observations across all keys (telemetry).
+    pub fn observations(&self) -> u64 {
+        self.entries
+            .lock()
+            .expect("feedback lock poisoned")
+            .values()
+            .map(|e| e.observations)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_matches_obs_constants() {
+        // Same FNV-1a parameters as eii-obs::fingerprint64: empty input
+        // hashes to the offset basis, and the function is deterministic.
+        assert_eq!(plan_fingerprint(""), FNV_OFFSET);
+        assert_eq!(plan_fingerprint("scan"), plan_fingerprint("scan"));
+        assert_ne!(plan_fingerprint("scan"), plan_fingerprint("Scan"));
+    }
+
+    #[test]
+    fn unobserved_nodes_are_identity() {
+        let fb = CardinalityFeedback::new();
+        assert!(fb.is_empty());
+        assert_eq!(fb.correction(7), None);
+        assert!((fb.corrected_rows(7, 42.0) - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observations_smooth_toward_actual_ratio() {
+        let fb = CardinalityFeedback::new();
+        // Estimated 10, saw 40 -> first ratio is 4.0 exactly.
+        fb.observe(1, 10.0, 40.0);
+        assert!((fb.correction(1).unwrap() - 4.0).abs() < 1e-12);
+        // A second identical observation keeps the ratio at 4.0.
+        fb.observe(1, 10.0, 40.0);
+        assert!((fb.correction(1).unwrap() - 4.0).abs() < 1e-12);
+        // Now the node behaves as estimated: ratio decays halfway to 1.0.
+        fb.observe(1, 10.0, 10.0);
+        assert!((fb.correction(1).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(fb.observations(), 3);
+    }
+
+    #[test]
+    fn degenerate_observations_are_clamped_or_skipped() {
+        let fb = CardinalityFeedback::new();
+        fb.observe(1, 0.0, 1_000_000.0); // unusable estimate: skipped
+        assert!(fb.is_empty());
+        fb.observe(2, 1e-9, 1_000_000.0); // absurd ratio: clamped
+        assert!((fb.correction(2).unwrap() - MAX_RATIO).abs() < 1e-12);
+        fb.observe(3, 1_000_000.0, 0.0); // empty actual: clamped below
+        assert!((fb.correction(3).unwrap() - MIN_RATIO).abs() < 1e-12);
+    }
+}

@@ -18,6 +18,7 @@
 pub mod build;
 pub mod config;
 pub mod cost;
+pub mod feedback;
 pub mod join_order;
 pub mod logical;
 pub mod maintain;
@@ -29,6 +30,7 @@ pub(crate) mod util;
 pub use build::PlanBuilder;
 pub use config::PlannerConfig;
 pub use cost::{CostModel, PlanEstimate};
+pub use feedback::{plan_fingerprint, CardinalityFeedback};
 pub use logical::{AggItem, LogicalPlan};
 pub use maintain::{
     derive_maintenance_plan, FallbackReason, MaintenanceDecision, MaintenancePlan,

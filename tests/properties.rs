@@ -694,6 +694,84 @@ proptest! {
         prop_assert_eq!(sys.federation().ledger().total().bytes, bytes);
     }
 
+    /// Self-tuning is invisible to correctness: with the advisor enabled
+    /// under a deliberately twitchy config (cycle every 3 statements, one
+    /// execution qualifies a candidate, an unreachable 0.99 hit-rate floor
+    /// so installed views are evicted mid-stream, and a low re-planning
+    /// divergence factor), every query in a random query/write workload
+    /// returns exactly the rows the untuned system returns — including
+    /// statements that run against views the advisor installed, and
+    /// statements that run right after it evicted them.
+    #[test]
+    fn advisor_never_changes_answers(
+        rows in unique_rows(),
+        workload in proptest::collection::vec((0usize..6, 0i64..100), 1..32),
+    ) {
+        // IVM-eligible shapes only (no ORDER BY / DISTINCT / LIMIT): the
+        // advisor installs candidates as live incrementally-maintained
+        // views, so these are the queries it can actually act on.
+        const QUERIES: [&str; 4] = [
+            "SELECT id, name FROM crm.customers WHERE score >= 0",
+            "SELECT c.name, o.total FROM crm.customers c \
+             JOIN sales.orders o ON c.id = o.customer_id",
+            "SELECT name, COUNT(*) AS n FROM crm.customers GROUP BY name",
+            "SELECT order_id, total FROM sales.orders WHERE total >= 10.0",
+        ];
+        let (tuned, _) = system_with_customers(&rows);
+        let (baseline, _) = system_with_customers(&rows);
+        prop_assert!(tuned.enable_advisor(AdvisorConfig {
+            advise_every: 3,
+            min_count: 1,
+            grace_statements: 4,
+            min_hit_rate: 0.99,
+            replan_factor: 1.5,
+            ..AdvisorConfig::default()
+        }));
+        for (i, &(op, key)) in workload.iter().enumerate() {
+            match op {
+                4 => {
+                    // Identical write through both federations; disjoint id
+                    // range so inserts never collide with the primary key.
+                    for sys in [&tuned, &baseline] {
+                        sys.federation()
+                            .source("crm")
+                            .unwrap()
+                            .update(&eii::federation::UpdateOp::Insert {
+                                table: "customers".into(),
+                                row: row![10_000 + i as i64, "w", key],
+                            })
+                            .unwrap();
+                    }
+                }
+                5 => {
+                    for sys in [&tuned, &baseline] {
+                        sys.federation()
+                            .source("sales")
+                            .unwrap()
+                            .update(&eii::federation::UpdateOp::Insert {
+                                table: "orders".into(),
+                                row: row![20_000 + i as i64, key % 200, (key % 50) as f64],
+                            })
+                            .unwrap();
+                    }
+                }
+                q => {
+                    let sql = QUERIES[q % QUERIES.len()];
+                    // Row order may legitimately differ once a view serves
+                    // the query (IVM appends deltas); the row *set* with
+                    // multiplicity must be identical.
+                    prop_assert_eq!(
+                        sorted(&run(&tuned, sql)),
+                        sorted(&run(&baseline, sql)),
+                        "advisor changed answers for {} (advisor state:\n{})",
+                        sql,
+                        tuned.advisor_report()
+                    );
+                }
+            }
+        }
+    }
+
     /// LIMIT never yields more rows than asked, and the prefix matches the
     /// unlimited ordering.
     #[test]
