@@ -415,12 +415,6 @@ impl EiiSystem {
         &self.federation
     }
 
-    /// Mutable federation access.
-    #[deprecated(note = "Federation is interior-mutable; use federation()")]
-    pub fn federation_mut(&mut self) -> &mut Federation {
-        &mut self.federation
-    }
-
     /// The metadata catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -446,39 +440,16 @@ impl EiiSystem {
         self.federation.register(connector, link, wire)
     }
 
-    /// Register a wrapped source behind a network link.
-    #[deprecated(note = "use add_source (or EiiSystemBuilder::source)")]
-    pub fn register_source(
-        &mut self,
-        connector: Arc<dyn Connector>,
-        link: LinkProfile,
-        wire: WireFormat,
-    ) -> Result<()> {
-        self.add_source(connector, link, wire)
-    }
-
     /// Attach an enterprise-search service (see [`eii_search`]); a no-op if
     /// one is already attached.
     pub fn attach_search_service(&self, search: EnterpriseSearch) {
         let _ = self.search.set(search);
     }
 
-    /// Attach an enterprise-search service.
-    #[deprecated(note = "use attach_search_service (or EiiSystemBuilder::search)")]
-    pub fn attach_search(&mut self, search: EnterpriseSearch) {
-        self.attach_search_service(search);
-    }
-
     /// Choose what queries do when a source stays down past the
     /// federation's retry layer (default: fail).
     pub fn set_degradation_policy(&self, policy: DegradationPolicy) {
         *self.degradation.write() = policy;
-    }
-
-    /// Choose what queries do when a source stays down.
-    #[deprecated(note = "use set_degradation_policy (or EiiSystemBuilder::degradation)")]
-    pub fn set_degradation(&mut self, policy: DegradationPolicy) {
-        self.set_degradation_policy(policy);
     }
 
     /// The currently active degradation policy.
@@ -527,12 +498,6 @@ impl EiiSystem {
         });
         mgr.define(name, sql, &self.catalog, policy)?;
         mgr.refresh(name)
-    }
-
-    /// Define and materialize a view.
-    #[deprecated(note = "use define_matview (or EiiSystemBuilder::matview)")]
-    pub fn create_matview(&mut self, name: &str, sql: &str, policy: RefreshPolicy) -> Result<f64> {
-        self.define_matview(name, sql, policy)
     }
 
     /// Like [`EiiSystem::define_matview`], but the view refreshes by
@@ -609,12 +574,6 @@ impl EiiSystem {
         self.cache
             .set(ResultCache::new(config).with_metrics(self.federation.metrics().clone()))
             .is_ok()
-    }
-
-    /// Turn on the semantic result cache.
-    #[deprecated(note = "use install_result_cache (or EiiSystemBuilder::result_cache)")]
-    pub fn enable_result_cache(&mut self, config: CacheConfig) {
-        self.install_result_cache(config);
     }
 
     /// The semantic result cache, when enabled.
@@ -761,9 +720,10 @@ impl EiiSystem {
         text
     }
 
-    /// Execute one SQL statement as the given role. The statement's trace
-    /// (parse/plan/execute spans plus per-operator actuals) is retained and
-    /// readable through [`EiiSystem::last_trace`].
+    /// Execute one SQL statement as the given role. Prefer a [`Session`]
+    /// (see [`EiiSystem::session`]) for stateful work — it threads per-query
+    /// options and keeps its own trace; this entry point is the stateless
+    /// one-shot form.
     pub fn execute_as(&self, sql: &str, role: &str) -> Result<ExecOutcome> {
         self.execute_with(sql, &ExecOptions::for_role(role))
     }
@@ -985,6 +945,7 @@ impl EiiSystem {
             .with_degradation(policy, self.fallbacks.clone())
             .with_metrics(self.federation.metrics().clone())
             .with_scan_partitions(self.scan_partitions)
+            .with_batch_size(self.config.batch_size)
             .with_request_ctx(ctx);
         if let Some(policy) = self.hedge_policy() {
             exec = exec.with_hedging(policy);
@@ -1171,7 +1132,8 @@ impl EiiSystem {
         let mut exec = Executor::new(&self.federation)
             .with_degradation(self.degradation_policy(), self.fallbacks.clone())
             .with_metrics(self.federation.metrics().clone())
-            .with_scan_partitions(self.scan_partitions);
+            .with_scan_partitions(self.scan_partitions)
+            .with_batch_size(self.config.batch_size);
         if let Some(policy) = self.hedge_policy() {
             exec = exec.with_hedging(policy);
         }
@@ -2136,11 +2098,11 @@ mod tests {
         assert!(sys.metrics().snapshot().counter("advisor.replans") >= 1);
     }
 
-    /// The pre-builder mutator API must keep compiling (with deprecation
-    /// warnings) so downstream code migrates on its own schedule.
+    /// The shared-reference facade API covers the whole setup surface the
+    /// removed `&mut self` mutators used to: sources, degradation policy,
+    /// result cache, matviews, and federation tuning.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_mutator_api_still_works() {
+    fn facade_setup_api_covers_former_mutators() {
         let clock = SimClock::new();
         let crm = Database::new("crm", clock.clone());
         let schema = Arc::new(Schema::new(vec![
@@ -2151,22 +2113,22 @@ mod tests {
             .create_table(TableDef::new("customers", schema).with_primary_key(0))
             .unwrap();
         t.write().insert(row![1i64, "alice"]).unwrap();
-        let mut sys = EiiSystem::new(clock).with_config(PlannerConfig::optimized());
-        sys.register_source(
+        let sys = EiiSystem::new(clock).with_config(PlannerConfig::optimized());
+        sys.add_source(
             Arc::new(RelationalConnector::new(crm)),
             LinkProfile::lan(),
             WireFormat::Native,
         )
         .unwrap();
-        sys.set_degradation(DegradationPolicy::Fail);
-        sys.enable_result_cache(CacheConfig::default());
-        sys.create_matview(
+        sys.set_degradation_policy(DegradationPolicy::Fail);
+        sys.install_result_cache(CacheConfig::default());
+        sys.define_matview(
             "all_customers",
             "SELECT * FROM crm.customers",
             RefreshPolicy::Manual,
         )
         .unwrap();
-        sys.federation_mut().set_scan_speed("crm", 0.001).unwrap();
+        sys.federation().set_scan_speed("crm", 0.001).unwrap();
         let out = sys.execute("SELECT name FROM crm.customers").unwrap();
         assert_eq!(out.rows().unwrap().num_rows(), 1);
     }

@@ -1,0 +1,694 @@
+//! Columnar batches: typed column vectors, null bitmaps, and selection
+//! vectors — the batch-first data model behind the vectorized executor.
+//!
+//! [`ColumnarBatch`] lives *alongside* the row model, not instead of it: the
+//! adapter edges (connectors, result cache, IVM change logs, `ExecOutcome`)
+//! keep exchanging [`Batch`]es of [`Row`]s, and the executor pivots to
+//! columns once per scan with [`ColumnarBatch::from_batch`] and back once per
+//! query with [`ColumnarBatch::to_batch`]. In between, operators pass columns
+//! and *selection vectors* (index lists) so a filter costs one `Vec<u32>`
+//! instead of materializing rows.
+//!
+//! Layout invariants:
+//!
+//! - every column of a batch has the same *physical* length;
+//! - `sel`, when present, lists physical indices in logical row order
+//!   (duplicates allowed — a join probe may select a build row many times);
+//! - null bitmaps travel with the typed vectors; the value slot under a null
+//!   is an arbitrary placeholder and must never be read;
+//! - a column whose values do not fit one [`Value`] variant degrades to
+//!   [`ColumnData::Mixed`] (heterogeneous, schema-less sources) with nulls
+//!   stored inline — correctness never depends on a column being typed.
+
+use std::sync::Arc;
+
+use crate::batch::Batch;
+use crate::row::Row;
+use crate::schema::{DataType, SchemaRef};
+use crate::value::Value;
+
+/// A fixed-length validity bitmap: bit set ⇒ value present, clear ⇒ NULL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap of `len` bits.
+    pub fn new_valid(len: usize) -> Self {
+        NullBitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mark position `i` as NULL.
+    pub fn set_null(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// True iff position `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) == 0
+    }
+
+    /// Number of NULL positions.
+    pub fn null_count(&self) -> usize {
+        let set: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        // Trailing bits past `len` are left set by construction.
+        let padding = self.words.len() * 64 - self.len;
+        self.len - (set - padding)
+    }
+
+    /// True iff no position is NULL.
+    pub fn all_valid(&self) -> bool {
+        self.null_count() == 0
+    }
+}
+
+/// The typed storage of one column: one vector per [`Value`] variant, plus a
+/// `Mixed` escape hatch for heterogeneous columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Strings; `Arc<str>` keeps gathers cheap.
+    Str(Vec<Arc<str>>),
+    /// Simulated-clock timestamps.
+    Timestamp(Vec<i64>),
+    /// Heterogeneous values (schema-less sources); NULLs are inline
+    /// [`Value::Null`]s and the sibling bitmap is ignored.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Timestamp(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+}
+
+/// One column: typed data plus an optional null bitmap (`None` ⇒ no NULLs,
+/// except for `Mixed` where NULLs are inline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    nulls: Option<NullBitmap>,
+}
+
+impl Column {
+    /// Build from parts. The bitmap, when present, must match the data length.
+    pub fn new(data: ColumnData, nulls: Option<NullBitmap>) -> Self {
+        debug_assert!(nulls.as_ref().is_none_or(|n| n.len() == data.len()));
+        Column { data, nulls }
+    }
+
+    /// Build a typed column from scalar values, degrading to `Mixed` when a
+    /// non-null value does not fit `ty`.
+    pub fn from_values(values: &[Value], ty: DataType) -> Self {
+        let fits = values.iter().all(|v| match v {
+            Value::Null => true,
+            other => other.data_type() == Some(ty),
+        });
+        if !fits {
+            return Column {
+                data: ColumnData::Mixed(values.to_vec()),
+                nulls: None,
+            };
+        }
+        let mut nulls = NullBitmap::new_valid(values.len());
+        let mut any_null = false;
+        macro_rules! pack {
+            ($variant:ident, $default:expr, $extract:expr) => {{
+                let data: Vec<_> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| match v {
+                        Value::Null => {
+                            nulls.set_null(i);
+                            any_null = true;
+                            $default
+                        }
+                        #[allow(clippy::redundant_closure_call)]
+                        other => $extract(other),
+                    })
+                    .collect();
+                ColumnData::$variant(data)
+            }};
+        }
+        let data = match ty {
+            DataType::Bool => pack!(Bool, false, |v: &Value| v.as_bool().unwrap()),
+            DataType::Int => pack!(Int, 0i64, |v: &Value| v.as_int().unwrap()),
+            DataType::Float => pack!(Float, 0.0f64, |v: &Value| v.as_float().unwrap()),
+            DataType::Str => pack!(Str, Arc::from(""), |v: &Value| match v {
+                Value::Str(s) => Arc::clone(s),
+                _ => unreachable!("type checked above"),
+            }),
+            DataType::Timestamp => pack!(Timestamp, 0i64, |v: &Value| v.as_int().unwrap()),
+        };
+        Column {
+            data,
+            nulls: any_null.then_some(nulls),
+        }
+    }
+
+    /// A column of `len` copies of one scalar (literal broadcast).
+    pub fn broadcast(value: &Value, len: usize) -> Self {
+        match value {
+            Value::Null => {
+                let mut nulls = NullBitmap::new_valid(len);
+                for i in 0..len {
+                    nulls.set_null(i);
+                }
+                Column {
+                    data: ColumnData::Int(vec![0; len]),
+                    nulls: Some(nulls),
+                }
+            }
+            Value::Bool(b) => Column::new(ColumnData::Bool(vec![*b; len]), None),
+            Value::Int(i) => Column::new(ColumnData::Int(vec![*i; len]), None),
+            Value::Float(f) => Column::new(ColumnData::Float(vec![*f; len]), None),
+            Value::Str(s) => Column::new(ColumnData::Str(vec![Arc::clone(s); len]), None),
+            Value::Timestamp(t) => Column::new(ColumnData::Timestamp(vec![*t; len]), None),
+        }
+    }
+
+    /// Physical length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column holds zero values.
+    pub fn is_empty(&self) -> bool {
+        self.data.len() == 0
+    }
+
+    /// The typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap, if any position may be NULL (`Mixed` stores NULLs
+    /// inline instead).
+    pub fn nulls(&self) -> Option<&NullBitmap> {
+        self.nulls.as_ref()
+    }
+
+    /// True iff position `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        if let ColumnData::Mixed(v) = &self.data {
+            return v[i].is_null();
+        }
+        self.nulls.as_ref().is_some_and(|n| n.is_null(i))
+    }
+
+    /// True when no position is NULL.
+    pub fn no_nulls(&self) -> bool {
+        match &self.data {
+            ColumnData::Mixed(v) => v.iter().all(|x| !x.is_null()),
+            _ => self.nulls.as_ref().is_none_or(NullBitmap::all_valid),
+        }
+    }
+
+    /// The scalar at position `i` (clones `Arc` for strings).
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(Arc::clone(&v[i])),
+            ColumnData::Timestamp(v) => Value::Timestamp(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// The integer vector, when this column is typed `Int`.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The float vector, when this column is typed `Float`.
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The bool vector, when this column is typed `Bool`.
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string vector, when this column is typed `Str`.
+    pub fn as_strs(&self) -> Option<&[Arc<str>]> {
+        match &self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Copy out the positions in `sel`, producing a compact column.
+    pub fn gather(&self, sel: &[u32]) -> Column {
+        macro_rules! take {
+            ($variant:ident, $v:expr) => {
+                ColumnData::$variant(sel.iter().map(|&i| $v[i as usize].clone()).collect())
+            };
+        }
+        let data = match &self.data {
+            ColumnData::Bool(v) => take!(Bool, v),
+            ColumnData::Int(v) => take!(Int, v),
+            ColumnData::Float(v) => take!(Float, v),
+            ColumnData::Str(v) => take!(Str, v),
+            ColumnData::Timestamp(v) => take!(Timestamp, v),
+            ColumnData::Mixed(v) => take!(Mixed, v),
+        };
+        let nulls = self.nulls.as_ref().map(|old| {
+            let mut n = NullBitmap::new_valid(sel.len());
+            for (out, &i) in sel.iter().enumerate() {
+                if old.is_null(i as usize) {
+                    n.set_null(out);
+                }
+            }
+            n
+        });
+        Column::new(data, nulls)
+    }
+
+    /// [`Self::gather`] with an absent-row sentinel: positions equal to
+    /// `u32::MAX` come out NULL (outer-join null extension).
+    pub fn gather_opt(&self, sel: &[u32]) -> Column {
+        if !sel.contains(&u32::MAX) {
+            return self.gather(sel);
+        }
+        let values: Vec<Value> = sel
+            .iter()
+            .map(|&i| {
+                if i == u32::MAX {
+                    Value::Null
+                } else {
+                    self.value(i as usize)
+                }
+            })
+            .collect();
+        Column::new(ColumnData::Mixed(values), None)
+    }
+}
+
+/// A columnar batch: a schema, one [`Column`] per field (shared via `Arc` so
+/// projections and renames are free), and an optional selection vector naming
+/// the live rows.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    schema: SchemaRef,
+    columns: Vec<Arc<Column>>,
+    /// Physical row count (columns may be absent for zero-column schemas).
+    base_len: usize,
+    /// Logical-order list of live physical indices; `None` ⇒ all rows live.
+    sel: Option<Arc<Vec<u32>>>,
+}
+
+impl ColumnarBatch {
+    /// Build from compact parts (no selection).
+    pub fn new(schema: SchemaRef, columns: Vec<Arc<Column>>, base_len: usize) -> Self {
+        debug_assert_eq!(columns.len(), schema.len());
+        debug_assert!(columns.iter().all(|c| c.len() == base_len));
+        ColumnarBatch {
+            schema,
+            columns,
+            base_len,
+            sel: None,
+        }
+    }
+
+    /// An empty batch of the given schema.
+    pub fn empty(schema: SchemaRef) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Arc::new(Column::from_values(&[], f.data_type)))
+            .collect();
+        ColumnarBatch {
+            schema,
+            columns,
+            base_len: 0,
+            sel: None,
+        }
+    }
+
+    /// Pivot a row batch into columns. Each field gets a typed vector per its
+    /// declared [`DataType`]; columns whose values disagree with the schema
+    /// degrade to [`ColumnData::Mixed`].
+    pub fn from_batch(batch: &Batch) -> Self {
+        let schema = Arc::clone(batch.schema());
+        let rows = batch.rows();
+        let columns = schema
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(c, f)| {
+                let values: Vec<Value> = rows.iter().map(|r| r.get(c).clone()).collect();
+                Arc::new(Column::from_values(&values, f.data_type))
+            })
+            .collect();
+        ColumnarBatch {
+            schema,
+            columns,
+            base_len: rows.len(),
+            sel: None,
+        }
+    }
+
+    /// Pivot back to rows, applying the selection (logical order).
+    pub fn to_batch(&self) -> Batch {
+        let n = self.num_rows();
+        let mut rows = Vec::with_capacity(n);
+        for logical in 0..n {
+            let phys = self.physical_index(logical);
+            let values = self.columns.iter().map(|c| c.value(phys)).collect();
+            rows.push(Row::new(values));
+        }
+        Batch::new(Arc::clone(&self.schema), rows)
+    }
+
+    /// The governing schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Re-tag with a different schema of the same width (Rename).
+    pub fn with_schema(mut self, schema: SchemaRef) -> Self {
+        debug_assert_eq!(schema.len(), self.schema.len());
+        self.schema = schema;
+        self
+    }
+
+    /// Logical (selected) row count.
+    pub fn num_rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.base_len,
+        }
+    }
+
+    /// True when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Physical row count of the backing columns.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// The selection vector, when one is active.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref().map(Vec::as_slice)
+    }
+
+    /// Column `i` (physical layout; index through [`Self::physical_index`]).
+    pub fn column(&self, i: usize) -> &Arc<Column> {
+        &self.columns[i]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    /// Map a logical row to its physical index.
+    #[inline]
+    pub fn physical_index(&self, logical: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[logical] as usize,
+            None => logical,
+        }
+    }
+
+    /// The scalar at (logical row, column).
+    pub fn value_at(&self, logical: usize, col: usize) -> Value {
+        self.columns[col].value(self.physical_index(logical))
+    }
+
+    /// Materialize one logical row.
+    pub fn row(&self, logical: usize) -> Row {
+        let phys = self.physical_index(logical);
+        Row::new(self.columns.iter().map(|c| c.value(phys)).collect())
+    }
+
+    /// Restrict to the given logical rows. `keep` holds *logical* indices of
+    /// `self` in the new order; composition with an existing selection is
+    /// handled here.
+    pub fn select(&self, keep: Vec<u32>) -> Self {
+        let sel = match &self.sel {
+            Some(old) => keep.into_iter().map(|i| old[i as usize]).collect(),
+            None => keep,
+        };
+        ColumnarBatch {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.clone(),
+            base_len: self.base_len,
+            sel: Some(Arc::new(sel)),
+        }
+    }
+
+    /// Copy the live rows into compact columns (drops the selection). A
+    /// no-op when no selection is active.
+    pub fn compact(&self) -> Self {
+        let Some(sel) = self.sel.as_deref() else {
+            return self.clone();
+        };
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.gather(sel)))
+            .collect();
+        ColumnarBatch {
+            schema: Arc::clone(&self.schema),
+            columns,
+            base_len: sel.len(),
+            sel: None,
+        }
+    }
+
+    /// Replace the column set (projection); `base_len` and selection carry
+    /// over, so the new columns must share the current physical layout.
+    pub fn with_columns(&self, schema: SchemaRef, columns: Vec<Arc<Column>>) -> Self {
+        debug_assert!(columns.iter().all(|c| c.len() == self.base_len));
+        ColumnarBatch {
+            schema,
+            columns,
+            base_len: self.base_len,
+            sel: self.sel.clone(),
+        }
+    }
+
+    /// Concatenate chunks of identical schema into one compact batch.
+    pub fn concat(schema: SchemaRef, chunks: &[ColumnarBatch]) -> Self {
+        let live: Vec<ColumnarBatch> = chunks.iter().map(ColumnarBatch::compact).collect();
+        let total: usize = live.iter().map(ColumnarBatch::num_rows).sum();
+        if live.is_empty() || schema.is_empty() {
+            let mut out = ColumnarBatch::empty(schema);
+            out.base_len = total;
+            return out;
+        }
+        let columns = (0..schema.len())
+            .map(|c| {
+                // Column-by-column append via scalars is only taken on the
+                // slow path; typed fast concat below covers matching chunks.
+                let mut iter = live.iter().map(|b| b.columns[c].as_ref());
+                let first = iter.next().expect("non-empty");
+                let mut values: Option<Vec<Value>> = None;
+                let mut acc = first.clone();
+                for col in iter {
+                    match try_append(&mut acc, col) {
+                        Ok(()) => {}
+                        Err(()) => {
+                            let vals = values.get_or_insert_with(|| {
+                                (0..acc.len()).map(|i| acc.value(i)).collect()
+                            });
+                            vals.extend((0..col.len()).map(|i| col.value(i)));
+                        }
+                    }
+                }
+                let col = match values {
+                    Some(v) => Column::new(ColumnData::Mixed(v), None),
+                    None => acc,
+                };
+                Arc::new(col)
+            })
+            .collect();
+        ColumnarBatch {
+            schema,
+            columns,
+            base_len: total,
+            sel: None,
+        }
+    }
+}
+
+/// Append `src` onto `acc` when both share a typed representation; `Err` asks
+/// the caller to fall back to `Mixed`.
+fn try_append(acc: &mut Column, src: &Column) -> std::result::Result<(), ()> {
+    let old_len = acc.len();
+    let added = src.len();
+    match (&mut acc.data, &src.data) {
+        (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+        (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+        (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+        (ColumnData::Str(a), ColumnData::Str(b)) => a.extend_from_slice(b),
+        (ColumnData::Timestamp(a), ColumnData::Timestamp(b)) => a.extend_from_slice(b),
+        (ColumnData::Mixed(a), ColumnData::Mixed(b)) => a.extend_from_slice(b),
+        _ => return Err(()),
+    }
+    if acc.nulls.is_some() || src.nulls.is_some() {
+        let mut merged = NullBitmap::new_valid(old_len + added);
+        if let Some(n) = &acc.nulls {
+            for i in 0..old_len {
+                if n.is_null(i) {
+                    merged.set_null(i);
+                }
+            }
+        }
+        if let Some(n) = &src.nulls {
+            for i in 0..added {
+                if n.is_null(i) {
+                    merged.set_null(old_len + i);
+                }
+            }
+        }
+        acc.nulls = Some(merged);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::new("score", DataType::Float),
+        ]))
+    }
+
+    fn sample() -> Batch {
+        Batch::new(
+            schema(),
+            vec![
+                row![1i64, "a", 1.5f64],
+                row![2i64, Value::Null, 2.5f64],
+                row![3i64, "c", Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn pivot_round_trips() {
+        let b = sample();
+        let cb = ColumnarBatch::from_batch(&b);
+        assert_eq!(cb.num_rows(), 3);
+        assert!(cb.column(0).as_ints().is_some());
+        assert_eq!(cb.to_batch(), b);
+    }
+
+    #[test]
+    fn null_bitmap_tracks_nulls() {
+        let cb = ColumnarBatch::from_batch(&sample());
+        assert!(!cb.column(0).is_null(0));
+        assert!(cb.column(1).is_null(1));
+        assert!(cb.column(2).is_null(2));
+        assert_eq!(cb.column(1).nulls().unwrap().null_count(), 1);
+        assert_eq!(cb.value_at(1, 1), Value::Null);
+    }
+
+    #[test]
+    fn heterogeneous_column_degrades_to_mixed() {
+        let s = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        let b = Batch::new(Arc::clone(&s), vec![row![1i64], row!["oops"]]);
+        let cb = ColumnarBatch::from_batch(&b);
+        assert!(matches!(cb.column(0).data(), ColumnData::Mixed(_)));
+        assert_eq!(cb.to_batch(), b);
+    }
+
+    #[test]
+    fn selection_composes_and_compacts() {
+        let cb = ColumnarBatch::from_batch(&sample());
+        let first = cb.select(vec![2, 0]);
+        assert_eq!(first.num_rows(), 2);
+        assert_eq!(first.value_at(0, 0), Value::Int(3));
+        // Second select indexes into the first's logical order.
+        let second = first.select(vec![1]);
+        assert_eq!(second.num_rows(), 1);
+        assert_eq!(second.value_at(0, 0), Value::Int(1));
+        let compact = second.compact();
+        assert!(compact.selection().is_none());
+        assert_eq!(compact.to_batch().rows()[0], sample().rows()[0]);
+    }
+
+    #[test]
+    fn concat_merges_chunks_and_nulls() {
+        let a = ColumnarBatch::from_batch(&sample());
+        let b = ColumnarBatch::from_batch(&sample()).select(vec![1]);
+        let merged = ColumnarBatch::concat(schema(), &[a, b]);
+        assert_eq!(merged.num_rows(), 4);
+        assert!(merged.column(1).is_null(3));
+        assert_eq!(merged.value_at(3, 0), Value::Int(2));
+    }
+
+    #[test]
+    fn broadcast_literal() {
+        let c = Column::broadcast(&Value::Int(7), 3);
+        assert_eq!(c.value(2), Value::Int(7));
+        let n = Column::broadcast(&Value::Null, 2);
+        assert!(n.is_null(0) && n.is_null(1));
+    }
+
+    #[test]
+    fn zero_column_schema_keeps_row_count() {
+        let s = Arc::new(Schema::empty());
+        let b = Batch::new(Arc::clone(&s), vec![Row::new(vec![]), Row::new(vec![])]);
+        let cb = ColumnarBatch::from_batch(&b);
+        assert_eq!(cb.num_rows(), 2);
+        assert_eq!(cb.to_batch().num_rows(), 2);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod batch;
 pub mod clock;
+pub mod columnar;
 pub mod deadline;
 pub mod error;
 pub mod row;
@@ -17,6 +18,7 @@ pub mod schema;
 pub mod value;
 
 pub use batch::Batch;
+pub use columnar::{Column, ColumnData, ColumnarBatch, NullBitmap};
 pub use clock::SimClock;
 pub use deadline::{CancelToken, Deadline, Priority};
 pub use error::{EiiError, Result};

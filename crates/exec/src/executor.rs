@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use eii_data::{Batch, CancelToken, EiiError, Result, Row, SchemaRef, Value};
+use eii_data::{Batch, CancelToken, ColumnarBatch, EiiError, Result, Row, SchemaRef, Value};
 use eii_expr::{bind, BoundExpr, Expr};
 use eii_federation::{Federation, HedgeOutcome, QueryCost, RequestCtx, SourceQuery};
 use eii_obs::MetricsRegistry;
@@ -15,6 +15,7 @@ use crate::agg::Accumulator;
 use crate::cache::{adapt_batch, MatViewStore};
 use crate::degrade::{degrade, DegradationPolicy, FallbackStore, SourceReport};
 use crate::profile::OperatorProfile;
+use crate::vector::{drive, VecAggregate, VecFilter, VecHashJoin, VecProject};
 
 /// Simulated ms to open a local materialization (mirrors the planner's
 /// estimate for the chosen `MatViewScan` alternative).
@@ -126,6 +127,47 @@ impl QueryResult {
     }
 }
 
+/// What flows between operators: rows for the adapter edges (connectors,
+/// caches, change logs) and the operators that stayed row-at-a-time, columns
+/// between vectorized operators. Converting is a full pivot, so adjacent
+/// vectorized operators hand each other `Cols` without touching rows.
+enum Flow {
+    Rows(Batch),
+    Cols(ColumnarBatch),
+}
+
+impl Flow {
+    fn num_rows(&self) -> usize {
+        match self {
+            Flow::Rows(b) => b.num_rows(),
+            Flow::Cols(c) => c.num_rows(),
+        }
+    }
+
+    /// Materialize as rows (pivots columnar data once).
+    fn into_batch(self) -> Batch {
+        match self {
+            Flow::Rows(b) => b,
+            Flow::Cols(c) => c.to_batch(),
+        }
+    }
+
+    /// View as columns (pivots row data once).
+    fn into_cols(self) -> ColumnarBatch {
+        match self {
+            Flow::Rows(b) => ColumnarBatch::from_batch(&b),
+            Flow::Cols(c) => c,
+        }
+    }
+
+    fn schema(&self) -> &SchemaRef {
+        match self {
+            Flow::Rows(b) => b.schema(),
+            Flow::Cols(c) => c.schema(),
+        }
+    }
+}
+
 /// What one finished operator measured; keyed by its path from the plan
 /// root (child indexes), from which the profile tree is reassembled.
 struct OpRecord {
@@ -152,6 +194,9 @@ pub struct Executor<'a> {
     hedges: Mutex<BTreeMap<Vec<usize>, HedgeOutcome>>,
     /// Partition-parallel scan fan-out per source scan (1 = serial).
     scan_partitions: usize,
+    /// Rows per columnar chunk for vectorized operators; 0 = the
+    /// [`crate::vector::DEFAULT_BATCH_SIZE`] default.
+    batch_size: usize,
     /// Caller-supplied request context (deadline budget + cancel token).
     base_ctx: RequestCtx,
     /// The effective context of the running query: `base_ctx` plus a fresh
@@ -182,6 +227,7 @@ impl<'a> Executor<'a> {
             ops: Mutex::new(Vec::new()),
             hedges: Mutex::new(BTreeMap::new()),
             scan_partitions: 1,
+            batch_size: 0,
             base_ctx: RequestCtx::new(),
             run_ctx: Mutex::new(RequestCtx::new()),
             hedge: None,
@@ -221,6 +267,14 @@ impl<'a> Executor<'a> {
     /// everything else falls back to the serial path.
     pub fn with_scan_partitions(mut self, n: usize) -> Self {
         self.scan_partitions = n.max(1);
+        self
+    }
+
+    /// Rows per columnar chunk for vectorized operators — each chunk
+    /// boundary is a cancellation/deadline checkpoint. 0 keeps the default
+    /// ([`crate::vector::DEFAULT_BATCH_SIZE`]).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
         self
     }
 
@@ -346,7 +400,7 @@ impl<'a> Executor<'a> {
     /// make the per-source fault-dice stream depend on thread timing —
     /// breaking bit-identical replay. Sibling-abort echoes (plain
     /// `Cancelled`) don't re-trip; the root cause already did.
-    fn trip_abort_on_err(&self, res: &Result<(Batch, QueryCost)>) {
+    fn trip_abort_on_err(&self, res: &Result<(Flow, QueryCost)>) {
         if let Err(err) = res {
             if is_abortive(err) && !matches!(err, EiiError::Cancelled(_)) {
                 if let Some(abort) = &self.ctx().abort {
@@ -411,30 +465,33 @@ impl<'a> Executor<'a> {
     }
 
     fn run(&self, plan: &PhysicalPlan) -> Result<(Batch, QueryCost)> {
-        self.run_node(plan, Vec::new())
+        let (flow, cost) = self.run_node(plan, Vec::new())?;
+        // The result-facing edge stays rows: one pivot per query.
+        Ok((flow.into_batch(), cost))
     }
 
     /// Run one operator, recording its measurements under its path from the
     /// plan root when instrumentation is on. Every operator boundary is a
     /// cancellation point: a cancelled, aborted, or out-of-budget query
-    /// stops here instead of starting more work.
-    fn run_node(&self, plan: &PhysicalPlan, path: Vec<usize>) -> Result<(Batch, QueryCost)> {
+    /// stops here instead of starting more work (vectorized operators also
+    /// check between chunks).
+    fn run_node(&self, plan: &PhysicalPlan, path: Vec<usize>) -> Result<(Flow, QueryCost)> {
         self.ctx().check()?;
         if !self.instrument {
             return self.run_inner(plan, &path);
         }
         let start_wall = Instant::now();
-        let (batch, cost) = self.run_inner(plan, &path)?;
+        let (flow, cost) = self.run_inner(plan, &path)?;
         self.ops.lock().expect("ops lock").push(OpRecord {
             path,
-            rows: batch.num_rows(),
+            rows: flow.num_rows(),
             cost,
             wall: start_wall.elapsed(),
         });
-        Ok((batch, cost))
+        Ok((flow, cost))
     }
 
-    fn run_inner(&self, plan: &PhysicalPlan, path: &[usize]) -> Result<(Batch, QueryCost)> {
+    fn run_inner(&self, plan: &PhysicalPlan, path: &[usize]) -> Result<(Flow, QueryCost)> {
         match plan {
             PhysicalPlan::Source {
                 source,
@@ -459,10 +516,13 @@ impl<'a> Executor<'a> {
                     Err(err) => self.degrade_source(source, query, schema, err)?,
                 };
                 // Re-tag with the alias-qualified schema.
-                Ok((Batch::new(schema.clone(), batch.into_rows()), cost))
+                Ok((
+                    Flow::Rows(Batch::new(schema.clone(), batch.into_rows())),
+                    cost,
+                ))
             }
             PhysicalPlan::Values { schema, rows } => Ok((
-                Batch::new(schema.clone(), rows.clone()),
+                Flow::Rows(Batch::new(schema.clone(), rows.clone())),
                 QueryCost::default(),
             )),
             PhysicalPlan::MatViewScan {
@@ -519,12 +579,24 @@ impl<'a> Executor<'a> {
                     ..QueryCost::default()
                 }
                 .then(self.cpu(scanned));
-                Ok((batch, cost))
+                Ok((Flow::Rows(batch), cost))
             }
-            PhysicalPlan::Filter { input, predicate } => {
-                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
+            PhysicalPlan::Filter {
+                input,
+                predicate,
+                vectorized,
+            } => {
+                let (flow, cost) = self.run_node(input, child_path(path, 0))?;
+                let n = flow.num_rows();
+                if *vectorized {
+                    let cols = flow.into_cols();
+                    let bound = bind(predicate, cols.schema())?;
+                    let mut op = VecFilter::new(bound);
+                    let out = self.drive_op(&mut op, &cols, cols.schema().clone())?;
+                    return Ok((Flow::Cols(out), cost.then(self.cpu(n))));
+                }
+                let batch = flow.into_batch();
                 let bound = bind(predicate, batch.schema())?;
-                let n = batch.num_rows();
                 let schema = batch.schema().clone();
                 let mut rows = Vec::new();
                 for row in batch.into_rows() {
@@ -532,19 +604,31 @@ impl<'a> Executor<'a> {
                         rows.push(row);
                     }
                 }
-                Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
+                Ok((Flow::Rows(Batch::new(schema, rows)), cost.then(self.cpu(n))))
             }
             PhysicalPlan::Project {
                 input,
                 exprs,
                 schema,
+                vectorized,
             } => {
-                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
+                let (flow, cost) = self.run_node(input, child_path(path, 0))?;
+                let n = flow.num_rows();
+                if *vectorized {
+                    let cols = flow.into_cols();
+                    let bound: Vec<BoundExpr> = exprs
+                        .iter()
+                        .map(|(e, _)| bind(e, cols.schema()))
+                        .collect::<Result<_>>()?;
+                    let mut op = VecProject::new(bound, schema.clone());
+                    let out = self.drive_op(&mut op, &cols, schema.clone())?;
+                    return Ok((Flow::Cols(out), cost.then(self.cpu(n))));
+                }
+                let batch = flow.into_batch();
                 let bound: Vec<BoundExpr> = exprs
                     .iter()
                     .map(|(e, _)| bind(e, batch.schema()))
                     .collect::<Result<_>>()?;
-                let n = batch.num_rows();
                 let mut rows = Vec::with_capacity(n);
                 for row in batch.rows() {
                     let out: Row = bound
@@ -553,7 +637,10 @@ impl<'a> Executor<'a> {
                         .collect::<Result<_>>()?;
                     rows.push(out);
                 }
-                Ok((Batch::new(schema.clone(), rows), cost.then(self.cpu(n))))
+                Ok((
+                    Flow::Rows(Batch::new(schema.clone(), rows)),
+                    cost.then(self.cpu(n)),
+                ))
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -565,9 +652,10 @@ impl<'a> Executor<'a> {
                 site,
                 parallel,
                 schema,
+                vectorized,
             } => self.run_hash_join(
                 left, right, left_keys, right_keys, *kind, residual, site, *parallel, schema,
-                path,
+                *vectorized, path,
             ),
             PhysicalPlan::NestedLoopJoin {
                 left,
@@ -577,7 +665,8 @@ impl<'a> Executor<'a> {
                 parallel,
                 schema,
             } => {
-                let ((lb, lc), (rb, rc)) = self.run_pair(left, right, *parallel, path)?;
+                let ((lf, lc), (rf, rc)) = self.run_pair(left, right, *parallel, path)?;
+                let (lb, rb) = (lf.into_batch(), rf.into_batch());
                 let children_cost = if *parallel { lc.alongside(rc) } else { lc.then(rc) };
                 let filtering = matches!(kind, JoinKind::Semi | JoinKind::Anti);
                 // Semi/anti join conditions see both sides even though only
@@ -620,7 +709,7 @@ impl<'a> Executor<'a> {
                 }
                 let work = lb.num_rows() * rb.num_rows().max(1);
                 Ok((
-                    Batch::new(schema.clone(), rows),
+                    Flow::Rows(Batch::new(schema.clone(), rows)),
                     children_cost.then(self.cpu(work)),
                 ))
             }
@@ -634,7 +723,8 @@ impl<'a> Executor<'a> {
                 residual,
                 schema,
             } => {
-                let (lb, lc) = self.run_node(left, child_path(path, 0))?;
+                let (lf, lc) = self.run_node(left, child_path(path, 0))?;
+                let lb = lf.into_batch();
                 let key_expr = bind(left_key, lb.schema())?;
                 let mut values: Vec<Value> = Vec::new();
                 let mut seen: HashSet<Value> = HashSet::new();
@@ -702,7 +792,7 @@ impl<'a> Executor<'a> {
                 }
                 let work = lb.num_rows() + rb.num_rows() + rows.len();
                 Ok((
-                    Batch::new(schema.clone(), rows),
+                    Flow::Rows(Batch::new(schema.clone(), rows)),
                     lc.then(rc).then(self.cpu(work)),
                 ))
             }
@@ -711,8 +801,31 @@ impl<'a> Executor<'a> {
                 group_by,
                 aggs,
                 schema,
+                vectorized,
             } => {
-                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
+                let (flow, cost) = self.run_node(input, child_path(path, 0))?;
+                let n = flow.num_rows();
+                if *vectorized {
+                    let cols = flow.into_cols();
+                    let in_schema = cols.schema().clone();
+                    let bound_groups: Vec<BoundExpr> = group_by
+                        .iter()
+                        .map(|g| bind(g, &in_schema))
+                        .collect::<Result<_>>()?;
+                    let bound_args: Vec<Option<BoundExpr>> = aggs
+                        .iter()
+                        .map(|a| match &a.arg {
+                            Some(e) => bind(e, &in_schema).map(Some),
+                            None => Ok(None),
+                        })
+                        .collect::<Result<_>>()?;
+                    let templates: Vec<_> = aggs.iter().map(|a| (a.func, a.distinct)).collect();
+                    let mut op =
+                        VecAggregate::new(bound_groups, bound_args, templates, schema.clone());
+                    let out = self.drive_op(&mut op, &cols, schema.clone())?;
+                    return Ok((Flow::Cols(out), cost.then(self.cpu(n))));
+                }
+                let batch = flow.into_batch();
                 let in_schema = batch.schema().clone();
                 let bound_groups: Vec<BoundExpr> = group_by
                     .iter()
@@ -728,7 +841,6 @@ impl<'a> Executor<'a> {
                 // Preserve first-seen group order for determinism.
                 let mut order: Vec<Vec<Value>> = Vec::new();
                 let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-                let n = batch.num_rows();
                 for row in batch.rows() {
                     let key: Vec<Value> = bound_groups
                         .iter()
@@ -774,10 +886,14 @@ impl<'a> Executor<'a> {
                         rows.push(row);
                     }
                 }
-                Ok((Batch::new(schema.clone(), rows), cost.then(self.cpu(n))))
+                Ok((
+                    Flow::Rows(Batch::new(schema.clone(), rows)),
+                    cost.then(self.cpu(n)),
+                ))
             }
             PhysicalPlan::Distinct { input } => {
-                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
+                let (flow, cost) = self.run_node(input, child_path(path, 0))?;
+                let batch = flow.into_batch();
                 let schema = batch.schema().clone();
                 let n = batch.num_rows();
                 let mut seen = HashSet::new();
@@ -787,10 +903,11 @@ impl<'a> Executor<'a> {
                         rows.push(row);
                     }
                 }
-                Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
+                Ok((Flow::Rows(Batch::new(schema, rows)), cost.then(self.cpu(n))))
             }
             PhysicalPlan::Sort { input, keys } => {
-                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
+                let (flow, cost) = self.run_node(input, child_path(path, 0))?;
+                let batch = flow.into_batch();
                 let schema = batch.schema().clone();
                 let bound: Vec<(BoundExpr, bool)> = keys
                     .iter()
@@ -819,22 +936,36 @@ impl<'a> Executor<'a> {
                     std::cmp::Ordering::Equal
                 });
                 let rows = keyed.into_iter().map(|(_, r)| r).collect();
-                Ok((Batch::new(schema, rows), cost.then(self.cpu(n))))
+                Ok((Flow::Rows(Batch::new(schema, rows)), cost.then(self.cpu(n))))
             }
             PhysicalPlan::Limit { input, n } => {
-                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
-                let schema = batch.schema().clone();
-                let mut rows = batch.into_rows();
-                rows.truncate(*n);
-                Ok((Batch::new(schema, rows), cost))
+                let (flow, cost) = self.run_node(input, child_path(path, 0))?;
+                // Representation-preserving: a columnar input is truncated by
+                // selection, a row input by truncating the row vector.
+                match flow {
+                    Flow::Cols(c) => {
+                        let out = if c.num_rows() > *n {
+                            c.select((0..*n as u32).collect())
+                        } else {
+                            c
+                        };
+                        Ok((Flow::Cols(out), cost))
+                    }
+                    Flow::Rows(batch) => {
+                        let schema = batch.schema().clone();
+                        let mut rows = batch.into_rows();
+                        rows.truncate(*n);
+                        Ok((Flow::Rows(Batch::new(schema, rows)), cost))
+                    }
+                }
             }
             PhysicalPlan::UnionAll {
                 inputs,
                 parallel,
                 schema,
             } => {
-                let results: Vec<(Batch, QueryCost)> = if *parallel {
-                    let branch_results: Vec<Result<(Batch, QueryCost)>> =
+                let results: Vec<(Flow, QueryCost)> = if *parallel {
+                    let branch_results: Vec<Result<(Flow, QueryCost)>> =
                         std::thread::scope(|s| {
                             let handles: Vec<_> = inputs
                                 .iter()
@@ -882,21 +1013,39 @@ impl<'a> Executor<'a> {
                 };
                 let mut rows = Vec::new();
                 let mut cost = QueryCost::default();
-                for (batch, c) in results {
-                    rows.extend(batch.into_rows());
+                for (flow, c) in results {
+                    rows.extend(flow.into_batch().into_rows());
                     cost = if *parallel {
                         cost.alongside(c)
                     } else {
                         cost.then(c)
                     };
                 }
-                Ok((Batch::new(schema.clone(), rows), cost))
+                Ok((Flow::Rows(Batch::new(schema.clone(), rows)), cost))
             }
             PhysicalPlan::Rename { input, schema } => {
-                let (batch, cost) = self.run_node(input, child_path(path, 0))?;
-                Ok((Batch::new(schema.clone(), batch.into_rows()), cost))
+                let (flow, cost) = self.run_node(input, child_path(path, 0))?;
+                // Representation-preserving re-tag.
+                match flow {
+                    Flow::Cols(c) => Ok((Flow::Cols(c.with_schema(schema.clone())), cost)),
+                    Flow::Rows(b) => Ok((
+                        Flow::Rows(Batch::new(schema.clone(), b.into_rows())),
+                        cost,
+                    )),
+                }
             }
         }
+    }
+
+    /// Chunked drive of one vectorized operator with the run context checked
+    /// at every chunk boundary.
+    fn drive_op(
+        &self,
+        op: &mut dyn crate::vector::BatchOperator,
+        input: &ColumnarBatch,
+        out_schema: SchemaRef,
+    ) -> Result<ColumnarBatch> {
+        drive(op, input, out_schema, self.batch_size, || self.ctx().check())
     }
 
     fn run_pair(
@@ -905,7 +1054,7 @@ impl<'a> Executor<'a> {
         right: &PhysicalPlan,
         parallel: bool,
         path: &[usize],
-    ) -> Result<((Batch, QueryCost), (Batch, QueryCost))> {
+    ) -> Result<((Flow, QueryCost), (Flow, QueryCost))> {
         let (lp, rp) = (child_path(path, 0), child_path(path, 1));
         if parallel {
             std::thread::scope(|s| {
@@ -985,7 +1134,8 @@ impl<'a> Executor<'a> {
 
         // Probe side first, serially: the adaptation decision needs its
         // actual cardinality.
-        let (lb, lc) = self.run_node(left, child_path(path, 0))?;
+        let (lf, lc) = self.run_node(left, child_path(path, 0))?;
+        let lb = lf.into_batch();
         let diverged = match CostModel::new(self.federation)
             .with_feedback(policy.feedback.clone())
             .estimate_physical(left)
@@ -999,8 +1149,8 @@ impl<'a> Executor<'a> {
             Err(_) => false,
         };
         if !diverged {
-            let (rb, rc) = self.run_node(right, child_path(path, 1))?;
-            return Ok(Some((lb, lc, rb, rc)));
+            let (rf, rc) = self.run_node(right, child_path(path, 1))?;
+            return Ok(Some((lb, lc, rf.into_batch(), rc)));
         }
 
         // Re-plan the build side: ship only rows whose key matches a probe
@@ -1058,17 +1208,22 @@ impl<'a> Executor<'a> {
         site: &JoinSite,
         parallel: bool,
         schema: &eii_data::SchemaRef,
+        vectorized: bool,
         path: &[usize],
-    ) -> Result<(Batch, QueryCost)> {
-        // Fetch inputs, honoring the assembly site's cost model.
-        let (lb, rb, mut cost, result_site) = match site {
+    ) -> Result<(Flow, QueryCost)> {
+        // Fetch inputs, honoring the assembly site's cost model. Columnar
+        // children stay columnar through the fetch phase so a vectorized
+        // join probes them without a pivot.
+        let (lf, rf, mut cost, result_site) = match site {
             JoinSite::Hub => {
                 match self.try_adaptive_join(left, right, left_keys, right_keys, kind, path)? {
-                    Some((lb, lc, rb, rc)) => (lb, rb, lc.then(rc), None),
+                    Some((lb, lc, rb, rc)) => {
+                        (Flow::Rows(lb), Flow::Rows(rb), lc.then(rc), None)
+                    }
                     None => {
-                        let ((lb, lc), (rb, rc)) = self.run_pair(left, right, parallel, path)?;
+                        let ((lf, lc), (rf, rc)) = self.run_pair(left, right, parallel, path)?;
                         let c = if parallel { lc.alongside(rc) } else { lc.then(rc) };
-                        (lb, rb, c, None)
+                        (lf, rf, c, None)
                     }
                 }
             }
@@ -1115,8 +1270,12 @@ impl<'a> Executor<'a> {
                         wall: Duration::ZERO,
                     });
                 }
-                let (other_batch, other_cost) =
+                let (other_flow, other_cost) =
                     self.run_node(other_child, child_path(path, other_idx))?;
+                // Forwarding to the site ships rows; materialize for the
+                // byte charge (only selected rows survive to this point, so
+                // pre- and post-vectorization byte counts agree).
+                let other_batch = other_flow.into_batch();
                 let fetch = if parallel {
                     site_cost.alongside(other_cost)
                 } else {
@@ -1133,13 +1292,71 @@ impl<'a> Executor<'a> {
                     (fetch, None)
                 };
                 if site_is_left {
-                    (site_batch, other_batch, cost, result_site)
+                    (
+                        Flow::Rows(site_batch),
+                        Flow::Rows(other_batch),
+                        cost,
+                        result_site,
+                    )
                 } else {
-                    (other_batch, site_batch, cost, result_site)
+                    (
+                        Flow::Rows(other_batch),
+                        Flow::Rows(site_batch),
+                        cost,
+                        result_site,
+                    )
                 }
             }
         };
 
+        let filtering = matches!(kind, JoinKind::Semi | JoinKind::Anti);
+        // Semi/anti residuals see both sides even though only left columns
+        // flow out.
+        let pred_schema: eii_data::SchemaRef = if filtering {
+            std::sync::Arc::new(lf.schema().join(rf.schema()))
+        } else {
+            schema.clone()
+        };
+
+        if vectorized {
+            let (lcols, rcols) = (lf.into_cols(), rf.into_cols());
+            let (l_in, r_in) = (lcols.num_rows(), rcols.num_rows());
+            let build_keys: Vec<BoundExpr> = right_keys
+                .iter()
+                .map(|e| bind(e, rcols.schema()))
+                .collect::<Result<_>>()?;
+            let probe_keys: Vec<BoundExpr> = left_keys
+                .iter()
+                .map(|e| bind(e, lcols.schema()))
+                .collect::<Result<_>>()?;
+            let bound_residual = match residual {
+                Some(r) => Some(bind(r, &pred_schema)?),
+                None => None,
+            };
+            let mut op = VecHashJoin::new(
+                &rcols,
+                &build_keys,
+                probe_keys,
+                kind,
+                bound_residual,
+                pred_schema,
+                schema.clone(),
+            )?;
+            let out = self.drive_op(&mut op, &lcols, schema.clone())?;
+            // Identical accounting to the row path: both inputs plus the
+            // emitted rows.
+            let work = l_in + r_in + out.num_rows();
+            cost = cost.then(self.cpu(work));
+            if let Some(site_name) = result_site {
+                let batch = out.to_batch();
+                let handle = self.federation.source(&site_name)?;
+                cost = cost.then(handle.charge_shipment(&batch));
+                return Ok((Flow::Rows(batch), cost));
+            }
+            return Ok((Flow::Cols(out), cost));
+        }
+
+        let (lb, rb) = (lf.into_batch(), rf.into_batch());
         let lkeys: Vec<BoundExpr> = left_keys
             .iter()
             .map(|e| bind(e, lb.schema()))
@@ -1148,14 +1365,6 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|e| bind(e, rb.schema()))
             .collect::<Result<_>>()?;
-        let filtering = matches!(kind, JoinKind::Semi | JoinKind::Anti);
-        // Semi/anti residuals see both sides even though only left columns
-        // flow out.
-        let pred_schema: eii_data::SchemaRef = if filtering {
-            std::sync::Arc::new(lb.schema().join(rb.schema()))
-        } else {
-            schema.clone()
-        };
         let bound_residual = match residual {
             Some(r) => Some(bind(r, &pred_schema)?),
             None => None,
@@ -1226,7 +1435,7 @@ impl<'a> Executor<'a> {
             let handle = self.federation.source(&site_name)?;
             cost = cost.then(handle.charge_shipment(&batch));
         }
-        Ok((batch, cost))
+        Ok((Flow::Rows(batch), cost))
     }
 }
 

@@ -7,6 +7,14 @@
 //! performance factors will relate to ... (a) maximize parallelism in inter
 //! and intra query processing; (b) minimize the amount of data shipped for
 //! assembly" (Bitton §3).
+//!
+//! Hub-side hot operators (filter, project, hash join, aggregate) run either
+//! row-at-a-time or over columnar batches through the [`BatchOperator`] API
+//! in [`vector`], as chosen per operator by the planner's `vectorize` flag;
+//! both paths produce byte-identical answers and simulated costs.
+//!
+//! The re-export list below is the crate's deliberate public surface — new
+//! modules add their types here explicitly rather than via globs.
 
 pub mod agg;
 pub mod cache;
@@ -14,6 +22,11 @@ pub mod degrade;
 pub mod executor;
 pub mod profile;
 pub mod scheduler;
+pub mod vector;
+
+// The columnar batch type crosses this crate's public API (operators consume
+// and produce it), so callers get it without naming eii-data.
+pub use eii_data::ColumnarBatch;
 
 pub use cache::{
     adapt_batch, CacheConfig, CacheLookup, CachedResult, MatViewStore, ResultCache,
@@ -24,4 +37,8 @@ pub use profile::OperatorProfile;
 pub use scheduler::{
     AdmissionConfig, BrownoutConfig, JobOutput, QueryTicket, Scheduler, SchedulerStats,
     ShedDecision,
+};
+pub use vector::{
+    drive, BatchOperator, FxBuildHasher, FxHasher, VecAggregate, VecFilter, VecHashJoin,
+    VecProject, DEFAULT_BATCH_SIZE,
 };

@@ -1,0 +1,909 @@
+//! Batch-first operator API: the vectorized counterparts of the executor's
+//! hot row-at-a-time operators (filter, project, hash join, aggregate).
+//!
+//! Every operator implements [`BatchOperator`]: the executor pushes columnar
+//! chunks through `push` and collects emitted chunks, then calls `finish`
+//! for whatever the operator buffered (aggregates emit everything there).
+//! Chunk boundaries are the executor's cancellation/deadline checkpoints —
+//! see [`drive`].
+//!
+//! The contract with the row path is *exact semantic equivalence*: the same
+//! output values in the same order, and the same errors, as the scalar
+//! interpreter — byte-identical answers are what lets the planner flip
+//! `vectorize` on without an answer-stability risk (experiment E21 gates
+//! this). The places where that contract bites are spelled out inline:
+//! NULL join keys, Semi/Anti residual short-circuiting, first-seen group
+//! order, and the integral-until-float SUM ladder (reused from
+//! [`crate::agg::Accumulator`]).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
+
+use eii_data::{Column, ColumnarBatch, Result, SchemaRef, Value};
+use eii_expr::{eval_column, eval_filter, AggFunc, BoundExpr};
+use eii_sql::JoinKind;
+
+use crate::agg::Accumulator;
+
+/// Default rows per chunk when the plan does not specify one.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// A vectorized operator: consumes columnar chunks, produces columnar chunks.
+///
+/// Streaming operators (filter, project, join probe) answer from `push`;
+/// blocking operators (aggregate) buffer and answer from `finish`.
+pub trait BatchOperator {
+    /// Feed one input chunk; `Ok(None)` means nothing to emit yet.
+    fn push(&mut self, chunk: &ColumnarBatch) -> Result<Option<ColumnarBatch>>;
+
+    /// Input exhausted; emit anything buffered.
+    fn finish(&mut self) -> Result<Option<ColumnarBatch>>;
+}
+
+/// Feed `input` through `op` in `batch_size` chunks, calling `check` before
+/// each chunk (the cancellation/deadline boundary), and concatenate the
+/// emitted chunks into one compact batch of `out_schema`.
+pub fn drive(
+    op: &mut dyn BatchOperator,
+    input: &ColumnarBatch,
+    out_schema: SchemaRef,
+    batch_size: usize,
+    mut check: impl FnMut() -> Result<()>,
+) -> Result<ColumnarBatch> {
+    let size = if batch_size == 0 {
+        DEFAULT_BATCH_SIZE
+    } else {
+        batch_size
+    };
+    let n = input.num_rows();
+    let mut out = Vec::new();
+    if n <= size {
+        // Single chunk: skip the selection detour.
+        check()?;
+        if let Some(b) = op.push(input)? {
+            out.push(b);
+        }
+    } else {
+        let mut start = 0usize;
+        while start < n {
+            check()?;
+            let end = (start + size).min(n);
+            let chunk = input.select((start as u32..end as u32).collect());
+            if let Some(b) = op.push(&chunk)? {
+                out.push(b);
+            }
+            start = end;
+        }
+    }
+    if let Some(b) = op.finish()? {
+        out.push(b);
+    }
+    // A single emitted chunk passes through as-is, keeping its selection
+    // vector lazy for the next operator; only multi-chunk output copies.
+    if out.len() == 1 {
+        return Ok(out.pop().expect("one chunk"));
+    }
+    Ok(ColumnarBatch::concat(out_schema, &out))
+}
+
+/// Vectorized filter: evaluates the predicate as a column and narrows the
+/// chunk with a selection vector instead of materializing survivor rows.
+pub struct VecFilter {
+    pred: BoundExpr,
+}
+
+impl VecFilter {
+    /// Filter by `pred` (already bound against the input schema).
+    pub fn new(pred: BoundExpr) -> Self {
+        VecFilter { pred }
+    }
+}
+
+impl BatchOperator for VecFilter {
+    fn push(&mut self, chunk: &ColumnarBatch) -> Result<Option<ColumnarBatch>> {
+        let keep = eval_filter(&self.pred, chunk)?;
+        Ok(Some(chunk.select(keep)))
+    }
+
+    fn finish(&mut self) -> Result<Option<ColumnarBatch>> {
+        Ok(None)
+    }
+}
+
+/// Vectorized projection: each output column is one kernel evaluation over
+/// the whole chunk.
+pub struct VecProject {
+    exprs: Vec<BoundExpr>,
+    schema: SchemaRef,
+}
+
+impl VecProject {
+    /// Project to `exprs` (bound against the input schema) under `schema`.
+    pub fn new(exprs: Vec<BoundExpr>, schema: SchemaRef) -> Self {
+        VecProject { exprs, schema }
+    }
+}
+
+impl BatchOperator for VecProject {
+    fn push(&mut self, chunk: &ColumnarBatch) -> Result<Option<ColumnarBatch>> {
+        let cols = self
+            .exprs
+            .iter()
+            .map(|e| eval_column(e, chunk))
+            .collect::<Result<Vec<_>>>()?;
+        // Kernel outputs are compact (logical-row aligned), so the result
+        // batch carries no selection.
+        Ok(Some(ColumnarBatch::new(
+            Arc::clone(&self.schema),
+            cols,
+            chunk.num_rows(),
+        )))
+    }
+
+    fn finish(&mut self) -> Result<Option<ColumnarBatch>> {
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hashing: a multiply-rotate hasher (the rustc-hash construction) for join
+// and group keys. SipHash's per-key setup dominates small-key hashing; this
+// is the single biggest lever in the join build/probe loop. Written here by
+// hand because the container bakes in no new dependencies.
+// ---------------------------------------------------------------------------
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast non-cryptographic hasher for hub-internal hash tables (join keys,
+/// group keys). Not DoS-resistant; never use it on attacker-controlled keys
+/// that outlive a query.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`].
+#[derive(Default, Clone)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Sentinel in a build-side gather list meaning "no build row": the gathered
+/// column gets NULL there (Left-join null extension).
+const NO_ROW: u32 = u32::MAX;
+
+/// The build-side hash table: physical build-row indices per key, in build
+/// insertion order (the row path stores `Vec<&Row>` the same way, which is
+/// what keeps output order identical).
+enum KeyTable {
+    /// Single integer key: hash raw `i64`s, no per-row `Vec<Value>`.
+    Int(FxHashMap<i64, Vec<u32>>),
+    /// General path: composite or non-integer keys as `Vec<Value>` (whose
+    /// `Hash` makes `Int(2)` and `Float(2.0)` collide, as SQL equality
+    /// demands).
+    General(FxHashMap<Vec<Value>, Vec<u32>>),
+}
+
+impl KeyTable {
+    fn lookup(&self, key: &ProbeKey) -> Option<&Vec<u32>> {
+        match (self, key) {
+            (KeyTable::Int(map), ProbeKey::Int(i)) => map.get(i),
+            (KeyTable::General(map), ProbeKey::General(k)) => map.get(k),
+            // NULL keys never join; an Int-keyed table only matches
+            // integral probes (ProbeKey construction already folded exact
+            // floats into Int).
+            _ => None,
+        }
+    }
+}
+
+/// One probe row's key, shaped to match the table representation.
+enum ProbeKey {
+    /// Key is NULL (any component): never joins.
+    Null,
+    /// Integral single key for [`KeyTable::Int`].
+    Int(i64),
+    /// Key that cannot match an Int table (e.g. a string probe against an
+    /// integer build column), or the general representation.
+    NoMatch,
+    /// General composite key.
+    General(Vec<Value>),
+}
+
+/// Vectorized hash join: the build side is consumed whole at construction,
+/// probe chunks stream through `push`. Matches the row path exactly:
+/// probe-order × build-insertion-order output, NULL keys never join (Left
+/// null-extends, Anti keeps, Semi/Inner drop), Semi/Anti residuals
+/// short-circuit at the first matching candidate.
+pub struct VecHashJoin {
+    table: KeyTable,
+    build: ColumnarBatch,
+    build_width: usize,
+    probe_keys: Vec<BoundExpr>,
+    kind: JoinKind,
+    residual: Option<BoundExpr>,
+    /// Schema residuals are bound against (for Semi/Anti this is the
+    /// concatenation of both sides even though only left columns flow out).
+    pred_schema: SchemaRef,
+    schema: SchemaRef,
+}
+
+impl VecHashJoin {
+    /// Build the hash table over `build` (the right side, compacted) using
+    /// `build_keys`/`probe_keys` bound against the respective schemas.
+    /// `pred_schema` is what `residual` was bound against.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        build: &ColumnarBatch,
+        build_keys: &[BoundExpr],
+        probe_keys: Vec<BoundExpr>,
+        kind: JoinKind,
+        residual: Option<BoundExpr>,
+        pred_schema: SchemaRef,
+        schema: SchemaRef,
+    ) -> Result<Self> {
+        let build = build.compact();
+        let key_cols = build_keys
+            .iter()
+            .map(|k| eval_column(k, &build))
+            .collect::<Result<Vec<_>>>()?;
+        let n = build.num_rows();
+        // Single all-integer key: hash raw i64s.
+        let int_col = match key_cols.as_slice() {
+            [only] if only.no_nulls() => only.as_ints(),
+            _ => None,
+        };
+        let table = if let Some(ints) = int_col {
+            let mut map: FxHashMap<i64, Vec<u32>> =
+                HashMap::with_capacity_and_hasher(n, FxBuildHasher);
+            for (i, &k) in ints.iter().enumerate() {
+                map.entry(k).or_default().push(i as u32);
+            }
+            KeyTable::Int(map)
+        } else {
+            let mut map: FxHashMap<Vec<Value>, Vec<u32>> =
+                HashMap::with_capacity_and_hasher(n, FxBuildHasher);
+            'row: for i in 0..n {
+                let mut key = Vec::with_capacity(key_cols.len());
+                for col in &key_cols {
+                    if col.is_null(i) {
+                        continue 'row; // NULL keys never join.
+                    }
+                    key.push(col.value(i));
+                }
+                map.entry(key).or_default().push(i as u32);
+            }
+            KeyTable::General(map)
+        };
+        let build_width = build.schema().len();
+        Ok(VecHashJoin {
+            table,
+            build,
+            build_width,
+            probe_keys,
+            kind,
+            residual,
+            pred_schema,
+            schema,
+        })
+    }
+
+    /// Shape one probe row's key for the table representation.
+    fn probe_key(&self, key_cols: &[Arc<Column>], row: usize) -> ProbeKey {
+        if key_cols.iter().any(|c| c.is_null(row)) {
+            return ProbeKey::Null;
+        }
+        match &self.table {
+            KeyTable::Int(_) => match key_cols[0].value(row) {
+                Value::Int(i) => ProbeKey::Int(i),
+                // SQL equality folds exact floats onto integers.
+                Value::Float(f) if (f as i64) as f64 == f => ProbeKey::Int(f as i64),
+                _ => ProbeKey::NoMatch,
+            },
+            KeyTable::General(_) => {
+                ProbeKey::General(key_cols.iter().map(|c| c.value(row)).collect())
+            }
+        }
+    }
+
+    /// Inner/Left probe: pair lists + vectorized residual, then gather.
+    fn probe_pairs(&self, chunk: &ColumnarBatch) -> Result<ColumnarBatch> {
+        let key_cols = self
+            .probe_keys
+            .iter()
+            .map(|k| eval_column(k, chunk))
+            .collect::<Result<Vec<_>>>()?;
+        let n = chunk.num_rows();
+        let left = matches!(self.kind, JoinKind::Left);
+        // Candidate pairs, grouped contiguously per probe row.
+        let mut pair_probe: Vec<u32> = Vec::new();
+        let mut pair_build: Vec<u32> = Vec::new();
+        /// What one probe row contributed.
+        enum Entry {
+            /// NULL key or empty bucket: Left null-extends, Inner drops.
+            NoCandidates,
+            /// Pair-list range `start..end`.
+            Pairs(u32, u32),
+        }
+        let mut entries: Vec<(u32, Entry)> = Vec::with_capacity(n);
+        for row in 0..n {
+            let phys = chunk.physical_index(row) as u32;
+            let candidates = match self.probe_key(&key_cols, row) {
+                ProbeKey::Null | ProbeKey::NoMatch => None,
+                key => self.table.lookup(&key),
+            };
+            match candidates {
+                None => entries.push((phys, Entry::NoCandidates)),
+                Some(rows) => {
+                    let start = pair_probe.len() as u32;
+                    for &b in rows {
+                        pair_probe.push(phys);
+                        pair_build.push(b);
+                    }
+                    entries.push((phys, Entry::Pairs(start, pair_probe.len() as u32)));
+                }
+            }
+        }
+
+        // Vectorized residual over all candidate pairs at once. The row path
+        // evaluates the residual on every candidate too (no short-circuit
+        // for Inner/Left), so errors surface identically.
+        let survives: Option<Vec<bool>> = match &self.residual {
+            None => None,
+            Some(pred) => {
+                let cand = self.pair_batch(chunk, &pair_probe, &pair_build);
+                let kept = eval_filter(pred, &cand)?;
+                let mut mask = vec![false; pair_probe.len()];
+                for k in kept {
+                    mask[k as usize] = true;
+                }
+                Some(mask)
+            }
+        };
+
+        // Emit in probe order: surviving pairs in candidate order, else a
+        // null-extension for Left.
+        let mut out_probe: Vec<u32> = Vec::new();
+        let mut out_build: Vec<u32> = Vec::new();
+        for (phys, entry) in entries {
+            match entry {
+                Entry::NoCandidates => {
+                    if left {
+                        out_probe.push(phys);
+                        out_build.push(NO_ROW);
+                    }
+                }
+                Entry::Pairs(start, end) => {
+                    let mut matched = false;
+                    for p in start..end {
+                        let ok = survives.as_ref().is_none_or(|m| m[p as usize]);
+                        if ok {
+                            matched = true;
+                            out_probe.push(pair_probe[p as usize]);
+                            out_build.push(pair_build[p as usize]);
+                        }
+                    }
+                    if left && !matched {
+                        out_probe.push(phys);
+                        out_build.push(NO_ROW);
+                    }
+                }
+            }
+        }
+        Ok(self.gather_joined(chunk, &out_probe, &out_build))
+    }
+
+    /// Materialize the candidate-pair batch residuals are evaluated over.
+    fn pair_batch(
+        &self,
+        chunk: &ColumnarBatch,
+        pair_probe: &[u32],
+        pair_build: &[u32],
+    ) -> ColumnarBatch {
+        let mut cols: Vec<Arc<Column>> = Vec::with_capacity(self.pred_schema.len());
+        for c in chunk.columns() {
+            cols.push(Arc::new(c.gather(pair_probe)));
+        }
+        for c in self.build.columns() {
+            cols.push(Arc::new(c.gather(pair_build)));
+        }
+        ColumnarBatch::new(Arc::clone(&self.pred_schema), cols, pair_probe.len())
+    }
+
+    /// Gather the output batch from probe/build index lists (`NO_ROW` in the
+    /// build list null-extends).
+    fn gather_joined(
+        &self,
+        chunk: &ColumnarBatch,
+        out_probe: &[u32],
+        out_build: &[u32],
+    ) -> ColumnarBatch {
+        let mut cols: Vec<Arc<Column>> = Vec::with_capacity(self.schema.len());
+        for c in chunk.columns() {
+            cols.push(Arc::new(c.gather(out_probe)));
+        }
+        for c in self.build.columns() {
+            cols.push(Arc::new(c.gather_opt(out_build)));
+        }
+        ColumnarBatch::new(Arc::clone(&self.schema), cols, out_probe.len())
+    }
+
+    /// Semi/Anti probe: candidate scan with the row path's short-circuit —
+    /// a residual error on a later candidate is unreachable once an earlier
+    /// candidate matched, so this stays row-at-a-time over candidates.
+    fn probe_filtering(&self, chunk: &ColumnarBatch) -> Result<ColumnarBatch> {
+        let key_cols = self
+            .probe_keys
+            .iter()
+            .map(|k| eval_column(k, chunk))
+            .collect::<Result<Vec<_>>>()?;
+        let n = chunk.num_rows();
+        let anti = matches!(self.kind, JoinKind::Anti);
+        let mut keep: Vec<u32> = Vec::new();
+        for row in 0..n {
+            let candidates = match self.probe_key(&key_cols, row) {
+                // NULL keys never match: anti keeps the row, semi drops it.
+                ProbeKey::Null | ProbeKey::NoMatch => None,
+                key => self.table.lookup(&key),
+            };
+            let mut matched = false;
+            if let Some(rows) = candidates {
+                match &self.residual {
+                    None => matched = !rows.is_empty(),
+                    Some(pred) => {
+                        let l = chunk.row(row);
+                        for &b in rows {
+                            let combined = l.concat(&self.build.row(b as usize));
+                            if pred.eval_predicate(&combined)? {
+                                matched = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if matched != anti {
+                keep.push(row as u32);
+            }
+        }
+        Ok(chunk.select(keep).with_schema(Arc::clone(&self.schema)))
+    }
+
+    /// The right side's column count (for callers sizing null extensions).
+    pub fn build_width(&self) -> usize {
+        self.build_width
+    }
+}
+
+impl BatchOperator for VecHashJoin {
+    fn push(&mut self, chunk: &ColumnarBatch) -> Result<Option<ColumnarBatch>> {
+        let out = match self.kind {
+            // A keyless Cross join degenerates correctly: every build row
+            // sits under the empty key, which every probe row carries.
+            JoinKind::Inner | JoinKind::Left | JoinKind::Cross => self.probe_pairs(chunk)?,
+            JoinKind::Semi | JoinKind::Anti => self.probe_filtering(chunk)?,
+        };
+        Ok(Some(out))
+    }
+
+    fn finish(&mut self) -> Result<Option<ColumnarBatch>> {
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// The group-key → group-index map. Single integer group keys skip the
+/// per-row `Vec<Value>`; the moment a non-integer key value appears the map
+/// migrates to the general representation (group identity is unaffected —
+/// both follow `Value` equality, under which `Int(2)` equals `Float(2.0)`).
+enum GroupMap {
+    Int {
+        map: FxHashMap<i64, u32>,
+        null_slot: Option<u32>,
+    },
+    General(FxHashMap<Vec<Value>, u32>),
+}
+
+/// Vectorized hash aggregation: buffers group state across chunks, emits one
+/// batch from `finish`. Group order is first-seen, like the row path; the
+/// accumulators ARE the row path's ([`crate::agg::Accumulator`]), so SUM's
+/// integral-until-float ladder and DISTINCT behave identically.
+pub struct VecAggregate {
+    groups: Vec<BoundExpr>,
+    /// One per aggregate; `None` is `COUNT(*)`.
+    args: Vec<Option<BoundExpr>>,
+    templates: Vec<(AggFunc, bool)>,
+    map: GroupMap,
+    /// First-seen-order group keys.
+    keys: Vec<Vec<Value>>,
+    /// `[group][agg]` state.
+    accs: Vec<Vec<Accumulator>>,
+    schema: SchemaRef,
+}
+
+impl VecAggregate {
+    /// Aggregate `args` per `groups` (all bound against the input schema),
+    /// producing `schema` (group columns then aggregate columns).
+    pub fn new(
+        groups: Vec<BoundExpr>,
+        args: Vec<Option<BoundExpr>>,
+        templates: Vec<(AggFunc, bool)>,
+        schema: SchemaRef,
+    ) -> Self {
+        let map = if groups.len() == 1 {
+            GroupMap::Int {
+                map: HashMap::with_hasher(FxBuildHasher),
+                null_slot: None,
+            }
+        } else {
+            GroupMap::General(HashMap::with_hasher(FxBuildHasher))
+        };
+        VecAggregate {
+            groups,
+            args,
+            templates,
+            map,
+            keys: Vec::new(),
+            accs: Vec::new(),
+            schema,
+        }
+    }
+
+    fn fresh_accs(&self) -> Vec<Accumulator> {
+        self.templates
+            .iter()
+            .map(|&(func, distinct)| Accumulator::new(func, distinct))
+            .collect()
+    }
+
+    /// Resolve the group index for one row's key columns, creating the group
+    /// on first sight.
+    fn group_index(&mut self, key_cols: &[Arc<Column>], row: usize) -> u32 {
+        // Single-key integer fast path, with on-the-fly migration.
+        if let GroupMap::Int { map, null_slot } = &mut self.map {
+            let col = &key_cols[0];
+            if col.is_null(row) {
+                return *null_slot.get_or_insert_with(|| {
+                    self.keys.push(vec![Value::Null]);
+                    self.accs.push(
+                        self.templates
+                            .iter()
+                            .map(|&(f, d)| Accumulator::new(f, d))
+                            .collect(),
+                    );
+                    (self.keys.len() - 1) as u32
+                });
+            }
+            if let Value::Int(i) = col.value(row) {
+                if let Some(&idx) = map.get(&i) {
+                    return idx;
+                }
+                let idx = self.keys.len() as u32;
+                map.insert(i, idx);
+                self.keys.push(vec![Value::Int(i)]);
+                self.accs.push(
+                    self.templates
+                        .iter()
+                        .map(|&(f, d)| Accumulator::new(f, d))
+                        .collect(),
+                );
+                return idx;
+            }
+            // Non-integer key seen: rebuild as a general map over the keys
+            // recorded so far (first-seen order and identity preserved).
+            let mut general: FxHashMap<Vec<Value>, u32> =
+                HashMap::with_capacity_and_hasher(self.keys.len(), FxBuildHasher);
+            for (i, k) in self.keys.iter().enumerate() {
+                general.insert(k.clone(), i as u32);
+            }
+            self.map = GroupMap::General(general);
+        }
+        let GroupMap::General(map) = &mut self.map else {
+            unreachable!("migrated above")
+        };
+        let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+        if let Some(&idx) = map.get(&key) {
+            return idx;
+        }
+        let idx = self.keys.len() as u32;
+        map.insert(key.clone(), idx);
+        self.keys.push(key);
+        self.accs.push(
+            self.templates
+                .iter()
+                .map(|&(f, d)| Accumulator::new(f, d))
+                .collect(),
+        );
+        idx
+    }
+}
+
+impl BatchOperator for VecAggregate {
+    fn push(&mut self, chunk: &ColumnarBatch) -> Result<Option<ColumnarBatch>> {
+        let key_cols = self
+            .groups
+            .iter()
+            .map(|g| eval_column(g, chunk))
+            .collect::<Result<Vec<_>>>()?;
+        let arg_cols = self
+            .args
+            .iter()
+            .map(|a| a.as_ref().map(|e| eval_column(e, chunk)).transpose())
+            .collect::<Result<Vec<_>>>()?;
+        for row in 0..chunk.num_rows() {
+            let idx = if key_cols.is_empty() {
+                // Global aggregate: one implicit group.
+                if self.keys.is_empty() {
+                    self.keys.push(Vec::new());
+                    self.accs.push(self.fresh_accs());
+                }
+                0
+            } else {
+                self.group_index(&key_cols, row) as usize
+            };
+            for (acc, arg) in self.accs[idx].iter_mut().zip(&arg_cols) {
+                match arg {
+                    None => acc.push(None)?,
+                    Some(col) => {
+                        let v = col.value(row);
+                        acc.push(Some(&v))?;
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn finish(&mut self) -> Result<Option<ColumnarBatch>> {
+        let group_width = self.groups.len();
+        let mut keys = std::mem::take(&mut self.keys);
+        let mut accs = std::mem::take(&mut self.accs);
+        if keys.is_empty() && group_width == 0 {
+            // Global aggregate over zero rows: one row of defaults.
+            keys.push(Vec::new());
+            accs.push(self.fresh_accs());
+        }
+        let n = keys.len();
+        let mut out: Vec<Vec<Value>> =
+            (0..self.schema.len()).map(|_| Vec::with_capacity(n)).collect();
+        for (key, group_accs) in keys.into_iter().zip(accs) {
+            for (c, v) in key.into_iter().enumerate() {
+                out[c].push(v);
+            }
+            for (a, acc) in group_accs.into_iter().enumerate() {
+                out[group_width + a].push(acc.finish());
+            }
+        }
+        let cols: Vec<Arc<Column>> = out
+            .into_iter()
+            .zip(self.schema.fields())
+            .map(|(vals, f)| Arc::new(Column::from_values(&vals, f.data_type)))
+            .collect();
+        Ok(Some(ColumnarBatch::new(
+            Arc::clone(&self.schema),
+            cols,
+            n,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eii_data::{row, Batch, DataType, Field, Schema};
+    use eii_expr::{bind, BinaryOp, Expr};
+
+    fn schema(fields: &[(&str, DataType)]) -> SchemaRef {
+        Arc::new(Schema::new(
+            fields.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        ))
+    }
+
+    fn ints(name: &str, vals: &[i64]) -> ColumnarBatch {
+        let s = schema(&[(name, DataType::Int)]);
+        let rows = vals.iter().map(|&v| row![v]).collect();
+        ColumnarBatch::from_batch(&Batch::new(s, rows))
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write_u64(43);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn filter_drops_rows() {
+        let batch = ints("x", &[1, 5, 2, 8]);
+        let pred = bind(&Expr::col("x").gt(Expr::lit(2i64)), batch.schema()).unwrap();
+        let mut op = VecFilter::new(pred);
+        let out = op.push(&batch).unwrap().unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value_at(0, 0), Value::Int(5));
+        assert_eq!(out.value_at(1, 0), Value::Int(8));
+    }
+
+    #[test]
+    fn project_computes_columns() {
+        let batch = ints("x", &[1, 2]);
+        let out_schema = schema(&[("y", DataType::Int)]);
+        let expr = bind(
+            &Expr::col("x").binary(BinaryOp::Multiply, Expr::lit(10i64)),
+            batch.schema(),
+        )
+        .unwrap();
+        let mut op = VecProject::new(vec![expr], out_schema);
+        let out = op.push(&batch).unwrap().unwrap();
+        assert_eq!(out.value_at(0, 0), Value::Int(10));
+        assert_eq!(out.value_at(1, 0), Value::Int(20));
+    }
+
+    #[test]
+    fn join_matches_and_preserves_order() {
+        let left = ints("a", &[1, 2, 3, 2]);
+        let right_schema = schema(&[("b", DataType::Int), ("c", DataType::Int)]);
+        let right = ColumnarBatch::from_batch(&Batch::new(
+            right_schema.clone(),
+            vec![row![2i64, 20i64], row![3i64, 30i64], row![2i64, 21i64]],
+        ));
+        let joined = Arc::new(left.schema().join(&right_schema));
+        let bkey = bind(&Expr::col("b"), &right_schema).unwrap();
+        let pkey = bind(&Expr::col("a"), left.schema()).unwrap();
+        let mut op = VecHashJoin::new(
+            &right,
+            &[bkey],
+            vec![pkey],
+            JoinKind::Inner,
+            None,
+            Arc::clone(&joined),
+            joined,
+        )
+        .unwrap();
+        let out = op.push(&left).unwrap().unwrap();
+        // Probe order, then build insertion order within a key.
+        let got: Vec<(Value, Value)> = (0..out.num_rows())
+            .map(|i| (out.value_at(i, 0), out.value_at(i, 2)))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (Value::Int(2), Value::Int(20)),
+                (Value::Int(2), Value::Int(21)),
+                (Value::Int(3), Value::Int(30)),
+                (Value::Int(2), Value::Int(20)),
+                (Value::Int(2), Value::Int(21)),
+            ]
+        );
+    }
+
+    #[test]
+    fn left_join_null_extends() {
+        let left = ints("a", &[1, 2]);
+        let right = {
+            let s = schema(&[("b", DataType::Int)]);
+            ColumnarBatch::from_batch(&Batch::new(s, vec![row![2i64]]))
+        };
+        let joined = Arc::new(left.schema().join(right.schema()));
+        let bkey = bind(&Expr::col("b"), right.schema()).unwrap();
+        let pkey = bind(&Expr::col("a"), left.schema()).unwrap();
+        let mut op = VecHashJoin::new(
+            &right,
+            &[bkey],
+            vec![pkey],
+            JoinKind::Left,
+            None,
+            Arc::clone(&joined),
+            joined,
+        )
+        .unwrap();
+        let out = op.push(&left).unwrap().unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value_at(0, 1), Value::Null);
+        assert_eq!(out.value_at(1, 1), Value::Int(2));
+    }
+
+    #[test]
+    fn aggregate_groups_in_first_seen_order() {
+        let s = schema(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let batch = ColumnarBatch::from_batch(&Batch::new(
+            Arc::clone(&s),
+            vec![row![2i64, 10i64], row![1i64, 5i64], row![2i64, 1i64]],
+        ));
+        let out_schema = schema(&[("g", DataType::Int), ("s", DataType::Int)]);
+        let g = bind(&Expr::col("g"), &s).unwrap();
+        let v = bind(&Expr::col("v"), &s).unwrap();
+        let mut op = VecAggregate::new(
+            vec![g],
+            vec![Some(v)],
+            vec![(AggFunc::Sum, false)],
+            out_schema,
+        );
+        op.push(&batch).unwrap();
+        let out = op.finish().unwrap().unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value_at(0, 0), Value::Int(2));
+        assert_eq!(out.value_at(0, 1), Value::Int(11));
+        assert_eq!(out.value_at(1, 0), Value::Int(1));
+        assert_eq!(out.value_at(1, 1), Value::Int(5));
+    }
+
+    #[test]
+    fn drive_chunks_and_checks() {
+        let batch = ints("x", &[1, 2, 3, 4, 5]);
+        let pred = bind(&Expr::col("x").gt(Expr::lit(1i64)), batch.schema()).unwrap();
+        let mut op = VecFilter::new(pred);
+        let mut checks = 0;
+        let out = drive(&mut op, &batch, batch.schema().clone(), 2, || {
+            checks += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(checks, 3); // ceil(5/2)
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(out.value_at(0, 0), Value::Int(2));
+    }
+}

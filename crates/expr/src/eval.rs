@@ -284,7 +284,7 @@ impl BoundExpr {
     }
 }
 
-fn eval_and(l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_and(l: &Value, r: &Value) -> Result<Value> {
     Ok(match (l.as_bool(), r.as_bool()) {
         (Some(false), _) | (_, Some(false)) => Value::Bool(false),
         (Some(true), Some(true)) => Value::Bool(true),
@@ -293,7 +293,7 @@ fn eval_and(l: &Value, r: &Value) -> Result<Value> {
     })
 }
 
-fn eval_or(l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_or(l: &Value, r: &Value) -> Result<Value> {
     Ok(match (l.as_bool(), r.as_bool()) {
         (Some(true), _) | (_, Some(true)) => Value::Bool(true),
         (Some(false), Some(false)) => Value::Bool(false),

@@ -11,8 +11,10 @@ pub mod eval;
 pub mod fold;
 pub mod functions;
 pub mod typecheck;
+pub mod vector;
 
 pub use ast::{AggFunc, BinaryOp, Expr, ScalarFunc, UnaryOp};
 pub use eval::{bind, BoundExpr};
+pub use vector::{eval_column, eval_filter};
 pub use fold::{conjuncts, conjoin, fold_constants, referenced_columns, ColumnRef};
 pub use typecheck::infer_type;

@@ -74,12 +74,16 @@ pub enum PhysicalPlan {
     Filter {
         input: Box<PhysicalPlan>,
         predicate: Expr,
+        /// Run on the executor's columnar path (selection-vector kernels).
+        vectorized: bool,
     },
     /// Assembly-site projection.
     Project {
         input: Box<PhysicalPlan>,
         exprs: Vec<(Expr, String)>,
         schema: SchemaRef,
+        /// Run on the executor's columnar path (typed expression kernels).
+        vectorized: bool,
     },
     /// Hash join on equi keys, with optional residual predicate.
     HashJoin {
@@ -92,6 +96,8 @@ pub enum PhysicalPlan {
         site: JoinSite,
         parallel: bool,
         schema: SchemaRef,
+        /// Run build/probe on the executor's columnar path.
+        vectorized: bool,
     },
     /// Nested-loop join (arbitrary condition / cartesian).
     NestedLoopJoin {
@@ -121,6 +127,8 @@ pub enum PhysicalPlan {
         group_by: Vec<Expr>,
         aggs: Vec<AggItem>,
         schema: SchemaRef,
+        /// Accumulate over columnar chunks instead of rows.
+        vectorized: bool,
     },
     /// Duplicate elimination.
     Distinct { input: Box<PhysicalPlan> },
@@ -241,11 +249,17 @@ impl PhysicalPlan {
                 }
                 s
             }
-            PhysicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
-            PhysicalPlan::Project { exprs, .. } => {
+            PhysicalPlan::Filter {
+                predicate,
+                vectorized,
+                ..
+            } => format!("Filter {predicate}{}", vec_tag(*vectorized)),
+            PhysicalPlan::Project {
+                exprs, vectorized, ..
+            } => {
                 let items: Vec<String> =
                     exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                format!("Project [{}]", items.join(", "))
+                format!("Project [{}]{}", items.join(", "), vec_tag(*vectorized))
             }
             PhysicalPlan::HashJoin {
                 left_keys,
@@ -253,6 +267,7 @@ impl PhysicalPlan {
                 kind,
                 site,
                 parallel,
+                vectorized,
                 ..
             } => {
                 let keys: Vec<String> = left_keys
@@ -261,9 +276,10 @@ impl PhysicalPlan {
                     .map(|(l, r)| format!("{l}={r}"))
                     .collect();
                 format!(
-                    "HashJoin[{kind}] keys=[{}] site={site}{}",
+                    "HashJoin[{kind}] keys=[{}] site={site}{}{}",
                     keys.join(", "),
-                    if *parallel { " parallel" } else { "" }
+                    if *parallel { " parallel" } else { "" },
+                    vec_tag(*vectorized)
                 )
             }
             PhysicalPlan::NestedLoopJoin { kind, on, .. } => format!(
@@ -276,10 +292,20 @@ impl PhysicalPlan {
                 bind_column,
                 ..
             } => format!("BindJoin {left_key} -> {source}.{bind_column}"),
-            PhysicalPlan::Aggregate { group_by, aggs, .. } => {
+            PhysicalPlan::Aggregate {
+                group_by,
+                aggs,
+                vectorized,
+                ..
+            } => {
                 let g: Vec<String> = group_by.iter().map(ToString::to_string).collect();
                 let a: Vec<String> = aggs.iter().map(|x| x.name.clone()).collect();
-                format!("HashAggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "))
+                format!(
+                    "HashAggregate group=[{}] aggs=[{}]{}",
+                    g.join(", "),
+                    a.join(", "),
+                    vec_tag(*vectorized)
+                )
             }
             PhysicalPlan::Distinct { .. } => "Distinct".into(),
             PhysicalPlan::Sort { keys, .. } => {
@@ -404,6 +430,7 @@ impl<'a> PhysicalPlanner<'a> {
             LogicalPlan::Filter { input, predicate } => Ok(PhysicalPlan::Filter {
                 input: Box::new(self.create(*input)?),
                 predicate,
+                vectorized: self.config.vectorize,
             }),
             LogicalPlan::Project { input, exprs } => {
                 let schema = LogicalPlan::Project {
@@ -415,6 +442,7 @@ impl<'a> PhysicalPlanner<'a> {
                     input: Box::new(self.create(*input)?),
                     exprs,
                     schema,
+                    vectorized: self.config.vectorize,
                 })
             }
             LogicalPlan::Join { .. } => self.create_join(plan),
@@ -434,6 +462,7 @@ impl<'a> PhysicalPlanner<'a> {
                     group_by,
                     aggs,
                     schema,
+                    vectorized: self.config.vectorize,
                 })
             }
             LogicalPlan::Distinct { input } => Ok(PhysicalPlan::Distinct {
@@ -690,6 +719,7 @@ impl<'a> PhysicalPlanner<'a> {
             site,
             parallel: self.config.parallel_fetch,
             schema: joined_schema,
+            vectorized: self.config.vectorize,
         })
     }
 
@@ -766,11 +796,21 @@ impl<'a> PhysicalPlanner<'a> {
                     input: Box::new(plan),
                     exprs,
                     schema: joined_schema.clone(),
+                    vectorized: self.config.vectorize,
                 }),
                 schema: joined_schema,
             });
         }
         Ok(plan)
+    }
+}
+
+/// EXPLAIN suffix for operators scheduled on the columnar path.
+fn vec_tag(vectorized: bool) -> &'static str {
+    if vectorized {
+        " [VECTORIZED]"
+    } else {
+        ""
     }
 }
 
