@@ -536,14 +536,16 @@ impl ColumnarBatch {
                 let mut values: Option<Vec<Value>> = None;
                 let mut acc = first.clone();
                 for col in iter {
-                    match try_append(&mut acc, col) {
-                        Ok(()) => {}
-                        Err(()) => {
-                            let vals = values.get_or_insert_with(|| {
-                                (0..acc.len()).map(|i| acc.value(i)).collect()
-                            });
-                            vals.extend((0..col.len()).map(|i| col.value(i)));
-                        }
+                    // Once a chunk forces the Mixed fallback, every later
+                    // chunk goes to `values` too — appending a typed chunk
+                    // back onto `acc` would silently drop its rows.
+                    if let Some(vals) = values.as_mut() {
+                        vals.extend((0..col.len()).map(|i| col.value(i)));
+                    } else if try_append(&mut acc, col).is_err() {
+                        let mut vals: Vec<Value> =
+                            (0..acc.len()).map(|i| acc.value(i)).collect();
+                        vals.extend((0..col.len()).map(|i| col.value(i)));
+                        values = Some(vals);
                     }
                 }
                 let col = match values {
@@ -673,6 +675,41 @@ mod tests {
         assert_eq!(merged.num_rows(), 4);
         assert!(merged.column(1).is_null(3));
         assert_eq!(merged.value_at(3, 0), Value::Int(2));
+    }
+
+    #[test]
+    fn concat_keeps_typed_chunks_after_mixed_fallback() {
+        // [Int, Mixed, Int]: the middle chunk forces the Mixed fallback and
+        // the trailing typed chunk must still land in the merged column.
+        let s = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        let ints_a = ColumnarBatch::from_batch(&Batch::new(
+            Arc::clone(&s),
+            vec![row![1i64], row![2i64]],
+        ));
+        let mixed = ColumnarBatch::from_batch(&Batch::new(
+            Arc::clone(&s),
+            vec![row![Value::Null], row!["oops"]],
+        ));
+        assert!(matches!(mixed.column(0).data(), ColumnData::Mixed(_)));
+        let ints_b = ColumnarBatch::from_batch(&Batch::new(
+            Arc::clone(&s),
+            vec![row![3i64], row![4i64]],
+        ));
+        let merged = ColumnarBatch::concat(Arc::clone(&s), &[ints_a, mixed, ints_b]);
+        assert_eq!(merged.num_rows(), 6);
+        assert_eq!(merged.column(0).len(), 6);
+        let got: Vec<Value> = (0..6).map(|i| merged.value_at(i, 0)).collect();
+        assert_eq!(
+            got,
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Null,
+                Value::from("oops"),
+                Value::Int(3),
+                Value::Int(4),
+            ]
+        );
     }
 
     #[test]

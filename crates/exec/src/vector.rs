@@ -304,9 +304,16 @@ impl VecHashJoin {
             .map(|k| eval_column(k, &build))
             .collect::<Result<Vec<_>>>()?;
         let n = build.num_rows();
-        // Single all-integer key: hash raw i64s.
+        // Single all-integer key: hash raw i64s. Scalar Int/Float equality
+        // compares through f64 (`i as f64 == f`), while a float probe folds
+        // onto this table via `f as i64`; the two agree only when every build
+        // key is exactly representable as f64, so keys beyond ±2^53 take the
+        // general Vec<Value> table whose Hash/Eq already implement the scalar
+        // semantics.
         let int_col = match key_cols.as_slice() {
-            [only] if only.no_nulls() => only.as_ints(),
+            [only] if only.no_nulls() => only
+                .as_ints()
+                .filter(|ints| ints.iter().all(|&i| i.unsigned_abs() <= 1 << 53)),
             _ => None,
         };
         let table = if let Some(ints) = int_col {
@@ -838,6 +845,35 @@ mod tests {
                 (Value::Int(2), Value::Int(21)),
             ]
         );
+    }
+
+    #[test]
+    fn float_probe_beyond_f64_precision_matches_scalar_semantics() {
+        // Int(2^53 + 1) == Float(2^53) under scalar Value equality (which
+        // compares through f64), so a build key beyond ±2^53 must keep the
+        // join off the raw-i64 fast path or the probe would miss.
+        let big = (1i64 << 53) + 1;
+        let right = ints("b", &[big]);
+        let left = {
+            let s = schema(&[("a", DataType::Float)]);
+            ColumnarBatch::from_batch(&Batch::new(s, vec![row![9_007_199_254_740_992.0f64]]))
+        };
+        let joined = Arc::new(left.schema().join(right.schema()));
+        let bkey = bind(&Expr::col("b"), right.schema()).unwrap();
+        let pkey = bind(&Expr::col("a"), left.schema()).unwrap();
+        let mut op = VecHashJoin::new(
+            &right,
+            &[bkey],
+            vec![pkey],
+            JoinKind::Inner,
+            None,
+            Arc::clone(&joined),
+            joined,
+        )
+        .unwrap();
+        let out = op.push(&left).unwrap().unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value_at(0, 1), Value::Int(big));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! expression and any batch, [`eval_column`] must produce, position by
 //! position, the same [`Value`]s (and the same errors) as calling
 //! [`BoundExpr::eval`] on each materialized row. The executor's E21 gate and
-//! the `vectorized_equals_row_at_a_time` proptest hold this line. Three rules
+//! the `vectorized_equals_row_at_a_time` proptest hold this line. Four rules
 //! keep it honest:
 //!
 //! - **NULL propagation and Kleene AND/OR** are re-implemented over columns,
@@ -17,7 +17,11 @@
 //!   [`crate::eval::eval_binary`] element-wise whenever operand columns are
 //!   not cleanly typed, so `Mixed` columns cost speed, never correctness;
 //! - operators with row-dependent control flow (`CASE`, `IN` with non-literal
-//!   list items) materialize rows and delegate to the scalar evaluator.
+//!   list items) materialize rows and delegate to the scalar evaluator;
+//! - **error identity**: column-at-a-time order can trip over a different
+//!   failing row than the scalar path when distinct rows fail in distinct
+//!   subexpressions, so on any kernel error [`eval_column`] re-runs the
+//!   expression row-at-a-time and reports the scalar path's first error.
 
 // The kernel loops below walk several parallel structures in lockstep by
 // index (output vector, null bitmap, one or more operand columns, and for
@@ -37,6 +41,21 @@ use crate::functions::{eval_scalar, like_match};
 /// Evaluate `expr` for every live row of `batch`, producing a compact column
 /// whose position `k` holds the value for logical row `k`.
 pub fn eval_column(expr: &BoundExpr, batch: &ColumnarBatch) -> Result<Arc<Column>> {
+    match eval_column_typed(expr, batch) {
+        Ok(c) => Ok(c),
+        // The kernels evaluate column-at-a-time (all of the left operand,
+        // then all of the right), so when different rows fail in different
+        // subexpressions the first error they hit can differ from the one
+        // the scalar path reports. Re-running row-at-a-time surfaces exactly
+        // the scalar path's first error — and, defensively, the scalar
+        // result should only the kernel have erred.
+        Err(_) => eval_by_rows(expr, batch),
+    }
+}
+
+/// The typed kernel dispatch behind [`eval_column`]; may surface errors in a
+/// different order than the scalar path (the wrapper reconciles that).
+fn eval_column_typed(expr: &BoundExpr, batch: &ColumnarBatch) -> Result<Arc<Column>> {
     let n = batch.num_rows();
     match expr {
         BoundExpr::Column(i) => Ok(match batch.selection() {
@@ -582,6 +601,29 @@ mod tests {
             check(&Expr::col("a").binary(op, Expr::lit(3i64)), sample_rows());
             check(&Expr::col("c").binary(op, Expr::col("a")), sample_rows());
         }
+    }
+
+    #[test]
+    fn error_surfaces_scalar_paths_first_failing_row() {
+        // Left operand errors on row 1, right operand on row 0. Column-at-a-
+        // time evaluation hits the left error first; the surfaced error must
+        // nonetheless be the scalar path's (row 0's right-operand failure).
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::str("s"), Value::Float(1.0)]),
+            Row::new(vec![Value::str("x"), Value::str("t"), Value::Float(2.0)]),
+        ];
+        let e = Expr::col("a").binary(BinaryOp::Plus, Expr::lit(1i64)).binary(
+            BinaryOp::Plus,
+            Expr::col("b").binary(BinaryOp::Plus, Expr::lit(1i64)),
+        );
+        let bound = bind(&e, &schema()).unwrap();
+        let ve = eval_column(&bound, &batch(rows.clone())).unwrap_err();
+        let re = rows
+            .iter()
+            .map(|r| bound.eval(r))
+            .find_map(Result::err)
+            .expect("scalar path errors");
+        assert_eq!(ve.to_string(), re.to_string());
     }
 
     #[test]
